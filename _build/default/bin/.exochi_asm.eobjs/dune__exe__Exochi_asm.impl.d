@@ -1,0 +1,1 @@
+bin/exochi_asm.ml: Array Bytes Exochi_isa Filename Fun List Printf Sys

@@ -1,0 +1,1 @@
+bin/exochi_bench.ml: Arg Cmd Cmdliner Exochi_kernels Exochi_memory Harness Kernel List Printf Registry String Term

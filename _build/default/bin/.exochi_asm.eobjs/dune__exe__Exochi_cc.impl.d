@@ -1,0 +1,1 @@
+bin/exochi_cc.ml: Array Exochi_core Exochi_isa Filename Fun List Printf Sys

@@ -1,0 +1,1 @@
+bin/exochi_dbg.ml: Array Chi_debug Chilite_compile Chilite_run Exo_platform Exochi_core Exochi_cpu Exochi_isa Filename Fun In_channel List Printf String Sys

@@ -1,0 +1,1 @@
+bin/exochi_dbg.mli:

@@ -1,0 +1,1 @@
+bin/exochi_run.ml: Array Chilite_compile Chilite_run Exo_platform Exochi_accel Exochi_core Exochi_cpu Exochi_isa Exochi_memory Filename Fun List Printf Sys

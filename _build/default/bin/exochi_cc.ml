@@ -1,0 +1,59 @@
+(* CHI-lite compiler driver: produce a fat binary from C-like source.
+
+     exochi_cc prog.chi                 compile, write prog.fat
+     exochi_cc prog.chi -o out.fat      choose the output path
+     exochi_cc prog.chi -S              print the generated VIA32 assembly
+     exochi_cc prog.chi --sections      list the fat binary's sections *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: path :: rest ->
+    let src = read_file path in
+    let name = Filename.remove_extension (Filename.basename path) in
+    if List.mem "-S" rest then begin
+      match Exochi_core.Chilite_compile.compile_to_via32_text ~name src with
+      | Ok text -> print_string text
+      | Error e ->
+        prerr_endline (Exochi_isa.Loc.error_to_string e);
+        exit 1
+    end
+    else begin
+      match Exochi_core.Chilite_compile.compile ~name src with
+      | Error e ->
+        prerr_endline (Exochi_isa.Loc.error_to_string e);
+        exit 1
+      | Ok compiled ->
+        let fb = compiled.Exochi_core.Chilite_compile.fatbin in
+        if List.mem "--sections" rest then
+          List.iter
+            (fun (isa, n) ->
+              Printf.printf "%-6s %s\n"
+                (match isa with
+                | Exochi_core.Chi_fatbin.Via32 -> "VIA32"
+                | Exochi_core.Chi_fatbin.X3k -> "X3K")
+                n)
+            (Exochi_core.Chi_fatbin.section_names fb)
+        else begin
+          let out =
+            let rec find = function
+              | "-o" :: o :: _ -> o
+              | _ :: r -> find r
+              | [] -> Filename.remove_extension path ^ ".fat"
+            in
+            find rest
+          in
+          Exochi_core.Chi_fatbin.write_file fb ~path:out;
+          Printf.printf "%s: fat binary with %d section(s) -> %s\n" name
+            (List.length (Exochi_core.Chi_fatbin.section_names fb))
+            out
+        end
+    end
+  | _ ->
+    prerr_endline "usage: exochi_cc <prog.chi> [-o out.fat] [-S] [--sections]";
+    exit 1

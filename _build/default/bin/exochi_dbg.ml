@@ -1,0 +1,122 @@
+(* A command-driven cross-ISA debugger over a CHI-lite program — the
+   reproduction's analogue of the paper's enhanced Intel Debugger
+   (Section 4.5). Commands come from stdin, one per line:
+
+     list                    disassemble the IA32 (VIA32) section
+     break N / clear N       breakpoint at VIA32 instruction index N
+     run                     run to the next breakpoint or program end
+     step                    execute one IA32 instruction
+     regs                    IA32 register dump
+     line                    source line of the current stop
+     exo-run N               advance the exo-sequencers until some shred
+                             reaches X3K instruction index N
+     exo-where               resident shreds (eu, slot, shred, pc)
+     exo-reg SID REG LANE    read a resident shred's register lane
+     output                  values printed so far
+     quit
+
+   Example:
+     printf 'break 2\nrun\nregs\nstep\nrun\noutput\nquit\n' | \
+       dune exec bin/exochi_dbg.exe -- examples/vadd.chi *)
+
+open Exochi_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: path :: _ ->
+    let src = read_file path in
+    let name = Filename.remove_extension (Filename.basename path) in
+    let compiled =
+      match Chilite_compile.compile ~name src with
+      | Ok c -> c
+      | Error e ->
+        prerr_endline (Exochi_isa.Loc.error_to_string e);
+        exit 1
+    in
+    let platform = Exo_platform.create () in
+    let prog = Chilite_run.load ~platform compiled in
+    let dbg = Chi_debug.create platform in
+    let intrinsics = Chilite_run.intrinsic_handler prog in
+    let loaded = Chilite_run.loaded prog in
+    let pc = ref 0 in
+    let finished = ref false in
+    let say fmt = Printf.printf fmt in
+    let rec loop () =
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some cmd -> (
+        (match String.split_on_char ' ' (String.trim cmd) with
+        | [ "" ] -> ()
+        | [ "quit" ] -> raise Exit
+        | [ "list" ] ->
+          print_string (Exochi_isa.Via32_asm.disassemble loaded.Exochi_cpu.Machine.prog)
+        | [ "break"; n ] ->
+          Chi_debug.set_breakpoint dbg ~pc:(int_of_string n);
+          say "breakpoint at %s (breakpoints: %s)\n" n
+            (String.concat ","
+               (List.map string_of_int (Chi_debug.breakpoints dbg)))
+        | [ "clear"; n ] -> Chi_debug.clear_breakpoint dbg ~pc:(int_of_string n)
+        | [ "run" ] ->
+          if !finished then say "program has finished\n"
+          else (
+            match Chi_debug.run_cpu dbg loaded ~entry:!pc ~intrinsics with
+            | Chi_debug.Hit bp ->
+              pc := bp;
+              say "stopped at pc %d (source line %d)\n" bp
+                (Chi_debug.via32_line loaded ~pc:bp)
+            | Chi_debug.Finished ->
+              finished := true;
+              say "program finished\n")
+        | [ "step" ] ->
+          if !finished then say "program has finished\n"
+          else (
+            match Chi_debug.step_cpu dbg loaded ~pc:!pc ~intrinsics with
+            | Some next ->
+              pc := next;
+              say "pc %d (source line %d)\n" next
+                (Chi_debug.via32_line loaded ~pc:next)
+            | None ->
+              finished := true;
+              say "program finished\n")
+        | [ "regs" ] ->
+          List.iter
+            (fun (n, v) -> say "  %-4s = %ld\n" n v)
+            (Chi_debug.cpu_registers dbg)
+        | [ "line" ] ->
+          say "pc %d: source line %d\n" !pc (Chi_debug.via32_line loaded ~pc:!pc)
+        | [ "exo-run"; n ] -> (
+          match Chi_debug.run_gpu_until dbg ~pc:(int_of_string n) with
+          | Chi_debug.Exo_hit { shred_id; eu; slot } ->
+            say "shred %d stopped at pc %s (EU %d, thread %d)\n" shred_id n eu
+              slot
+          | Chi_debug.Exo_quiescent -> say "exo-sequencers are quiescent\n")
+        | [ "exo-where" ] ->
+          List.iter
+            (fun (eu, slot, sid, p) ->
+              say "  EU %d thread %d: shred %d at pc %d\n" eu slot sid p)
+            (Chi_debug.exo_where dbg)
+        | [ "exo-reg"; sid; r; l ] -> (
+          match
+            Chi_debug.exo_reg dbg ~shred_id:(int_of_string sid)
+              ~reg:(int_of_string r) ~lane:(int_of_string l)
+          with
+          | Some v -> say "  shred %s vr%s[%s] = %d\n" sid r l v
+          | None -> say "  shred %s is not resident\n" sid)
+        | [ "output" ] ->
+          say "  %s\n"
+            (String.concat " "
+               (List.map string_of_int (Chilite_run.output prog)))
+        | _ -> say "unknown command: %s\n" cmd);
+        loop ())
+    in
+    (try loop () with Exit -> ());
+    say "[exochi_dbg] done\n"
+  | _ ->
+    prerr_endline "usage: exochi_dbg <prog.chi>  (commands on stdin)";
+    exit 1

@@ -1,0 +1,58 @@
+(* Compile and execute a CHI-lite program on the simulated EXO platform.
+
+     exochi_run prog.chi [--memmodel cc|noncc|copy]
+
+   print_int output goes to stdout; a simulated-platform summary follows. *)
+
+open Exochi_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: path :: rest ->
+    let src = read_file path in
+    let name = Filename.remove_extension (Filename.basename path) in
+    let memmodel =
+      let rec find = function
+        | "--memmodel" :: m :: _ -> (
+          match m with
+          | "cc" -> Exochi_memory.Memmodel.Cc_shared
+          | "noncc" -> Exochi_memory.Memmodel.Non_cc_shared
+          | "copy" -> Exochi_memory.Memmodel.Data_copy
+          | _ ->
+            prerr_endline "memmodel must be cc, noncc or copy";
+            exit 1)
+        | _ :: r -> find r
+        | [] -> Exochi_memory.Memmodel.Cc_shared
+      in
+      find rest
+    in
+    (match Chilite_compile.compile ~name src with
+    | Error e ->
+      prerr_endline (Exochi_isa.Loc.error_to_string e);
+      exit 1
+    | Ok compiled ->
+      let platform = Exo_platform.create ~memmodel () in
+      let prog = Chilite_run.load ~platform compiled in
+      Chilite_run.run prog;
+      List.iter (fun v -> Printf.printf "%d\n" v) (Chilite_run.output prog);
+      let cpu = Exo_platform.cpu platform in
+      let gpu = Exo_platform.gpu platform in
+      Printf.eprintf
+        "[exochi] %s: %.3f ms simulated (%s); %d shred(s); ATR %d proxies / %d \
+         GTT hits; CEH %d\n"
+        name
+        (float_of_int (Exochi_cpu.Machine.now_ps cpu) /. 1e9)
+        (Exochi_memory.Memmodel.name memmodel)
+        (Exochi_accel.Gpu.shreds_completed gpu)
+        (Exo_platform.atr_proxies platform)
+        (Exo_platform.gtt_hits platform)
+        (Exo_platform.ceh_proxies platform))
+  | _ ->
+    prerr_endline "usage: exochi_run <prog.chi> [--memmodel cc|noncc|copy]";
+    exit 1

@@ -1,0 +1,1 @@
+examples/cooperative.ml: Chilite_compile Chilite_run Exo_platform Exochi_accel Exochi_core Exochi_cpu Exochi_isa Int32 Printf

@@ -1,0 +1,1 @@
+examples/exceptions.ml: Address_space Chi_descriptor Exo_platform Exochi_accel Exochi_core Exochi_isa Exochi_memory Int32 Int64 Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chi_fatbin Chilite_compile Chilite_run Exo_platform Exochi_accel Exochi_core Exochi_cpu Exochi_isa Int32 List Printf String

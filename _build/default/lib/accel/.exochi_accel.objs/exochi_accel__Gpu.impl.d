@@ -1,0 +1,1 @@
+lib/accel/gpu.ml: Address_space Array Bus Cache Exochi_isa Exochi_memory Exochi_util Hashtbl Int32 Lane List Option Page_table Phys_mem Pte Queue Surface Timebase Tlb

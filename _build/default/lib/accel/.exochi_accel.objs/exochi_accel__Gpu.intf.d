@@ -1,0 +1,1 @@
+lib/accel/gpu.mli: Exochi_isa Exochi_memory Exochi_util X3k_ast

@@ -1,0 +1,1 @@
+lib/accel/lane.ml: Exochi_isa Float Int32

@@ -1,0 +1,1 @@
+lib/accel/lane.mli: Exochi_isa X3k_ast

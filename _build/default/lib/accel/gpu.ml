@@ -1,0 +1,1100 @@
+open Exochi_util
+open Exochi_memory
+open Exochi_isa.X3k_ast
+
+type config = {
+  clock_mhz : int;
+  eus : int;
+  threads_per_eu : int;
+  cache_bytes : int;
+  cache_ways : int;
+  line_bytes : int;
+  tlb_entries : int;
+  dispatch_cycles : int;
+  switch_on_stall : bool;
+}
+
+let default_config =
+  {
+    clock_mhz = 667;
+    eus = 8;
+    threads_per_eu = 4;
+    cache_bytes = 128 * 1024;
+    cache_ways = 8;
+    line_bytes = 64;
+    tlb_entries = 128;
+    dispatch_cycles = 120;
+    switch_on_stall = true;
+  }
+
+type shred = { shred_id : int; entry : int; params : int array }
+
+type fault_request = {
+  fault_op : opcode;
+  fault_dtype : dtype;
+  lane_a : int array;
+  lane_b : int array;
+}
+
+type hooks = {
+  atr : vpage:int -> now_ps:int -> Pte.X3k.t option * int;
+  ceh : fault_request -> now_ps:int -> int array * int;
+  mem_delay : paddr:int -> bytes:int -> write:bool -> now_ps:int -> int;
+  on_shred_done : shred -> now_ps:int -> unit;
+}
+
+exception Stuck of string
+exception Gpu_segfault of int
+
+type ctx_state =
+  | Idle
+  | Ready
+  | Stalled of int (* resume at ps *)
+  | Wait_sem of int
+
+type ctx = {
+  mutable state : ctx_state;
+  mutable pc : int;
+  vregs : int array; (* 128 regs x 16 lanes *)
+  reg_ready : int array; (* per-register scoreboard, ps *)
+  flags : int array; (* 4 flag registers, 16-bit lane masks *)
+  flag_ready : int array;
+  mutable shred : shred option;
+  mutable store_done : int; (* last posted store completion *)
+}
+
+type eu = {
+  eu_id : int;
+  ctxs : ctx array;
+  mutable now : int;
+  mutable current : int;
+  mutable streak : int; (* consecutive issues from the current context *)
+}
+
+type binding = { prog : program; surf_table : Surface.t array }
+
+type t = {
+  cfg : config;
+  aspace : Address_space.t;
+  bus : Bus.t;
+  hooks : hooks;
+  clock : Timebase.clock;
+  cycle : int; (* ps *)
+  cache : Cache.t;
+  gtlb : Pte.X3k.t Tlb.t;
+  eus : eu array;
+  queue : shred Queue.t;
+  mutable binding : binding option;
+  mutable nshred : int; (* team size visible as %nshred *)
+  mutable spawn_counter : int;
+  sem_held : bool array;
+  mutable sem_waiters : (int * int) list array; (* (eu, slot) *)
+  pending_regs : (int, (int * int array) list ref) Hashtbl.t;
+  mutable sampler_busy : int;
+  (* counters *)
+  mutable retired : int;
+  mutable switches : int;
+  mutable busy_cyc : int;
+  mutable stall_cyc : int;
+  mutable completed : int;
+  mutable sampler_reqs : int;
+  mutable last_done : int; (* time the most recent shred finished *)
+  mutable operand_stall_ps : int;
+}
+
+let create ?(config = default_config) ~aspace ~bus ~hooks () =
+  let clock = Timebase.clock ~mhz:config.clock_mhz in
+  let mk_ctx () =
+    {
+      state = Idle;
+      pc = 0;
+      vregs = Array.make (128 * 16) 0;
+      reg_ready = Array.make 128 0;
+      flags = Array.make 4 0;
+      flag_ready = Array.make 4 0;
+      shred = None;
+      store_done = 0;
+    }
+  in
+  {
+    cfg = config;
+    aspace;
+    bus;
+    hooks;
+    clock;
+    cycle = Timebase.ps_per_cycle clock;
+    cache =
+      Cache.create ~name:"gpu-cache" ~size_bytes:config.cache_bytes
+        ~line_bytes:config.line_bytes ~ways:config.cache_ways;
+    gtlb = Tlb.create ~entries:config.tlb_entries;
+    eus =
+      Array.init config.eus (fun eu_id ->
+          {
+            eu_id;
+            ctxs = Array.init config.threads_per_eu (fun _ -> mk_ctx ());
+            now = 0;
+            current = 0;
+            streak = 0;
+          });
+    queue = Queue.create ();
+    binding = None;
+    nshred = 0;
+    spawn_counter = 0;
+    sem_held = Array.make 16 false;
+    sem_waiters = Array.make 16 [];
+    pending_regs = Hashtbl.create 64;
+    sampler_busy = 0;
+    retired = 0;
+    switches = 0;
+    busy_cyc = 0;
+    stall_cyc = 0;
+    completed = 0;
+    sampler_reqs = 0;
+    last_done = 0;
+    operand_stall_ps = 0;
+  }
+
+let config t = t.cfg
+let clock t = t.clock
+let cache t = t.cache
+let tlb t = t.gtlb
+
+let bind t ~prog ~surfaces =
+  if Array.length surfaces < Array.length prog.surfaces then
+    invalid_arg "Gpu.bind: surface table smaller than program slot table";
+  t.binding <- Some { prog; surf_table = surfaces }
+
+let enqueue t shreds =
+  List.iter (fun s -> Queue.add s t.queue) shreds;
+  t.nshred <- t.nshred + List.length shreds
+
+let queue_length t = Queue.length t.queue
+let shreds_completed t = t.completed
+
+let quiescent t =
+  Queue.is_empty t.queue
+  && Array.for_all
+       (fun eu -> Array.for_all (fun c -> c.state = Idle) eu.ctxs)
+       t.eus
+
+let now_ps t = Array.fold_left (fun acc eu -> max acc eu.now) 0 t.eus
+
+let advance_to_ps t ps =
+  Array.iter (fun eu -> if eu.now < ps then eu.now <- ps) t.eus
+
+let last_shred_done t = t.last_done
+let operand_stall_ps t = t.operand_stall_ps
+let instructions_retired t = t.retired
+let thread_switches t = t.switches
+let stall_cycles t = t.stall_cyc
+let busy_cycles t = t.busy_cyc
+let sampler_requests t = t.sampler_reqs
+
+let reset_counters t =
+  t.retired <- 0;
+  t.switches <- 0;
+  t.busy_cyc <- 0;
+  t.stall_cyc <- 0;
+  t.sampler_reqs <- 0;
+  Cache.reset_stats t.cache;
+  Tlb.reset_stats t.gtlb
+
+let flush_cache t =
+  let dirty = Cache.flush_all t.cache in
+  let bytes = List.length dirty * Cache.line_bytes t.cache in
+  if bytes > 0 then ignore (Bus.request t.bus ~now_ps:(now_ps t) ~bytes);
+  bytes
+
+(* ---- register file access ---- *)
+
+let reg_lane ctx reg lane = ctx.vregs.((reg * 16) + lane)
+let set_reg_lane ctx reg lane v = ctx.vregs.((reg * 16) + lane) <- v
+
+(* Map a logical lane index of an operand to (register, lane-in-reg). *)
+let operand_slot ~width op j =
+  match op with
+  | Reg r -> (r, j)
+  | Range (a, b) ->
+    let count = b - a + 1 in
+    let per = width / count in
+    (a + (j / per), j mod per)
+  | _ -> invalid_arg "operand_slot"
+
+(* Latest readiness among registers an operand touches. *)
+let operand_ready ctx ~width = function
+  | Reg r -> ctx.reg_ready.(r)
+  | Range (a, b) ->
+    ignore width;
+    let r = ref 0 in
+    for k = a to b do
+      r := max !r ctx.reg_ready.(k)
+    done;
+    !r
+  | Flag f -> ctx.flag_ready.(f)
+  | Surf { index; _ } -> ctx.reg_ready.(index)
+  | Surf2d { xreg; yreg; _ } -> max ctx.reg_ready.(xreg) ctx.reg_ready.(yreg)
+  | Remote { shred_reg; _ } -> ctx.reg_ready.(shred_reg)
+  | Imm _ | Sreg _ -> 0
+
+let read_lanes t ctx ~width op =
+  match op with
+  | Reg _ | Range _ ->
+    Array.init width (fun j ->
+        let r, l = operand_slot ~width op j in
+        reg_lane ctx r l)
+  | Imm i -> Array.make width (Lane.wrap32 (Int32.to_int i))
+  | Sreg Lane -> Array.init width (fun j -> j)
+  | Sreg s ->
+    let v =
+      match (s, ctx.shred) with
+      | Sid, Some sh -> sh.shred_id
+      | Sid, None -> 0
+      | Nshred, _ -> t.nshred
+      | Eu, _ -> 0 (* patched by caller when needed *)
+      | Tid, _ -> 0
+      | Lane, _ -> assert false
+      | Param n, Some sh ->
+        if n < Array.length sh.params then sh.params.(n) else 0
+      | Param _, None -> 0
+    in
+    Array.make width v
+  | Flag f -> Array.make width ctx.flags.(f)
+  | Surf _ | Surf2d _ | Remote _ -> invalid_arg "read_lanes: memory operand"
+
+let write_lanes ctx ~width op lanes ~ready =
+  match op with
+  | Reg _ | Range _ ->
+    for j = 0 to width - 1 do
+      let r, l = operand_slot ~width op j in
+      set_reg_lane ctx r l lanes.(j)
+    done;
+    (match op with
+    | Reg r -> ctx.reg_ready.(r) <- max ctx.reg_ready.(r) ready
+    | Range (a, b) ->
+      for k = a to b do
+        ctx.reg_ready.(k) <- max ctx.reg_ready.(k) ready
+      done
+    | _ -> ())
+  | _ -> invalid_arg "write_lanes"
+
+(* Predication mask for the current instruction: which lanes execute. *)
+let pred_mask ctx ~width = function
+  | None -> (1 lsl width) - 1
+  | Some { flag; negate } ->
+    let m = ctx.flags.(flag) in
+    let m = if negate then lnot m else m in
+    m land ((1 lsl width) - 1)
+
+let apply_pred ~mask ~width old_lanes new_lanes =
+  Array.init width (fun j ->
+      if (mask lsr j) land 1 = 1 then new_lanes.(j) else old_lanes.(j))
+
+(* ---- memory path ---- *)
+
+(* Translate one page through the exo TLB; [`Stall ps] means an ATR proxy
+   round-trip was initiated and the instruction must replay. *)
+let translate_page t eu vaddr =
+  let vpage = vaddr lsr Phys_mem.page_shift in
+  match Tlb.lookup t.gtlb ~vpage with
+  | Some pte when Pte.X3k.valid pte ->
+    `Ok ((Pte.X3k.frame pte lsl Phys_mem.page_shift)
+        lor (vaddr land (Phys_mem.page_size - 1)))
+  | _ -> (
+    match t.hooks.atr ~vpage ~now_ps:eu.now with
+    | Some pte, done_ps ->
+      Tlb.insert t.gtlb ~vpage pte;
+      `Stall done_ps
+    | None, _ -> raise (Gpu_segfault vaddr))
+
+(* Timing for an access to a translated physical range. Returns the
+   completion timestamp. *)
+let timed_access t eu ~paddr ~bytes ~write =
+  let extra = t.hooks.mem_delay ~paddr ~bytes ~write ~now_ps:eu.now in
+  let start = eu.now + extra in
+  let results = Cache.access_range t.cache ~addr:paddr ~len:bytes ~write in
+  let hit_lat = 20 * t.cycle in
+  List.fold_left
+    (fun acc (r : Cache.access_result) ->
+      if r.hit then max acc (start + hit_lat)
+      else begin
+        (* victim writebacks are posted *)
+        Option.iter
+          (fun _wb ->
+            ignore
+              (Bus.request t.bus ~now_ps:start ~bytes:(Cache.line_bytes t.cache)))
+          r.writeback;
+        if write then
+          (* write-combining: no read-for-ownership fetch; the dirty line
+             pays its transfer when written back *)
+          max acc (start + hit_lat)
+        else begin
+          let done_ps =
+            Bus.request t.bus ~now_ps:start ~bytes:(Cache.line_bytes t.cache)
+          in
+          max acc done_ps
+        end
+      end)
+    (start + hit_lat) results
+
+(* Functional element read/write through physical memory. *)
+let mem = Address_space.phys_mem
+
+let read_elem t ~paddr ~dtype =
+  let m = mem t.aspace in
+  match dtype with
+  | B -> Phys_mem.read_u8 m paddr
+  | W -> Lane.wrap W (Phys_mem.read_u16 m paddr)
+  | DW | F -> Lane.wrap32 (Int32.to_int (Phys_mem.read_u32 m paddr))
+
+let write_elem t ~paddr ~dtype v =
+  let m = mem t.aspace in
+  match dtype with
+  | B -> Phys_mem.write_u8 m paddr (v land 0xff)
+  | W -> Phys_mem.write_u16 m paddr (v land 0xffff)
+  | DW | F -> Phys_mem.write_u32 m paddr (Int32.of_int v)
+
+(* Element addresses for a surface access. 1-D [Surf] addressing treats
+   the surface as a row-major element array; [Surf2d] walks along a row. *)
+let surface t slot =
+  match t.binding with
+  | None -> invalid_arg "Gpu: no binding"
+  | Some b ->
+    if slot >= Array.length b.surf_table then invalid_arg "Gpu: surface slot";
+    b.surf_table.(slot)
+
+let element_vaddrs t ctx ~width op =
+  match op with
+  | Surf { slot; index; offset } ->
+    let s = surface t slot in
+    let base_idx = reg_lane ctx index 0 + offset in
+    Array.init width (fun k ->
+        let e = base_idx + k in
+        let x = e mod s.Surface.width and y = e / s.Surface.width in
+        Surface.element_addr s ~x ~y)
+  | Surf2d { slot; xreg; yreg } ->
+    let s = surface t slot in
+    let x0 = reg_lane ctx xreg 0 and y = reg_lane ctx yreg 0 in
+    Array.init width (fun k -> Surface.element_addr s ~x:(x0 + k) ~y)
+  | _ -> invalid_arg "element_vaddrs"
+
+let gather_vaddrs t ctx ~width op =
+  match op with
+  | Surf { slot; index; offset } ->
+    let s = surface t slot in
+    Array.init width (fun k ->
+        let e = reg_lane ctx index k + offset in
+        let x = e mod s.Surface.width and y = e / s.Surface.width in
+        Surface.element_addr s ~x ~y)
+  | _ -> invalid_arg "gather_vaddrs"
+
+(* Translate all pages covered by a set of element addresses.
+   Returns physical addresses or the latest stall time. *)
+let translate_all t eu vaddrs =
+  let n = Array.length vaddrs in
+  let paddrs = Array.make n 0 in
+  let stall = ref 0 in
+  for k = 0 to n - 1 do
+    match translate_page t eu vaddrs.(k) with
+    | `Ok pa -> paddrs.(k) <- pa
+    | `Stall ps -> stall := max !stall ps
+  done;
+  if !stall > 0 then `Stall !stall else `Ok paddrs
+
+(* ---- semaphores ---- *)
+
+let sem_release t sem =
+  match t.sem_waiters.(sem) with
+  | [] -> t.sem_held.(sem) <- false
+  | (e, s) :: rest ->
+    t.sem_waiters.(sem) <- rest;
+    let ctx = t.eus.(e).ctxs.(s) in
+    (* hand the semaphore to the waiter and wake it *)
+    ctx.state <- Stalled (t.eus.(e).now + (10 * t.cycle));
+    ctx.pc <- ctx.pc + 1 (* its semacq completes *)
+
+(* ---- sampler ---- *)
+
+(* Bilinear sample of a bpp=1 surface at Q16.16 texel coordinates. *)
+(* 8-bit interpolation fractions: every intermediate fits in a signed
+   32-bit register, so the software-emulated IA32 path can reproduce the
+   fixed-function result exactly. *)
+let sample_value t s ~u ~v =
+  let m = mem t.aspace in
+  let clampi lo hi x = if x < lo then lo else if x > hi then hi else x in
+  let xi = u asr 16 and yi = v asr 16 in
+  let fx = (u asr 8) land 0xff and fy = (v asr 8) land 0xff in
+  let texel x y =
+    let x = clampi 0 (s.Surface.width - 1) x
+    and y = clampi 0 (s.Surface.height - 1) y in
+    let va = Surface.element_addr s ~x ~y in
+    (* the sampler has its own translation path; functional access only
+       here, timing is charged by the caller *)
+    match Page_table.translate (Address_space.page_table t.aspace) ~vaddr:va with
+    | Some pa -> Phys_mem.read_u8 m pa
+    | None -> 0
+  in
+  let t00 = texel xi yi
+  and t10 = texel (xi + 1) yi
+  and t01 = texel xi (yi + 1)
+  and t11 = texel (xi + 1) (yi + 1) in
+  let top = (t00 lsl 8) + ((t10 - t00) * fx) in
+  let bot = (t01 lsl 8) + ((t11 - t01) * fx) in
+  ((top lsl 8) + ((bot - top) * fy) + 32768) asr 16
+
+(* ---- ALU semantics ---- *)
+
+let alu_result op dtype a b =
+  match op with
+  | Add -> Lane.add dtype a b
+  | Sub -> Lane.sub dtype a b
+  | Mul -> Lane.mul dtype a b
+  | Min -> Lane.min_ dtype a b
+  | Max -> Lane.max_ dtype a b
+  | Avg -> Lane.avg dtype a b
+  | Shl -> Lane.shl dtype a b
+  | Shr -> Lane.shr dtype a b
+  | Sar -> Lane.sar dtype a b
+  | And -> Lane.and_ a b
+  | Or -> Lane.or_ a b
+  | Xor -> Lane.xor_ a b
+  | Fadd -> Lane.fadd a b
+  | Fsub -> Lane.fsub a b
+  | Fmul -> Lane.fmul a b
+  | Fmin -> Lane.fmin a b
+  | Fmax -> Lane.fmax a b
+  | _ -> invalid_arg "alu_result"
+
+let unary_result op dtype a =
+  match op with
+  | Mov -> Lane.wrap dtype a
+  | Abs -> Lane.abs_ dtype a
+  | Not -> Lane.not_ dtype a
+  | Sat -> Lane.saturate dtype a
+  | Fabs -> Lane.fabs a
+  | Cvtif -> Lane.cvtif a
+  | Cvtfi -> Lane.cvtfi a
+  | _ -> invalid_arg "unary_result"
+
+(* ---- instruction execution ---- *)
+
+type exec_outcome =
+  | Advance (* pc + 1 *)
+  | Goto of int
+  | Replay of int (* stall until ps, do not advance pc *)
+  | Finished (* shred ended *)
+  | Blocked_sem of int
+
+(* Results bypass to the next instruction (1-cycle effective ALU
+   latency); multiplies and float ops are longer, and memory readiness
+   comes from the cache/bus path. *)
+let lat_alu t = 1 * t.cycle
+let lat_mul t = 3 * t.cycle
+let lat_fdiv t = 12 * t.cycle
+let lat_fsqrt t = 16 * t.cycle
+let lat_cmp t = 1 * t.cycle
+
+let issue_cycles i =
+  match i.op with
+  | Gather | Scatter -> if i.width > 8 then 6 else 3
+  | Ld | St | Sample -> if i.width > 8 then 4 else 2
+  | _ -> if i.width > 8 then 2 else 1
+
+let exec_instr t eu slot =
+  let ctx = eu.ctxs.(slot) in
+  let b = Option.get t.binding in
+  let i = b.prog.instrs.(ctx.pc) in
+  let width = i.width in
+  (* operand readiness *)
+  let ready_needed =
+    List.fold_left
+      (fun acc o -> max acc (operand_ready ctx ~width o))
+      (match i.dst with
+      | Some ((Reg _ | Range _) as d) -> operand_ready ctx ~width d
+      | Some (Surf _ as d) | Some (Surf2d _ as d) -> operand_ready ctx ~width d
+      | Some (Remote _ as d) -> operand_ready ctx ~width d
+      | _ -> 0)
+      i.srcs
+  in
+  let ready_needed =
+    match i.pred with
+    | Some { flag; _ } -> max ready_needed ctx.flag_ready.(flag)
+    | None -> ready_needed
+  in
+  if ready_needed > eu.now then begin
+    t.operand_stall_ps <- t.operand_stall_ps + (ready_needed - eu.now);
+    Replay ready_needed
+  end
+  else begin
+    let mask = pred_mask ctx ~width i.pred in
+    let src n = List.nth i.srcs n in
+    let outcome =
+      match i.op with
+      | Nop -> Advance
+      | Add | Sub | Mul | Min | Max | Avg | Shl | Shr | Sar | And | Or | Xor
+      | Fadd | Fsub | Fmul | Fmin | Fmax ->
+        let a = read_lanes t ctx ~width (src 0) in
+        let bl = read_lanes t ctx ~width (src 1) in
+        let res = Array.init width (fun j -> alu_result i.op i.dtype a.(j) bl.(j)) in
+        let dst = Option.get i.dst in
+        let old = read_lanes t ctx ~width dst in
+        let lat = match i.op with Mul -> lat_mul t | _ -> lat_alu t in
+        write_lanes ctx ~width dst
+          (apply_pred ~mask ~width old res)
+          ~ready:(eu.now + lat);
+        Advance
+      | Mac | Fmac ->
+        let a = read_lanes t ctx ~width (src 0) in
+        let bl = read_lanes t ctx ~width (src 1) in
+        let dst = Option.get i.dst in
+        let acc = read_lanes t ctx ~width dst in
+        let res =
+          Array.init width (fun j ->
+              if i.op = Mac then
+                Lane.add i.dtype acc.(j) (Lane.mul i.dtype a.(j) bl.(j))
+              else Lane.fadd acc.(j) (Lane.fmul a.(j) bl.(j)))
+        in
+        write_lanes ctx ~width dst
+          (apply_pred ~mask ~width acc res)
+          ~ready:(eu.now + lat_mul t);
+        Advance
+      | Bcast ->
+        let a = read_lanes t ctx ~width (src 0) in
+        let res = Array.make width (Lane.wrap i.dtype a.(0)) in
+        let dst = Option.get i.dst in
+        let old = read_lanes t ctx ~width dst in
+        write_lanes ctx ~width dst
+          (apply_pred ~mask ~width old res)
+          ~ready:(eu.now + lat_alu t);
+        Advance
+      | Mov | Abs | Not | Sat | Fabs | Cvtif | Cvtfi ->
+        let a = read_lanes t ctx ~width (src 0) in
+        let res = Array.map (unary_result i.op i.dtype) a in
+        let dst = Option.get i.dst in
+        let old = read_lanes t ctx ~width dst in
+        write_lanes ctx ~width dst
+          (apply_pred ~mask ~width old res)
+          ~ready:(eu.now + lat_alu t);
+        Advance
+      | Fdiv | Fsqrt | Dpadd ->
+        let a = read_lanes t ctx ~width (src 0) in
+        let bl =
+          if i.op = Fsqrt then Array.make width 0
+          else read_lanes t ctx ~width (src 1)
+        in
+        let faulted = ref false in
+        let res =
+          Array.init width (fun j ->
+              match i.op with
+              | Fdiv -> (
+                match Lane.fdiv a.(j) bl.(j) with
+                | Ok v -> v
+                | Error `Fault ->
+                  faulted := true;
+                  0)
+              | Fsqrt -> (
+                match Lane.fsqrt a.(j) with
+                | Ok v -> v
+                | Error `Fault ->
+                  faulted := true;
+                  0)
+              | _ ->
+                (* double-precision pair add: not supported natively *)
+                faulted := true;
+                0)
+        in
+        let dst = Option.get i.dst in
+        let old = read_lanes t ctx ~width dst in
+        if !faulted then begin
+          (* collaborative exception handling: proxy the whole
+             instruction to the IA32 sequencer *)
+          let req =
+            { fault_op = i.op; fault_dtype = i.dtype; lane_a = a; lane_b = bl }
+          in
+          let emulated, done_ps = t.hooks.ceh req ~now_ps:eu.now in
+          write_lanes ctx ~width dst
+            (apply_pred ~mask ~width old emulated)
+            ~ready:done_ps;
+          ctx.state <- Stalled done_ps;
+          Advance
+        end
+        else begin
+          let lat = if i.op = Fsqrt then lat_fsqrt t else lat_fdiv t in
+          write_lanes ctx ~width dst
+            (apply_pred ~mask ~width old res)
+            ~ready:(eu.now + lat);
+          Advance
+        end
+      | Sad ->
+        let a = read_lanes t ctx ~width (src 0) in
+        let bl = read_lanes t ctx ~width (src 1) in
+        let sum = ref 0 in
+        for j = 0 to width - 1 do
+          if (mask lsr j) land 1 = 1 then
+            sum := !sum + abs (a.(j) - bl.(j))
+        done;
+        let dst = Option.get i.dst in
+        let res = Array.make width 0 in
+        res.(0) <- Lane.wrap32 !sum;
+        write_lanes ctx ~width dst res ~ready:(eu.now + lat_mul t);
+        Advance
+      | Hadd ->
+        let a = read_lanes t ctx ~width (src 0) in
+        let sum = ref 0 in
+        for j = 0 to width - 1 do
+          if (mask lsr j) land 1 = 1 then sum := !sum + a.(j)
+        done;
+        let dst = Option.get i.dst in
+        let res = Array.make width 0 in
+        res.(0) <- Lane.wrap i.dtype !sum;
+        write_lanes ctx ~width dst res ~ready:(eu.now + lat_mul t);
+        Advance
+      | Cmp cond -> (
+        let a = read_lanes t ctx ~width (src 0) in
+        let bl = read_lanes t ctx ~width (src 1) in
+        let m = ref 0 in
+        for j = 0 to width - 1 do
+          if Lane.compare_lanes i.dtype cond a.(j) bl.(j) then
+            m := !m lor (1 lsl j)
+        done;
+        match i.dst with
+        | Some (Flag f) ->
+          ctx.flags.(f) <- !m;
+          ctx.flag_ready.(f) <- eu.now + lat_cmp t;
+          Advance
+        | _ -> invalid_arg "cmp dst")
+      | Sel ->
+        let a = read_lanes t ctx ~width (src 0) in
+        let bl = read_lanes t ctx ~width (src 1) in
+        let dst = Option.get i.dst in
+        let res =
+          Array.init width (fun j ->
+              if (mask lsr j) land 1 = 1 then a.(j) else bl.(j))
+        in
+        write_lanes ctx ~width dst res ~ready:(eu.now + lat_alu t);
+        Advance
+      | Ld -> (
+        let vaddrs = element_vaddrs t ctx ~width (src 0) in
+        match translate_all t eu vaddrs with
+        | `Stall ps -> Replay ps
+        | `Ok paddrs ->
+          let bytes = width * dtype_bytes i.dtype in
+          let done_ps =
+            timed_access t eu ~paddr:paddrs.(0) ~bytes ~write:false
+          in
+          let res =
+            Array.init width (fun k -> read_elem t ~paddr:paddrs.(k) ~dtype:i.dtype)
+          in
+          let dst = Option.get i.dst in
+          let old = read_lanes t ctx ~width dst in
+          write_lanes ctx ~width dst
+            (apply_pred ~mask ~width old res)
+            ~ready:done_ps;
+          Advance)
+      | St -> (
+        let vaddrs = element_vaddrs t ctx ~width (Option.get i.dst) in
+        match translate_all t eu vaddrs with
+        | `Stall ps -> Replay ps
+        | `Ok paddrs ->
+          let v = read_lanes t ctx ~width (src 0) in
+          let bytes = width * dtype_bytes i.dtype in
+          let done_ps = timed_access t eu ~paddr:paddrs.(0) ~bytes ~write:true in
+          for k = 0 to width - 1 do
+            if (mask lsr k) land 1 = 1 then
+              write_elem t ~paddr:paddrs.(k) ~dtype:i.dtype v.(k)
+          done;
+          ctx.store_done <- max ctx.store_done done_ps;
+          Advance)
+      | Gather -> (
+        let vaddrs = gather_vaddrs t ctx ~width (src 0) in
+        match translate_all t eu vaddrs with
+        | `Stall ps -> Replay ps
+        | `Ok paddrs ->
+          (* per-lane accesses: charge each distinct line *)
+          let done_ps = ref eu.now in
+          Array.iter
+            (fun pa ->
+              done_ps :=
+                max !done_ps
+                  (timed_access t eu ~paddr:pa
+                     ~bytes:(dtype_bytes i.dtype)
+                     ~write:false))
+            paddrs;
+          let res =
+            Array.init width (fun k -> read_elem t ~paddr:paddrs.(k) ~dtype:i.dtype)
+          in
+          let dst = Option.get i.dst in
+          let old = read_lanes t ctx ~width dst in
+          write_lanes ctx ~width dst
+            (apply_pred ~mask ~width old res)
+            ~ready:!done_ps;
+          Advance)
+      | Scatter -> (
+        let vaddrs = gather_vaddrs t ctx ~width (Option.get i.dst) in
+        match translate_all t eu vaddrs with
+        | `Stall ps -> Replay ps
+        | `Ok paddrs ->
+          let v = read_lanes t ctx ~width (src 0) in
+          let done_ps = ref eu.now in
+          Array.iteri
+            (fun k pa ->
+              if (mask lsr k) land 1 = 1 then begin
+                done_ps :=
+                  max !done_ps
+                    (timed_access t eu ~paddr:pa
+                       ~bytes:(dtype_bytes i.dtype)
+                       ~write:true);
+                write_elem t ~paddr:pa ~dtype:i.dtype v.(k)
+              end)
+            paddrs;
+          ctx.store_done <- max ctx.store_done !done_ps;
+          Advance)
+      | Sample -> (
+        match src 0 with
+        | Surf2d { slot; xreg; yreg } ->
+          let s = surface t slot in
+          if s.Surface.bpp <> 1 then
+            invalid_arg "sample: only bpp=1 surfaces";
+          (* the sampler translates through the same shared TLB; charge
+             one translation for the footprint's first texel *)
+          let u0 = reg_lane ctx xreg 0 and v0 = reg_lane ctx yreg 0 in
+          let clampi lo hi x = if x < lo then lo else if x > hi then hi else x in
+          let x0 = clampi 0 (s.Surface.width - 1) (u0 asr 16)
+          and y0 = clampi 0 (s.Surface.height - 1) (v0 asr 16) in
+          (match translate_page t eu (Surface.element_addr s ~x:x0 ~y:y0) with
+          | `Stall ps -> Replay ps
+          | `Ok _ ->
+            t.sampler_reqs <- t.sampler_reqs + 1;
+            let start = max eu.now t.sampler_busy in
+            (* throughput: ~2 cycles/lane (four texel fetches + filter
+               per lane); latency: 24 cycles *)
+            let occupy = width * 2 * t.cycle in
+            t.sampler_busy <- start + occupy;
+            (* sampler reads 4 texels/lane through the shared cache *)
+            let mem_done = ref start in
+            for k = 0 to width - 1 do
+              let u = reg_lane ctx xreg k and v = reg_lane ctx yreg k in
+              let x = clampi 0 (s.Surface.width - 1) (u asr 16)
+              and y = clampi 0 (s.Surface.height - 1) (v asr 16) in
+              let va = Surface.element_addr s ~x ~y in
+              (match Page_table.translate
+                       (Address_space.page_table t.aspace) ~vaddr:va with
+              | Some pa ->
+                mem_done :=
+                  max !mem_done (timed_access t eu ~paddr:pa ~bytes:4 ~write:false)
+              | None -> ())
+            done;
+            let res =
+              Array.init width (fun k ->
+                  sample_value t s ~u:(reg_lane ctx xreg k) ~v:(reg_lane ctx yreg k))
+            in
+            let dst = Option.get i.dst in
+            let old = read_lanes t ctx ~width dst in
+            let done_ps = max (!mem_done + (24 * t.cycle)) (start + occupy) in
+            write_lanes ctx ~width dst
+              (apply_pred ~mask ~width old res)
+              ~ready:done_ps;
+            Advance)
+        | _ -> invalid_arg "sample operand")
+      | Br mode -> (
+        match i.srcs with
+        | [ Flag f; Imm target ] ->
+          let m = ctx.flags.(f) land ((1 lsl width) - 1) in
+          let taken =
+            match mode with
+            | Any -> m <> 0
+            | All -> m = (1 lsl width) - 1
+            | None_set -> m = 0
+          in
+          if taken then Goto (Int32.to_int target) else Advance
+        | _ -> invalid_arg "br operands")
+      | Jmp -> (
+        match i.srcs with
+        | [ Imm target ] -> Goto (Int32.to_int target)
+        | _ -> invalid_arg "jmp operands")
+      | End -> Finished
+      | Fence ->
+        if ctx.store_done > eu.now then Replay ctx.store_done else Advance
+      | Semacq -> (
+        match i.srcs with
+        | [ Imm s ] ->
+          let s = Int32.to_int s in
+          if t.sem_held.(s) then Blocked_sem s
+          else begin
+            t.sem_held.(s) <- true;
+            Advance
+          end
+        | _ -> invalid_arg "sem operands")
+      | Semrel -> (
+        match i.srcs with
+        | [ Imm s ] ->
+          sem_release t (Int32.to_int s);
+          Advance
+        | _ -> invalid_arg "sem operands")
+      | Sendreg -> (
+        match i.dst with
+        | Some (Remote { shred_reg; reg }) ->
+          let target_sid = reg_lane ctx shred_reg 0 in
+          let v = read_lanes t ctx ~width (src 0) in
+          let delivered = ref false in
+          Array.iter
+            (fun e ->
+              Array.iter
+                (fun c ->
+                  match c.shred with
+                  | Some sh when sh.shred_id = target_sid && not !delivered ->
+                    delivered := true;
+                    for j = 0 to width - 1 do
+                      set_reg_lane c reg j v.(j)
+                    done;
+                    c.reg_ready.(reg) <-
+                      max c.reg_ready.(reg) (eu.now + (10 * t.cycle))
+                  | _ -> ())
+                e.ctxs)
+            t.eus;
+          if not !delivered then begin
+            let cell =
+              match Hashtbl.find_opt t.pending_regs target_sid with
+              | Some c -> c
+              | None ->
+                let c = ref [] in
+                Hashtbl.replace t.pending_regs target_sid c;
+                c
+            in
+            cell := (reg, Array.sub v 0 width) :: !cell
+          end;
+          Advance
+        | _ -> invalid_arg "sendreg dst")
+      | Spawn -> (
+        match i.srcs with
+        | [ Imm target; Reg preg ] ->
+          t.spawn_counter <- t.spawn_counter + 1;
+          let params = Array.init 8 (fun j -> reg_lane ctx preg j) in
+          let sh =
+            {
+              shred_id = 1_000_000 + t.spawn_counter;
+              entry = Int32.to_int target;
+              params;
+            }
+          in
+          Queue.add sh t.queue;
+          t.nshred <- t.nshred + 1;
+          Advance
+        | _ -> invalid_arg "spawn operands")
+    in
+    outcome
+  end
+
+(* ---- dispatch ---- *)
+
+let dispatch t eu slot shred =
+  let ctx = eu.ctxs.(slot) in
+  ctx.shred <- Some shred;
+  ctx.pc <- shred.entry;
+  Array.fill ctx.reg_ready 0 128 0;
+  Array.fill ctx.flag_ready 0 4 0;
+  Array.fill ctx.flags 0 4 0;
+  ctx.store_done <- 0;
+  (* apply register writes sent before the shred became resident *)
+  (match Hashtbl.find_opt t.pending_regs shred.shred_id with
+  | Some cell ->
+    List.iter
+      (fun (reg, lanes) ->
+        Array.iteri (fun j v -> set_reg_lane ctx reg j v) lanes)
+      !cell;
+    Hashtbl.remove t.pending_regs shred.shred_id
+  | None -> ());
+  ctx.state <- Stalled (eu.now + (t.cfg.dispatch_cycles * t.cycle))
+
+(* Refresh stalled contexts whose resume time has passed; fill idle
+   contexts from the queue. *)
+let refresh t eu =
+  Array.iteri
+    (fun slot ctx ->
+      (match ctx.state with
+      | Stalled ps when ps <= eu.now -> ctx.state <- Ready
+      | _ -> ());
+      if ctx.state = Idle && not (Queue.is_empty t.queue) then
+        dispatch t eu slot (Queue.pop t.queue))
+    eu.ctxs
+
+(* Pick the context to issue from. Switch-on-stall: keep the current
+   context while it is ready; otherwise rotate to the next ready one. *)
+let pick t eu =
+  let n = Array.length eu.ctxs in
+  let rotate () =
+    let found = ref None in
+    for k = 1 to n - 1 do
+      let c = (eu.current + k) mod n in
+      if !found = None && eu.ctxs.(c).state = Ready then found := Some c
+    done;
+    !found
+  in
+  (* fairness quantum: even without a stall, rotate after a burst so a
+     busy-spinning shred cannot starve its EU siblings *)
+  let quantum_expired = t.cfg.switch_on_stall && eu.streak >= 64 in
+  if eu.ctxs.(eu.current).state = Ready && not quantum_expired then
+    Some eu.current
+  else if t.cfg.switch_on_stall then begin
+    eu.streak <- 0;
+    match rotate () with
+    | Some c -> Some c
+    | None ->
+      if eu.ctxs.(eu.current).state = Ready then Some eu.current else None
+  end
+  else if eu.ctxs.(eu.current).state = Idle then
+    (* without fine-grained multithreading the EU only leaves a context
+       when its shred retires (coarse-grained switching) *)
+    rotate ()
+  else None
+
+(* Earliest future event on this EU (stall resume). *)
+let next_event eu =
+  Array.fold_left
+    (fun acc ctx ->
+      match ctx.state with
+      | Stalled ps -> (match acc with None -> Some ps | Some a -> Some (min a ps))
+      | _ -> acc)
+    None eu.ctxs
+
+let finish_shred t eu ctx =
+  (match ctx.shred with
+  | Some sh ->
+    t.completed <- t.completed + 1;
+    t.last_done <- max t.last_done eu.now;
+    t.hooks.on_shred_done sh ~now_ps:eu.now
+  | None -> ());
+  ctx.shred <- None;
+  ctx.state <- Idle
+
+let step_eu t eu target_ps =
+  let retired_here = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && eu.now < target_ps do
+    refresh t eu;
+    match pick t eu with
+    | None -> (
+      (* nothing ready: jump to the next event or the slice end *)
+      match next_event eu with
+      | Some ps when ps < target_ps ->
+        t.stall_cyc <- t.stall_cyc + ((ps - eu.now) / t.cycle);
+        eu.now <- max eu.now ps
+      | _ ->
+        if
+          (not (Queue.is_empty t.queue))
+          && Array.exists (fun c -> c.state = Idle) eu.ctxs
+        then refresh t eu
+        else begin
+          t.stall_cyc <- t.stall_cyc + ((target_ps - eu.now) / t.cycle);
+          eu.now <- target_ps;
+          continue_ := false
+        end)
+    | Some slot ->
+      (* fly-weight switch-on-stall: no pipeline bubble *)
+      if slot <> eu.current then begin
+        t.switches <- t.switches + 1;
+        eu.streak <- 0
+      end;
+      eu.streak <- eu.streak + 1;
+      eu.current <- slot;
+      let ctx = eu.ctxs.(slot) in
+      let cycles = issue_cycles (Option.get t.binding).prog.instrs.(ctx.pc) in
+      (match exec_instr t eu slot with
+      | Advance ->
+        ctx.pc <- ctx.pc + 1;
+        t.retired <- t.retired + 1;
+        incr retired_here;
+        t.busy_cyc <- t.busy_cyc + cycles;
+        eu.now <- eu.now + (cycles * t.cycle)
+      | Goto pc ->
+        ctx.pc <- pc;
+        t.retired <- t.retired + 1;
+        incr retired_here;
+        t.busy_cyc <- t.busy_cyc + cycles + 2;
+        eu.now <- eu.now + ((cycles + 2) * t.cycle)
+      | Replay ps ->
+        ctx.state <- Stalled (max ps (eu.now + t.cycle))
+      | Finished ->
+        t.retired <- t.retired + 1;
+        incr retired_here;
+        eu.now <- eu.now + t.cycle;
+        finish_shred t eu ctx
+      | Blocked_sem s ->
+        ctx.state <- Wait_sem s;
+        t.sem_waiters.(s) <- t.sem_waiters.(s) @ [ (eu.eu_id, slot) ])
+  done;
+  !retired_here
+
+(* EUs are stepped one at a time, but they contend for the shared bus
+   whose arbiter state ([busy_until]) is global. Stepping one EU far ahead
+   of the others would make the laggards' requests queue behind traffic
+   from the "future", serialising the machine -- so a run is chopped into
+   short synchronisation slices. *)
+let sync_slice_ps = 250_000 (* 250 ns *)
+
+let run_until t target_ps =
+  let retired = ref 0 in
+  let floor_now =
+    Array.fold_left (fun acc eu -> min acc eu.now) max_int t.eus
+  in
+  let slice = ref (min target_ps (floor_now + sync_slice_ps)) in
+  let continue_ = ref true in
+  while !continue_ do
+    Array.iter (fun eu -> retired := !retired + step_eu t eu !slice) t.eus;
+    if !slice >= target_ps then continue_ := false
+    else slice := min target_ps (!slice + sync_slice_ps)
+  done;
+  !retired
+
+let run_to_quiescence t =
+  let quantum = 200_000_000 (* 200 us *) in
+  let stuck_rounds = ref 0 in
+  while not (quiescent t) do
+    let target = now_ps t + quantum in
+    let retired = run_until t target in
+    if retired = 0 then begin
+      incr stuck_rounds;
+      if !stuck_rounds > 3 then begin
+        let waiting =
+          Array.exists
+            (fun eu ->
+              Array.exists
+                (fun c -> match c.state with Wait_sem _ -> true | _ -> false)
+                eu.ctxs)
+            t.eus
+        in
+        raise
+          (Stuck
+             (if waiting then "semaphore deadlock"
+              else "no progress on any EU"))
+      end
+    end
+    else stuck_rounds := 0
+  done;
+  t.last_done
+
+let peek_reg t ~shred_id ~reg ~lane =
+  let found = ref None in
+  Array.iter
+    (fun eu ->
+      Array.iter
+        (fun c ->
+          match c.shred with
+          | Some sh when sh.shred_id = shred_id && !found = None ->
+            found := Some (reg_lane c reg lane)
+          | _ -> ())
+        eu.ctxs)
+    t.eus;
+  !found
+
+let resident t =
+  let acc = ref [] in
+  Array.iter
+    (fun eu ->
+      Array.iteri
+        (fun slot c ->
+          match c.shred with
+          | Some sh -> acc := (eu.eu_id, slot, sh.shred_id, c.pc) :: !acc
+          | None -> ())
+        eu.ctxs)
+    t.eus;
+  List.rev !acc

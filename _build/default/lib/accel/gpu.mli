@@ -1,0 +1,148 @@
+(** The GMA-X3000-class accelerator simulator.
+
+    Eight execution units (EUs), four hardware thread contexts per EU —
+    32 exo-sequencers from the programmer's perspective. Each EU is
+    in-order and single-issue with fly-weight switch-on-stall
+    multithreading: when the current thread's next instruction is waiting
+    on an operand (scoreboard) or memory, the EU switches to another ready
+    context in one cycle. All EUs share one read/write cache in front of
+    the system memory bus (UMA — the X3000 has no private VRAM), a
+    fixed-function texture sampler, and 16 hardware semaphores.
+
+    The GPU does not walk page tables: address translation misses in the
+    shared exo TLB escalate through the [atr] hook (proxy execution on
+    the IA32 sequencer, paper §3.2); faulting instructions escalate
+    through the [ceh] hook (paper §3.3). *)
+
+open Exochi_isa
+
+type config = {
+  clock_mhz : int; (* 667 in the prototype *)
+  eus : int; (* 8 *)
+  threads_per_eu : int; (* 4 *)
+  cache_bytes : int;
+  cache_ways : int;
+  line_bytes : int;
+  tlb_entries : int;
+  dispatch_cycles : int; (* command-streamer cost per shred *)
+  switch_on_stall : bool; (* ablation: disable fine-grained MT *)
+}
+
+val default_config : config
+
+(** A shred descriptor: continuation information in shared memory
+    (paper §3.4). [params] are preloaded into [%p0..%p7]. *)
+type shred = { shred_id : int; entry : int; params : int array }
+
+(** Per-lane inputs the CEH proxy needs to emulate a faulting
+    instruction. *)
+type fault_request = {
+  fault_op : X3k_ast.opcode;
+  fault_dtype : X3k_ast.dtype;
+  lane_a : int array;
+  lane_b : int array;
+}
+
+(** Environment provided by the EXO platform layer. Every hook returns a
+    completion timestamp (ps) so the faulting context knows when to
+    resume; the hook implementations charge the CPU side. *)
+type hooks = {
+  atr : vpage:int -> now_ps:int -> (Exochi_memory.Pte.X3k.t option * int);
+      (** Proxy a TLB miss. [None] entry means unrecoverable segfault. *)
+  ceh : fault_request -> now_ps:int -> int array * int;
+      (** Proxy a faulting instruction; returns the emulated lane results
+          and the completion time. *)
+  mem_delay : paddr:int -> bytes:int -> write:bool -> now_ps:int -> int;
+      (** Extra picoseconds of delay for a memory access (coherence
+          snoops of the CPU caches in CC mode, protocol checking in
+          non-CC mode). Return 0 for none. *)
+  on_shred_done : shred -> now_ps:int -> unit;
+}
+
+type t
+
+val create :
+  ?config:config ->
+  aspace:Exochi_memory.Address_space.t ->
+  bus:Exochi_memory.Bus.t ->
+  hooks:hooks ->
+  unit ->
+  t
+
+val config : t -> config
+val clock : t -> Exochi_util.Timebase.clock
+val cache : t -> Exochi_memory.Cache.t
+val tlb : t -> Exochi_memory.Pte.X3k.t Exochi_memory.Tlb.t
+
+(** {1 Dispatch} *)
+
+(** Bind a program and its surface table (program surface slot -> concrete
+    surface) for subsequent dispatches. *)
+val bind :
+  t -> prog:X3k_ast.program -> surfaces:Exochi_memory.Surface.t array -> unit
+
+(** Enqueue shreds on the software work queue (the queue lives in shared
+    virtual memory; the runtime charges its own enqueue costs). *)
+val enqueue : t -> shred list -> unit
+
+val queue_length : t -> int
+
+(** Total shreds completed since creation. *)
+val shreds_completed : t -> int
+
+(** True when the queue is empty and every context is idle. *)
+val quiescent : t -> bool
+
+(** {1 Time} *)
+
+(** The GPU's local time: max over EU local clocks. *)
+val now_ps : t -> int
+
+(** Advance every EU's local clock to at least [ps] (synchronise with the
+    CPU timeline when a dispatch happens at CPU time [ps]). *)
+val advance_to_ps : t -> int -> unit
+
+(** Timestamp at which the most recent shred finished (the barrier time a
+    waiting master observes). *)
+val last_shred_done : t -> int
+
+(** [run_until t ps] advances every EU to local time [ps], executing
+    shreds. Returns the number of instructions retired in the slice. *)
+val run_until : t -> int -> int
+
+(** [run_to_quiescence t] keeps running until all work completes; returns
+    the completion timestamp. Raises [Stuck] if no progress is possible
+    (e.g. a deadlock on semaphores). *)
+val run_to_quiescence : t -> int
+
+exception Stuck of string
+
+(** An exo-sequencer touched an address outside every mapped region and
+    the ATR proxy could not resolve it. *)
+exception Gpu_segfault of int
+
+(** Flush the GPU cache through the bus (non-CC hand-off); returns dirty
+    bytes written back. *)
+val flush_cache : t -> int
+
+(** {1 Counters} *)
+
+val instructions_retired : t -> int
+val thread_switches : t -> int
+val stall_cycles : t -> int
+val busy_cycles : t -> int
+val sampler_requests : t -> int
+
+(** Cumulative picoseconds contexts spent waiting on operands (the
+    scoreboard), summed across all threads — the quantity switch-on-stall
+    multithreading exists to hide. *)
+val operand_stall_ps : t -> int
+val reset_counters : t -> unit
+
+(** {1 Debug access (used by the cross-ISA debugger and tests)} *)
+
+(** Read a vector register lane of a resident shred, if resident. *)
+val peek_reg : t -> shred_id:int -> reg:int -> lane:int -> int option
+
+(** Contexts currently resident: (eu, slot, shred_id, pc). *)
+val resident : t -> (int * int * int * int) list

@@ -1,0 +1,84 @@
+open Exochi_isa.X3k_ast
+
+let wrap32 v = (v land 0xFFFFFFFF) lxor 0x80000000 |> fun x -> x - 0x80000000
+
+let wrap dtype v =
+  match dtype with
+  | B -> v land 0xFF
+  | W -> ((v land 0xFFFF) lxor 0x8000) - 0x8000
+  | DW | F -> wrap32 v
+
+let saturate dtype v =
+  match dtype with
+  | B -> if v < 0 then 0 else if v > 255 then 255 else v
+  | W -> if v < -32768 then -32768 else if v > 32767 then 32767 else v
+  | DW | F -> v
+
+let float_of_lane v = Int32.float_of_bits (Int32.of_int v)
+let lane_of_float f = wrap32 (Int32.to_int (Int32.bits_of_float f))
+
+let add d a b = wrap d (a + b)
+let sub d a b = wrap d (a - b)
+let mul d a b = wrap d (a * b)
+let min_ d a b = wrap d (min a b)
+let max_ d a b = wrap d (max a b)
+
+(* unsigned view of a lane under its dtype, for avg and B compares *)
+let unsigned d v =
+  match d with
+  | B -> v land 0xFF
+  | W -> v land 0xFFFF
+  | DW | F -> v land 0xFFFFFFFF
+
+let avg d a b = wrap d ((unsigned d a + unsigned d b + 1) lsr 1)
+let abs_ d v = wrap d (abs v)
+let shl d a b = wrap d (a lsl (b land 31))
+let shr d a b = wrap d (unsigned DW a lsr (b land 31))
+let sar d a b = wrap d (a asr (b land 31))
+let and_ a b = wrap32 (a land b)
+let or_ a b = wrap32 (a lor b)
+let xor_ a b = wrap32 (a lxor b)
+let not_ d v = wrap d (lnot v)
+
+let compare_lanes d cond a b =
+  let c =
+    match d with
+    | B -> compare (unsigned B a) (unsigned B b)
+    | W | DW -> compare a b
+    | F -> Float.compare (float_of_lane a) (float_of_lane b)
+  in
+  match cond with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let fop2 f a b = lane_of_float (f (float_of_lane a) (float_of_lane b))
+let fadd = fop2 ( +. )
+let fsub = fop2 ( -. )
+let fmul = fop2 ( *. )
+let fmin = fop2 Float.min
+let fmax = fop2 Float.max
+let fabs v = lane_of_float (Float.abs (float_of_lane v))
+
+let fdiv a b =
+  if float_of_lane b = 0.0 then Error `Fault else Ok (fop2 ( /. ) a b)
+
+let fsqrt a =
+  if float_of_lane a < 0.0 then Error `Fault
+  else Ok (lane_of_float (sqrt (float_of_lane a)))
+
+let fdiv_ieee a b = fop2 ( /. ) a b
+let fsqrt_ieee a = lane_of_float (sqrt (float_of_lane a))
+let cvtif v = lane_of_float (float_of_int v)
+
+let cvtfi v =
+  let f = float_of_lane v in
+  if Float.is_nan f then 0
+  else
+    let r = Float.round f in
+    if r >= 2147483647.0 then 0x7FFFFFFF
+    else if r <= -2147483648.0 then wrap32 0x80000000
+    else wrap32 (int_of_float r)

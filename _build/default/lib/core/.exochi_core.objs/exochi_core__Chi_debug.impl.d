@@ -1,0 +1,1 @@
+lib/core/chi_debug.ml: Array Exo_platform Exochi_accel Exochi_cpu Exochi_isa List

@@ -1,0 +1,1 @@
+lib/core/chi_debug.mli: Exo_platform Exochi_cpu Exochi_isa

@@ -1,0 +1,1 @@
+lib/core/chi_descriptor.ml: Exo_platform Exochi_cpu Exochi_memory Hashtbl List Printf Surface

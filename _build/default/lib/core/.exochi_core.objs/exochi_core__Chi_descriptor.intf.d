@@ -1,0 +1,1 @@
+lib/core/chi_descriptor.mli: Exo_platform Exochi_memory

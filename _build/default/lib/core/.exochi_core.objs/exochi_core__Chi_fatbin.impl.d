@@ -1,0 +1,1 @@
+lib/core/chi_fatbin.ml: Buffer Bytes Exochi_isa Fun Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/core/chi_fatbin.mli: Exochi_isa

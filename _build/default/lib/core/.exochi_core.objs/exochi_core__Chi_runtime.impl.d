@@ -1,0 +1,1 @@
+lib/core/chi_runtime.ml: Address_space Array Cache Chi_descriptor Exo_platform Exochi_accel Exochi_cpu Exochi_isa Exochi_memory List Memmodel Page_table Phys_mem Printf Surface

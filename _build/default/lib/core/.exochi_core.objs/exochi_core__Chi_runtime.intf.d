@@ -1,0 +1,1 @@
+lib/core/chi_runtime.mli: Chi_descriptor Exo_platform Exochi_isa

@@ -1,0 +1,1 @@
+lib/core/chilite_ast.ml: Exochi_isa

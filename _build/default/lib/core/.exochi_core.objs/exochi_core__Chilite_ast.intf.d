@@ -1,0 +1,1 @@
+lib/core/chilite_ast.mli: Exochi_isa

@@ -1,0 +1,1 @@
+lib/core/chilite_compile.ml: Array Buffer Chi_fatbin Chilite_ast Chilite_parser Exochi_isa List Printf Result

@@ -1,0 +1,1 @@
+lib/core/chilite_compile.mli: Chi_fatbin Exochi_isa

@@ -1,0 +1,1 @@
+lib/core/chilite_lexer.ml: Exochi_isa Format Int64 List String

@@ -1,0 +1,1 @@
+lib/core/chilite_lexer.mli: Exochi_isa Format

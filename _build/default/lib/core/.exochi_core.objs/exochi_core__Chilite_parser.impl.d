@@ -1,0 +1,1 @@
+lib/core/chilite_parser.ml: Chilite_ast Chilite_lexer Exochi_isa Int32 List Result

@@ -1,0 +1,1 @@
+lib/core/chilite_parser.mli: Chilite_ast Exochi_isa

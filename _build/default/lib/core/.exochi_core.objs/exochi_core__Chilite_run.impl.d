@@ -1,0 +1,1 @@
+lib/core/chilite_run.ml: Address_space Array Chi_descriptor Chi_fatbin Chi_runtime Chilite_compile Exo_platform Exochi_accel Exochi_cpu Exochi_isa Exochi_memory Int32 List Printf Surface

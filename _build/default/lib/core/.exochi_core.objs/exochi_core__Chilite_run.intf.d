@@ -1,0 +1,1 @@
+lib/core/chilite_run.mli: Chi_runtime Chilite_compile Exo_platform Exochi_cpu

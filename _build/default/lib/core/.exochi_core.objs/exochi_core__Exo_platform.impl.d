@@ -1,0 +1,1 @@
+lib/core/exo_platform.ml: Address_space Array Bus Cache Exochi_accel Exochi_cpu Exochi_isa Exochi_memory Hashtbl Int64 List Memmodel Option Page_table Phys_mem Printf Pte Surface Tlb

@@ -1,0 +1,1 @@
+lib/core/exo_platform.mli: Exochi_accel Exochi_cpu Exochi_memory

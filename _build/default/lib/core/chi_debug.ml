@@ -1,0 +1,82 @@
+module Machine = Exochi_cpu.Machine
+module Gpu = Exochi_accel.Gpu
+
+type t = { platform : Exo_platform.t; mutable bps : int list }
+
+let create platform = { platform; bps = [] }
+
+let set_breakpoint t ~pc = if not (List.mem pc t.bps) then t.bps <- pc :: t.bps
+let clear_breakpoint t ~pc = t.bps <- List.filter (( <> ) pc) t.bps
+let breakpoints t = List.sort compare t.bps
+
+type cpu_stop = Hit of int | Finished
+
+let run_cpu t loaded ~entry ~intrinsics =
+  let cpu = Exo_platform.cpu t.platform in
+  let first = ref true in
+  let on_instr _ ~pc =
+    (* do not re-trip the breakpoint we are resuming from *)
+    if !first then begin
+      first := false;
+      `Continue
+    end
+    else if List.mem pc t.bps then `Pause
+    else `Continue
+  in
+  match Machine.run ~on_instr cpu loaded ~entry ~intrinsics with
+  | Machine.Paused pc -> Hit pc
+  | Machine.Halted | Machine.Ret_to_host | Machine.Fuel_exhausted -> Finished
+
+let step_cpu t loaded ~pc ~intrinsics =
+  let cpu = Exo_platform.cpu t.platform in
+  let steps = ref 0 in
+  let on_instr _ ~pc:_ =
+    incr steps;
+    if !steps > 1 then `Pause else `Continue
+  in
+  match Machine.run ~on_instr cpu loaded ~entry:pc ~intrinsics with
+  | Machine.Paused next -> Some next
+  | _ -> None
+
+let cpu_registers t =
+  let cpu = Exo_platform.cpu t.platform in
+  List.map
+    (fun r -> (Exochi_isa.Via32_ast.reg_name r, Machine.get_reg cpu r))
+    [
+      Exochi_isa.Via32_ast.EAX; EBX; ECX; EDX; ESI; EDI; EBP; ESP;
+    ]
+
+let via32_line (loaded : Machine.loaded) ~pc =
+  loaded.Machine.prog.Exochi_isa.Via32_ast.instrs.(pc).Exochi_isa.Via32_ast.line
+
+type exo_stop =
+  | Exo_hit of { shred_id : int; eu : int; slot : int }
+  | Exo_quiescent
+
+let slice_ps = 250_000
+
+let run_gpu_until t ~pc =
+  let gpu = Exo_platform.gpu t.platform in
+  let rec go stuck =
+    if Gpu.quiescent gpu then Exo_quiescent
+    else begin
+      let hit =
+        List.find_opt (fun (_, _, _, p) -> p = pc) (Gpu.resident gpu)
+      in
+      match hit with
+      | Some (eu, slot, shred_id, _) -> Exo_hit { shred_id; eu; slot }
+      | None ->
+        let retired = Gpu.run_until gpu (Gpu.now_ps gpu + slice_ps) in
+        if retired = 0 && stuck > 10_000 then Exo_quiescent
+        else go (if retired = 0 then stuck + 1 else 0)
+    end
+  in
+  go 0
+
+let exo_reg t ~shred_id ~reg ~lane =
+  Gpu.peek_reg (Exo_platform.gpu t.platform) ~shred_id ~reg ~lane
+
+let exo_where t = Gpu.resident (Exo_platform.gpu t.platform)
+
+let x3k_line (p : Exochi_isa.X3k_ast.program) ~pc =
+  p.Exochi_isa.X3k_ast.instrs.(pc).Exochi_isa.X3k_ast.line

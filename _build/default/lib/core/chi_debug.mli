@@ -1,0 +1,67 @@
+(** The CHI debugging environment (paper Section 4.5): one debugger for
+    both sequencer kinds.
+
+    Part one is the command set — breakpoints, single-stepping and state
+    inspection on the IA32 sequencer and on the exo-sequencers. Part two
+    is the communication with the runtime layer: the exo-side commands
+    work by advancing the simulated GPU in small time slices and
+    inspecting resident shred contexts, which is exactly how the real
+    extension talks to the CHI runtime rather than to bare hardware.
+
+    Source-level mapping comes from the per-instruction line numbers both
+    assemblers (and the CHI-lite compiler) carry into their binaries. *)
+
+type t
+
+val create : Exo_platform.t -> t
+
+(** {1 IA32-side debugging} *)
+
+val set_breakpoint : t -> pc:int -> unit
+val clear_breakpoint : t -> pc:int -> unit
+val breakpoints : t -> int list
+
+type cpu_stop = Hit of int (* breakpoint pc *) | Finished
+
+(** [run_cpu t loaded ~entry ~intrinsics] executes until a breakpoint or
+    program end. Resume by calling it again with the returned pc. *)
+val run_cpu :
+  t ->
+  Exochi_cpu.Machine.loaded ->
+  entry:int ->
+  intrinsics:(string -> Exochi_cpu.Machine.t -> unit) ->
+  cpu_stop
+
+(** Execute exactly one instruction; returns the next pc, or [None] at
+    program end. *)
+val step_cpu :
+  t ->
+  Exochi_cpu.Machine.loaded ->
+  pc:int ->
+  intrinsics:(string -> Exochi_cpu.Machine.t -> unit) ->
+  int option
+
+(** Register dump, e.g. for a [info registers] command. *)
+val cpu_registers : t -> (string * int32) list
+
+(** Source line of a VIA32 instruction. *)
+val via32_line : Exochi_cpu.Machine.loaded -> pc:int -> int
+
+(** {1 Exo-sequencer-side debugging} *)
+
+(** [run_gpu_until t ~pc] advances the exo-sequencers until some resident
+    shred reaches instruction [pc] (or everything drains). *)
+type exo_stop =
+  | Exo_hit of { shred_id : int; eu : int; slot : int }
+  | Exo_quiescent
+
+val run_gpu_until : t -> pc:int -> exo_stop
+
+(** Read register lane of a (resident) shred — [info vr] at a stop. *)
+val exo_reg : t -> shred_id:int -> reg:int -> lane:int -> int option
+
+(** Resident shreds: (eu, thread slot, shred id, pc). *)
+val exo_where : t -> (int * int * int * int) list
+
+(** Source line of an X3K instruction in a bound program. *)
+val x3k_line : Exochi_isa.X3k_ast.program -> pc:int -> int

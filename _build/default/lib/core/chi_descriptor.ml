@@ -1,0 +1,66 @@
+open Exochi_memory
+
+type mode = Surface.mode = Input | Output | In_out
+
+type t = {
+  desc_id : int;
+  surface : Surface.t;
+  mutable attrs : (string * int) list;
+}
+
+let next_id = ref 0
+let alloc_cost_ps = 60_000 (* descriptor bookkeeping on the CPU *)
+
+let alloc platform ~name ~base ~width ~height ?(bpp = 1) ?(tiling = Surface.Linear)
+    ~mode () =
+  incr next_id;
+  let surface =
+    Surface.make ~id:!next_id ~name ~base ~width ~height ~bpp ~tiling ~mode
+  in
+  Exo_platform.register_surface platform surface;
+  Exochi_cpu.Machine.add_time_ps (Exo_platform.cpu platform) alloc_cost_ps;
+  { desc_id = !next_id; surface; attrs = [] }
+
+let free platform t =
+  Exo_platform.unregister_surface platform t.surface;
+  Exochi_cpu.Machine.add_time_ps (Exo_platform.cpu platform) (alloc_cost_ps / 2)
+
+let modify platform t ~attrib ~value =
+  Exochi_cpu.Machine.add_time_ps (Exo_platform.cpu platform) (alloc_cost_ps / 2);
+  match attrib with
+  | "tiling" ->
+    let tiling =
+      match value with
+      | 0 -> Surface.Linear
+      | 1 -> Surface.Tiled_x
+      | 2 -> Surface.Tiled_y
+      | v -> invalid_arg (Printf.sprintf "chi_modify_desc: tiling %d" v)
+    in
+    Exo_platform.unregister_surface platform t.surface;
+    let s = t.surface in
+    let surface =
+      Surface.make ~id:s.Surface.id ~name:s.Surface.name ~base:s.Surface.base
+        ~width:s.Surface.width ~height:s.Surface.height ~bpp:s.Surface.bpp
+        ~tiling ~mode:s.Surface.mode
+    in
+    Exo_platform.register_surface platform surface;
+    { t with surface }
+  | _ ->
+    t.attrs <- (attrib, value) :: List.remove_assoc attrib t.attrs;
+    t
+
+type features = {
+  global : (string, int) Hashtbl.t;
+  pershred : (int * string, int) Hashtbl.t;
+}
+
+let features () = { global = Hashtbl.create 16; pershred = Hashtbl.create 16 }
+let set_feature f ~id ~value = Hashtbl.replace f.global id value
+
+let set_feature_pershred f ~shred ~id ~value =
+  Hashtbl.replace f.pershred (shred, id) value
+
+let feature f ~shred ~id =
+  match Hashtbl.find_opt f.pershred (shred, id) with
+  | Some v -> Some v
+  | None -> Hashtbl.find_opt f.global id

@@ -1,0 +1,59 @@
+(** CHI descriptors and accelerator feature control — the runtime APIs of
+    the paper's Table 1.
+
+    A descriptor conveys accelerator-specific access information (2-D
+    dimensions, pixel size, tiling, input/output mode) for a variable
+    named in a [shared] clause. The runtime inspects descriptors before
+    forking heterogeneous shreds and configures the accelerator's surface
+    state from them (paper §4.4). *)
+
+type mode = Exochi_memory.Surface.mode = Input | Output | In_out
+
+type t = {
+  desc_id : int;
+  surface : Exochi_memory.Surface.t;
+  mutable attrs : (string * int) list;
+}
+
+(** [alloc platform ~name ~base ~width ~height ~mode] — Table 1 API #1,
+    [chi_alloc_desc(targetISA, ptr, mode, width, height)]. [bpp] defaults
+    to 1 (byte elements); [tiling] to linear. Registers the surface's
+    range and tiling with the platform (ATR consults it) and charges a
+    small runtime cost on the CPU. *)
+val alloc :
+  Exo_platform.t ->
+  name:string ->
+  base:int ->
+  width:int ->
+  height:int ->
+  ?bpp:int ->
+  ?tiling:Exochi_memory.Surface.tiling ->
+  mode:mode ->
+  unit ->
+  t
+
+(** Table 1 API #2: [chi_free_desc]. Unregisters the surface. *)
+val free : Exo_platform.t -> t -> unit
+
+(** Table 1 API #3: [chi_modify_desc]. Supported attributes: ["tiling"]
+    (0 linear / 1 X / 2 Y) plus free-form attributes kept on the
+    descriptor. Re-registers the surface when the layout changes. *)
+val modify : Exo_platform.t -> t -> attrib:string -> value:int -> t
+
+(** {1 Accelerator features (Table 1 APIs #4 and #5)} *)
+
+type features
+
+val features : unit -> features
+
+(** [set_feature f ~id ~value] — global accelerator state, applied to all
+    shreds ([chi_set_feature]). *)
+val set_feature : features -> id:string -> value:int -> unit
+
+(** [set_feature_pershred f ~shred ~id ~value] — per-shred override
+    ([chi_set_feature_pershred]). *)
+val set_feature_pershred : features -> shred:int -> id:string -> value:int -> unit
+
+(** [feature f ~shred ~id] resolves the per-shred value (override first,
+    then global, then [None]). *)
+val feature : features -> shred:int -> id:string -> int option

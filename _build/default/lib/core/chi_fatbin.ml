@@ -1,0 +1,125 @@
+type isa = Via32 | X3k
+type section = { sec_name : string; isa : isa; payload : bytes }
+type t = { name : string; sections : section list (* reversed *) }
+
+let empty ~name = { name; sections = [] }
+let name t = t.name
+let sections t = List.rev t.sections
+
+let add_section t sec =
+  if
+    List.exists
+      (fun s -> s.sec_name = sec.sec_name && s.isa = sec.isa)
+      t.sections
+  then
+    invalid_arg
+      (Printf.sprintf "Chi_fatbin: duplicate section %S" sec.sec_name);
+  { t with sections = sec :: t.sections }
+
+let add_via32 t prog =
+  add_section t
+    {
+      sec_name = prog.Exochi_isa.Via32_ast.name;
+      isa = Via32;
+      payload = Exochi_isa.Via32_asm.to_binary prog;
+    }
+
+let add_x3k t prog =
+  add_section t
+    {
+      sec_name = prog.Exochi_isa.X3k_ast.name;
+      isa = X3k;
+      payload = Exochi_isa.X3k_asm.to_binary prog;
+    }
+
+let find t isa sec_name =
+  List.find_opt (fun s -> s.isa = isa && s.sec_name = sec_name) t.sections
+
+let find_via32 t sec_name =
+  match find t Via32 sec_name with
+  | Some s -> Exochi_isa.Via32_asm.of_binary ~name:sec_name s.payload
+  | None -> Error (Printf.sprintf "no VIA32 section %S" sec_name)
+
+let find_x3k t sec_name =
+  match find t X3k sec_name with
+  | Some s -> Exochi_isa.X3k_asm.of_binary ~name:sec_name s.payload
+  | None -> Error (Printf.sprintf "no X3K section %S" sec_name)
+
+let section_names t = List.rev_map (fun s -> (s.isa, s.sec_name)) t.sections
+
+let magic = "EXOF"
+
+let encode t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  let add_u32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    Buffer.add_bytes buf b
+  in
+  let add_str16 s =
+    let b = Bytes.create 2 in
+    Bytes.set_uint16_le b 0 (String.length s);
+    Buffer.add_bytes buf b;
+    Buffer.add_string buf s
+  in
+  let secs = sections t in
+  add_str16 t.name;
+  add_u32 (List.length secs);
+  List.iter
+    (fun s ->
+      add_str16 s.sec_name;
+      add_u32 (match s.isa with Via32 -> 0 | X3k -> 1);
+      add_u32 (Bytes.length s.payload);
+      Buffer.add_bytes buf s.payload)
+    secs;
+  Buffer.to_bytes buf
+
+let decode b =
+  if Bytes.length b < 4 || Bytes.sub_string b 0 4 <> magic then
+    Error "Chi_fatbin: bad magic"
+  else begin
+    let pos = ref 4 in
+    let get_u32 () =
+      let v = Int32.to_int (Bytes.get_int32_le b !pos) in
+      pos := !pos + 4;
+      v
+    in
+    let get_str16 () =
+      let n = Bytes.get_uint16_le b !pos in
+      pos := !pos + 2;
+      let s = Bytes.sub_string b !pos n in
+      pos := !pos + n;
+      s
+    in
+    try
+      let name = get_str16 () in
+      let nsec = get_u32 () in
+      let sections =
+        List.init nsec (fun _ ->
+            let sec_name = get_str16 () in
+            let isa = if get_u32 () = 0 then Via32 else X3k in
+            let len = get_u32 () in
+            let payload = Bytes.sub b !pos len in
+            pos := !pos + len;
+            { sec_name; isa; payload })
+      in
+      Ok { name; sections = List.rev sections }
+    with Invalid_argument _ -> Error "Chi_fatbin: truncated"
+  end
+
+let write_file t ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (encode t))
+
+let read_file ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> decode (Bytes.of_string s)
+  | exception Sys_error e -> Error e

@@ -1,0 +1,39 @@
+(** Fat binaries: one executable containing code sections for different
+    ISAs (paper §4.1, Figure 4).
+
+    The CHI compiler emits the IA32-path code as a VIA32 section and each
+    accelerator [__asm] block as an X3K section "indexed with a unique
+    identifier"; the runtime locates the accelerator binary by that
+    identifier at dispatch time. *)
+
+type isa = Via32 | X3k
+
+type section = { sec_name : string; isa : isa; payload : bytes }
+type t
+
+val empty : name:string -> t
+val name : t -> string
+val sections : t -> section list
+
+(** Add an assembled program as a section. Section names must be unique
+    per ISA. *)
+val add_via32 : t -> Exochi_isa.Via32_ast.program -> t
+
+val add_x3k : t -> Exochi_isa.X3k_ast.program -> t
+
+(** Look up and decode a section. *)
+val find_via32 : t -> string -> (Exochi_isa.Via32_ast.program, string) result
+
+val find_x3k : t -> string -> (Exochi_isa.X3k_ast.program, string) result
+
+val section_names : t -> (isa * string) list
+
+(** Whole-file serialisation ("EXOF" container). *)
+val encode : t -> bytes
+
+val decode : bytes -> (t, string) result
+
+(** Convenience: write/read a fat binary on disk. *)
+val write_file : t -> path:string -> unit
+
+val read_file : path:string -> (t, string) result

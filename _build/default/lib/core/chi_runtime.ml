@@ -1,0 +1,389 @@
+open Exochi_memory
+module Gpu = Exochi_accel.Gpu
+module Machine = Exochi_cpu.Machine
+
+type flush_policy = Upfront | Upfront_naive | Interleaved
+
+type t = {
+  platform : Exo_platform.t;
+  features : Chi_descriptor.features;
+  flush_policy : flush_policy;
+  mutable last_flush_bytes : int;
+  mutable last_copy_bytes : int;
+  mutable dev_counter : int;
+}
+
+let create ~platform ?(flush_policy = Interleaved) () =
+  {
+    platform;
+    features = Chi_descriptor.features ();
+    flush_policy;
+    last_flush_bytes = 0;
+    last_copy_bytes = 0;
+    dev_counter = 0;
+  }
+
+let platform t = t.platform
+let features t = t.features
+let flush_policy t = t.flush_policy
+let last_flush_bytes t = t.last_flush_bytes
+let last_copy_bytes t = t.last_copy_bytes
+
+type team = {
+  size : int;
+  mutable completed : int;
+  mutable waited : bool;
+  (* data-copy mode: (descriptor, device surface) pairs for copy-back *)
+  device : (Chi_descriptor.t * Surface.t) list;
+}
+
+let team_completed team = team.completed
+let team_size team = team.size
+
+(* ---- binding descriptors to the program's surface slots ---- *)
+
+let surf_table prog descriptors =
+  Array.map
+    (fun sname ->
+      match
+        List.find_opt
+          (fun d -> d.Chi_descriptor.surface.Surface.name = sname)
+          descriptors
+      with
+      | Some d -> d.Chi_descriptor.surface
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "CHI: inline assembly references surface %S but no descriptor \
+              with that name was supplied"
+             sname))
+    prog.Exochi_isa.X3k_ast.surfaces
+
+(* ---- memory-model preparation ---- *)
+
+let desc_range d =
+  let s = d.Chi_descriptor.surface in
+  (s.Surface.base, Surface.byte_size s)
+
+let is_input d =
+  match d.Chi_descriptor.surface.Surface.mode with
+  | Surface.Input | Surface.In_out -> true
+  | Surface.Output -> false
+
+let is_output d =
+  match d.Chi_descriptor.surface.Surface.mode with
+  | Surface.Output | Surface.In_out -> true
+  | Surface.Input -> false
+
+(* Copy a virtual range, charging the CPU at the explicit-copy rate. The
+   copy routine streams through write-combining buffers, so it does not
+   pollute (or consult) the CPU caches. *)
+let charged_copy t ~src ~dst ~len =
+  let aspace = Exo_platform.aspace t.platform in
+  let data = Address_space.read_bytes aspace ~vaddr:src ~len in
+  Address_space.write_bytes aspace ~vaddr:dst data;
+  let cost = Memmodel.copy_ps (Exo_platform.model_costs t.platform) ~bytes:len in
+  Machine.add_time_ps (Exo_platform.cpu t.platform) cost;
+  t.last_copy_bytes <- t.last_copy_bytes + len
+
+(* Flush a virtual range out of the CPU caches (timed through the bus —
+   the optimised flush path). *)
+let charged_flush t ~vaddr ~len =
+  let cpu = Exo_platform.cpu t.platform in
+  let bytes = Machine.flush_range cpu ~vaddr ~len in
+  t.last_flush_bytes <- t.last_flush_bytes + bytes;
+  bytes
+
+(* The unoptimised runtime's flush (paper Section 5.2: ~2 GB/s): same
+   functional effect, but the write-back dribbles out at the naive rate. *)
+let charged_flush_naive t ~vaddr ~len =
+  let cpu = Exo_platform.cpu t.platform in
+  let costs = Exo_platform.model_costs t.platform in
+  let t0 = Machine.now_ps cpu in
+  let bytes = Machine.flush_range cpu ~vaddr ~len in
+  let fast = Machine.now_ps cpu - t0 in
+  let naive = Memmodel.naive_flush_ps costs ~bytes in
+  if naive > fast then Machine.add_time_ps cpu (naive - fast);
+  t.last_flush_bytes <- t.last_flush_bytes + bytes;
+  bytes
+
+let prewalk_surfaces t surfaces =
+  Array.iter
+    (fun s ->
+      Exo_platform.prewalk t.platform ~vaddr:s.Surface.base
+        ~len:(Surface.byte_size s))
+    surfaces
+
+(* Data-copy mode: build device-side twins of every surface and copy the
+   inputs over. *)
+let make_device_surfaces t descriptors =
+  let aspace = Exo_platform.aspace t.platform in
+  List.map
+    (fun d ->
+      let s = d.Chi_descriptor.surface in
+      t.dev_counter <- t.dev_counter + 1;
+      let bytes = Surface.byte_size s in
+      let base =
+        Address_space.alloc aspace
+          ~name:(Printf.sprintf "dev%d:%s" t.dev_counter s.Surface.name)
+          ~bytes ~align:4096
+      in
+      let dev =
+        Surface.make ~id:(200_000 + t.dev_counter) ~name:s.Surface.name ~base
+          ~width:s.Surface.width ~height:s.Surface.height ~bpp:s.Surface.bpp
+          ~tiling:s.Surface.tiling ~mode:s.Surface.mode
+      in
+      Exo_platform.register_surface t.platform dev;
+      if is_input d then
+        charged_copy t ~src:s.Surface.base ~dst:base ~len:bytes;
+      (d, dev))
+    descriptors
+
+let release_device_surfaces t team =
+  List.iter
+    (fun (d, dev) ->
+      if is_output d then
+        charged_copy t ~src:dev.Surface.base
+          ~dst:d.Chi_descriptor.surface.Surface.base
+          ~len:(Surface.byte_size dev);
+      Exo_platform.unregister_surface t.platform dev)
+    team.device
+
+(* ---- dispatch ---- *)
+
+let enqueue_shreds t ~lo ~hi ~params =
+  let gpu = Exo_platform.gpu t.platform in
+  let cpu = Exo_platform.cpu t.platform in
+  let costs = Exo_platform.costs t.platform in
+  let shreds =
+    List.init (hi - lo) (fun k ->
+        { Gpu.shred_id = lo + k; entry = 0; params = params (lo + k) })
+  in
+  (* batched software enqueue on the IA32 side + one SIGNAL doorbell *)
+  Machine.add_time_ps cpu
+    (costs.Exo_platform.signal_ps
+    + ((hi - lo) * costs.Exo_platform.dispatch_cpu_ps));
+  Exo_platform.sync_gpu_to_cpu t.platform;
+  Gpu.enqueue gpu shreds
+
+let wait t team =
+  if not team.waited then begin
+    team.waited <- true;
+    let gpu = Exo_platform.gpu t.platform in
+    let cpu = Exo_platform.cpu t.platform in
+    let memmodel = Exo_platform.memmodel t.platform in
+    let costs = Exo_platform.model_costs t.platform in
+    ignore (Exo_platform.barrier t.platform);
+    match memmodel with
+    | Memmodel.Non_cc_shared ->
+      (* the exo-sequencers flush their cache before releasing the
+         completion semaphore; the master also pays the semaphore wait *)
+      let bytes = Gpu.flush_cache gpu in
+      let flush_ps = Memmodel.flush_ps costs ~bytes in
+      Machine.add_time_ps cpu (flush_ps + costs.Memmodel.semaphore_ps);
+      t.last_flush_bytes <- t.last_flush_bytes + bytes
+    | Memmodel.Data_copy -> release_device_surfaces t team
+    | Memmodel.Cc_shared -> ()
+  end
+
+let parallel t ~prog ~descriptors ~num_threads ~params ?(chunk = 512)
+    ~master_nowait () =
+  if num_threads <= 0 then invalid_arg "Chi_runtime.parallel: num_threads";
+  t.last_flush_bytes <- 0;
+  t.last_copy_bytes <- 0;
+  let gpu = Exo_platform.gpu t.platform in
+  let memmodel = Exo_platform.memmodel t.platform in
+  let device, surfaces =
+    match memmodel with
+    | Memmodel.Data_copy ->
+      let device = make_device_surfaces t descriptors in
+      let table =
+        Array.map
+          (fun sname ->
+            match
+              List.find_opt
+                (fun (d, _) ->
+                  d.Chi_descriptor.surface.Surface.name = sname)
+                device
+            with
+            | Some (_, dev) -> dev
+            | None ->
+              invalid_arg
+                (Printf.sprintf "CHI: no descriptor for surface %S" sname))
+          prog.Exochi_isa.X3k_ast.surfaces
+      in
+      (device, table)
+    | Memmodel.Non_cc_shared | Memmodel.Cc_shared ->
+      ([], surf_table prog descriptors)
+  in
+  let team = { size = num_threads; completed = 0; waited = false; device } in
+  Exo_platform.set_shred_done_callback t.platform (fun _sh ~now_ps:_ ->
+      team.completed <- team.completed + 1);
+  prewalk_surfaces t surfaces;
+  Gpu.bind gpu ~prog ~surfaces;
+  (match (memmodel, t.flush_policy) with
+  | Memmodel.Non_cc_shared, (Upfront | Upfront_naive) ->
+    (* flush every input surface completely before any shred launches;
+       the naive variant pays the unoptimised 2 GB/s rate of §5.2 *)
+    let flush =
+      if t.flush_policy = Upfront_naive then charged_flush_naive
+      else charged_flush
+    in
+    List.iter
+      (fun d ->
+        if is_input d then begin
+          let base, len = desc_range d in
+          ignore (flush t ~vaddr:base ~len)
+        end)
+      descriptors;
+    enqueue_shreds t ~lo:0 ~hi:num_threads ~params
+  | Memmodel.Non_cc_shared, Interleaved ->
+    (* intelligent flushing (§5.2): flush only the chunk of data the next
+       batch of shreds consumes, launch them, and keep flushing in
+       parallel with exo-sequencer execution. Inputs too small to be
+       worth slicing (lookup tables, logos) are flushed whole with the
+       first chunk, since any shred may read any part of them. *)
+    let small_cutoff = 65536 in
+    let inputs = List.filter is_input descriptors in
+    let nchunks = (num_threads + chunk - 1) / chunk in
+    List.iter
+      (fun d ->
+        let base, len = desc_range d in
+        if len < small_cutoff then ignore (charged_flush t ~vaddr:base ~len))
+      inputs;
+    let inputs =
+      List.filter (fun d -> snd (desc_range d) >= small_cutoff) inputs
+    in
+    for c = 0 to nchunks - 1 do
+      List.iter
+        (fun d ->
+          let base, len = desc_range d in
+          let lo = len * c / nchunks and hi = len * (c + 1) / nchunks in
+          if hi > lo then ignore (charged_flush t ~vaddr:(base + lo) ~len:(hi - lo)))
+        inputs;
+      let lo = c * chunk and hi = min num_threads ((c + 1) * chunk) in
+      if hi > lo then begin
+        enqueue_shreds t ~lo ~hi ~params;
+        (* let the exo-sequencers run while the master keeps flushing *)
+        ignore (Gpu.run_until gpu (Machine.now_ps (Exo_platform.cpu t.platform)))
+      end
+    done
+  | _ -> enqueue_shreds t ~lo:0 ~hi:num_threads ~params);
+  if not master_nowait then wait t team;
+  team
+
+(* ---- work queuing ---- *)
+
+type task = { tq_params : int array; tq_deps : int list }
+
+exception Dependency_cycle
+
+let taskq t ~prog ~descriptors ~tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    t.last_flush_bytes <- 0;
+    t.last_copy_bytes <- 0;
+    let gpu = Exo_platform.gpu t.platform in
+    let cpu = Exo_platform.cpu t.platform in
+    let pcosts = Exo_platform.costs t.platform in
+    let memmodel = Exo_platform.memmodel t.platform in
+    if memmodel = Memmodel.Data_copy then
+      invalid_arg "Chi_runtime.taskq: data-copy mode not supported (no \
+                   shared queue without shared memory)";
+    let surfaces = surf_table prog descriptors in
+    prewalk_surfaces t surfaces;
+    Gpu.bind gpu ~prog ~surfaces;
+    if memmodel = Memmodel.Non_cc_shared then
+      List.iter
+        (fun d ->
+          if is_input d then begin
+            let base, len = desc_range d in
+            ignore (charged_flush t ~vaddr:base ~len)
+          end)
+        descriptors;
+    (* dependency bookkeeping: the root shred walks the taskq body
+       sequentially and enqueues each task; a task with unmet
+       dependencies is parked until its parents complete *)
+    let indegree = Array.make n 0 in
+    let children = Array.make n [] in
+    Array.iteri
+      (fun i task ->
+        List.iter
+          (fun dep ->
+            if dep < 0 || dep >= n then
+              invalid_arg "Chi_runtime.taskq: dependency out of range";
+            indegree.(i) <- indegree.(i) + 1;
+            children.(dep) <- i :: children.(dep))
+          task.tq_deps)
+      tasks;
+    let done_count = ref 0 in
+    let enqueue_task i =
+      Gpu.enqueue gpu
+        [ { Gpu.shred_id = i; entry = 0; params = tasks.(i).tq_params } ]
+    in
+    Exo_platform.set_shred_done_callback t.platform (fun sh ~now_ps:_ ->
+        incr done_count;
+        (* the CHI scheduler is notified by user-level interrupt and
+           enqueues newly released tasks *)
+        let released = ref 0 in
+        List.iter
+          (fun child ->
+            indegree.(child) <- indegree.(child) - 1;
+            if indegree.(child) = 0 then begin
+              incr released;
+              enqueue_task child
+            end)
+          children.(sh.Gpu.shred_id);
+        if !released > 0 then
+          Machine.add_overhead_ps cpu
+            (pcosts.Exo_platform.uli_ps
+            + (!released * pcosts.Exo_platform.dispatch_cpu_ps)));
+    (* enqueue the initially ready tasks *)
+    let roots = ref [] in
+    Array.iteri (fun i d -> if d = 0 then roots := i :: !roots) indegree;
+    if !roots = [] then raise Dependency_cycle;
+    Machine.add_time_ps cpu
+      (pcosts.Exo_platform.signal_ps
+      + (List.length !roots * pcosts.Exo_platform.dispatch_cpu_ps));
+    Exo_platform.sync_gpu_to_cpu t.platform;
+    List.iter enqueue_task (List.rev !roots);
+    ignore (Exo_platform.barrier t.platform);
+    if !done_count <> n then raise Dependency_cycle;
+    if memmodel = Memmodel.Non_cc_shared then begin
+      let bytes = Gpu.flush_cache gpu in
+      let costs = Exo_platform.model_costs t.platform in
+      Machine.add_time_ps cpu
+        (Memmodel.flush_ps costs ~bytes + costs.Memmodel.semaphore_ps);
+      t.last_flush_bytes <- t.last_flush_bytes + bytes
+    end
+  end
+
+(* ---- producer simulation ---- *)
+
+let produce t desc =
+  let cpu = Exo_platform.cpu t.platform in
+  let base, len = desc_range desc in
+  (* mark as many lines dirty as the cache hierarchy can hold; the tail
+     of a large buffer naturally evicts (those writebacks happened during
+     the producer stage, which we do not charge) *)
+  let page = Phys_mem.page_size in
+  let rec go vaddr remaining =
+    if remaining > 0 then begin
+      let chunk = min remaining page in
+      (match
+         Address_space.fault_in (Exo_platform.aspace t.platform) ~vaddr
+       with
+      | _ -> ());
+      (match
+         Page_table.translate
+           (Address_space.page_table (Exo_platform.aspace t.platform))
+           ~vaddr
+       with
+      | Some pa ->
+        ignore (Cache.access_range (Machine.l1 cpu) ~addr:pa ~len:chunk ~write:true);
+        ignore (Cache.access_range (Machine.l2 cpu) ~addr:pa ~len:chunk ~write:true)
+      | None -> ());
+      go (vaddr + chunk) (remaining - chunk)
+    end
+  in
+  go base len

@@ -1,0 +1,117 @@
+(** The CHI runtime: translates OpenMP-style constructs into shred
+    creation, scheduling and data-communication management on the EXO
+    platform (paper §4.4).
+
+    Two front doors use this module: the media-kernel library calls it
+    programmatically (the way compiled CHI code calls the runtime's entry
+    points), and CHI-lite-compiled programs reach it through CPU
+    intrinsics ({!Chilite_run}).
+
+    The runtime owns the memory-model orchestration of Figure 8:
+
+    - {b CC shared}: translations are pre-walked from the descriptors;
+      nothing else to do — hardware coherence handles visibility.
+    - {b Non-CC shared}: input surfaces' dirty lines are flushed from the
+      CPU caches before exo-sequencer shreds may consume them (up-front,
+      or interleaved chunk-by-chunk with execution — §5.2's intelligent
+      flushing), and the GPU cache is flushed before the completion
+      semaphore is released.
+    - {b Data copy}: inputs are copied into an accelerator-private region
+      at the measured 3.1 GB/s rate, shreds run against the copies, and
+      outputs are copied back. *)
+
+(** Non-coherent hand-off flushing:
+    - [Interleaved]: the intelligent policy of paper §5.2 — flush the
+      slice of input the next chunk of shreds consumes, overlap the rest
+      with execution (requires shreds to consume inputs in band order).
+    - [Upfront]: flush all inputs completely before any shred launches,
+      at the optimised (bus) rate — the correct policy for kernels whose
+      shreds read far-apart data (temporal filters).
+    - [Upfront_naive]: like [Upfront] but at the unoptimised 2 GB/s rate
+      the paper measures — the baseline of §5.2's flush experiment. *)
+type flush_policy = Upfront | Upfront_naive | Interleaved
+
+type t
+
+val create : platform:Exo_platform.t -> ?flush_policy:flush_policy -> unit -> t
+val platform : t -> Exo_platform.t
+val features : t -> Chi_descriptor.features
+val flush_policy : t -> flush_policy
+
+(** An outstanding parallel construct (a team of heterogeneous shreds
+    launched with [master_nowait]). *)
+type team
+
+(** [parallel t ~prog ~descriptors ~num_threads ~params ~master_nowait]
+    implements [#pragma omp parallel target(X3000)]:
+
+    - binds each surface name referenced by the program's inline assembly
+      to the descriptor whose surface has that name ([shared] +
+      [descriptor] clauses);
+    - performs the memory-model work described above;
+    - creates [num_threads] shreds, shred [i] receiving [params i] in
+      [%p0..%p7] ([private]/[firstprivate] clauses);
+    - dispatches them to the exo-sequencers through the work queue;
+    - waits at the implied barrier, unless [master_nowait] is set, in
+      which case the team is returned outstanding and the IA32 master
+      continues (paper §4.2).
+
+    [chunk] controls interleaved-flush granularity (shreds per chunk). *)
+val parallel :
+  t ->
+  prog:Exochi_isa.X3k_ast.program ->
+  descriptors:Chi_descriptor.t list ->
+  num_threads:int ->
+  params:(int -> int array) ->
+  ?chunk:int ->
+  master_nowait:bool ->
+  unit ->
+  team
+
+(** Barrier: wait for a team launched with [master_nowait]; performs the
+    completion-side memory-model work (GPU cache flush + semaphore in
+    non-CC mode, output copy-back in data-copy mode). Idempotent. *)
+val wait : t -> team -> unit
+
+(** Shreds completed so far in a team (monotonic; for progress tests). *)
+val team_completed : team -> int
+
+val team_size : team -> int
+
+(** {1 Work queuing (producer-consumer), paper §4.3}
+
+    [taskq] implements [#pragma intel omp taskq target(...)] with [task]
+    constructs carrying dependencies: a task runs only after all of its
+    dependencies complete, matching e.g. the H.264 deblocking order where
+    a macroblock waits on its left and upper neighbours. *)
+
+type task = {
+  tq_params : int array; (* captureprivate values *)
+  tq_deps : int list; (* indices into the task array *)
+}
+
+exception Dependency_cycle
+
+(** Runs the whole task graph to completion (the taskq construct itself
+    is synchronous). Raises {!Dependency_cycle} if the graph cannot
+    drain. *)
+val taskq :
+  t ->
+  prog:Exochi_isa.X3k_ast.program ->
+  descriptors:Chi_descriptor.t list ->
+  tasks:task array ->
+  unit
+
+(** {1 Producer simulation for benchmarks}
+
+    [produce t desc] marks a surface's contents as freshly written by the
+    IA32 producer stage: its lines become dirty in the CPU caches (as
+    much as fits). The cost belongs to the producer, so none is charged —
+    but subsequent non-CC dispatches must flush these lines, and CC-mode
+    accesses snoop them, exactly the Figure 8 scenario. *)
+val produce : t -> Chi_descriptor.t -> unit
+
+(** {1 Introspection} *)
+
+val last_flush_bytes : t -> int
+val last_copy_bytes : t -> int

@@ -1,0 +1,72 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | BAnd
+  | BOr
+  | BXor
+  | LAnd
+  | LOr
+
+type expr =
+  | Int of int32
+  | Var of string
+  | Index of string * expr
+  | Unop of [ `Neg | `Not ] * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type clause =
+  | Target of string
+  | Shared of string list
+  | Private of string list
+  | Firstprivate of string list
+  | Descriptor of string list
+  | Num_threads of expr
+  | Master_nowait
+
+type pragma = { clauses : clause list; ploc : Exochi_isa.Loc.t }
+
+type stmt =
+  | Decl of string * expr option
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt * expr * stmt * block
+  | Return of expr option
+  | Expr of expr
+  | Block of block
+  | Parallel of parallel
+
+and block = stmt list
+
+and parallel = {
+  pragma : pragma;
+  loop_var : string;
+  lo : expr;
+  hi : expr;
+  asm_text : string;
+  asm_loc : Exochi_isa.Loc.t;
+}
+
+type global = Gvar of string * int32 option | Garray of string * int
+
+type func = {
+  fname : string;
+  params : string list;
+  body : block;
+  floc : Exochi_isa.Loc.t;
+}
+
+type program = { globals : global list; funcs : func list }

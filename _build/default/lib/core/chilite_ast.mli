@@ -1,0 +1,87 @@
+(** Abstract syntax for CHI-lite, the C-subset front end of the CHI
+    programming environment.
+
+    CHI-lite covers the language surface the paper's examples use
+    (Figures 6 and 9): integer globals and arrays, functions, control
+    flow, the CHI runtime calls, and OpenMP [parallel] pragmas with a
+    [target] clause whose body is a [for] loop over an accelerator
+    [__asm] block — each iteration becomes one heterogeneous shred, the
+    loop variable arriving in [%p0] (the [private] clause). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | BAnd
+  | BOr
+  | BXor
+  | LAnd
+  | LOr
+
+type expr =
+  | Int of int32
+  | Var of string
+  | Index of string * expr (* a[e] *)
+  | Unop of [ `Neg | `Not ] * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+(** One clause of a [#pragma omp parallel] line. *)
+type clause =
+  | Target of string (* target(X3000) *)
+  | Shared of string list
+  | Private of string list
+  | Firstprivate of string list
+  | Descriptor of string list
+  | Num_threads of expr
+  | Master_nowait
+
+type pragma = { clauses : clause list; ploc : Exochi_isa.Loc.t }
+
+type stmt =
+  | Decl of string * expr option (* int x; / int x = e; *)
+  | Assign of string * expr
+  | Store of string * expr * expr (* a[i] = e *)
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt * expr * stmt * block
+  | Return of expr option
+  | Expr of expr
+  | Block of block
+  | Parallel of parallel
+
+and block = stmt list
+
+(** A lowered parallel region: the loop header that generates shreds and
+    the accelerator assembly text of its body. *)
+and parallel = {
+  pragma : pragma;
+  loop_var : string;
+  lo : expr;
+  hi : expr; (* iterations [lo, hi) *)
+  asm_text : string;
+  asm_loc : Exochi_isa.Loc.t;
+}
+
+type global =
+  | Gvar of string * int32 option (* int g; / int g = k; *)
+  | Garray of string * int (* int a[N]; *)
+
+type func = {
+  fname : string;
+  params : string list;
+  body : block;
+  floc : Exochi_isa.Loc.t;
+}
+
+type program = { globals : global list; funcs : func list }

@@ -1,0 +1,475 @@
+open Chilite_ast
+module Loc = Exochi_isa.Loc
+
+let ( let* ) = Result.bind
+
+type section_info = { sec_name : string; shared : string list; nowait : bool }
+
+type compiled = {
+  fatbin : Chi_fatbin.t;
+  globals : (string * int) list;
+  global_init : (string * int32) list;
+  sections : section_info list;
+}
+
+(* ---- environments ---- *)
+
+type gkind = Scalar | Array of int
+
+type env = {
+  globals : (string * gkind) list;
+  funcs : (string * int) list; (* name -> arity *)
+  (* current function *)
+  locals : (string * int) list; (* name -> [ebp - off] *)
+  params : (string * int) list; (* name -> [ebp + off] *)
+  buf : Buffer.t;
+  label : int ref;
+  sections : (string * Exochi_isa.X3k_ast.program * section_info) list ref;
+  floc : Loc.t;
+}
+
+let fresh env prefix =
+  incr env.label;
+  Printf.sprintf "%s%d" prefix !(env.label)
+
+let emit env fmt = Printf.ksprintf (fun s -> Buffer.add_string env.buf s) fmt
+
+let builtin_arity =
+  [ ("chi_desc", 4); ("chi_wait", 0); ("print_int", 1) ]
+
+let err loc fmt = Loc.error loc fmt
+
+(* ---- collect locals of a function (flat scoping) ---- *)
+
+let rec block_decls b = List.concat_map stmt_decls b
+
+and stmt_decls = function
+  | Decl (n, _) -> [ n ]
+  | If (_, t, e) -> block_decls t @ (match e with Some b -> block_decls b | None -> [])
+  | While (_, b) -> block_decls b
+  | For (i, _, s, b) -> stmt_decls i @ stmt_decls s @ block_decls b
+  | Block b -> block_decls b
+  | Parallel _ | Assign _ | Store _ | Return _ | Expr _ -> []
+
+(* ---- expression codegen: result in eax ---- *)
+
+let rec gen_expr env e =
+  match e with
+  | Int v ->
+    emit env "  mov.d eax, %ld\n" v;
+    Ok ()
+  | Var x -> (
+    match List.assoc_opt x env.locals with
+    | Some off ->
+      emit env "  mov.d eax, [ebp - %d]\n" off;
+      Ok ()
+    | None -> (
+      match List.assoc_opt x env.params with
+      | Some off ->
+        emit env "  mov.d eax, [ebp + %d]\n" off;
+        Ok ()
+      | None -> (
+        match List.assoc_opt x env.globals with
+        | Some Scalar ->
+          emit env "  mov.d eax, [%s]\n" x;
+          Ok ()
+        | Some (Array _) ->
+          err env.floc "array %S used as a scalar value" x
+        | None -> err env.floc "undeclared variable %S" x)))
+  | Index (a, idx) -> (
+    match List.assoc_opt a env.globals with
+    | Some (Array _) ->
+      let* () = gen_expr env idx in
+      emit env "  shl eax, 2\n  mov.d ebx, eax\n  mov.d eax, [%s + ebx]\n" a;
+      Ok ()
+    | Some Scalar -> err env.floc "%S is not an array" a
+    | None -> err env.floc "undeclared array %S" a)
+  | Unop (`Neg, e) ->
+    let* () = gen_expr env e in
+    emit env "  neg eax\n";
+    Ok ()
+  | Unop (`Not, e) ->
+    let* () = gen_expr env e in
+    emit env "  cmp eax, 0\n  sete eax\n";
+    Ok ()
+  | Binop (LAnd, a, b) ->
+    let lfalse = fresh env "and_f" and lend = fresh env "and_e" in
+    let* () = gen_expr env a in
+    emit env "  cmp eax, 0\n  je %s\n" lfalse;
+    let* () = gen_expr env b in
+    emit env "  cmp eax, 0\n  je %s\n  mov.d eax, 1\n  jmp %s\n%s:\n  mov.d eax, 0\n%s:\n"
+      lfalse lend lfalse lend;
+    Ok ()
+  | Binop (LOr, a, b) ->
+    let ltrue = fresh env "or_t" and lend = fresh env "or_e" in
+    let* () = gen_expr env a in
+    emit env "  cmp eax, 0\n  jne %s\n" ltrue;
+    let* () = gen_expr env b in
+    emit env "  cmp eax, 0\n  jne %s\n  mov.d eax, 0\n  jmp %s\n%s:\n  mov.d eax, 1\n%s:\n"
+      ltrue lend ltrue lend;
+    Ok ()
+  | Binop (op, a, b) ->
+    let* () = gen_expr env a in
+    emit env "  push eax\n";
+    let* () = gen_expr env b in
+    emit env "  mov.d ebx, eax\n  pop eax\n";
+    (match op with
+    | Add -> emit env "  add eax, ebx\n"
+    | Sub -> emit env "  sub eax, ebx\n"
+    | Mul -> emit env "  imul eax, ebx\n"
+    | Div -> emit env "  sdiv eax, ebx\n"
+    | Rem -> emit env "  srem eax, ebx\n"
+    | Shl -> emit env "  shl eax, ebx\n"
+    | Shr -> emit env "  sar eax, ebx\n"
+    | BAnd -> emit env "  and eax, ebx\n"
+    | BOr -> emit env "  or eax, ebx\n"
+    | BXor -> emit env "  xor eax, ebx\n"
+    | Lt -> emit env "  cmp eax, ebx\n  setl eax\n"
+    | Le -> emit env "  cmp eax, ebx\n  setle eax\n"
+    | Gt -> emit env "  cmp eax, ebx\n  setg eax\n"
+    | Ge -> emit env "  cmp eax, ebx\n  setge eax\n"
+    | Eq -> emit env "  cmp eax, ebx\n  sete eax\n"
+    | Ne -> emit env "  cmp eax, ebx\n  setne eax\n"
+    | LAnd | LOr -> assert false);
+    Ok ()
+  | Call ("chi_desc", args) -> gen_chi_desc env args
+  | Call (f, args) -> (
+    let arity =
+      match List.assoc_opt f env.funcs with
+      | Some a -> Some a
+      | None -> List.assoc_opt f builtin_arity
+    in
+    match arity with
+    | None -> err env.floc "call to undeclared function %S" f
+    | Some a when a <> List.length args ->
+      err env.floc "%S expects %d argument(s), got %d" f a (List.length args)
+    | Some _ ->
+      let* () =
+        List.fold_left
+          (fun acc arg ->
+            let* () = acc in
+            let* () = gen_expr env arg in
+            emit env "  push eax\n";
+            Ok ())
+          (Ok ()) args
+      in
+      emit env "  call %s\n" f;
+      if args <> [] then emit env "  add esp, %d\n" (4 * List.length args);
+      Ok ())
+
+(* chi_desc(ARR, mode, w, h): the first argument must be an array global,
+   passed to the runtime as its global index *)
+and gen_chi_desc env args =
+  match args with
+  | [ Var a; mode; w; h ] -> (
+    match List.assoc_opt a env.globals with
+    | Some (Array _) ->
+      let idx =
+        let rec find i = function
+          | [] -> assert false
+          | (n, _) :: _ when n = a -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 env.globals
+      in
+      emit env "  mov.d eax, %d\n  push eax\n" idx;
+      let* () =
+        List.fold_left
+          (fun acc arg ->
+            let* () = acc in
+            let* () = gen_expr env arg in
+            emit env "  push eax\n";
+            Ok ())
+          (Ok ())
+          [ mode; w; h ]
+      in
+      emit env "  call chi_desc\n  add esp, 16\n";
+      Ok ()
+    | _ -> err env.floc "chi_desc: %S is not a global array" a)
+  | _ -> err env.floc "chi_desc expects (array, mode, width, height)"
+
+(* ---- statements ---- *)
+
+let store_scalar env x =
+  match List.assoc_opt x env.locals with
+  | Some off ->
+    emit env "  mov.d [ebp - %d], eax\n" off;
+    Ok ()
+  | None -> (
+    match List.assoc_opt x env.params with
+    | Some off ->
+      emit env "  mov.d [ebp + %d], eax\n" off;
+      Ok ()
+    | None -> (
+      match List.assoc_opt x env.globals with
+      | Some Scalar ->
+        emit env "  mov.d [%s], eax\n" x;
+        Ok ()
+      | Some (Array _) -> err env.floc "cannot assign to array %S" x
+      | None -> err env.floc "undeclared variable %S" x))
+
+let rec gen_stmt env ~epilogue s =
+  match s with
+  | Decl (x, None) ->
+    ignore x;
+    Ok ()
+  | Decl (x, Some e) | Assign (x, e) ->
+    let* () = gen_expr env e in
+    store_scalar env x
+  | Store (a, idx, e) -> (
+    match List.assoc_opt a env.globals with
+    | Some (Array _) ->
+      let* () = gen_expr env idx in
+      emit env "  shl eax, 2\n  push eax\n";
+      let* () = gen_expr env e in
+      emit env "  pop ebx\n  mov.d [%s + ebx], eax\n" a;
+      Ok ()
+    | _ -> err env.floc "undeclared array %S" a)
+  | If (c, t, e) ->
+    let lelse = fresh env "else" and lend = fresh env "fi" in
+    let* () = gen_expr env c in
+    emit env "  cmp eax, 0\n  je %s\n" lelse;
+    let* () = gen_block env ~epilogue t in
+    emit env "  jmp %s\n%s:\n" lend lelse;
+    let* () =
+      match e with Some b -> gen_block env ~epilogue b | None -> Ok ()
+    in
+    emit env "%s:\n" lend;
+    Ok ()
+  | While (c, b) ->
+    let ltop = fresh env "wtop" and lend = fresh env "wend" in
+    emit env "%s:\n" ltop;
+    let* () = gen_expr env c in
+    emit env "  cmp eax, 0\n  je %s\n" lend;
+    let* () = gen_block env ~epilogue b in
+    emit env "  jmp %s\n%s:\n" ltop lend;
+    Ok ()
+  | For (init, cond, step, b) ->
+    let ltop = fresh env "ftop" and lend = fresh env "fend" in
+    let* () = gen_stmt env ~epilogue init in
+    emit env "%s:\n" ltop;
+    let* () = gen_expr env cond in
+    emit env "  cmp eax, 0\n  je %s\n" lend;
+    let* () = gen_block env ~epilogue b in
+    let* () = gen_stmt env ~epilogue step in
+    emit env "  jmp %s\n%s:\n" ltop lend;
+    Ok ()
+  | Return None ->
+    emit env "  jmp %s\n" epilogue;
+    Ok ()
+  | Return (Some e) ->
+    let* () = gen_expr env e in
+    emit env "  jmp %s\n" epilogue;
+    Ok ()
+  | Expr e ->
+    let* () = gen_expr env e in
+    Ok ()
+  | Block b -> gen_block env ~epilogue b
+  | Parallel region -> gen_parallel env region
+
+and gen_block env ~epilogue b =
+  List.fold_left
+    (fun acc s ->
+      let* () = acc in
+      gen_stmt env ~epilogue s)
+    (Ok ()) b
+
+and gen_parallel env region =
+  (* validate clauses *)
+  let clauses = region.pragma.clauses in
+  let* () =
+    match List.find_map (function Target t -> Some t | _ -> None) clauses with
+    | Some "X3000" -> Ok ()
+    | Some other ->
+      err region.pragma.ploc "unknown target ISA %S (expected X3000)" other
+    | None -> err region.pragma.ploc "parallel pragma requires target(...)"
+  in
+  let shared =
+    List.concat_map (function Shared l -> l | _ -> []) clauses
+  in
+  let nowait = List.mem Master_nowait clauses in
+  let* () =
+    List.fold_left
+      (fun acc v ->
+        let* () = acc in
+        match List.assoc_opt v env.globals with
+        | Some (Array _) -> Ok ()
+        | _ ->
+          err region.pragma.ploc "shared(%s): not a global array" v)
+      (Ok ()) shared
+  in
+  (* assemble the accelerator block *)
+  let sec_name = Printf.sprintf "sec%d" (List.length !(env.sections)) in
+  let* prog =
+    match Exochi_isa.X3k_asm.assemble ~name:sec_name region.asm_text with
+    | Ok p -> Ok p
+    | Error e ->
+      err region.asm_loc "in accelerator inline assembly: %s" e.Loc.msg
+  in
+  (* every surface the assembly names must appear in shared(...) *)
+  let* () =
+    Array.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if List.mem s shared then Ok ()
+        else
+          err region.pragma.ploc
+            "inline assembly references %S which is not in shared(...)" s)
+      (Ok ()) prog.Exochi_isa.X3k_ast.surfaces
+  in
+  let info = { sec_name; shared; nowait } in
+  let sec_id = List.length !(env.sections) in
+  env.sections := (sec_name, prog, info) :: !(env.sections);
+  (* firstprivate values are evaluated once at the fork and delivered to
+     every shred in %p1, %p2, ... (%p0 carries the iteration index) *)
+  let firstprivate =
+    List.concat_map (function Firstprivate l -> l | _ -> []) clauses
+  in
+  let* () =
+    if List.length firstprivate > 7 then
+      err region.pragma.ploc "at most 7 firstprivate values fit in %%p1..%%p7"
+    else Ok ()
+  in
+  (* chi_parallel: pushes sec, lo, hi, nowait, fp..., then the fp count
+     last so the handler can find everything from the top of the stack *)
+  emit env "  mov.d eax, %d\n  push eax\n" sec_id;
+  let* () = gen_expr env region.lo in
+  emit env "  push eax\n";
+  let* () = gen_expr env region.hi in
+  emit env "  push eax\n";
+  emit env "  mov.d eax, %d\n  push eax\n" (if nowait then 1 else 0);
+  let* () =
+    List.fold_left
+      (fun acc v ->
+        let* () = acc in
+        let* () = gen_expr env (Var v) in
+        emit env "  push eax\n";
+        Ok ())
+      (Ok ()) firstprivate
+  in
+  emit env "  mov.d eax, %d\n  push eax\n" (List.length firstprivate);
+  emit env "  call chi_parallel\n  add esp, %d\n"
+    (4 * (5 + List.length firstprivate));
+  Ok ()
+
+(* ---- functions ---- *)
+
+let gen_func env (f : func) =
+  let decls = block_decls f.body in
+  let* () =
+    let rec dup = function
+      | [] -> Ok ()
+      | x :: rest ->
+        if List.mem x rest then err f.floc "duplicate local %S in %S" x f.fname
+        else dup rest
+    in
+    dup (decls @ f.params)
+  in
+  let locals = List.mapi (fun i x -> (x, 4 * (i + 1))) decls in
+  let nparams = List.length f.params in
+  let params =
+    List.mapi (fun i x -> (x, 4 + (4 * (nparams - 1 - i)))) f.params
+  in
+  let env = { env with locals; params; floc = f.floc } in
+  let epilogue = fresh env "ret" in
+  emit env "%s:\n  push ebp\n  mov.d ebp, esp\n" f.fname;
+  if locals <> [] then emit env "  sub esp, %d\n" (4 * List.length locals);
+  let* () = gen_block env ~epilogue f.body in
+  emit env "%s:\n  mov.d esp, ebp\n  pop ebp\n  ret\n" epilogue;
+  Ok ()
+
+let compile_internal ~name src =
+  let* prog = Chilite_parser.parse ~file:name src in
+  (* global environment *)
+  let* globals =
+    List.fold_left
+      (fun acc g ->
+        let* acc = acc in
+        let n = match g with Gvar (n, _) | Garray (n, _) -> n in
+        if List.mem_assoc n acc then
+          err Loc.dummy "duplicate global %S" n
+        else
+          Ok
+            (acc
+            @ [ (n, match g with Gvar _ -> Scalar | Garray (_, k) -> Array k) ]))
+      (Ok []) prog.Chilite_ast.globals
+  in
+  let funcs = List.map (fun f -> (f.fname, List.length f.params)) prog.funcs in
+  let* () =
+    let rec dup = function
+      | [] -> Ok ()
+      | (x, _) :: rest ->
+        if List.mem_assoc x rest then err Loc.dummy "duplicate function %S" x
+        else dup rest
+    in
+    dup funcs
+  in
+  let* () =
+    if List.mem_assoc "main" funcs then
+      if List.assoc "main" funcs = 0 then Ok ()
+      else err Loc.dummy "main must take no parameters"
+    else err Loc.dummy "program has no main function"
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "  call main\n  hlt\n";
+  let env0 =
+    {
+      globals;
+      funcs;
+      locals = [];
+      params = [];
+      buf;
+      label = ref 0;
+      sections = ref [];
+      floc = Loc.dummy;
+    }
+  in
+  let* () =
+    List.fold_left
+      (fun acc f ->
+        let* () = acc in
+        gen_func env0 f)
+      (Ok ()) prog.funcs
+  in
+  Ok (prog, env0, Buffer.contents buf)
+
+let compile ~name src =
+  let* prog, env, via_text = compile_internal ~name src in
+  let* via_prog =
+    match Exochi_isa.Via32_asm.assemble ~name:"main" via_text with
+    | Ok p -> Ok p
+    | Error e ->
+      err e.Loc.loc "internal: generated VIA32 failed to assemble: %s"
+        e.Loc.msg
+  in
+  let fatbin = Chi_fatbin.empty ~name in
+  let fatbin = Chi_fatbin.add_via32 fatbin via_prog in
+  let fatbin =
+    List.fold_left
+      (fun fb (_, p, _) -> Chi_fatbin.add_x3k fb p)
+      fatbin
+      (List.rev !(env.sections))
+  in
+  let globals =
+    List.map
+      (function
+        | Gvar (n, _) -> (n, 4)
+        | Garray (n, k) -> (n, 4 * k))
+      prog.Chilite_ast.globals
+  in
+  let global_init =
+    List.filter_map
+      (function Gvar (n, Some v) -> Some (n, v) | _ -> None)
+      prog.Chilite_ast.globals
+  in
+  Ok
+    {
+      fatbin;
+      globals;
+      global_init;
+      sections = List.rev_map (fun (_, _, i) -> i) !(env.sections);
+    }
+
+let compile_to_via32_text ~name src =
+  let* _, _, via_text = compile_internal ~name src in
+  Ok via_text

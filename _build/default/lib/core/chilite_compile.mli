@@ -1,0 +1,35 @@
+(** The CHI-lite compiler driver: semantic checks, VIA32 code generation
+    for the IA32 path, inline accelerator assembly blocks handed to the
+    X3K assembler, and fat-binary emission (paper Figure 4).
+
+    The IA32 section is named ["main"]; each parallel region becomes an
+    X3K section ["sec<N>"] indexed by the identifier the generated code
+    passes to the [chi_parallel] runtime entry point.
+
+    Runtime entry points the generated code calls (arguments pushed left
+    to right, caller pops):
+    - [chi_desc(global_idx, mode, width, height)] — Table 1 API #1.
+    - [chi_parallel(section_id, lo, hi, nowait)] — launch one shred per
+      iteration of [\[lo, hi)]; iteration index arrives in [%p0].
+    - [chi_wait()] — barrier for the outstanding [master_nowait] team.
+    - [print_int(v)] — host console output (examples, tests). *)
+
+type section_info = {
+  sec_name : string;
+  shared : string list; (* surface names the region binds *)
+  nowait : bool;
+}
+
+type compiled = {
+  fatbin : Chi_fatbin.t;
+  globals : (string * int) list; (* name -> byte size, in layout order *)
+  global_init : (string * int32) list; (* scalar initialisers *)
+  sections : section_info list;
+}
+
+val compile :
+  name:string -> string -> (compiled, Exochi_isa.Loc.error) result
+
+(** The generated VIA32 text (for inspection / the [exochi_cc] driver). *)
+val compile_to_via32_text :
+  name:string -> string -> (string, Exochi_isa.Loc.error) result

@@ -1,0 +1,232 @@
+module Loc = Exochi_isa.Loc
+
+type token =
+  | IDENT of string
+  | INT of int32
+  | KW of string
+  | PRAGMA of string
+  | ASM
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | SHL
+  | SHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AMP
+  | BAR
+  | CARET
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let pp_token fmt = function
+  | IDENT s -> Format.fprintf fmt "identifier %S" s
+  | INT i -> Format.fprintf fmt "integer %ld" i
+  | KW s -> Format.fprintf fmt "keyword %S" s
+  | PRAGMA _ -> Format.pp_print_string fmt "#pragma"
+  | ASM -> Format.pp_print_string fmt "__asm"
+  | LPAREN -> Format.pp_print_string fmt "'('"
+  | RPAREN -> Format.pp_print_string fmt "')'"
+  | LBRACE -> Format.pp_print_string fmt "'{'"
+  | RBRACE -> Format.pp_print_string fmt "'}'"
+  | LBRACK -> Format.pp_print_string fmt "'['"
+  | RBRACK -> Format.pp_print_string fmt "']'"
+  | SEMI -> Format.pp_print_string fmt "';'"
+  | COMMA -> Format.pp_print_string fmt "','"
+  | ASSIGN -> Format.pp_print_string fmt "'='"
+  | PLUS -> Format.pp_print_string fmt "'+'"
+  | MINUS -> Format.pp_print_string fmt "'-'"
+  | STAR -> Format.pp_print_string fmt "'*'"
+  | SLASH -> Format.pp_print_string fmt "'/'"
+  | PERCENT -> Format.pp_print_string fmt "'%'"
+  | SHL -> Format.pp_print_string fmt "'<<'"
+  | SHR -> Format.pp_print_string fmt "'>>'"
+  | LT -> Format.pp_print_string fmt "'<'"
+  | LE -> Format.pp_print_string fmt "'<='"
+  | GT -> Format.pp_print_string fmt "'>'"
+  | GE -> Format.pp_print_string fmt "'>='"
+  | EQ -> Format.pp_print_string fmt "'=='"
+  | NE -> Format.pp_print_string fmt "'!='"
+  | AMP -> Format.pp_print_string fmt "'&'"
+  | BAR -> Format.pp_print_string fmt "'|'"
+  | CARET -> Format.pp_print_string fmt "'^'"
+  | ANDAND -> Format.pp_print_string fmt "'&&'"
+  | OROR -> Format.pp_print_string fmt "'||'"
+  | BANG -> Format.pp_print_string fmt "'!'"
+  | EOF -> Format.pp_print_string fmt "end of input"
+
+type t = {
+  file : string;
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;
+}
+
+let create ~file src = { file; src; pos = 0; line = 1; bol = 0 }
+let loc t = Loc.make ~file:t.file ~line:t.line ~col:(t.pos - t.bol + 1)
+let peek t off = if t.pos + off < String.length t.src then Some t.src.[t.pos + off] else None
+
+let newline t =
+  t.line <- t.line + 1;
+  t.bol <- t.pos
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keywords = [ "int"; "void"; "if"; "else"; "while"; "for"; "return" ]
+
+let rec skip_ws t =
+  match peek t 0 with
+  | Some ' ' | Some '\t' | Some '\r' ->
+    t.pos <- t.pos + 1;
+    skip_ws t
+  | Some '\n' ->
+    t.pos <- t.pos + 1;
+    newline t;
+    skip_ws t
+  | Some '/' when peek t 1 = Some '/' ->
+    while peek t 0 <> None && peek t 0 <> Some '\n' do
+      t.pos <- t.pos + 1
+    done;
+    skip_ws t
+  | Some '/' when peek t 1 = Some '*' ->
+    t.pos <- t.pos + 2;
+    let rec go () =
+      match peek t 0 with
+      | None -> ()
+      | Some '*' when peek t 1 = Some '/' -> t.pos <- t.pos + 2
+      | Some '\n' ->
+        t.pos <- t.pos + 1;
+        newline t;
+        go ()
+      | Some _ ->
+        t.pos <- t.pos + 1;
+        go ()
+    in
+    go ();
+    skip_ws t
+  | _ -> ()
+
+let next t =
+  skip_ws t;
+  let l = loc t in
+  let simple tok n =
+    t.pos <- t.pos + n;
+    Ok (tok, l)
+  in
+  match peek t 0 with
+  | None -> Ok (EOF, l)
+  | Some '#' ->
+    (* pragma line: grab to end of line *)
+    let start = t.pos in
+    while peek t 0 <> None && peek t 0 <> Some '\n' do
+      t.pos <- t.pos + 1
+    done;
+    let line = String.sub t.src start (t.pos - start) in
+    let prefix = "#pragma" in
+    if String.length line >= String.length prefix
+       && String.sub line 0 (String.length prefix) = prefix
+    then
+      Ok
+        ( PRAGMA
+            (String.sub line (String.length prefix)
+               (String.length line - String.length prefix)),
+          l )
+    else Loc.error l "unknown preprocessor directive"
+  | Some c when is_ident_start c ->
+    let start = t.pos in
+    while match peek t 0 with Some c when is_ident_char c -> true | _ -> false do
+      t.pos <- t.pos + 1
+    done;
+    let s = String.sub t.src start (t.pos - start) in
+    if s = "__asm" then Ok (ASM, l)
+    else if List.mem s keywords then Ok (KW s, l)
+    else Ok (IDENT s, l)
+  | Some c when is_digit c ->
+    let start = t.pos in
+    if c = '0' && (peek t 1 = Some 'x' || peek t 1 = Some 'X') then begin
+      t.pos <- t.pos + 2;
+      while
+        match peek t 0 with
+        | Some c when is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') -> true
+        | _ -> false
+      do
+        t.pos <- t.pos + 1
+      done
+    end
+    else
+      while match peek t 0 with Some c when is_digit c -> true | _ -> false do
+        t.pos <- t.pos + 1
+      done;
+    let s = String.sub t.src start (t.pos - start) in
+    (match Int64.of_string_opt s with
+    | Some v when Int64.compare v 4294967295L <= 0 -> Ok (INT (Int64.to_int32 v), l)
+    | _ -> Loc.error l "integer literal out of range: %s" s)
+  | Some '(' -> simple LPAREN 1
+  | Some ')' -> simple RPAREN 1
+  | Some '{' -> simple LBRACE 1
+  | Some '}' -> simple RBRACE 1
+  | Some '[' -> simple LBRACK 1
+  | Some ']' -> simple RBRACK 1
+  | Some ';' -> simple SEMI 1
+  | Some ',' -> simple COMMA 1
+  | Some '+' -> simple PLUS 1
+  | Some '-' -> simple MINUS 1
+  | Some '*' -> simple STAR 1
+  | Some '/' -> simple SLASH 1
+  | Some '%' -> simple PERCENT 1
+  | Some '^' -> simple CARET 1
+  | Some '<' ->
+    if peek t 1 = Some '<' then simple SHL 2
+    else if peek t 1 = Some '=' then simple LE 2
+    else simple LT 1
+  | Some '>' ->
+    if peek t 1 = Some '>' then simple SHR 2
+    else if peek t 1 = Some '=' then simple GE 2
+    else simple GT 1
+  | Some '=' -> if peek t 1 = Some '=' then simple EQ 2 else simple ASSIGN 1
+  | Some '!' -> if peek t 1 = Some '=' then simple NE 2 else simple BANG 1
+  | Some '&' -> if peek t 1 = Some '&' then simple ANDAND 2 else simple AMP 1
+  | Some '|' -> if peek t 1 = Some '|' then simple OROR 2 else simple BAR 1
+  | Some c -> Loc.error l "unexpected character %C" c
+
+let raw_braced_block t =
+  let l = loc t in
+  let start = t.pos in
+  let rec go () =
+    match peek t 0 with
+    | None -> Loc.error l "unterminated __asm block"
+    | Some '}' ->
+      let text = String.sub t.src start (t.pos - start) in
+      t.pos <- t.pos + 1;
+      Ok (text, l)
+    | Some '\n' ->
+      t.pos <- t.pos + 1;
+      newline t;
+      go ()
+    | Some _ ->
+      t.pos <- t.pos + 1;
+      go ()
+  in
+  go ()

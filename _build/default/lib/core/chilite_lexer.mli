@@ -1,0 +1,51 @@
+(** Lexer for CHI-lite. Pragma lines ([#pragma ...]) are delivered whole as
+    {!PRAGMA} tokens and re-tokenised by the pragma parser; [__asm { ... }]
+    bodies are slurped verbatim with {!raw_braced_block} so the accelerator
+    assembler sees the original text. *)
+
+type token =
+  | IDENT of string
+  | INT of int32
+  | KW of string (* int void if else while for return *)
+  | PRAGMA of string (* full pragma line, without '#pragma' *)
+  | ASM (* the __asm keyword *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | SHL
+  | SHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AMP
+  | BAR
+  | CARET
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+type t
+
+val create : file:string -> string -> t
+val next : t -> (token * Exochi_isa.Loc.t, Exochi_isa.Loc.error) result
+
+(** After the parser has consumed [ASM] and an opening ['{'] token, slurp
+    raw text up to (not including) the matching ['}'] and consume it. *)
+val raw_braced_block : t -> (string * Exochi_isa.Loc.t, Exochi_isa.Loc.error) result

@@ -1,0 +1,525 @@
+open Chilite_ast
+module Lx = Chilite_lexer
+module Loc = Exochi_isa.Loc
+
+let ( let* ) = Result.bind
+
+type state = {
+  lx : Lx.t;
+  mutable tok : Lx.token;
+  mutable tok_loc : Loc.t;
+}
+
+let advance st =
+  match Lx.next st.lx with
+  | Ok (tok, loc) ->
+    st.tok <- tok;
+    st.tok_loc <- loc;
+    Ok ()
+  | Error e -> Error e
+
+let expect st want ~what =
+  if st.tok = want then advance st
+  else
+    Loc.error st.tok_loc "expected %a in %s, found %a" Lx.pp_token want what
+      Lx.pp_token st.tok
+
+let expect_ident st ~what =
+  match st.tok with
+  | Lx.IDENT s ->
+    let* () = advance st in
+    Ok s
+  | tok -> Loc.error st.tok_loc "expected identifier in %s, found %a" what Lx.pp_token tok
+
+(* ---- expressions (precedence climbing) ---- *)
+
+let binop_of_token = function
+  | Lx.OROR -> Some (LOr, 1)
+  | Lx.ANDAND -> Some (LAnd, 2)
+  | Lx.BAR -> Some (BOr, 3)
+  | Lx.CARET -> Some (BXor, 4)
+  | Lx.AMP -> Some (BAnd, 5)
+  | Lx.EQ -> Some (Eq, 6)
+  | Lx.NE -> Some (Ne, 6)
+  | Lx.LT -> Some (Lt, 7)
+  | Lx.LE -> Some (Le, 7)
+  | Lx.GT -> Some (Gt, 7)
+  | Lx.GE -> Some (Ge, 7)
+  | Lx.SHL -> Some (Shl, 8)
+  | Lx.SHR -> Some (Shr, 8)
+  | Lx.PLUS -> Some (Add, 9)
+  | Lx.MINUS -> Some (Sub, 9)
+  | Lx.STAR -> Some (Mul, 10)
+  | Lx.SLASH -> Some (Div, 10)
+  | Lx.PERCENT -> Some (Rem, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_bin st 0
+
+and parse_bin st min_prec =
+  let* lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token st.tok with
+    | Some (op, prec) when prec >= min_prec ->
+      let* () = advance st in
+      let* rhs = parse_bin st (prec + 1) in
+      loop (Binop (op, lhs, rhs))
+    | _ -> Ok lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match st.tok with
+  | Lx.MINUS ->
+    let* () = advance st in
+    let* e = parse_unary st in
+    Ok (Unop (`Neg, e))
+  | Lx.BANG ->
+    let* () = advance st in
+    let* e = parse_unary st in
+    Ok (Unop (`Not, e))
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match st.tok with
+  | Lx.INT v ->
+    let* () = advance st in
+    Ok (Int v)
+  | Lx.LPAREN ->
+    let* () = advance st in
+    let* e = parse_expr st in
+    let* () = expect st Lx.RPAREN ~what:"parenthesised expression" in
+    Ok e
+  | Lx.IDENT name -> (
+    let* () = advance st in
+    match st.tok with
+    | Lx.LPAREN ->
+      let* () = advance st in
+      let* args =
+        if st.tok = Lx.RPAREN then Ok []
+        else begin
+          let rec go acc =
+            let* e = parse_expr st in
+            if st.tok = Lx.COMMA then
+              let* () = advance st in
+              go (e :: acc)
+            else Ok (List.rev (e :: acc))
+          in
+          go []
+        end
+      in
+      let* () = expect st Lx.RPAREN ~what:"call" in
+      Ok (Call (name, args))
+    | Lx.LBRACK ->
+      let* () = advance st in
+      let* idx = parse_expr st in
+      let* () = expect st Lx.RBRACK ~what:"array index" in
+      Ok (Index (name, idx))
+    | _ -> Ok (Var name))
+  | tok -> Loc.error st.tok_loc "expected expression, found %a" Lx.pp_token tok
+
+(* ---- pragma lines ---- *)
+
+let parse_pragma_clauses ~ploc text =
+  (* tokenize the clause text with the CHI-lite lexer *)
+  let lx = Lx.create ~file:ploc.Loc.file text in
+  let st = { lx; tok = Lx.EOF; tok_loc = ploc } in
+  let* () = advance st in
+  (* leading 'omp parallel' (or the unsupported taskq forms) *)
+  let* () =
+    match st.tok with
+    | Lx.IDENT "omp" -> advance st
+    | Lx.IDENT "intel" ->
+      Loc.error ploc
+        "taskq/task pragmas are not supported by CHI-lite; use the \
+         Chi_runtime.taskq API"
+    | _ -> Loc.error ploc "expected 'omp' after #pragma"
+  in
+  let* () =
+    match st.tok with
+    | Lx.IDENT "parallel" -> advance st
+    | _ -> Loc.error ploc "expected 'parallel' after '#pragma omp'"
+  in
+  let ident_list () =
+    let* () = expect st Lx.LPAREN ~what:"clause" in
+    let rec go acc =
+      let* name = expect_ident st ~what:"clause variable list" in
+      if st.tok = Lx.COMMA then
+        let* () = advance st in
+        go (name :: acc)
+      else begin
+        let* () = expect st Lx.RPAREN ~what:"clause" in
+        Ok (List.rev (name :: acc))
+      end
+    in
+    go []
+  in
+  let rec clauses acc =
+    match st.tok with
+    | Lx.EOF -> Ok (List.rev acc)
+    | Lx.IDENT "target" ->
+      let* () = advance st in
+      let* names = ident_list () in
+      (match names with
+      | [ isa ] -> clauses (Target isa :: acc)
+      | _ -> Loc.error ploc "target() takes exactly one ISA name")
+    | Lx.IDENT "shared" ->
+      let* () = advance st in
+      let* names = ident_list () in
+      clauses (Shared names :: acc)
+    | Lx.IDENT "private" ->
+      let* () = advance st in
+      let* names = ident_list () in
+      clauses (Private names :: acc)
+    | Lx.IDENT "firstprivate" ->
+      let* () = advance st in
+      let* names = ident_list () in
+      clauses (Firstprivate names :: acc)
+    | Lx.IDENT "descriptor" ->
+      let* () = advance st in
+      let* names = ident_list () in
+      clauses (Descriptor names :: acc)
+    | Lx.IDENT "num_threads" ->
+      let* () = advance st in
+      let* () = expect st Lx.LPAREN ~what:"num_threads" in
+      let* e = parse_expr st in
+      let* () = expect st Lx.RPAREN ~what:"num_threads" in
+      clauses (Num_threads e :: acc)
+    | Lx.IDENT "master_nowait" ->
+      let* () = advance st in
+      clauses (Master_nowait :: acc)
+    | tok -> Loc.error ploc "unknown pragma clause: %a" Lx.pp_token tok
+  in
+  clauses []
+
+(* ---- statements ---- *)
+
+let rec parse_stmt st =
+  match st.tok with
+  | Lx.KW "int" -> (
+    let* () = advance st in
+    let* name = expect_ident st ~what:"declaration" in
+    match st.tok with
+    | Lx.ASSIGN ->
+      let* () = advance st in
+      let* e = parse_expr st in
+      let* () = expect st Lx.SEMI ~what:"declaration" in
+      Ok (Decl (name, Some e))
+    | _ ->
+      let* () = expect st Lx.SEMI ~what:"declaration" in
+      Ok (Decl (name, None)))
+  | Lx.KW "if" ->
+    let* () = advance st in
+    let* () = expect st Lx.LPAREN ~what:"if" in
+    let* cond = parse_expr st in
+    let* () = expect st Lx.RPAREN ~what:"if" in
+    let* then_ = parse_block_or_stmt st in
+    if st.tok = Lx.KW "else" then begin
+      let* () = advance st in
+      let* else_ = parse_block_or_stmt st in
+      Ok (If (cond, then_, Some else_))
+    end
+    else Ok (If (cond, then_, None))
+  | Lx.KW "while" ->
+    let* () = advance st in
+    let* () = expect st Lx.LPAREN ~what:"while" in
+    let* cond = parse_expr st in
+    let* () = expect st Lx.RPAREN ~what:"while" in
+    let* body = parse_block_or_stmt st in
+    Ok (While (cond, body))
+  | Lx.KW "for" ->
+    let* init, cond, step = parse_for_header st in
+    let* body = parse_block_or_stmt st in
+    Ok (For (init, cond, step, body))
+  | Lx.KW "return" -> (
+    let* () = advance st in
+    match st.tok with
+    | Lx.SEMI ->
+      let* () = advance st in
+      Ok (Return None)
+    | _ ->
+      let* e = parse_expr st in
+      let* () = expect st Lx.SEMI ~what:"return" in
+      Ok (Return (Some e)))
+  | Lx.LBRACE ->
+    let* b = parse_block st in
+    Ok (Block b)
+  | Lx.PRAGMA text ->
+    let ploc = st.tok_loc in
+    let* clauses = parse_pragma_clauses ~ploc text in
+    let* () = advance st in
+    parse_parallel st { clauses; ploc }
+  | Lx.IDENT name -> (
+    let* () = advance st in
+    match st.tok with
+    | Lx.ASSIGN ->
+      let* () = advance st in
+      let* e = parse_expr st in
+      let* () = expect st Lx.SEMI ~what:"assignment" in
+      Ok (Assign (name, e))
+    | Lx.LBRACK ->
+      let* () = advance st in
+      let* idx = parse_expr st in
+      let* () = expect st Lx.RBRACK ~what:"array store" in
+      (match st.tok with
+      | Lx.ASSIGN ->
+        let* () = advance st in
+        let* e = parse_expr st in
+        let* () = expect st Lx.SEMI ~what:"array store" in
+        Ok (Store (name, idx, e))
+      | _ -> Loc.error st.tok_loc "expected '=' after indexed l-value")
+    | Lx.LPAREN ->
+      (* call statement: re-parse via primary path *)
+      let* () = advance st in
+      let* args =
+        if st.tok = Lx.RPAREN then Ok []
+        else begin
+          let rec go acc =
+            let* e = parse_expr st in
+            if st.tok = Lx.COMMA then
+              let* () = advance st in
+              go (e :: acc)
+            else Ok (List.rev (e :: acc))
+          in
+          go []
+        end
+      in
+      let* () = expect st Lx.RPAREN ~what:"call" in
+      let* () = expect st Lx.SEMI ~what:"call statement" in
+      Ok (Expr (Call (name, args)))
+    | tok ->
+      Loc.error st.tok_loc "expected '=', '[' or '(' after identifier, found %a"
+        Lx.pp_token tok)
+  | tok -> Loc.error st.tok_loc "expected statement, found %a" Lx.pp_token tok
+
+and parse_for_header st =
+  let* () = advance st in
+  let* () = expect st Lx.LPAREN ~what:"for" in
+  let* init =
+    let* name = expect_ident st ~what:"for initialiser" in
+    let* () = expect st Lx.ASSIGN ~what:"for initialiser" in
+    let* e = parse_expr st in
+    Ok (Assign (name, e))
+  in
+  let* () = expect st Lx.SEMI ~what:"for" in
+  let* cond = parse_expr st in
+  let* () = expect st Lx.SEMI ~what:"for" in
+  let* step =
+    let* name = expect_ident st ~what:"for step" in
+    let* () = expect st Lx.ASSIGN ~what:"for step" in
+    let* e = parse_expr st in
+    Ok (Assign (name, e))
+  in
+  let* () = expect st Lx.RPAREN ~what:"for" in
+  Ok (init, cond, step)
+
+and parse_block st =
+  let* () = expect st Lx.LBRACE ~what:"block" in
+  let rec go acc =
+    if st.tok = Lx.RBRACE then begin
+      let* () = advance st in
+      Ok (List.rev acc)
+    end
+    else
+      let* s = parse_stmt st in
+      go (s :: acc)
+  in
+  go []
+
+and parse_block_or_stmt st =
+  if st.tok = Lx.LBRACE then parse_block st
+  else
+    let* s = parse_stmt st in
+    Ok [ s ]
+
+(* The structured region after a parallel pragma: either a for-loop whose
+   body is a single __asm block (one shred per iteration, Figure 6), or a
+   bare __asm block with num_threads(N). Both may be wrapped in braces. *)
+and parse_parallel st pragma =
+  let* wrapped =
+    if st.tok = Lx.LBRACE then
+      let* () = advance st in
+      Ok true
+    else Ok false
+  in
+  let* region =
+    match st.tok with
+    | Lx.KW "for" -> (
+      let* init, cond, step = parse_for_header st in
+      let* loop_var, lo =
+        match init with
+        | Assign (v, e) -> Ok (v, e)
+        | _ -> Loc.error pragma.ploc "parallel for initialiser must be v = e"
+      in
+      let* hi =
+        match cond with
+        | Binop (Lt, Var v, e) when v = loop_var -> Ok e
+        | _ ->
+          Loc.error pragma.ploc
+            "parallel for condition must be '%s < bound'" loop_var
+      in
+      let* () =
+        match step with
+        | Assign (v, Binop (Add, Var v', Int 1l)) when v = loop_var && v' = loop_var
+          ->
+          Ok ()
+        | _ ->
+          Loc.error pragma.ploc "parallel for step must be '%s = %s + 1'"
+            loop_var loop_var
+      in
+      let* asm_text, asm_loc = parse_asm_block st in
+      Ok { pragma; loop_var; lo; hi; asm_text; asm_loc })
+    | Lx.ASM -> (
+      let n =
+        List.find_map
+          (function Num_threads e -> Some e | _ -> None)
+          pragma.clauses
+      in
+      match n with
+      | None ->
+        Loc.error pragma.ploc
+          "a bare __asm parallel region requires num_threads(...)"
+      | Some n ->
+        let* asm_text, asm_loc = parse_asm_block_after_kw st in
+        Ok { pragma; loop_var = "_shred"; lo = Int 0l; hi = n; asm_text; asm_loc })
+    | tok ->
+      Loc.error st.tok_loc
+        "parallel region must be a for loop over __asm or an __asm block, \
+         found %a"
+        Lx.pp_token tok
+  in
+  let* () =
+    if wrapped then expect st Lx.RBRACE ~what:"parallel region" else Ok ()
+  in
+  Ok (Parallel region)
+
+and parse_asm_block st =
+  match st.tok with
+  | Lx.ASM -> parse_asm_block_after_kw st
+  | tok ->
+    Loc.error st.tok_loc "parallel loop body must be an __asm block, found %a"
+      Lx.pp_token tok
+
+and parse_asm_block_after_kw st =
+  (* [st.tok] is ASM; the next token must be '{'. Once '{' is the current
+     token the lexer's cursor sits just past it, so the raw slurp picks up
+     exactly the assembler text. *)
+  let* () = advance st in
+  match st.tok with
+  | Lx.LBRACE ->
+    let* text, loc = Lx.raw_braced_block st.lx in
+    let* () = advance st in
+    Ok (text, loc)
+  | tok -> Loc.error st.tok_loc "expected '{' after __asm, found %a" Lx.pp_token tok
+
+(* ---- program ---- *)
+
+let parse_global st =
+  let* () = advance st (* 'int' *) in
+  let* name = expect_ident st ~what:"global declaration" in
+  match st.tok with
+  | Lx.LBRACK -> (
+    let* () = advance st in
+    match st.tok with
+    | Lx.INT n when Int32.to_int n > 0 ->
+      let* () = advance st in
+      let* () = expect st Lx.RBRACK ~what:"array declaration" in
+      let* () = expect st Lx.SEMI ~what:"array declaration" in
+      Ok (Garray (name, Int32.to_int n))
+    | _ -> Loc.error st.tok_loc "array size must be a positive integer literal")
+  | Lx.ASSIGN -> (
+    let* () = advance st in
+    match st.tok with
+    | Lx.INT v ->
+      let* () = advance st in
+      let* () = expect st Lx.SEMI ~what:"global declaration" in
+      Ok (Gvar (name, Some v))
+    | _ -> Loc.error st.tok_loc "global initialiser must be an integer literal")
+  | Lx.SEMI ->
+    let* () = advance st in
+    Ok (Gvar (name, None))
+  | tok ->
+    Loc.error st.tok_loc "expected '[', '=' or ';' after global name, found %a"
+      Lx.pp_token tok
+
+let parse ~file src =
+  let lx = Lx.create ~file src in
+  let st = { lx; tok = Lx.EOF; tok_loc = Loc.dummy } in
+  let* () = advance st in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec go () =
+    match st.tok with
+    | Lx.EOF -> Ok ()
+    | Lx.KW "int" | Lx.KW "void" -> (
+      (* lookahead: 'int name (' is a function, otherwise a global *)
+      let is_void = st.tok = Lx.KW "void" in
+      let save_pos_tok = st.tok in
+      ignore save_pos_tok;
+      let floc = st.tok_loc in
+      let* () = advance st in
+      let* name = expect_ident st ~what:"top-level declaration" in
+      match st.tok with
+      | Lx.LPAREN ->
+        let* () = advance st in
+        let* params =
+          if st.tok = Lx.RPAREN then Ok []
+          else begin
+            let rec go acc =
+              let* () = expect st (Lx.KW "int") ~what:"parameter list" in
+              let* p = expect_ident st ~what:"parameter list" in
+              if st.tok = Lx.COMMA then
+                let* () = advance st in
+                go (p :: acc)
+              else Ok (List.rev (p :: acc))
+            in
+            go []
+          end
+        in
+        let* () = expect st Lx.RPAREN ~what:"function declaration" in
+        let* body = parse_block st in
+        funcs := { fname = name; params; body; floc } :: !funcs;
+        ignore is_void;
+        go ()
+      | _ when not is_void -> (
+        (* re-dispatch as global: mimic parse_global after name *)
+        match st.tok with
+        | Lx.LBRACK -> (
+          let* () = advance st in
+          match st.tok with
+          | Lx.INT n when Int32.to_int n > 0 ->
+            let* () = advance st in
+            let* () = expect st Lx.RBRACK ~what:"array declaration" in
+            let* () = expect st Lx.SEMI ~what:"array declaration" in
+            globals := Garray (name, Int32.to_int n) :: !globals;
+            go ()
+          | _ ->
+            Loc.error st.tok_loc "array size must be a positive integer literal")
+        | Lx.ASSIGN -> (
+          let* () = advance st in
+          match st.tok with
+          | Lx.INT v ->
+            let* () = advance st in
+            let* () = expect st Lx.SEMI ~what:"global declaration" in
+            globals := Gvar (name, Some v) :: !globals;
+            go ()
+          | _ ->
+            Loc.error st.tok_loc "global initialiser must be an integer literal")
+        | Lx.SEMI ->
+          let* () = advance st in
+          globals := Gvar (name, None) :: !globals;
+          go ()
+        | tok ->
+          Loc.error st.tok_loc
+            "expected '[', '=', ';' or '(' after top-level name, found %a"
+            Lx.pp_token tok)
+      | tok ->
+        Loc.error st.tok_loc "void declaration must be a function, found %a"
+          Lx.pp_token tok)
+    | tok ->
+      Loc.error st.tok_loc "expected top-level declaration, found %a"
+        Lx.pp_token tok
+  in
+  let* () = go () in
+  ignore parse_global;
+  Ok { globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for CHI-lite source. Returns the program AST;
+    [__asm] blocks are kept as raw text (assembled later by the compiler
+    driver), and pragma lines are parsed into structured clauses. *)
+
+val parse :
+  file:string -> string -> (Chilite_ast.program, Exochi_isa.Loc.error) result

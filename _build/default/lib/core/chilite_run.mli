@@ -1,0 +1,39 @@
+(** Loader and execution environment for compiled CHI-lite programs.
+
+    [load] places the program's globals in the shared virtual address
+    space, decodes the fat binary's sections, and wires the runtime entry
+    points ([chi_desc], [chi_parallel], [chi_wait], [print_int]) to the
+    CHI runtime; [run] executes [main] on the simulated IA32 sequencer,
+    dispatching any parallel regions to the exo-sequencers.
+
+    Descriptor modes in CHI-lite source: [0] input, [1] output,
+    [2] in/out. *)
+
+type t
+
+val load : platform:Exo_platform.t -> Chilite_compile.compiled -> t
+val runtime : t -> Chi_runtime.t
+
+(** Run [main] to completion. Raises [Failure] on runtime errors (unknown
+    section, bad descriptor index, ...). *)
+val run : t -> unit
+
+(** Values printed with [print_int], in program order. *)
+val output : t -> int list
+
+(** The runtime-entry-point dispatcher, exposed so debuggers can drive
+    the machine themselves ({!Chi_debug.run_cpu} takes an [intrinsics]
+    callback). *)
+val intrinsic_handler : t -> string -> Exochi_cpu.Machine.t -> unit
+
+(** The loaded VIA32 image (for breakpoints by instruction index and
+    source-line mapping). *)
+val loaded : t -> Exochi_cpu.Machine.loaded
+
+(** Address of a global, for test harnesses to populate and inspect. *)
+val global_addr : t -> string -> int option
+
+(** Convenience accessors for int-array globals. *)
+val read_global : t -> string -> index:int -> int32
+
+val write_global : t -> string -> index:int -> int32 -> unit

@@ -1,0 +1,293 @@
+open Exochi_memory
+
+type costs = {
+  uli_ps : int;
+  atr_service_ps : int;
+  gtt_fetch_ps : int;
+  ceh_base_ps : int;
+  ceh_per_lane_ps : int;
+  signal_ps : int;
+  dispatch_cpu_ps : int;
+}
+
+let default_costs =
+  {
+    uli_ps = 120_000; (* ~290 CPU cycles to take a user-level interrupt *)
+    atr_service_ps = 180_000; (* walk (2 reads) + transcode + TLB insert *)
+    gtt_fetch_ps = 45_000; (* memory-resident GTT entry fetch, ~30 GPU cyc *)
+    ceh_base_ps = 250_000;
+    ceh_per_lane_ps = 25_000;
+    signal_ps = 40_000; (* SIGNAL doorbell *)
+    dispatch_cpu_ps = 12_000; (* amortised batch enqueue of one descriptor *)
+  }
+
+type protocol_mode = Strict | Count_only
+
+exception Protocol_violation of string
+
+type t = {
+  mem : Phys_mem.t;
+  aspace : Address_space.t;
+  bus : Bus.t;
+  cpu : Exochi_cpu.Machine.t;
+  mutable gpu : Exochi_accel.Gpu.t option; (* tied after creation *)
+  memmodel : Memmodel.config;
+  mcosts : Memmodel.costs;
+  costs : costs;
+  protocol : protocol_mode;
+  gtt_enabled : bool;
+  gtt : (int, Pte.X3k.t) Hashtbl.t; (* vpage -> transcoded entry *)
+  mutable surfaces : Surface.t list;
+  mutable atr_proxies : int;
+  mutable gtt_hits : int;
+  mutable ceh_proxies : int;
+  mutable violations : int;
+  mutable on_shred_done :
+    Exochi_accel.Gpu.shred -> now_ps:int -> unit;
+}
+
+let aspace t = t.aspace
+let cpu t = t.cpu
+let gpu t = Option.get t.gpu
+let bus t = t.bus
+let memmodel t = t.memmodel
+let model_costs t = t.mcosts
+let costs t = t.costs
+
+(* ---- surface registry ---- *)
+
+let register_surface t s = t.surfaces <- s :: t.surfaces
+
+let unregister_surface t s =
+  t.surfaces <- List.filter (fun s' -> s'.Surface.id <> s.Surface.id) t.surfaces
+
+let tiling_for t ~vaddr =
+  match List.find_opt (fun s -> Surface.contains s ~vaddr) t.surfaces with
+  | Some s -> s.Surface.tiling
+  | None -> Pte.X3k.Linear
+
+(* ---- ATR ---- *)
+
+(* Full proxy round trip for one page: user-level interrupt on the IA32
+   sequencer, page-table walk (possibly faulting the page in first),
+   PTE transcode, exo-TLB/GTT insert. *)
+let atr_proxy t ~vpage ~now_ps =
+  t.atr_proxies <- t.atr_proxies + 1;
+  let vaddr = vpage lsl Phys_mem.page_shift in
+  let fault_ps =
+    match Address_space.fault_in t.aspace ~vaddr with
+    | `Already -> 0
+    | `Faulted -> 1_500_000 (* OS page-fault service by proxy *)
+    | exception Address_space.Segfault _ -> -1
+  in
+  if fault_ps < 0 then (None, now_ps)
+  else begin
+    match Page_table.walk (Address_space.page_table t.aspace) ~vpage with
+    | Page_table.Mapped pte ->
+      let x3k = Pte.transcode pte ~tiling:(tiling_for t ~vaddr) in
+      if t.gtt_enabled then Hashtbl.replace t.gtt vpage x3k;
+      let service = t.costs.uli_ps + t.costs.atr_service_ps + fault_ps in
+      (* the CPU pays for servicing the interrupt *)
+      Exochi_cpu.Machine.add_overhead_ps t.cpu service;
+      (Some x3k, now_ps + service)
+    | _ -> (None, now_ps)
+  end
+
+let atr_hook t ~vpage ~now_ps =
+  match Hashtbl.find_opt t.gtt vpage with
+  | Some pte ->
+    t.gtt_hits <- t.gtt_hits + 1;
+    (Some pte, now_ps + t.costs.gtt_fetch_ps)
+  | None -> atr_proxy t ~vpage ~now_ps
+
+let prewalk t ~vaddr ~len =
+  if len > 0 && t.gtt_enabled then begin
+    let first = vaddr lsr Phys_mem.page_shift in
+    let last = (vaddr + len - 1) lsr Phys_mem.page_shift in
+    let fresh = ref 0 in
+    for vpage = first to last do
+      if not (Hashtbl.mem t.gtt vpage) then begin
+        incr fresh;
+        let va = vpage lsl Phys_mem.page_shift in
+        ignore (Address_space.fault_in t.aspace ~vaddr:va);
+        match Page_table.walk (Address_space.page_table t.aspace) ~vpage with
+        | Page_table.Mapped pte ->
+          Hashtbl.replace t.gtt vpage
+            (Pte.transcode pte ~tiling:(tiling_for t ~vaddr:va))
+        | _ -> ()
+      end
+    done;
+    if !fresh > 0 then begin
+      (* one ULI covers the whole batch; per-page walk+transcode ~40ns *)
+      let service = t.costs.uli_ps + (!fresh * 40_000) in
+      Exochi_cpu.Machine.add_time_ps t.cpu service
+    end
+  end
+
+let invalidate_gtt t =
+  Hashtbl.reset t.gtt;
+  match t.gpu with
+  | Some g -> Tlb.flush (Exochi_accel.Gpu.tlb g)
+  | None -> ()
+
+(* ---- CEH ---- *)
+
+let ceh_hook t (req : Exochi_accel.Gpu.fault_request) ~now_ps =
+  t.ceh_proxies <- t.ceh_proxies + 1;
+  let open Exochi_isa.X3k_ast in
+  let lanes = Array.length req.lane_a in
+  let results =
+    Array.init lanes (fun j ->
+        match req.fault_op with
+        | Fdiv -> Exochi_accel.Lane.fdiv_ieee req.lane_a.(j) req.lane_b.(j)
+        | Fsqrt -> Exochi_accel.Lane.fsqrt_ieee req.lane_a.(j)
+        | Dpadd ->
+          (* Emulate the double-precision pair add on the IA32 side:
+             adjacent lane pairs hold the low/high words. Pair j handles
+             lanes (2j, 2j+1); odd results are patched below. *)
+          req.lane_a.(j)
+        | op ->
+          invalid_arg
+            (Printf.sprintf "CEH: unexpected faulting op %s" (opcode_name op)))
+  in
+  (if req.fault_op = Dpadd then begin
+     let pairs = lanes / 2 in
+     for p = 0 to pairs - 1 do
+       let lo = 2 * p and hi = (2 * p) + 1 in
+       let of_pair a_lo a_hi =
+         Int64.float_of_bits
+           (Int64.logor
+              (Int64.shift_left (Int64.of_int (a_hi land 0xFFFFFFFF)) 32)
+              (Int64.of_int (a_lo land 0xFFFFFFFF)))
+       in
+       let da = of_pair req.lane_a.(lo) req.lane_a.(hi) in
+       let db = of_pair req.lane_b.(lo) req.lane_b.(hi) in
+       let bits = Int64.bits_of_float (da +. db) in
+       results.(lo) <-
+         Exochi_accel.Lane.wrap32 (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+       results.(hi) <-
+         Exochi_accel.Lane.wrap32
+           (Int64.to_int (Int64.shift_right_logical bits 32))
+     done
+   end);
+  let service =
+    t.costs.uli_ps + t.costs.ceh_base_ps + (lanes * t.costs.ceh_per_lane_ps)
+  in
+  Exochi_cpu.Machine.add_overhead_ps t.cpu service;
+  (results, now_ps + service)
+
+(* ---- memory-model hook ---- *)
+
+let mem_delay_hook t ~paddr ~bytes ~write ~now_ps =
+  ignore now_ps;
+  match t.memmodel with
+  | Memmodel.Data_copy -> 0
+  | Memmodel.Cc_shared ->
+    (* Coherence probe of the CPU caches for the first line touched. A
+       dirty hit is supplied cache-to-cache (it does not add a second bus
+       transfer — the caller's access charges the bus); the extra delay
+       is per-thread latency, hidden by switch-on-stall multithreading. *)
+    ignore now_ps;
+    ignore bytes;
+    let line = paddr land lnot 63 in
+    let s1 = Cache.snoop (Exochi_cpu.Machine.l1 t.cpu) ~line_addr:line in
+    let s2 = Cache.snoop (Exochi_cpu.Machine.l2 t.cpu) ~line_addr:line in
+    let dirty = s1 = `Dirty || s2 = `Dirty in
+    let present = dirty || s1 = `Clean || s2 = `Clean in
+    if dirty then t.mcosts.Memmodel.snoop_ps * 2
+    else if present then t.mcosts.Memmodel.snoop_ps
+    else 0
+  | Memmodel.Non_cc_shared ->
+    if not write then begin
+      (* the software protocol requires the producer to have flushed this
+         line before any exo-sequencer reads it; a read of a CPU-dirty
+         line means the flush discipline was broken *)
+      let line = paddr land lnot 63 in
+      let dirty =
+        Cache.probe (Exochi_cpu.Machine.l1 t.cpu) ~line_addr:line = `Dirty
+        || Cache.probe (Exochi_cpu.Machine.l2 t.cpu) ~line_addr:line = `Dirty
+      in
+      if dirty then begin
+        t.violations <- t.violations + 1;
+        if t.protocol = Strict then
+          raise
+            (Protocol_violation
+               (Printf.sprintf
+                  "exo-sequencer read of CPU-dirty line %#x without flush"
+                  line))
+      end;
+      ignore bytes;
+      0
+    end
+    else 0
+
+let reset_counters t =
+  t.atr_proxies <- 0;
+  t.gtt_hits <- 0;
+  t.ceh_proxies <- 0;
+  t.violations <- 0
+
+let atr_proxies t = t.atr_proxies
+let gtt_hits t = t.gtt_hits
+let ceh_proxies t = t.ceh_proxies
+let protocol_violations t = t.violations
+
+(* ---- construction ---- *)
+
+let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
+    ?(bus_latency_ps = 90_000) ?(memmodel = Memmodel.Cc_shared)
+    ?(model_costs = Memmodel.default_costs) ?(costs = default_costs)
+    ?(protocol = Count_only) ?(gtt_enabled = true) () =
+  let mem = Phys_mem.create ~frames in
+  let aspace = Address_space.create mem in
+  let bus = Bus.create ~gbps:bus_gbps ~latency_ps:bus_latency_ps in
+  let cpu = Exochi_cpu.Machine.create ?config:cpu_config ~aspace ~bus () in
+  let t =
+    {
+      mem;
+      aspace;
+      bus;
+      cpu;
+      gpu = None;
+      memmodel;
+      mcosts = model_costs;
+      costs;
+      protocol;
+      gtt_enabled;
+      gtt = Hashtbl.create 4096;
+      surfaces = [];
+      atr_proxies = 0;
+      gtt_hits = 0;
+      ceh_proxies = 0;
+      violations = 0;
+      on_shred_done = (fun _ ~now_ps:_ -> ());
+    }
+  in
+  let hooks =
+    {
+      Exochi_accel.Gpu.atr = (fun ~vpage ~now_ps -> atr_hook t ~vpage ~now_ps);
+      ceh = (fun req ~now_ps -> ceh_hook t req ~now_ps);
+      mem_delay =
+        (fun ~paddr ~bytes ~write ~now_ps ->
+          mem_delay_hook t ~paddr ~bytes ~write ~now_ps);
+      on_shred_done = (fun sh ~now_ps -> t.on_shred_done sh ~now_ps);
+    }
+  in
+  let gpu = Exochi_accel.Gpu.create ?config:gpu_config ~aspace ~bus ~hooks () in
+  t.gpu <- Some gpu;
+  t
+
+let set_shred_done_callback t f = t.on_shred_done <- f
+
+let sync_gpu_to_cpu t =
+  Exochi_accel.Gpu.advance_to_ps (gpu t) (Exochi_cpu.Machine.now_ps t.cpu)
+
+let barrier t =
+  let g = gpu t in
+  let done_ps =
+    if Exochi_accel.Gpu.quiescent g then Exochi_accel.Gpu.last_shred_done g
+    else Exochi_accel.Gpu.run_to_quiescence g
+  in
+  let arrive = max done_ps (Exochi_cpu.Machine.now_ps t.cpu) + t.costs.signal_ps in
+  Exochi_cpu.Machine.advance_to_ps t.cpu arrive;
+  arrive

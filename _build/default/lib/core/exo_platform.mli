@@ -1,0 +1,118 @@
+(** The EXO platform: one OS-managed IA32 sequencer plus 32 exo-sequencers
+    behind the MISP exoskeleton, sharing a virtual address space.
+
+    This module wires the CPU and GPU simulators together and implements
+    the three EXO architecture mechanisms:
+
+    - {b MISP exoskeleton}: user-level inter-sequencer signalling. Shred
+      dispatch and completion notifications are priced as user-level
+      interrupts ({!costs}); no OS involvement.
+    - {b ATR} (§3.2): the GPU's translation misses are serviced by proxy
+      on the CPU — walk the IA32 page table (reads against simulated
+      physical memory), transcode the IA32 PTE into the X3K format
+      ({!Exochi_memory.Pte.transcode}), install it. A software
+      GTT shadow caches transcoded entries so only cold pages pay the
+      full proxy round trip, as on real hardware where the driver-built
+      GTT backs the TLB.
+    - {b CEH} (§3.3): faulting X3K instructions (fdiv by zero, fsqrt of
+      negative, the unsupported double-precision [dpadd]) are emulated
+      IEEE-correctly on the CPU and the results written back into the
+      faulting context.
+
+    It also implements the Figure 8 memory models through the GPU's
+    [mem_delay] hook: CC-shared snoops the CPU caches; non-CC-shared
+    checks the software flush protocol (reads of CPU-dirty lines are
+    protocol violations); data-copy runs the GPU on a private copy. *)
+
+type costs = {
+  uli_ps : int; (* user-level interrupt delivery + dispatch *)
+  atr_service_ps : int; (* proxy handler body: walk + transcode + insert *)
+  gtt_fetch_ps : int; (* GTT shadow hit (no proxy needed) *)
+  ceh_base_ps : int; (* CEH proxy fixed cost *)
+  ceh_per_lane_ps : int;
+  signal_ps : int; (* one SIGNAL instruction / doorbell *)
+  dispatch_cpu_ps : int; (* IA32-side work to enqueue one shred *)
+}
+
+val default_costs : costs
+
+type protocol_mode = Strict | Count_only
+
+exception Protocol_violation of string
+
+type t
+
+val create :
+  ?frames:int ->
+  ?cpu_config:Exochi_cpu.Machine.config ->
+  ?gpu_config:Exochi_accel.Gpu.config ->
+  ?bus_gbps:float ->
+  ?bus_latency_ps:int ->
+  ?memmodel:Exochi_memory.Memmodel.config ->
+  ?model_costs:Exochi_memory.Memmodel.costs ->
+  ?costs:costs ->
+  ?protocol:protocol_mode ->
+  ?gtt_enabled:bool ->
+  unit ->
+  t
+(** [gtt_enabled] (default true): cache transcoded entries in a
+    memory-resident GTT shadow so only cold pages pay the full ATR proxy
+    round trip. Disabling it (an ablation) makes every exo TLB miss a
+    user-level-interrupt proxy execution. *)
+
+val aspace : t -> Exochi_memory.Address_space.t
+val cpu : t -> Exochi_cpu.Machine.t
+val gpu : t -> Exochi_accel.Gpu.t
+val bus : t -> Exochi_memory.Bus.t
+val memmodel : t -> Exochi_memory.Memmodel.config
+val model_costs : t -> Exochi_memory.Memmodel.costs
+val costs : t -> costs
+
+(** {1 Surface registry}
+
+    ATR needs per-page tiling information (the IA32 PTE cannot carry it);
+    the CHI descriptor layer registers each surface's range here. *)
+
+val register_surface : t -> Exochi_memory.Surface.t -> unit
+val unregister_surface : t -> Exochi_memory.Surface.t -> unit
+val tiling_for : t -> vaddr:int -> Exochi_memory.Pte.X3k.tiling
+
+(** {1 GTT shadow} *)
+
+(** [prewalk t ~vaddr ~len] proxies translations for a whole range in one
+    ULI (the runtime does this when it configures the accelerator from
+    descriptors). Charges the CPU and returns when the batch completes.
+    Pages not yet present in the IA32 table are faulted in. *)
+val prewalk : t -> vaddr:int -> len:int -> unit
+
+(** Drop all GTT shadow entries and flush the exo TLB (tests, and
+    descriptor free). *)
+val invalidate_gtt : t -> unit
+
+(** {1 Shred completion notifications}
+
+    The CHI runtime registers its scheduler here; the exoskeleton
+    delivers one callback per completed shred (a user-level interrupt in
+    the real design). *)
+
+val set_shred_done_callback :
+  t -> (Exochi_accel.Gpu.shred -> now_ps:int -> unit) -> unit
+
+(** {1 Synchronisation} *)
+
+(** [sync_gpu_to_cpu t] advances every EU clock to the CPU's current time
+    (call before dispatching work the CPU just enqueued). *)
+val sync_gpu_to_cpu : t -> unit
+
+(** [barrier t] runs the GPU to quiescence and advances the CPU clock to
+    the completion signal (the implied barrier at the end of a parallel
+    construct). Returns the barrier timestamp. *)
+val barrier : t -> int
+
+(** {1 Counters} *)
+
+val atr_proxies : t -> int (* full proxy round trips *)
+val gtt_hits : t -> int
+val ceh_proxies : t -> int
+val protocol_violations : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Address_space Array Bits Bus Cache Exochi_isa Exochi_memory Exochi_util Float Int32 Int64 List Option Page_table Phys_mem Pte Timebase Tlb Via32_ast

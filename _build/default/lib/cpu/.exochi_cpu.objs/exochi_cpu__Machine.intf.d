@@ -1,0 +1,1 @@
+lib/cpu/machine.mli: Exochi_isa Exochi_memory Exochi_util

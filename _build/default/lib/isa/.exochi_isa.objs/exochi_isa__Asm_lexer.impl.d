@@ -1,0 +1,1 @@
+lib/isa/asm_lexer.ml: Format Int64 List Loc String

@@ -1,0 +1,1 @@
+lib/isa/asm_lexer.mli: Format Loc

@@ -1,0 +1,1 @@
+lib/isa/via32_asm.ml: Format Loc Result Via32_ast Via32_check Via32_encode Via32_parser

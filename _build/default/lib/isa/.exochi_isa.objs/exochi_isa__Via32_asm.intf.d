@@ -1,0 +1,1 @@
+lib/isa/via32_asm.mli: Loc Via32_ast

@@ -1,0 +1,1 @@
+lib/isa/via32_ast.ml: Array Format List Option Printf

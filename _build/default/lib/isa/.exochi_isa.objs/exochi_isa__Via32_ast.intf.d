@@ -1,0 +1,1 @@
+lib/isa/via32_ast.mli: Format

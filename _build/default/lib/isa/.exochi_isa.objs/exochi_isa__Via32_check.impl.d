@@ -1,0 +1,1 @@
+lib/isa/via32_check.ml: Array Int32 List Loc Result Via32_ast

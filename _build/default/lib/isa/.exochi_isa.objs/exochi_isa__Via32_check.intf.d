@@ -1,0 +1,1 @@
+lib/isa/via32_check.mli: Loc Via32_ast

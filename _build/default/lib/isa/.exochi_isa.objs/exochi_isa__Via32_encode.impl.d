@@ -1,0 +1,1 @@
+lib/isa/via32_encode.ml: Array Buffer Bytes Int32 List Printf Result String Via32_ast

@@ -1,0 +1,1 @@
+lib/isa/via32_encode.mli: Via32_ast

@@ -1,0 +1,1 @@
+lib/isa/via32_parser.ml: Array Asm_lexer Int32 Int64 List Loc Option Result String Via32_ast

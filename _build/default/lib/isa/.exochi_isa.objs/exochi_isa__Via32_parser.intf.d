@@ -1,0 +1,1 @@
+lib/isa/via32_parser.mli: Loc Via32_ast

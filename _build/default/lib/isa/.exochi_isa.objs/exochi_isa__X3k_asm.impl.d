@@ -1,0 +1,1 @@
+lib/isa/x3k_asm.ml: Format Loc Result X3k_ast X3k_check X3k_encode X3k_parser

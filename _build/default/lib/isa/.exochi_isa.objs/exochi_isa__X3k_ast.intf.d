@@ -1,0 +1,1 @@
+lib/isa/x3k_ast.mli: Format

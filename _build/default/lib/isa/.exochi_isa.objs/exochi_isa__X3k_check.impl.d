@@ -1,0 +1,1 @@
+lib/isa/x3k_check.ml: Array Int32 List Loc Result X3k_ast

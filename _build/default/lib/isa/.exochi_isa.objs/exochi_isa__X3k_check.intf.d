@@ -1,0 +1,1 @@
+lib/isa/x3k_check.mli: Loc X3k_ast

@@ -1,0 +1,1 @@
+lib/isa/x3k_encode.ml: Array Buffer Bytes Exochi_util Int32 List Printf Result String X3k_ast

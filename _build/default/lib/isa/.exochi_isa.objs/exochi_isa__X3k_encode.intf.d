@@ -1,0 +1,1 @@
+lib/isa/x3k_encode.mli: X3k_ast

@@ -1,0 +1,1 @@
+lib/isa/x3k_parser.ml: Array Asm_lexer Int32 Int64 List Loc Option Result String X3k_ast

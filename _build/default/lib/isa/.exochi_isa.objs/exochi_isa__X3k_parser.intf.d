@@ -1,0 +1,1 @@
+lib/isa/x3k_parser.mli: Loc X3k_ast

@@ -1,0 +1,13 @@
+type t = { file : string; line : int; col : int }
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let make ~file ~line ~col = { file; line; col }
+let pp fmt t = Format.fprintf fmt "%s:%d:%d" t.file t.line t.col
+
+type error = { loc : t; msg : string }
+
+let error loc fmt =
+  Format.kasprintf (fun msg -> Error { loc; msg }) fmt
+
+let pp_error fmt e = Format.fprintf fmt "%a: %s" pp e.loc e.msg
+let error_to_string e = Format.asprintf "%a" pp_error e

@@ -1,0 +1,15 @@
+(** Source locations and located diagnostics, shared by the two assemblers
+    and the CHI-lite compiler front end. *)
+
+type t = { file : string; line : int; col : int }
+
+val dummy : t
+val make : file:string -> line:int -> col:int -> t
+val pp : Format.formatter -> t -> unit
+
+(** A located diagnostic. *)
+type error = { loc : t; msg : string }
+
+val error : t -> ('a, Format.formatter, unit, ('b, error) result) format4 -> 'a
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string

@@ -1,0 +1,14 @@
+let ( let* ) = Result.bind
+
+let assemble ~name src =
+  let* p = Via32_parser.parse ~name src in
+  Via32_check.check p
+
+let assemble_exn ~name src =
+  match assemble ~name src with
+  | Ok p -> p
+  | Error e -> failwith (Loc.error_to_string e)
+
+let to_binary = Via32_encode.encode_program
+let of_binary = Via32_encode.decode_program
+let disassemble p = Format.asprintf "%a" Via32_ast.pp_program p

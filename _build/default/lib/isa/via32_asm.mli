@@ -1,0 +1,9 @@
+(** The VIA32 assembler: parse, validate, encode — the CPU-side twin of
+    {!X3k_asm}. The CHI-lite compiler emits VIA32 text and assembles it
+    here into the fat binary's CPU section. *)
+
+val assemble : name:string -> string -> (Via32_ast.program, Loc.error) result
+val assemble_exn : name:string -> string -> Via32_ast.program
+val to_binary : Via32_ast.program -> bytes
+val of_binary : name:string -> bytes -> (Via32_ast.program, string) result
+val disassemble : Via32_ast.program -> string

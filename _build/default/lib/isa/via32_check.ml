@@ -1,0 +1,144 @@
+open Via32_ast
+
+let ( let* ) = Result.bind
+
+let err p i fmt =
+  Loc.error (Loc.make ~file:p.name ~line:i.line ~col:1) fmt
+
+(* Operand kind predicates *)
+let is_r = function R _ -> true | _ -> false
+let is_x = function X _ -> true | _ -> false
+let is_i = function I _ -> true | _ -> false
+let is_m = function M _ -> true | _ -> false
+let is_rim o = is_r o || is_i o || is_m o
+let is_xm o = is_x o || is_m o
+
+let arity p i n =
+  if List.length i.operands = n then Ok ()
+  else
+    err p i "%s expects %d operand(s), got %d" (opcode_name i.op) n
+      (List.length i.operands)
+
+let check2 p i dst_ok src_ok ~dst_desc ~src_desc =
+  let* () = arity p i 2 in
+  match i.operands with
+  | [ d; s ] ->
+    if not (dst_ok d) then
+      err p i "%s destination must be %s" (opcode_name i.op) dst_desc
+    else if not (src_ok s) then
+      err p i "%s source must be %s" (opcode_name i.op) src_desc
+    else if is_m d && is_m s then
+      err p i "%s cannot have two memory operands" (opcode_name i.op)
+    else Ok ()
+  | _ -> assert false
+
+let check1 p i ok ~desc =
+  let* () = arity p i 1 in
+  match i.operands with
+  | [ o ] ->
+    if ok o then Ok ()
+    else err p i "%s operand must be %s" (opcode_name i.op) desc
+  | _ -> assert false
+
+let branch_target p i =
+  match i.operands with
+  | [ I t ] ->
+    let t = Int32.to_int t in
+    if t < 0 || t > Array.length p.instrs then
+      err p i "branch target %d out of range" t
+    else Ok ()
+  | _ -> err p i "%s requires a label" (opcode_name i.op)
+
+let check_instr p idx i =
+  match i.op with
+  | Mov _ ->
+    check2 p i
+      (fun o -> is_r o || is_x o || is_m o)
+      (fun o -> is_rim o || is_x o)
+      ~dst_desc:"a register or memory" ~src_desc:"a register, immediate or memory"
+  | Movsx _ ->
+    check2 p i is_r is_m ~dst_desc:"a register" ~src_desc:"a memory operand"
+  | Lea -> check2 p i is_r is_m ~dst_desc:"a register" ~src_desc:"a memory operand"
+  | Add | Sub | Imul | Sdiv | Srem | And | Or | Xor | Cmp | Test ->
+    check2 p i
+      (fun o -> is_r o || is_m o)
+      is_rim ~dst_desc:"a register or memory"
+      ~src_desc:"a register, immediate or memory"
+  | Shl | Shr | Sar ->
+    check2 p i is_r
+      (fun o -> is_r o || is_i o)
+      ~dst_desc:"a register" ~src_desc:"a register or immediate"
+  | Not | Neg -> check1 p i is_r ~desc:"a register"
+  | Setcc _ -> check1 p i is_r ~desc:"a register"
+  | Push -> check1 p i (fun o -> is_r o || is_i o) ~desc:"a register or immediate"
+  | Pop -> check1 p i is_r ~desc:"a register"
+  | Call -> (
+    let* () = arity p i 0 in
+    match call_target p idx with
+    | Some (Internal t) ->
+      if t < 0 || t >= Array.length p.instrs then
+        err p i "call target %d out of range" t
+      else Ok ()
+    | Some (Intrinsic _) -> Ok ()
+    | None -> err p i "call without a resolved target")
+  | Ret | Nop | Hlt -> arity p i 0
+  | Jmp | Jcc _ -> branch_target p i
+  | Movdqu ->
+    check2 p i is_xm is_xm ~dst_desc:"xmm or memory" ~src_desc:"xmm or memory"
+  | Movntdq ->
+    check2 p i is_m is_x ~dst_desc:"a memory operand" ~src_desc:"xmm"
+  | Movd ->
+    check2 p i
+      (fun o -> is_r o || is_x o)
+      (fun o -> is_r o || is_x o)
+      ~dst_desc:"a register or xmm" ~src_desc:"a register or xmm"
+  | Movpk _ ->
+    check2 p i is_xm is_xm ~dst_desc:"xmm or memory" ~src_desc:"xmm or memory"
+  | Paddd | Psubd | Pmulld | Pminsd | Pmaxsd | Pavgd | Pavgb | Psadd | Pcmpgtd | Pand | Por
+  | Pxor | Addps | Subps | Mulps | Divps | Minps | Maxps | Cmpps _ ->
+    check2 p i is_x is_xm ~dst_desc:"xmm" ~src_desc:"xmm or memory"
+  | Pabsd | Packus | Sqrtps | Cvtdq2ps | Cvtps2dq | Phaddd ->
+    check2 p i is_x is_xm ~dst_desc:"xmm" ~src_desc:"xmm or memory"
+  | Pslld | Psrld | Psrad ->
+    check2 p i is_x is_i ~dst_desc:"xmm" ~src_desc:"an immediate"
+  | Pshufd -> (
+    let* () = arity p i 3 in
+    match i.operands with
+    | [ d; s; c ] ->
+      if not (is_x d && is_x s && is_i c) then
+        err p i "pshufd expects xmm, xmm, imm8"
+      else Ok ()
+    | _ -> assert false)
+  | Movmskps ->
+    check2 p i is_r is_x ~dst_desc:"a register" ~src_desc:"xmm"
+
+let consistency p i =
+  (* movdqu/movpk must reference xmm at least once *)
+  match (i.op, i.operands) with
+  | (Movdqu | Movpk _), [ d; s ] when is_m d && is_m s ->
+    err p i "%s cannot have two memory operands" (opcode_name i.op)
+  | (Movdqu | Movpk _), [ d; s ] when not (is_x d || is_x s) ->
+    err p i "%s requires an xmm operand" (opcode_name i.op)
+  | (Movpk _), [ d; s ] when not (is_m d || is_m s) ->
+    err p i "%s moves between xmm and memory" (opcode_name i.op)
+  | _ -> Ok ()
+
+let check p =
+  if Array.length p.instrs = 0 then
+    Loc.error (Loc.make ~file:p.name ~line:1 ~col:1) "empty program"
+  else begin
+    let* () =
+      Array.to_list p.instrs
+      |> List.mapi (fun idx i -> (idx, i))
+      |> List.fold_left
+           (fun acc (idx, i) ->
+             let* () = acc in
+             let* () = check_instr p idx i in
+             consistency p i)
+           (Ok ())
+    in
+    let last = p.instrs.(Array.length p.instrs - 1) in
+    match last.op with
+    | Hlt | Ret | Jmp -> Ok p
+    | _ -> err p last "program must end with hlt, ret or an unconditional jmp"
+  end

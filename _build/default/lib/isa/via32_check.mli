@@ -1,0 +1,6 @@
+(** Structural validation of parsed VIA32 programs: operand arity and
+    kinds per opcode, memory-operand well-formedness, branch targets in
+    range, call targets resolved, and termination ([hlt], [ret] or an
+    unconditional [jmp] last). *)
+
+val check : Via32_ast.program -> (Via32_ast.program, Loc.error) result

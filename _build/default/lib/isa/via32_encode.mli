@@ -1,0 +1,8 @@
+(** Fixed-width binary encoding of VIA32 programs for fat-binary code
+    sections. [decode_program] is the exact inverse of [encode_program]
+    for any program accepted by {!Via32_check} (modulo the original
+    source text, which is not stored). *)
+
+val instr_bytes : int
+val encode_program : Via32_ast.program -> bytes
+val decode_program : name:string -> bytes -> (Via32_ast.program, string) result

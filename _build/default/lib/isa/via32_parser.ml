@@ -1,0 +1,412 @@
+open Via32_ast
+
+let ( let* ) = Result.bind
+
+type pre_operand = Op of operand | Name of string * Loc.t
+
+type pre_instr = {
+  p_op : opcode;
+  p_operands : pre_operand list;
+  p_line : int;
+  p_loc : Loc.t;
+}
+
+type state = {
+  lx : Asm_lexer.t;
+  mutable tok : Asm_lexer.token;
+  mutable tok_loc : Loc.t;
+  mutable symbols : string list; (* reversed *)
+}
+
+let advance st =
+  match Asm_lexer.next st.lx with
+  | Ok (tok, loc) ->
+    st.tok <- tok;
+    st.tok_loc <- loc;
+    Ok ()
+  | Error e -> Error e
+
+let expect st want ~what =
+  if st.tok = want then advance st
+  else
+    Loc.error st.tok_loc "expected %a in %s, found %a" Asm_lexer.pp_token want
+      what Asm_lexer.pp_token st.tok
+
+let reg_of_name = function
+  | "eax" -> Some EAX
+  | "ebx" -> Some EBX
+  | "ecx" -> Some ECX
+  | "edx" -> Some EDX
+  | "esi" -> Some ESI
+  | "edi" -> Some EDI
+  | "ebp" -> Some EBP
+  | "esp" -> Some ESP
+  | _ -> None
+
+let xmm_of_name s =
+  if String.length s >= 4 && String.sub s 0 3 = "xmm" then
+    match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+    | Some n when n >= 0 && n <= 7 -> Some n
+    | _ -> None
+  else None
+
+let cc_of_name = function
+  | "e" -> Some E
+  | "ne" -> Some NE
+  | "l" -> Some L
+  | "le" -> Some LE
+  | "g" -> Some G
+  | "ge" -> Some GE
+  | "b" -> Some B
+  | "be" -> Some BE
+  | "a" -> Some A
+  | "ae" -> Some AE
+  | _ -> None
+
+let msize_of_suffix = function
+  | "b" -> Some B1
+  | "w" -> Some B2
+  | "d" -> Some B4
+  | _ -> None
+
+(* Mnemonic root (+ optional '.' suffix) -> opcode. *)
+let opcode_of_mnemonic loc root suffix =
+  let need_none op =
+    match suffix with
+    | None -> Ok op
+    | Some s -> Loc.error loc "mnemonic %s takes no suffix .%s" root s
+  in
+  let with_msize mk =
+    match suffix with
+    | Some s -> (
+      match msize_of_suffix s with
+      | Some m -> Ok (mk m)
+      | None -> Loc.error loc "bad size suffix .%s on %s" s root)
+    | None -> Ok (mk B4)
+  in
+  match root with
+  | "mov" -> with_msize (fun m -> Mov m)
+  | "movsx" -> (
+    match suffix with
+    | Some s -> (
+      match msize_of_suffix s with
+      | Some B4 -> Loc.error loc "movsx.d is meaningless; use mov.d"
+      | Some m -> Ok (Movsx m)
+      | None -> Loc.error loc "bad size suffix .%s on movsx" s)
+    | None -> Loc.error loc "movsx requires .b or .w")
+  | "movpk" -> (
+    match suffix with
+    | Some s -> (
+      match msize_of_suffix s with
+      | Some B4 -> Loc.error loc "movpk.d is meaningless; use movdqu"
+      | Some m -> Ok (Movpk m)
+      | None -> Loc.error loc "bad size suffix .%s on movpk" s)
+    | None -> Loc.error loc "movpk requires .b or .w")
+  | "cmpps" -> (
+    match suffix with
+    | Some s -> (
+      match cc_of_name s with
+      | Some c -> Ok (Cmpps c)
+      | None -> Loc.error loc "bad condition .%s on cmpps" s)
+    | None -> Loc.error loc "cmpps requires a condition suffix")
+  | "lea" -> need_none Lea
+  | "add" -> need_none Add
+  | "sub" -> need_none Sub
+  | "imul" -> need_none Imul
+  | "sdiv" -> need_none Sdiv
+  | "srem" -> need_none Srem
+  | "and" -> need_none And
+  | "or" -> need_none Or
+  | "xor" -> need_none Xor
+  | "not" -> need_none Not
+  | "neg" -> need_none Neg
+  | "shl" -> need_none Shl
+  | "shr" -> need_none Shr
+  | "sar" -> need_none Sar
+  | "cmp" -> need_none Cmp
+  | "test" -> need_none Test
+  | "push" -> need_none Push
+  | "pop" -> need_none Pop
+  | "call" -> need_none Call
+  | "ret" -> need_none Ret
+  | "jmp" -> need_none Jmp
+  | "nop" -> need_none Nop
+  | "hlt" -> need_none Hlt
+  | "movdqu" -> need_none Movdqu
+  | "movntdq" -> need_none Movntdq
+  | "movd" -> need_none Movd
+  | "paddd" -> need_none Paddd
+  | "psubd" -> need_none Psubd
+  | "pmulld" -> need_none Pmulld
+  | "pminsd" -> need_none Pminsd
+  | "pmaxsd" -> need_none Pmaxsd
+  | "pabsd" -> need_none Pabsd
+  | "pavgd" -> need_none Pavgd
+  | "pavgb" -> need_none Pavgb
+  | "psadd" -> need_none Psadd
+  | "phaddd" -> need_none Phaddd
+  | "packus" -> need_none Packus
+  | "pcmpgtd" -> need_none Pcmpgtd
+  | "pand" -> need_none Pand
+  | "por" -> need_none Por
+  | "pxor" -> need_none Pxor
+  | "pslld" -> need_none Pslld
+  | "psrld" -> need_none Psrld
+  | "psrad" -> need_none Psrad
+  | "pshufd" -> need_none Pshufd
+  | "addps" -> need_none Addps
+  | "subps" -> need_none Subps
+  | "mulps" -> need_none Mulps
+  | "divps" -> need_none Divps
+  | "minps" -> need_none Minps
+  | "maxps" -> need_none Maxps
+  | "sqrtps" -> need_none Sqrtps
+  | "cvtdq2ps" -> need_none Cvtdq2ps
+  | "cvtps2dq" -> need_none Cvtps2dq
+  | "movmskps" -> need_none Movmskps
+  | _ -> (
+    (* jCC / setCC families *)
+    let try_prefix prefix mk =
+      let pl = String.length prefix in
+      if String.length root > pl && String.sub root 0 pl = prefix then
+        Option.map mk (cc_of_name (String.sub root pl (String.length root - pl)))
+      else None
+    in
+    match try_prefix "j" (fun c -> Jcc c) with
+    | Some op -> (
+      match suffix with
+      | None -> Ok op
+      | Some s -> Loc.error loc "mnemonic %s takes no suffix .%s" root s)
+    | None -> (
+      match try_prefix "set" (fun c -> Setcc c) with
+      | Some op -> (
+        match suffix with
+        | None -> Ok op
+        | Some s -> Loc.error loc "mnemonic %s takes no suffix .%s" root s)
+      | None -> Loc.error loc "unknown mnemonic %S" root))
+
+let intern_symbol st name =
+  if not (List.mem name st.symbols) then st.symbols <- name :: st.symbols
+
+(* memory operand: '[' term (('+'|'-') term)* ']' *)
+let parse_mem st =
+  let* () = expect st Asm_lexer.LBRACK ~what:"memory operand" in
+  let base = ref None
+  and index = ref None
+  and disp = ref 0
+  and sym = ref None in
+  let add_reg loc r scale =
+    if scale = 1 && !base = None then Ok (base := Some r)
+    else if !index = None then
+      if scale = 1 || scale = 2 || scale = 4 || scale = 8 then
+        Ok (index := Some (r, scale))
+      else Loc.error loc "bad scale %d (1/2/4/8)" scale
+    else Loc.error loc "too many registers in memory operand"
+  in
+  let rec term sign =
+    let loc = st.tok_loc in
+    match st.tok with
+    | Asm_lexer.IDENT s -> (
+      let* () = advance st in
+      match reg_of_name s with
+      | Some r ->
+        if sign < 0 then Loc.error loc "cannot subtract a register"
+        else if st.tok = Asm_lexer.STAR then begin
+          let* () = advance st in
+          match st.tok with
+          | Asm_lexer.INT v ->
+            let* () = advance st in
+            let* () = add_reg loc r (Int64.to_int v) in
+            more ()
+          | _ -> Loc.error st.tok_loc "expected scale after '*'"
+        end
+        else
+          let* () = add_reg loc r 1 in
+          more ()
+      | None ->
+        if sign < 0 then Loc.error loc "cannot subtract a symbol"
+        else if !sym <> None then
+          Loc.error loc "multiple symbols in memory operand"
+        else begin
+          sym := Some s;
+          intern_symbol st s;
+          more ()
+        end)
+    | Asm_lexer.INT v ->
+      let* () = advance st in
+      disp := !disp + (sign * Int64.to_int v);
+      more ()
+    | tok ->
+      Loc.error loc "unexpected %a in memory operand" Asm_lexer.pp_token tok
+  and more () =
+    match st.tok with
+    | Asm_lexer.PLUS ->
+      let* () = advance st in
+      term 1
+    | Asm_lexer.MINUS ->
+      let* () = advance st in
+      term (-1)
+    | Asm_lexer.RBRACK -> advance st
+    | tok ->
+      Loc.error st.tok_loc "expected '+', '-' or ']' in memory operand, found %a"
+        Asm_lexer.pp_token tok
+  in
+  let* () = term 1 in
+  Ok { base = !base; index = !index; disp = !disp; sym = !sym }
+
+let parse_operand st =
+  let loc = st.tok_loc in
+  match st.tok with
+  | Asm_lexer.IDENT s -> (
+    match reg_of_name s with
+    | Some r ->
+      let* () = advance st in
+      Ok (Op (R r))
+    | None -> (
+      match xmm_of_name s with
+      | Some x ->
+        let* () = advance st in
+        Ok (Op (X x))
+      | None ->
+        let* () = advance st in
+        Ok (Name (s, loc))))
+  | Asm_lexer.INT v ->
+    let* () = advance st in
+    if Int64.compare v (-2147483648L) < 0 || Int64.compare v 4294967295L > 0
+    then Loc.error loc "immediate %Ld out of 32-bit range" v
+    else Ok (Op (I (Int64.to_int32 v)))
+  | Asm_lexer.MINUS -> (
+    let* () = advance st in
+    match st.tok with
+    | Asm_lexer.INT v ->
+      let* () = advance st in
+      Ok (Op (I (Int64.to_int32 (Int64.neg v))))
+    | _ -> Loc.error st.tok_loc "expected integer after '-'")
+  | Asm_lexer.LBRACK ->
+    let* m = parse_mem st in
+    Ok (Op (M m))
+  | tok -> Loc.error loc "expected operand, found %a" Asm_lexer.pp_token tok
+
+let parse ~name src =
+  let lx = Asm_lexer.create ~file:name src in
+  let* tok, tok_loc =
+    match Asm_lexer.next lx with Ok x -> Ok x | Error e -> Error e
+  in
+  let st = { lx; tok; tok_loc; symbols = [] } in
+  let pre = ref [] in
+  let labels = ref [] in
+  let count = ref 0 in
+  let end_of_statement () =
+    match st.tok with
+    | Asm_lexer.NEWLINE -> advance st
+    | Asm_lexer.EOF -> Ok ()
+    | tok ->
+      Loc.error st.tok_loc "trailing tokens after instruction: %a"
+        Asm_lexer.pp_token tok
+  in
+  let parse_instr_after ident iloc =
+    (* optional '.' suffix *)
+    let* suffix =
+      if st.tok = Asm_lexer.DOT then
+        let* () = advance st in
+        match st.tok with
+        | Asm_lexer.IDENT s ->
+          let* () = advance st in
+          Ok (Some s)
+        | _ -> Loc.error st.tok_loc "expected mnemonic suffix after '.'"
+      else Ok None
+    in
+    let* op = opcode_of_mnemonic iloc ident suffix in
+    let* operands =
+      if st.tok = Asm_lexer.NEWLINE || st.tok = Asm_lexer.EOF then Ok []
+      else begin
+        let rec go acc =
+          let* o = parse_operand st in
+          if st.tok = Asm_lexer.COMMA then
+            let* () = advance st in
+            go (o :: acc)
+          else Ok (List.rev (o :: acc))
+        in
+        go []
+      end
+    in
+    Ok { p_op = op; p_operands = operands; p_line = iloc.Loc.line; p_loc = iloc }
+  in
+  let rec lines () =
+    match st.tok with
+    | Asm_lexer.EOF -> Ok ()
+    | Asm_lexer.NEWLINE ->
+      let* () = advance st in
+      lines ()
+    | Asm_lexer.IDENT ident ->
+      let iloc = st.tok_loc in
+      let* () = advance st in
+      if st.tok = Asm_lexer.COLON then begin
+        let* () = advance st in
+        if List.mem_assoc ident !labels then
+          Loc.error iloc "duplicate label %S" ident
+        else begin
+          labels := (ident, !count) :: !labels;
+          lines ()
+        end
+      end
+      else begin
+        let* i = parse_instr_after ident iloc in
+        pre := i :: !pre;
+        incr count;
+        let* () = end_of_statement () in
+        lines ()
+      end
+    | tok ->
+      Loc.error st.tok_loc "expected instruction or label, found %a"
+        Asm_lexer.pp_token tok
+  in
+  let* () = lines () in
+  let pre = List.rev !pre in
+  let labels = !labels in
+  (* Resolve names: branch targets must be labels; call targets may be
+     labels or intrinsics; names elsewhere are rejected. *)
+  let calls = ref [] in
+  let* instrs =
+    List.fold_left
+      (fun acc (idx, p) ->
+        let* acc = acc in
+        let* operands =
+          match (p.p_op, p.p_operands) with
+          | (Jmp | Jcc _), [ Name (n, loc) ] -> (
+            match List.assoc_opt n labels with
+            | Some target -> Ok [ I (Int32.of_int target) ]
+            | None -> Loc.error loc "undefined label %S" n)
+          | (Jmp | Jcc _), _ ->
+            Loc.error p.p_loc "%s requires a label operand"
+              (opcode_name p.p_op)
+          | Call, [ Name (n, _) ] ->
+            (match List.assoc_opt n labels with
+            | Some target -> calls := (idx, Internal target) :: !calls
+            | None -> calls := (idx, Intrinsic n) :: !calls);
+            Ok []
+          | Call, _ -> Loc.error p.p_loc "call requires a name operand"
+          | _, ops ->
+            List.fold_left
+              (fun acc o ->
+                let* acc = acc in
+                match o with
+                | Op o -> Ok (o :: acc)
+                | Name (n, loc) -> Loc.error loc "unexpected name %S" n)
+              (Ok []) ops
+            |> Result.map List.rev
+        in
+        Ok ({ op = p.p_op; operands; line = p.p_line } :: acc))
+      (Ok [])
+      (List.mapi (fun i p -> (i, p)) pre)
+  in
+  let instrs = Array.of_list (List.rev instrs) in
+  Ok
+    {
+      name;
+      instrs;
+      labels;
+      calls = !calls;
+      symbols = Array.of_list (List.rev st.symbols);
+      source = src;
+    }

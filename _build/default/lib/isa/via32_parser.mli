@@ -1,0 +1,7 @@
+(** Recursive-descent parser for VIA32 assembly (Intel syntax). Labels are
+    resolved to instruction indices; [call] targets are classified as
+    internal labels or named runtime intrinsics; data symbols referenced in
+    memory operands are collected into the program's symbol table for the
+    loader. Structural validation lives in {!Via32_check}. *)
+
+val parse : name:string -> string -> (Via32_ast.program, Loc.error) result

@@ -1,0 +1,14 @@
+let ( let* ) = Result.bind
+
+let assemble ~name src =
+  let* p = X3k_parser.parse ~name src in
+  X3k_check.check p
+
+let assemble_exn ~name src =
+  match assemble ~name src with
+  | Ok p -> p
+  | Error e -> failwith (Loc.error_to_string e)
+
+let to_binary = X3k_encode.encode_program
+let of_binary = X3k_encode.decode_program
+let disassemble p = Format.asprintf "%a" X3k_ast.pp_program p

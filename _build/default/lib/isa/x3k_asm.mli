@@ -1,0 +1,24 @@
+(** The X3K assembler: parse, validate, encode.
+
+    This is the accelerator-specific inline assembler that the CHI
+    compiler links against (paper §4.1): the CHI-lite front end hands the
+    text of each [__asm { }] block to [assemble], and embeds the resulting
+    binary in a fat-binary section. *)
+
+(** [assemble ~name src] runs the full pipeline:
+    lex → parse → check. *)
+val assemble : name:string -> string -> (X3k_ast.program, Loc.error) result
+
+(** [assemble_exn ~name src] — for statically known-good sources (kernel
+    libraries, tests); failure messages include the location. *)
+val assemble_exn : name:string -> string -> X3k_ast.program
+
+(** [to_binary p] / [of_binary ~name b] — encoded form for fat-binary
+    sections; [of_binary] round-trips everything but the original source
+    text. *)
+val to_binary : X3k_ast.program -> bytes
+
+val of_binary : name:string -> bytes -> (X3k_ast.program, string) result
+
+(** Disassembly of a checked program. *)
+val disassemble : X3k_ast.program -> string

@@ -1,0 +1,228 @@
+type dtype = B | W | DW | F
+
+let dtype_bytes = function B -> 1 | W -> 2 | DW -> 4 | F -> 4
+let dtype_name = function B -> "b" | W -> "w" | DW -> "dw" | F -> "f"
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+let cond_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+type brmode = Any | All | None_set
+
+type sreg = Sid | Nshred | Eu | Tid | Lane | Param of int
+
+type operand =
+  | Reg of int
+  | Range of int * int
+  | Flag of int
+  | Imm of int32
+  | Sreg of sreg
+  | Surf of { slot : int; index : int; offset : int }
+  | Surf2d of { slot : int; xreg : int; yreg : int }
+  | Remote of { shred_reg : int; reg : int }
+
+type opcode =
+  | Mov
+  | Add
+  | Sub
+  | Mul
+  | Mac
+  | Min
+  | Max
+  | Avg
+  | Abs
+  | Sad
+  | Hadd
+  | Shl
+  | Shr
+  | Sar
+  | And
+  | Or
+  | Xor
+  | Not
+  | Sat
+  | Bcast
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fmac
+  | Fmin
+  | Fmax
+  | Fdiv
+  | Fsqrt
+  | Fabs
+  | Cvtif
+  | Cvtfi
+  | Dpadd
+  | Cmp of cond
+  | Sel
+  | Ld
+  | St
+  | Gather
+  | Scatter
+  | Sample
+  | Br of brmode
+  | Jmp
+  | End
+  | Fence
+  | Semacq
+  | Semrel
+  | Sendreg
+  | Spawn
+  | Nop
+
+let opcode_name = function
+  | Mov -> "mov"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Mac -> "mac"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+  | Abs -> "abs"
+  | Sad -> "sad"
+  | Hadd -> "hadd"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Sar -> "sar"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Not -> "not"
+  | Sat -> "sat"
+  | Bcast -> "bcast"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fmac -> "fmac"
+  | Fmin -> "fmin"
+  | Fmax -> "fmax"
+  | Fdiv -> "fdiv"
+  | Fsqrt -> "fsqrt"
+  | Fabs -> "fabs"
+  | Cvtif -> "cvtif"
+  | Cvtfi -> "cvtfi"
+  | Dpadd -> "dpadd"
+  | Cmp c -> "cmp." ^ cond_name c
+  | Sel -> "sel"
+  | Ld -> "ld"
+  | St -> "st"
+  | Gather -> "gather"
+  | Scatter -> "scatter"
+  | Sample -> "sample"
+  | Br Any -> "br.any"
+  | Br All -> "br.all"
+  | Br None_set -> "br.none"
+  | Jmp -> "jmp"
+  | End -> "end"
+  | Fence -> "fence"
+  | Semacq -> "sem.acq"
+  | Semrel -> "sem.rel"
+  | Sendreg -> "sendreg"
+  | Spawn -> "spawn"
+  | Nop -> "nop"
+
+type pred = { flag : int; negate : bool }
+
+type instr = {
+  pred : pred option;
+  op : opcode;
+  width : int;
+  dtype : dtype;
+  dst : operand option;
+  srcs : operand list;
+  line : int;
+}
+
+let nop =
+  { pred = None; op = Nop; width = 1; dtype = DW; dst = None; srcs = []; line = 0 }
+
+type program = {
+  name : string;
+  instrs : instr array;
+  surfaces : string array;
+  labels : (string * int) list;
+  source : string;
+}
+
+let surface_slot p name =
+  let rec go i =
+    if i >= Array.length p.surfaces then None
+    else if p.surfaces.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let sreg_name = function
+  | Sid -> "sid"
+  | Nshred -> "nshred"
+  | Eu -> "eu"
+  | Tid -> "tid"
+  | Lane -> "lane"
+  | Param i -> Printf.sprintf "p%d" i
+
+let surf_name surfaces slot =
+  if slot >= 0 && slot < Array.length surfaces then surfaces.(slot)
+  else Printf.sprintf "?surf%d" slot
+
+let pp_operand ~surfaces fmt = function
+  | Reg r -> Format.fprintf fmt "vr%d" r
+  | Range (a, b) -> Format.fprintf fmt "[vr%d..vr%d]" a b
+  | Flag f -> Format.fprintf fmt "f%d" f
+  | Imm i -> Format.fprintf fmt "%ld" i
+  | Sreg s -> Format.fprintf fmt "%%%s" (sreg_name s)
+  | Surf { slot; index; offset } ->
+    Format.fprintf fmt "(%s, vr%d, %d)" (surf_name surfaces slot) index offset
+  | Surf2d { slot; xreg; yreg } ->
+    Format.fprintf fmt "(%s, vr%d, vr%d)" (surf_name surfaces slot) xreg yreg
+  | Remote { shred_reg; reg } -> Format.fprintf fmt "@(vr%d, %d)" shred_reg reg
+
+let pp_instr ~surfaces fmt i =
+  Option.iter
+    (fun { flag; negate } ->
+      Format.fprintf fmt "(%sf%d) " (if negate then "!" else "") flag)
+    i.pred;
+  let needs_shape =
+    match i.op with
+    | Jmp | End | Fence | Nop | Semacq | Semrel | Br _ | Spawn -> false
+    | _ -> true
+  in
+  if needs_shape then
+    Format.fprintf fmt "%s.%d.%s" (opcode_name i.op) i.width
+      (dtype_name i.dtype)
+  else Format.pp_print_string fmt (opcode_name i.op);
+  let pp_op = pp_operand ~surfaces in
+  (match (i.dst, i.srcs) with
+  | Some d, [] -> Format.fprintf fmt " %a" pp_op d
+  | Some d, srcs ->
+    Format.fprintf fmt " %a = %a" pp_op d
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_op)
+      srcs
+  | None, [] -> ()
+  | None, srcs ->
+    Format.fprintf fmt " %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_op)
+      srcs)
+
+let pp_program fmt p =
+  Format.fprintf fmt "; program %s (%d instrs, %d surfaces)@." p.name
+    (Array.length p.instrs)
+    (Array.length p.surfaces);
+  Array.iteri
+    (fun idx i ->
+      List.iter
+        (fun (l, at) -> if at = idx then Format.fprintf fmt "%s:@." l)
+        p.labels;
+      Format.fprintf fmt "  %a@." (pp_instr ~surfaces:p.surfaces) i)
+    p.instrs

@@ -1,0 +1,193 @@
+open X3k_ast
+
+let ( let* ) = Result.bind
+
+let loc_of p i =
+  Loc.make ~file:p.name ~line:i.line ~col:1
+
+let err p i fmt = Loc.error (loc_of p i) fmt
+
+(* A "vector-like" source: broadcastable or a real vector. *)
+let is_vec_src = function
+  | Reg _ | Range _ | Imm _ | Sreg _ -> true
+  | Flag _ | Surf _ | Surf2d _ | Remote _ -> false
+
+let is_vec_dst = function
+  | Reg _ | Range _ -> true
+  | _ -> false
+
+let check_vec_width p i = function
+  | Reg _ ->
+    if i.width > 16 then err p i "width %d exceeds 16 lanes of one register" i.width
+    else Ok ()
+  | Range (a, b) ->
+    let count = b - a + 1 in
+    if i.width mod count <> 0 then
+      err p i "width %d not divisible by range of %d registers" i.width count
+    else if i.width / count > 16 then
+      err p i "width %d spreads >16 lanes per register over [vr%d..vr%d]"
+        i.width a b
+    else Ok ()
+  | _ -> Ok ()
+
+let check_operand_widths p i =
+  let all = (match i.dst with Some d -> [ d ] | None -> []) @ i.srcs in
+  List.fold_left
+    (fun acc o ->
+      let* () = acc in
+      check_vec_width p i o)
+    (Ok ()) all
+
+let nsrcs p i n =
+  if List.length i.srcs = n then Ok ()
+  else
+    err p i "%s expects %d source operand(s), got %d" (opcode_name i.op) n
+      (List.length i.srcs)
+
+let vec_dst p i =
+  match i.dst with
+  | Some d when is_vec_dst d -> Ok ()
+  | Some _ -> err p i "%s requires a register destination" (opcode_name i.op)
+  | None -> err p i "%s requires a destination" (opcode_name i.op)
+
+let vec_srcs p i =
+  List.fold_left
+    (fun acc s ->
+      let* () = acc in
+      if is_vec_src s then Ok ()
+      else err p i "%s: bad source operand kind" (opcode_name i.op))
+    (Ok ()) i.srcs
+
+let no_dst p i =
+  match i.dst with
+  | None -> Ok ()
+  | Some _ -> err p i "%s takes no destination" (opcode_name i.op)
+
+let branch_target p i o =
+  match o with
+  | Imm t ->
+    let t = Int32.to_int t in
+    if t < 0 || t > Array.length p.instrs then
+      err p i "branch target %d out of range" t
+    else Ok ()
+  | _ -> err p i "branch target must be a label"
+
+let surface_in_range p i = function
+  | (Surf { slot; _ } | Surf2d { slot; _ }) when slot >= Array.length p.surfaces
+    ->
+    err p i "surface slot %d unbound" slot
+  | _ -> Ok ()
+
+let check_instr p i =
+  let* () = check_operand_widths p i in
+  let* () =
+    List.fold_left
+      (fun acc o ->
+        let* () = acc in
+        surface_in_range p i o)
+      (Ok ())
+      ((match i.dst with Some d -> [ d ] | None -> []) @ i.srcs)
+  in
+  match i.op with
+  | Add | Sub | Mul | Min | Max | Avg | Shl | Shr | Sar | And | Or | Xor
+  | Fadd | Fsub | Fmul | Fmin | Fmax | Fdiv | Dpadd ->
+    let* () = vec_dst p i in
+    let* () = nsrcs p i 2 in
+    vec_srcs p i
+  | Mac | Fmac ->
+    let* () = vec_dst p i in
+    let* () = nsrcs p i 2 in
+    vec_srcs p i
+  | Mov | Abs | Not | Sat | Bcast | Fsqrt | Fabs | Cvtif | Cvtfi ->
+    let* () = vec_dst p i in
+    let* () = nsrcs p i 1 in
+    vec_srcs p i
+  | Sad ->
+    let* () = vec_dst p i in
+    let* () = nsrcs p i 2 in
+    vec_srcs p i
+  | Hadd ->
+    let* () = vec_dst p i in
+    let* () = nsrcs p i 1 in
+    vec_srcs p i
+  | Cmp _ -> (
+    let* () = nsrcs p i 2 in
+    let* () = vec_srcs p i in
+    match i.dst with
+    | Some (Flag _) -> Ok ()
+    | _ -> err p i "cmp destination must be a flag register")
+  | Sel -> (
+    let* () = vec_dst p i in
+    let* () = nsrcs p i 2 in
+    let* () = vec_srcs p i in
+    match i.pred with
+    | Some _ -> Ok ()
+    | None -> err p i "sel requires predication")
+  | Ld | Gather | Sample -> (
+    let* () = vec_dst p i in
+    let* () = nsrcs p i 1 in
+    match (i.op, i.srcs) with
+    | Ld, [ (Surf _ | Surf2d _) ] -> Ok ()
+    | Gather, [ Surf _ ] -> Ok ()
+    | Sample, [ Surf2d _ ] -> Ok ()
+    | _, _ -> err p i "%s source must be a surface operand" (opcode_name i.op))
+  | St | Scatter -> (
+    let* () = nsrcs p i 1 in
+    let* () = vec_srcs p i in
+    match (i.op, i.dst) with
+    | St, Some (Surf _ | Surf2d _) -> Ok ()
+    | Scatter, Some (Surf _) -> Ok ()
+    | _, _ ->
+      err p i "%s destination must be a surface operand" (opcode_name i.op))
+  | Br _ -> (
+    let* () = no_dst p i in
+    let* () = nsrcs p i 2 in
+    match i.srcs with
+    | [ Flag _; target ] -> branch_target p i target
+    | _ -> err p i "br expects a flag register and a label")
+  | Jmp -> (
+    let* () = no_dst p i in
+    let* () = nsrcs p i 1 in
+    match i.srcs with
+    | [ target ] -> branch_target p i target
+    | _ -> assert false)
+  | End | Fence | Nop ->
+    let* () = no_dst p i in
+    nsrcs p i 0
+  | Semacq | Semrel -> (
+    let* () = no_dst p i in
+    let* () = nsrcs p i 1 in
+    match i.srcs with
+    | [ Imm s ] when Int32.to_int s >= 0 && Int32.to_int s < 16 -> Ok ()
+    | _ -> err p i "semaphore id must be an immediate 0..15")
+  | Sendreg -> (
+    let* () = nsrcs p i 1 in
+    let* () = vec_srcs p i in
+    match i.dst with
+    | Some (Remote _) -> Ok ()
+    | _ -> err p i "sendreg destination must be @(vrS, n)")
+  | Spawn -> (
+    let* () = no_dst p i in
+    let* () = nsrcs p i 2 in
+    match i.srcs with
+    | [ target; Reg _ ] -> branch_target p i target
+    | _ -> err p i "spawn expects a label and a parameter register")
+
+let check p =
+  if Array.length p.instrs = 0 then
+    Loc.error
+      (Loc.make ~file:p.name ~line:1 ~col:1)
+      "empty program"
+  else begin
+    let* () =
+      Array.fold_left
+        (fun acc i ->
+          let* () = acc in
+          check_instr p i)
+        (Ok ()) p.instrs
+    in
+    let last = p.instrs.(Array.length p.instrs - 1) in
+    match last.op with
+    | End | Jmp -> Ok p
+    | _ -> err p last "program must end with 'end' or an unconditional 'jmp'"
+  end

@@ -1,0 +1,7 @@
+(** Structural validation of parsed X3K programs: operand shapes per
+    opcode, SIMD width legality, register-range divisibility, branch
+    targets in range, and termination (the program must end in [end] or
+    an unconditional [jmp]). Runs after parsing and before encoding, so
+    the simulator can assume well-formed instructions. *)
+
+val check : X3k_ast.program -> (X3k_ast.program, Loc.error) result

@@ -1,0 +1,21 @@
+(** Fixed-width binary encoding of X3K instructions, used for the code
+    sections of CHI fat binaries.
+
+    Every instruction occupies {!instr_bytes} bytes; a program section is
+    a header (instruction count, surface-slot table, label table) followed
+    by the instruction words. [decode] is the exact inverse of [encode]
+    for any program accepted by {!X3k_check}. *)
+
+val instr_bytes : int
+
+(** [encode_program p] serialises a checked program (header + code). *)
+val encode_program : X3k_ast.program -> bytes
+
+(** [decode_program ~name b] parses bytes produced by
+    [encode_program]. *)
+val decode_program : name:string -> bytes -> (X3k_ast.program, string) result
+
+(** Encode/decode a single instruction (20-byte word). *)
+val encode_instr : X3k_ast.instr -> bytes
+
+val decode_instr : bytes -> pos:int -> line:int -> (X3k_ast.instr, string) result

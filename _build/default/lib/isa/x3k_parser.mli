@@ -1,0 +1,9 @@
+(** Recursive-descent parser for X3K assembly text.
+
+    Produces an unvalidated {!X3k_ast.program}: labels are resolved to
+    instruction indices, surface names are interned into the slot table in
+    order of first appearance, and float immediates are bit-cast when the
+    instruction's data type is [f]. Structural validation (operand kinds,
+    widths, register ranges) is performed by {!X3k_check}. *)
+
+val parse : name:string -> string -> (X3k_ast.program, Loc.error) result

@@ -1,0 +1,1 @@
+lib/kernels/advdi.ml: Array Exochi_media Exochi_memory Image Int32 Kernel List Printf Surface

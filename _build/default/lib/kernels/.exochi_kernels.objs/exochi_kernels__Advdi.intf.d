@@ -1,0 +1,1 @@
+lib/kernels/advdi.mli: Kernel

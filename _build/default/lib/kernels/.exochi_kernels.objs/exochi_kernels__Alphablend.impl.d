@@ -1,0 +1,1 @@
+lib/kernels/alphablend.ml: Exochi_media Exochi_memory Image Kernel List Printf Surface

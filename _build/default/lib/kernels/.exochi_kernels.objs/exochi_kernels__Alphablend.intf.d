@@ -1,0 +1,1 @@
+lib/kernels/alphablend.mli: Kernel

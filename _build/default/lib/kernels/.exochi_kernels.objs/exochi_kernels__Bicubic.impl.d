@@ -1,0 +1,1 @@
+lib/kernels/bicubic.ml: Array Buffer Exochi_media Exochi_memory Image Kernel List Printf Surface

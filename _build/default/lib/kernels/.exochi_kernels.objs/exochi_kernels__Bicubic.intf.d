@@ -1,0 +1,1 @@
+lib/kernels/bicubic.mli: Kernel

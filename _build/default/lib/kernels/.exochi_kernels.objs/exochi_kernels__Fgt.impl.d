@@ -1,0 +1,1 @@
+lib/kernels/fgt.ml: Array Exochi_accel Exochi_media Exochi_memory Image Int32 Kernel List Printf Surface

@@ -1,0 +1,1 @@
+lib/kernels/fgt.mli: Kernel

@@ -1,0 +1,1 @@
+lib/kernels/fmd.ml: Array Exochi_media Exochi_memory Float Image Kernel List Printf Surface

@@ -1,0 +1,1 @@
+lib/kernels/fmd.mli: Exochi_media Kernel

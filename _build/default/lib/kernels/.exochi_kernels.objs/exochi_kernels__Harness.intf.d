@@ -1,0 +1,1 @@
+lib/kernels/harness.mli: Exochi_accel Exochi_core Exochi_memory Kernel

@@ -1,0 +1,1 @@
+lib/kernels/kalman.ml: Array Buffer Exochi_media Exochi_memory Image Int32 Kernel List Printf Surface

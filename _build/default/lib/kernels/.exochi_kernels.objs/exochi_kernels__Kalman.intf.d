@@ -1,0 +1,1 @@
+lib/kernels/kalman.mli: Kernel

@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Exochi_media Exochi_util List Printf

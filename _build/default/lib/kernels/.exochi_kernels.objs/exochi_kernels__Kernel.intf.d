@@ -1,0 +1,1 @@
+lib/kernels/kernel.mli: Exochi_media Exochi_util

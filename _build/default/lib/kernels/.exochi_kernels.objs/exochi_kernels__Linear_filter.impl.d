@@ -1,0 +1,1 @@
+lib/kernels/linear_filter.ml: Exochi_media Exochi_memory Image Kernel List Printf Surface

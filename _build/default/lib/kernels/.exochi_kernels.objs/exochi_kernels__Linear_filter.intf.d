@@ -1,0 +1,1 @@
+lib/kernels/linear_filter.mli: Kernel

@@ -1,0 +1,1 @@
+lib/kernels/procamp.ml: Array Exochi_media Exochi_memory Image Int32 Kernel List Printf Surface

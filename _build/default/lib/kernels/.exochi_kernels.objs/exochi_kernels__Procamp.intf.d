@@ -1,0 +1,1 @@
+lib/kernels/procamp.mli: Kernel

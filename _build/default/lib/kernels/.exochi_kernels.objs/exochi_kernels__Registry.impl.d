@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Advdi Alphablend Bicubic Bob Fgt Fmd Kalman Kernel Linear_filter List Procamp Sepia String

@@ -1,0 +1,1 @@
+lib/kernels/sepia.mli: Kernel

@@ -1,0 +1,233 @@
+(* Advanced de-interlacing (Table 2): motion-adaptive — per missing pixel,
+   measure temporal motion against the previous frame; static areas weave
+   the previous frame's line, moving areas fall back to spatial (BOB)
+   interpolation. Considerably more computation per pixel than BOB. *)
+
+open Exochi_media
+
+let w = 720
+let h = 480
+let tile_w = 240
+let tile_h = 16
+let motion_thresh = 8
+
+let make_io ?(frames = 30) prng _scale =
+  let cur = Image.synthetic_video prng ~width:w ~height:h ~frames Image.Natural in
+  let hs = h * frames in
+  (* PRV(frame f) = CUR(frame f-1); frame 0 sees itself *)
+  let prv =
+    Image.init ~width:w ~height:hs (fun ~x ~y ->
+        let f = y / h and py = y mod h in
+        let pf = max 0 (f - 1) in
+        Image.get cur ~x ~y:((pf * h) + py))
+  in
+  {
+    Kernel.wl_desc = Printf.sprintf "%d frames %dx%d" frames w h;
+    inputs = [ ("CUR", cur); ("PRV", prv) ];
+    outputs = [ ("OUT", w, hs) ];
+    units = w / tile_w * (hs / tile_h);
+    meta = [ ("w", w); ("hs", hs); ("frames", frames) ];
+  }
+
+let golden io =
+  let cur = List.assoc "CUR" io.Kernel.inputs in
+  let prv = List.assoc "PRV" io.Kernel.inputs in
+  let hs = Kernel.meta io "hs" in
+  let out =
+    Image.init ~width:w ~height:hs (fun ~x ~y ->
+        if y land 1 = 0 then Image.get cur ~x ~y
+        else begin
+          let frame_last = (((y / h) + 1) * h) - 1 in
+          let ylo = y - 1 and yhi = min (y + 1) frame_last in
+          let m =
+            abs (Image.get cur ~x ~y:ylo - Image.get prv ~x ~y:ylo)
+            + abs (Image.get cur ~x ~y:yhi - Image.get prv ~x ~y:yhi)
+          in
+          if m < motion_thresh then Image.get prv ~x ~y
+          else (Image.get cur ~x ~y:ylo + Image.get cur ~x ~y:yhi + 1) lsr 1
+        end)
+  in
+  [ ("OUT", out) ]
+
+let x3k_asm _io =
+  Printf.sprintf
+    {|; advanced de-interlace: 240x16 tile at (%%p0, %%p1); %%p2 = frame last row
+  mov.1.dw vr0 = %%p0
+  mov.1.dw vr1 = %%p1
+  mov.1.dw vr9 = %%p2
+  mov.1.dw vr2 = 0
+AROW:
+  add.1.dw vr3 = vr1, vr2
+  and.1.dw vr4 = vr3, 1
+  cmp.eq.1.dw f0 = vr4, 0
+  br.any f0, AEVEN
+  sub.1.dw vr7 = vr3, 1
+  add.1.dw vr8 = vr3, 1
+  min.1.dw vr8 = vr8, vr9
+  mov.1.dw vr5 = vr0
+  mov.1.dw vr6 = 0
+AODD:
+  ld.16.b vr10 = (CUR, vr5, vr7)
+  ld.16.b vr11 = (PRV, vr5, vr7)
+  sub.16.dw vr12 = vr10, vr11
+  abs.16.dw vr12 = vr12
+  ld.16.b vr13 = (CUR, vr5, vr8)
+  ld.16.b vr14 = (PRV, vr5, vr8)
+  sub.16.dw vr15 = vr13, vr14
+  abs.16.dw vr15 = vr15
+  add.16.dw vr12 = vr12, vr15
+  ld.16.b vr16 = (PRV, vr5, vr3)
+  avg.16.b vr17 = vr10, vr13
+  cmp.lt.16.dw f1 = vr12, %d
+  (f1) sel.16.dw vr18 = vr16, vr17
+  st.16.b (OUT, vr5, vr3) = vr18
+  add.1.dw vr5 = vr5, 16
+  add.1.dw vr6 = vr6, 1
+  cmp.lt.1.dw f2 = vr6, %d
+  br.any f2, AODD
+  jmp ANEXT
+AEVEN:
+  mov.1.dw vr5 = vr0
+  mov.1.dw vr6 = 0
+ACOPY:
+  ld.16.b vr10 = (CUR, vr5, vr3)
+  st.16.b (OUT, vr5, vr3) = vr10
+  add.1.dw vr5 = vr5, 16
+  add.1.dw vr6 = vr6, 1
+  cmp.lt.1.dw f2 = vr6, %d
+  br.any f2, ACOPY
+ANEXT:
+  add.1.dw vr2 = vr2, 1
+  cmp.lt.1.dw f0 = vr2, %d
+  br.any f0, AROW
+  end
+|}
+    motion_thresh (tile_w / 16) (tile_w / 16) tile_h
+
+let unit_params _io u =
+  let cols = w / tile_w in
+  let y0 = u / cols * tile_h in
+  let frame_last = (((y0 / h) + 1) * h) - 1 in
+  [| u mod cols * tile_w; y0; frame_last |]
+
+(* thresh at 0 *)
+let cpool _io = Array.make 4 (Int32.of_int motion_thresh)
+
+let via32_asm io ~lo ~hi =
+  let open Exochi_memory in
+  ignore io;
+  let pitch = Surface.required_pitch ~width:w ~bpp:1 ~tiling:Surface.Linear in
+  let cols = w / tile_w in
+  Printf.sprintf
+    {|; advanced de-interlace, units %d..%d
+  mov.d esi, %d
+uloop:
+  cmp esi, %d
+  jge alldone
+  mov.d eax, esi
+  sdiv eax, %d
+  imul eax, %d            ; y0
+  mov.d ecx, esi
+  srem ecx, %d
+  imul ecx, %d            ; x0
+  mov.d edi, 0
+rloop:
+  cmp edi, %d
+  jge rdone
+  mov.d edx, eax
+  add edx, edi            ; y
+  mov.d ebx, edx
+  and ebx, 1
+  cmp ebx, 0
+  je evenrow
+  ; odd row offsets: ebx = ylo*pitch+x0, ebp = yhi*pitch+x0, edx = y*pitch+x0
+  mov.d ebx, edx
+  sdiv ebx, %d
+  imul ebx, %d
+  add ebx, %d             ; frame_last
+  mov.d ebp, edx
+  add ebp, 1
+  cmp ebp, ebx
+  jle clampdone
+  mov.d ebp, ebx
+clampdone:
+  imul ebp, %d
+  add ebp, ecx
+  mov.d ebx, edx
+  sub ebx, 1
+  imul ebx, %d
+  add ebx, ecx
+  imul edx, %d
+  add edx, ecx
+  mov.d eax, 0
+oddcol:
+  cmp eax, %d
+  jge oddcoldone
+  movpk.b xmm0, [CUR + ebx + eax]   ; cur(ylo)
+  movpk.b xmm1, [PRV + ebx + eax]
+  movpk.b xmm2, [CUR + ebp + eax]   ; cur(yhi)
+  movpk.b xmm3, [PRV + ebp + eax]
+  movdqu xmm4, xmm0
+  psubd xmm4, xmm1
+  pabsd xmm4, xmm4
+  movdqu xmm5, xmm2
+  psubd xmm5, xmm3
+  pabsd xmm5, xmm5
+  paddd xmm4, xmm5                  ; motion metric
+  movpk.b xmm1, [PRV + edx + eax]   ; weave candidate
+  pavgd xmm0, xmm2                  ; bob candidate
+  ; mask = thresh > m ? -1 : 0
+  movdqu xmm5, [CPOOL]
+  pcmpgtd xmm5, xmm4
+  ; out = bob ^ ((bob ^ weave) & mask)
+  pxor xmm1, xmm0
+  pand xmm1, xmm5
+  pxor xmm0, xmm1
+  movpk.b [OUT + edx + eax], xmm0
+  add eax, 4
+  jmp oddcol
+oddcoldone:
+  mov.d eax, esi
+  sdiv eax, %d
+  imul eax, %d
+  jmp nextrow
+evenrow:
+  imul edx, %d
+  add edx, ecx
+  mov.d ebx, 0
+evencol:
+  cmp ebx, %d
+  jge nextrow
+  movdqu xmm0, [CUR + edx + ebx]
+  movdqu [OUT + edx + ebx], xmm0
+  add ebx, 16
+  jmp evencol
+nextrow:
+  add edi, 1
+  jmp rloop
+rdone:
+  add esi, 1
+  jmp uloop
+alldone:
+  hlt
+|}
+    lo hi lo hi cols tile_h cols tile_w tile_h h h (h - 1) pitch pitch pitch
+    tile_w cols tile_h pitch tile_w
+
+let kernel : Kernel.t =
+  {
+    name = "Advanced De-interlacing";
+    abbrev = "ADVDI";
+    description =
+      "Computationally intensive advanced de-interlacing filter with motion \
+       detection";
+    scales = [ Kernel.Small ];
+    make_io;
+    golden;
+    x3k_asm;
+    unit_params;
+    via32_asm;
+    cpool;
+    table2_shreds = (fun _ -> 2_700);
+    band_ordered = true;
+  }

@@ -1,0 +1,4 @@
+(** Table 2 kernel: see the implementation header for the algorithm and
+    the shred decomposition. *)
+
+val kernel : Kernel.t

@@ -1,0 +1,240 @@
+(* Alpha blending (Table 2): bi-linearly scale a 64x32 logo up to 720x480
+   and blend it over the background with constant alpha. The exo-sequencer
+   version uses the fixed-function texture sampler; the IA32 version must
+   emulate bilinear filtering in software, pixel by pixel, with a stack
+   frame for the interpolation temporaries — exactly the contrast the
+   paper calls out for this kernel. *)
+
+open Exochi_media
+
+let w = 720
+let h = 480
+let ow = 64
+let oh = 32
+let tile_w = 16
+let tile_h = 8
+let alpha = 160
+let du = ow lsl 16 / w
+let dv = oh lsl 16 / h
+
+let make_io ?frames prng _scale =
+  ignore frames;
+  let bg = Image.synthetic prng ~width:w ~height:h Image.Natural in
+  let ovl = Image.synthetic prng ~width:ow ~height:oh (Image.Checker 4) in
+  {
+    Kernel.wl_desc = Printf.sprintf "blend %dx%d image onto %dx%d" ow oh w h;
+    inputs = [ ("BG", bg); ("OVL", ovl) ];
+    outputs = [ ("OUT", w, h) ];
+    units = w / tile_w * (h / tile_h);
+    meta = [ ("w", w); ("h", h) ];
+  }
+
+let clamp255 v = if v < 0 then 0 else if v > 255 then 255 else v
+let clampi lo hi v = if v < lo then lo else if v > hi then hi else v
+
+(* Bit-exact model of the fixed-function sampler (Gpu.sample_value). *)
+let bilinear ovl ~u ~v =
+  let xi = u asr 16 and yi = v asr 16 in
+  let fx = (u asr 8) land 0xff and fy = (v asr 8) land 0xff in
+  let texel x y =
+    Image.get ovl ~x:(clampi 0 (ow - 1) x) ~y:(clampi 0 (oh - 1) y)
+  in
+  let t00 = texel xi yi
+  and t10 = texel (xi + 1) yi
+  and t01 = texel xi (yi + 1)
+  and t11 = texel (xi + 1) (yi + 1) in
+  let top = (t00 lsl 8) + ((t10 - t00) * fx) in
+  let bot = (t01 lsl 8) + ((t11 - t01) * fx) in
+  ((top lsl 8) + ((bot - top) * fy) + 32768) asr 16
+
+let blend bg ov = clamp255 (((bg * (256 - alpha)) + (ov * alpha) + 128) asr 8)
+
+let golden io =
+  let bg = List.assoc "BG" io.Kernel.inputs in
+  let ovl = List.assoc "OVL" io.Kernel.inputs in
+  let out =
+    Image.init ~width:w ~height:h (fun ~x ~y ->
+        let ov = bilinear ovl ~u:(x * du) ~v:(y * dv) in
+        blend (Image.get bg ~x ~y) ov)
+  in
+  [ ("OUT", out) ]
+
+let x3k_asm _io =
+  Printf.sprintf
+    {|; alpha blend: 16x8 tile at (%%p0, %%p1); sampler does the scaling
+  mov.1.dw vr0 = %%p0
+  mov.1.dw vr1 = %%p1
+  bcast.16.dw vr4 = vr0
+  add.16.dw vr4 = vr4, %%lane
+  mul.16.dw vr5 = vr4, %d
+  mov.1.dw vr2 = 0
+BROW:
+  add.1.dw vr3 = vr1, vr2
+  mul.1.dw vr6 = vr3, %d
+  bcast.16.dw vr7 = vr6
+  sample.16.b vr10 = (OVL, vr5, vr7)
+  ld.16.b vr11 = (BG, vr0, vr3)
+  mul.16.dw vr11 = vr11, %d
+  mac.16.dw vr11 = vr10, %d
+  add.16.dw vr11 = vr11, 128
+  shr.16.dw vr11 = vr11, 8
+  sat.16.b vr11 = vr11
+  st.16.b (OUT, vr0, vr3) = vr11
+  add.1.dw vr2 = vr2, 1
+  cmp.lt.1.dw f0 = vr2, %d
+  br.any f0, BROW
+  end
+|}
+    du dv (256 - alpha) alpha tile_h
+
+let unit_params _io u =
+  let cols = w / tile_w in
+  [| u mod cols * tile_w; u / cols * tile_h |]
+
+let cpool _io = [| 0l; 0l; 0l; 0l |]
+
+(* Stack frame: 0 fy | 4 rowlo | 8 rowhi | 12 bgrow | 16 fx | 20 r
+   | 24 top | 28 scratch *)
+let via32_asm io ~lo ~hi =
+  let open Exochi_memory in
+  ignore io;
+  let pitch = Surface.required_pitch ~width:w ~bpp:1 ~tiling:Surface.Linear in
+  let opitch = Surface.required_pitch ~width:ow ~bpp:1 ~tiling:Surface.Linear in
+  let cols = w / tile_w in
+  Printf.sprintf
+    {|; alpha blend, units %d..%d (software bilinear, scalar)
+  mov.d esi, %d
+  sub esp, 32
+uloop:
+  cmp esi, %d
+  jge alldone
+  mov.d ecx, esi
+  srem ecx, %d
+  imul ecx, %d            ; x0
+  mov.d edi, 0
+  mov.d [esp + 20], edi   ; r = 0
+rloop:
+  mov.d edi, [esp + 20]
+  cmp edi, %d
+  jge rdone
+  mov.d eax, esi
+  sdiv eax, %d
+  imul eax, %d
+  add eax, edi            ; y
+  mov.d edx, eax
+  imul edx, %d
+  add edx, ecx
+  mov.d [esp + 12], edx   ; bg/out row offset (incl. x0)
+  imul eax, %d            ; v = y*dv
+  mov.d ebx, eax
+  sar ebx, 16             ; yi
+  sar eax, 8
+  and eax, 255
+  mov.d [esp + 0], eax    ; fy (8-bit fraction)
+  mov.d edx, ebx
+  add edx, 1
+  cmp edx, %d
+  jle ycl
+  mov.d edx, %d
+ycl:
+  imul ebx, %d
+  mov.d [esp + 4], ebx    ; rowlo
+  imul edx, %d
+  mov.d [esp + 8], edx    ; rowhi
+  mov.d ebp, 0
+xloop:
+  cmp ebp, %d
+  jge xdone
+  mov.d eax, ecx
+  add eax, ebp
+  imul eax, %d            ; u
+  mov.d ebx, eax
+  sar ebx, 16             ; xi
+  sar eax, 8
+  and eax, 255
+  mov.d [esp + 16], eax   ; fx (8-bit fraction)
+  mov.d edi, ebx
+  add edi, 1
+  cmp edi, %d
+  jle xcl
+  mov.d edi, %d
+xcl:
+  ; top = (t00<<8) + (t10-t00)*fx
+  mov.d edx, [esp + 4]
+  mov.b eax, [OVL + edx + ebx]
+  mov.d [esp + 28], eax
+  mov.b eax, [OVL + edx + edi]
+  sub eax, [esp + 28]
+  imul eax, [esp + 16]
+  mov.d edx, [esp + 28]
+  shl edx, 8
+  add eax, edx
+  mov.d [esp + 24], eax
+  ; bot = (t01<<8) + (t11-t01)*fx
+  mov.d edx, [esp + 8]
+  mov.b eax, [OVL + edx + ebx]
+  mov.d [esp + 28], eax
+  mov.b eax, [OVL + edx + edi]
+  sub eax, [esp + 28]
+  imul eax, [esp + 16]
+  mov.d edx, [esp + 28]
+  shl edx, 8
+  add eax, edx
+  ; ov = ((top<<8) + (bot-top)*fy + 32768) >> 16
+  sub eax, [esp + 24]
+  imul eax, [esp + 0]
+  mov.d edx, [esp + 24]
+  shl edx, 8
+  add eax, edx
+  add eax, 32768
+  sar eax, 16
+  ; blend with background
+  mov.d edx, [esp + 12]
+  mov.b edi, [BG + edx + ebp]
+  imul edi, %d
+  imul eax, %d
+  add eax, edi
+  add eax, 128
+  sar eax, 8
+  cmp eax, 0
+  jge cpos
+  mov.d eax, 0
+cpos:
+  cmp eax, 255
+  jle chi
+  mov.d eax, 255
+chi:
+  mov.b [OUT + edx + ebp], eax
+  add ebp, 1
+  jmp xloop
+xdone:
+  mov.d edi, [esp + 20]
+  add edi, 1
+  mov.d [esp + 20], edi
+  jmp rloop
+rdone:
+  add esi, 1
+  jmp uloop
+alldone:
+  add esp, 32
+  hlt
+|}
+    lo hi lo hi cols tile_w tile_h cols tile_h pitch dv (oh - 1) (oh - 1)
+    opitch opitch tile_w du (ow - 1) (ow - 1) (256 - alpha) alpha
+
+let kernel : Kernel.t =
+  {
+    name = "Alpha Blending";
+    abbrev = "AlphaBlend";
+    description =
+      "Bi-linear scale 64x32 image up to 720x480 and blend with 720x480 image";
+    scales = [ Kernel.Small ];
+    make_io;
+    golden;
+    x3k_asm;
+    unit_params;
+    via32_asm;
+    cpool;
+    table2_shreds = (fun _ -> 2_700);
+    band_ordered = true;
+  }

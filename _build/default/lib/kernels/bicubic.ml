@@ -1,0 +1,343 @@
+(* Bicubic scaling (Table 2): upscale 360x240 video to 720x480 with a
+   Catmull-Rom half-pel filter ((-1, 9, 9, -1)/16 at odd phases, exact
+   copy at even phases). Source frames carry a 2-pixel replicated border
+   so the tap windows never leave the surface.
+
+   The exo-sequencer version is 16-wide and gather-based, holding all
+   intermediates in the large register file; the IA32 version is scalar —
+   2007-era SSE has neither gathers nor a packed 32-bit multiply, which is
+   why the paper reports its largest speedup (10.97X) on this kernel. *)
+
+open Exochi_media
+
+let sw = 360
+let sh = 240
+let dw = 720
+let dh = 480
+let margin = 2
+let pw = sw + (2 * margin) (* padded frame width: 364 *)
+let ph = sh + (2 * margin) (* padded frame height: 244 *)
+let tile_w = 240
+let tile_h = 16
+
+let make_io ?(frames = 30) prng _scale =
+  let src = Image.synthetic_video prng ~width:sw ~height:sh ~frames Image.Natural in
+  (* pad each frame independently, then restack *)
+  let padded =
+    Image.init ~width:pw ~height:(ph * frames) (fun ~x ~y ->
+        let f = y / ph and py = y mod ph in
+        let sx = min (sw - 1) (max 0 (x - margin)) in
+        let sy = min (sh - 1) (max 0 (py - margin)) in
+        Image.get src ~x:sx ~y:((f * sh) + sy))
+  in
+  {
+    Kernel.wl_desc = Printf.sprintf "Scale %d frames %dx%d to %dx%d" frames sw sh dw dh;
+    inputs = [ ("IN", padded) ];
+    outputs = [ ("OUT", dw, dh * frames) ];
+    units = dw / tile_w * (dh / tile_h) * frames;
+    meta = [ ("frames", frames) ];
+  }
+
+let clamp255 v = if v < 0 then 0 else if v > 255 then 255 else v
+
+let weights = function 0 -> [| 0; 16; 0; 0 |] | _ -> [| -1; 9; 9; -1 |]
+
+let golden io =
+  let inp = List.assoc "IN" io.Kernel.inputs in
+  let frames = Kernel.meta io "frames" in
+  let out = Image.create ~width:dw ~height:(dh * frames) in
+  for f = 0 to frames - 1 do
+    for yy = 0 to dh - 1 do
+      let sy = yy asr 1 and wy = weights (yy land 1) in
+      for xx = 0 to dw - 1 do
+        let sx = xx asr 1 and wx = weights (xx land 1) in
+        let acc = ref 0 in
+        for j = 0 to 3 do
+          if wy.(j) <> 0 then begin
+            for i = 0 to 3 do
+              if wx.(i) <> 0 then
+                acc :=
+                  !acc
+                  + (wy.(j) * wx.(i)
+                    * Image.get inp
+                        ~x:(sx - 1 + i + margin)
+                        ~y:((f * ph) + sy - 1 + j + margin))
+            done
+          end
+        done;
+        Image.set out ~x:xx ~y:((f * dh) + yy) (clamp255 ((!acc + 128) asr 8))
+      done
+    done
+  done;
+  [ ("OUT", out) ]
+
+(* Emit one horizontal-blend row: gathers the 4 taps of padded row index
+   [row_reg] (scalar) into lanes addressed by sx lanes [vr5], blends by
+   lane parity (flag f1 = even lanes) into [dst]. *)
+let h_row ~row_reg ~dst =
+  Printf.sprintf
+    {|  mul.1.dw vr15 = %s, %d
+  bcast.16.dw vr16 = vr15
+  add.16.dw vr16 = vr16, vr5
+  gather.16.b vr20 = (IN, vr16, -1)
+  gather.16.b vr21 = (IN, vr16, 0)
+  gather.16.b vr22 = (IN, vr16, 1)
+  gather.16.b vr23 = (IN, vr16, 2)
+  mul.16.dw vr25 = vr21, 16
+  add.16.dw vr26 = vr21, vr22
+  mul.16.dw vr26 = vr26, 9
+  sub.16.dw vr26 = vr26, vr20
+  sub.16.dw vr26 = vr26, vr23
+  (f1) sel.16.dw %s = vr25, vr26
+|}
+    row_reg pw dst
+
+let x3k_asm io =
+  ignore io;
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|; bicubic 2x upscale: %dx%d out tile at (%%p0, %%p1) of frame %%p2
+  mov.1.dw vr0 = %%p0
+  mov.1.dw vr1 = %%p1
+  mov.1.dw vr2 = %%p2
+  mul.1.dw vr7 = vr2, %d      ; padded frame row base
+  mul.1.dw vr18 = vr2, %d     ; output frame row base
+  ; lane parity of x never changes across 16-aligned groups
+  bcast.16.dw vr4 = vr0
+  add.16.dw vr4 = vr4, %%lane
+  and.16.dw vr6 = vr4, 1
+  cmp.eq.16.dw f1 = vr6, 0
+  mov.1.dw vr3 = 0            ; r
+XROW:
+  add.1.dw vr8 = vr1, vr3     ; Y within frame
+  add.1.dw vr9 = vr18, vr8    ; Y global in OUT
+  shr.1.dw vr11 = vr8, 1      ; sy
+  and.1.dw vr12 = vr8, 1      ; fy
+  add.1.dw vr13 = vr7, vr11
+  add.1.dw vr13 = vr13, %d    ; padded centre row
+  mov.1.dw vr17 = vr0         ; group x (scalar)
+  bcast.16.dw vr4 = vr0
+  add.16.dw vr4 = vr4, %%lane
+  mov.1.dw vr14 = 0           ; g
+GLOOP:
+  shr.16.dw vr5 = vr4, 1
+  add.16.dw vr5 = vr5, %d     ; sx lanes in padded coords
+  cmp.eq.1.dw f2 = vr12, 0
+  br.any f2, YEVEN
+|}
+       tile_w tile_h ph dh margin margin);
+  (* fy = 1: four tap rows *)
+  for j = 0 to 3 do
+    Buffer.add_string buf
+      (Printf.sprintf {|  add.1.dw vr19 = vr13, %d
+|} (j - 1));
+    Buffer.add_string buf (h_row ~row_reg:"vr19" ~dst:(Printf.sprintf "vr3%d" j))
+  done;
+  Buffer.add_string buf
+    {|  add.16.dw vr40 = vr31, vr32
+  mul.16.dw vr40 = vr40, 9
+  sub.16.dw vr40 = vr40, vr30
+  sub.16.dw vr40 = vr40, vr33
+  jmp YOUT
+YEVEN:
+|};
+  Buffer.add_string buf (h_row ~row_reg:"vr13" ~dst:"vr40");
+  Buffer.add_string buf
+    {|  mul.16.dw vr40 = vr40, 16
+YOUT:
+  add.16.dw vr40 = vr40, 128
+  sar.16.dw vr40 = vr40, 8
+  sat.16.b vr40 = vr40
+  st.16.b (OUT, vr17, vr9) = vr40
+  add.1.dw vr17 = vr17, 16
+  add.16.dw vr4 = vr4, 16
+  add.1.dw vr14 = vr14, 1
+|};
+  Buffer.add_string buf
+    (Printf.sprintf {|  cmp.lt.1.dw f0 = vr14, %d
+  br.any f0, GLOOP
+  add.1.dw vr3 = vr3, 1
+  cmp.lt.1.dw f0 = vr3, %d
+  br.any f0, XROW
+  end
+|}
+       (tile_w / 16) tile_h);
+  Buffer.contents buf
+
+let unit_params _io u =
+  let cols = dw / tile_w in
+  let bands = dh / tile_h in
+  let per_frame = cols * bands in
+  let f = u / per_frame in
+  let r = u mod per_frame in
+  [| r mod cols * tile_w; r / cols * tile_h; f |]
+
+let cpool _io = [| 0l; 0l; 0l; 0l |]
+
+(* Scalar IA32 version. Fixed stack frame (esp does not move inside the
+   loops; the horizontal pass pushes/pops ecx symmetrically):
+   0 fy | 4 centre padded row | 8 out row bytes | 12 r | 16 h-acc | 20 h1
+   | 28 padded frame row base | 32 out frame row base | 36 y0. *)
+let via32_asm io ~lo ~hi =
+  let open Exochi_memory in
+  ignore io;
+  let ppitch = Surface.required_pitch ~width:pw ~bpp:1 ~tiling:Surface.Linear in
+  let opitch = Surface.required_pitch ~width:dw ~bpp:1 ~tiling:Surface.Linear in
+  let cols = dw / tile_w in
+  let bands = dh / tile_h in
+  let per_frame = cols * bands in
+  (* Horizontal tap pass: row byte base in ebx, tap column in edi, output
+     x parity in edx; result (16x-scaled for even) in eax. *)
+  let hpass_l prefix =
+    Printf.sprintf
+      {|  cmp edx, 0
+  jne %shodd
+  mov.b eax, [IN + ebx + edi]
+  shl eax, 4
+  jmp %shdone
+%shodd:
+  mov.b eax, [IN + ebx + edi]
+  push ecx
+  mov.b ecx, [IN + ebx + edi + 1]
+  add eax, ecx
+  imul eax, 9
+  mov.b ecx, [IN + ebx + edi - 1]
+  sub eax, ecx
+  mov.b ecx, [IN + ebx + edi + 2]
+  sub eax, ecx
+  pop ecx
+%shdone:
+|}
+      prefix prefix prefix prefix
+  in
+  Printf.sprintf
+    {|; bicubic 2x upscale, units %d..%d (scalar)
+  mov.d esi, %d
+  sub esp, 48
+uloop:
+  cmp esi, %d
+  jge alldone
+  ; decode unit: frame, band, column
+  mov.d eax, esi
+  sdiv eax, %d            ; frame
+  mov.d ebx, esi
+  srem ebx, %d            ; index within frame
+  mov.d ecx, ebx
+  srem ecx, %d
+  imul ecx, %d            ; x0
+  sdiv ebx, %d
+  imul ebx, %d            ; y0 within frame
+  mov.d [esp + 36], ebx
+  mov.d edx, eax
+  imul edx, %d
+  mov.d [esp + 28], edx   ; padded frame row base
+  imul eax, %d
+  mov.d [esp + 32], eax   ; out frame row base
+  mov.d edi, 0
+  mov.d [esp + 12], edi
+rloop:
+  mov.d edi, [esp + 12]
+  cmp edi, %d
+  jge rdone
+  mov.d eax, [esp + 36]
+  add eax, edi            ; Y within frame
+  mov.d edx, eax
+  and edx, 1
+  mov.d [esp + 0], edx    ; fy
+  sar eax, 1
+  add eax, [esp + 28]
+  add eax, %d
+  mov.d [esp + 4], eax    ; centre padded row index
+  mov.d eax, [esp + 32]
+  add eax, [esp + 36]
+  add eax, edi
+  imul eax, %d
+  mov.d [esp + 8], eax    ; out row byte offset
+  mov.d ebp, 0
+xloop:
+  cmp ebp, %d
+  jge xdone
+  mov.d eax, ecx
+  add eax, ebp
+  mov.d edx, eax
+  and edx, 1              ; fx
+  sar eax, 1
+  add eax, %d
+  mov.d edi, eax          ; tap column
+  mov.d eax, [esp + 0]
+  cmp eax, 0
+  jne fyodd
+  mov.d ebx, [esp + 4]
+  imul ebx, %d
+%s  imul eax, 16
+  jmp vdone
+fyodd:
+  mov.d ebx, [esp + 4]
+  sub ebx, 1
+  imul ebx, %d
+%s  mov.d [esp + 16], eax   ; h0
+  mov.d ebx, [esp + 4]
+  imul ebx, %d
+%s  mov.d [esp + 20], eax   ; h1
+  mov.d ebx, [esp + 4]
+  add ebx, 1
+  imul ebx, %d
+%s  add eax, [esp + 20]
+  imul eax, 9
+  sub eax, [esp + 16]
+  mov.d [esp + 16], eax   ; 9(h1+h2) - h0
+  mov.d ebx, [esp + 4]
+  add ebx, 2
+  imul ebx, %d
+%s  mov.d ebx, [esp + 16]
+  sub ebx, eax
+  mov.d eax, ebx
+vdone:
+  add eax, 128
+  sar eax, 8
+  cmp eax, 0
+  jge vpos
+  mov.d eax, 0
+vpos:
+  cmp eax, 255
+  jle vhi
+  mov.d eax, 255
+vhi:
+  mov.d ebx, [esp + 8]
+  add ebx, ecx
+  add ebx, ebp
+  mov.b [OUT + ebx], eax
+  add ebp, 1
+  jmp xloop
+xdone:
+  mov.d edi, [esp + 12]
+  add edi, 1
+  mov.d [esp + 12], edi
+  jmp rloop
+rdone:
+  add esi, 1
+  jmp uloop
+alldone:
+  add esp, 48
+  hlt
+|}
+    lo hi lo hi per_frame per_frame cols tile_w cols tile_h ph dh tile_h margin
+    opitch tile_w margin ppitch (hpass_l "a") ppitch (hpass_l "b") ppitch
+    (hpass_l "c") ppitch (hpass_l "d") ppitch (hpass_l "e")
+
+let kernel : Kernel.t =
+  {
+    name = "Bicubic Scaling";
+    abbrev = "Bicubic";
+    description = "Scale video using bicubic filter";
+    scales = [ Kernel.Small ];
+    make_io;
+    golden;
+    x3k_asm;
+    unit_params;
+    via32_asm;
+    cpool;
+    table2_shreds = (fun _ -> 2_700);
+    band_ordered = true;
+  }

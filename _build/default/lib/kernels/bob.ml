@@ -1,0 +1,193 @@
+(* De-interlace BOB Avg (Table 2): even scanlines are kept from the field;
+   odd (missing) scanlines are the rounding average of the lines above and
+   below within the same frame. Bandwidth-bound — the least computational
+   kernel in the suite. One shred = a 240x16 tile of stacked video. *)
+
+open Exochi_media
+
+let w = 720
+let h = 480
+let tile_w = 240
+let tile_h = 16
+
+let make_io ?(frames = 30) prng _scale =
+  let v = Image.synthetic_video prng ~width:w ~height:h ~frames Image.Natural in
+  let hs = h * frames in
+  {
+    Kernel.wl_desc = Printf.sprintf "%d frames %dx%d" frames w h;
+    inputs = [ ("IN", v) ];
+    outputs = [ ("OUT", w, hs) ];
+    units = w / tile_w * (hs / tile_h);
+    meta = [ ("w", w); ("hs", hs); ("frames", frames) ];
+  }
+
+let golden io =
+  let v = List.assoc "IN" io.Kernel.inputs in
+  let hs = Kernel.meta io "hs" in
+  let out =
+    Image.init ~width:w ~height:hs (fun ~x ~y ->
+        if y land 1 = 0 then Image.get v ~x ~y
+        else begin
+          let frame_last = ((y / h) + 1) * h-1 in
+          let ylo = y - 1 and yhi = min (y + 1) frame_last in
+          (Image.get v ~x ~y:ylo + Image.get v ~x ~y:yhi + 1) lsr 1
+        end)
+  in
+  [ ("OUT", out) ]
+
+let x3k_asm _io =
+  Printf.sprintf
+    {|; BOB de-interlace: 240x16 tile at (%%p0, %%p1); %%p2 = frame's last row
+  mov.1.dw vr0 = %%p0
+  mov.1.dw vr1 = %%p1
+  mov.1.dw vr9 = %%p2
+  mov.1.dw vr2 = 0
+BROW:
+  add.1.dw vr3 = vr1, vr2
+  and.1.dw vr4 = vr3, 1
+  cmp.eq.1.dw f0 = vr4, 0
+  br.any f0, BEVEN
+  sub.1.dw vr7 = vr3, 1
+  add.1.dw vr8 = vr3, 1
+  min.1.dw vr8 = vr8, vr9
+  mov.1.dw vr5 = vr0
+  mov.1.dw vr6 = 0
+BODD:
+  ld.16.b vr10 = (IN, vr5, vr7)
+  ld.16.b vr11 = (IN, vr5, vr8)
+  avg.16.b vr10 = vr10, vr11
+  st.16.b (OUT, vr5, vr3) = vr10
+  add.1.dw vr5 = vr5, 16
+  add.1.dw vr6 = vr6, 1
+  cmp.lt.1.dw f1 = vr6, %d
+  br.any f1, BODD
+  jmp BNEXT
+BEVEN:
+  mov.1.dw vr5 = vr0
+  mov.1.dw vr6 = 0
+BCOPY:
+  ld.16.b vr10 = (IN, vr5, vr3)
+  st.16.b (OUT, vr5, vr3) = vr10
+  add.1.dw vr5 = vr5, 16
+  add.1.dw vr6 = vr6, 1
+  cmp.lt.1.dw f1 = vr6, %d
+  br.any f1, BCOPY
+BNEXT:
+  add.1.dw vr2 = vr2, 1
+  cmp.lt.1.dw f0 = vr2, %d
+  br.any f0, BROW
+  end
+|}
+    (tile_w / 16) (tile_w / 16) tile_h
+
+let unit_params _io u =
+  let cols = w / tile_w in
+  let y0 = u / cols * tile_h in
+  let frame_last = (((y0 / h) + 1) * h) - 1 in
+  [| u mod cols * tile_w; y0; frame_last |]
+
+let cpool _io = [| 0l; 0l; 0l; 0l |]
+
+let via32_asm io ~lo ~hi =
+  let open Exochi_memory in
+  ignore io;
+  let pitch = Surface.required_pitch ~width:w ~bpp:1 ~tiling:Surface.Linear in
+  let cols = w / tile_w in
+  Printf.sprintf
+    {|; BOB de-interlace, units %d..%d
+  mov.d esi, %d
+uloop:
+  cmp esi, %d
+  jge alldone
+  mov.d eax, esi
+  sdiv eax, %d
+  imul eax, %d            ; y0
+  mov.d ecx, esi
+  srem ecx, %d
+  imul ecx, %d            ; x0
+  mov.d edi, 0
+rloop:
+  cmp edi, %d
+  jge rdone
+  mov.d edx, eax
+  add edx, edi            ; y
+  mov.d ebx, edx
+  and ebx, 1
+  cmp ebx, 0
+  je evenrow
+  ; odd row: average y-1 and min(y+1, frame_last)
+  mov.d ebx, edx
+  sdiv ebx, %d            ; frame index
+  imul ebx, %d
+  add ebx, %d             ; frame_last
+  mov.d ebp, edx
+  add ebp, 1
+  cmp ebp, ebx
+  jle nhclamp
+  mov.d ebp, ebx
+nhclamp:
+  imul ebp, %d            ; yhi * pitch
+  add ebp, ecx
+  mov.d ebx, edx
+  sub ebx, 1
+  imul ebx, %d            ; ylo * pitch
+  add ebx, ecx
+  imul edx, %d            ; y * pitch
+  add edx, ecx
+  ; 240 px, 4 at a time; reuse esi? no -- use a scratch loop on stack-free reg:
+  mov.d eax, 0
+oddcol:
+  cmp eax, %d
+  jge oddcoldone
+  movdqu xmm0, [IN + ebx + eax]
+  movdqu xmm1, [IN + ebp + eax]
+  pavgb xmm0, xmm1
+  movntdq [OUT + edx + eax], xmm0
+  add eax, 16
+  jmp oddcol
+oddcoldone:
+  ; recompute eax = y0 (clobbered)
+  mov.d eax, esi
+  sdiv eax, %d
+  imul eax, %d
+  jmp nextrow
+evenrow:
+  imul edx, %d            ; y * pitch
+  add edx, ecx
+  mov.d ebx, 0
+evencol:
+  cmp ebx, %d
+  jge nextrow
+  movdqu xmm0, [IN + edx + ebx]
+  movntdq [OUT + edx + ebx], xmm0
+  add ebx, 16
+  jmp evencol
+nextrow:
+  add edi, 1
+  jmp rloop
+rdone:
+  add esi, 1
+  jmp uloop
+alldone:
+  hlt
+|}
+    lo hi lo hi cols tile_h cols tile_w tile_h h h (h - 1) pitch pitch pitch
+    tile_w cols tile_h pitch tile_w
+
+let kernel : Kernel.t =
+  {
+    name = "De-interlace BOB Avg";
+    abbrev = "BOB";
+    description =
+      "De-interlace video by averaging nearby pixels within a field to \
+       compute missing scanlines";
+    scales = [ Kernel.Small ];
+    make_io;
+    golden;
+    x3k_asm;
+    unit_params;
+    via32_asm;
+    cpool;
+    table2_shreds = (fun _ -> 2_700);
+    band_ordered = true;
+  }

@@ -1,0 +1,251 @@
+(* Film Mode Detection (Table 2): detect video cadence (3:2 pulldown) so
+   inverse telecine can be applied. Each shred compares one band of rows
+   between frame t and frame t+2, producing per-field sums of absolute
+   differences; the tiny final cadence decision runs on the host from the
+   metric table (provided here as [detect_cadence]).
+
+   60 frames -> 58 (t, t+2) pairs x 22 bands = 1,276 shreds, matching
+   Table 2 exactly. *)
+
+open Exochi_media
+
+let w = 720
+let h = 480
+let bands = 22
+let band_rows = (h + bands - 1) / bands (* 22 rows; the last band has 18 *)
+
+let make_io ?(frames = 60) prng _scale =
+  if frames < 3 then invalid_arg "FMD needs at least 3 frames";
+  let v = Image.synthetic_video prng ~width:w ~height:h ~frames Image.Natural in
+  let pairs = frames - 2 in
+  let units = pairs * bands in
+  {
+    Kernel.wl_desc = Printf.sprintf "%d frames %dx%d" frames w h;
+    inputs = [ ("F", v) ];
+    (* metrics: 2 x u32 per shred, stored as a 2-wide dword surface *)
+    outputs = [ ("MET", 2, units) ];
+    units;
+    meta =
+      [ ("w", w); ("h", h); ("frames", frames); ("pairs", pairs); ("bpp:MET", 4) ];
+  }
+
+let band_range band =
+  let lo = band * band_rows in
+  let hi = min h (lo + band_rows) in
+  (lo, hi)
+
+let golden io =
+  let v = List.assoc "F" io.Kernel.inputs in
+  let out = Image.create ~width:2 ~height:io.Kernel.units in
+  for u = 0 to io.Kernel.units - 1 do
+    let t = u / bands and band = u mod bands in
+    let lo, hi = band_range band in
+    let top = ref 0 and bot = ref 0 in
+    for y = lo to hi - 1 do
+      let acc = if y land 1 = 0 then top else bot in
+      for x = 0 to w - 1 do
+        acc :=
+          !acc
+          + abs
+              (Image.get v ~x ~y:(((t + 2) * h) + y)
+              - Image.get v ~x ~y:((t * h) + y))
+      done
+    done;
+    Image.set out ~x:0 ~y:u !top;
+    Image.set out ~x:1 ~y:u !bot
+  done;
+  [ ("MET", out) ]
+
+(* Host-side cadence decision from the metric table: in 3:2 pulldown, every
+   5th frame pair repeats a field, so the top-field SAD sequence shows a
+   periodic minimum. Returns the detected period phase, or None. *)
+let detect_cadence metrics ~pairs =
+  let field_sad t =
+    let s = ref 0 in
+    for band = 0 to bands - 1 do
+      s := !s + Image.get metrics ~x:0 ~y:((t * bands) + band)
+    done;
+    !s
+  in
+  let sads = Array.init pairs field_sad in
+  if pairs < 10 then None
+  else begin
+    (* score each phase of a period-5 cadence *)
+    let best = ref (-1) and best_score = ref 0.0 in
+    for phase = 0 to 4 do
+      let inside = ref 0.0 and outside = ref 0.0 in
+      let n_in = ref 0 and n_out = ref 0 in
+      Array.iteri
+        (fun t s ->
+          if t mod 5 = phase then begin
+            inside := !inside +. float_of_int s;
+            incr n_in
+          end
+          else begin
+            outside := !outside +. float_of_int s;
+            incr n_out
+          end)
+        sads;
+      if !n_in > 0 && !n_out > 0 then begin
+        let mean_in = !inside /. float_of_int !n_in in
+        let mean_out = !outside /. float_of_int !n_out in
+        let score = mean_out /. Float.max 1.0 mean_in in
+        if score > !best_score then begin
+          best_score := score;
+          best := phase
+        end
+      end
+    done;
+    if !best_score > 2.0 then Some !best else None
+  end
+
+let x3k_asm _io =
+  Printf.sprintf
+    {|; film mode detection: band SADs; %%p0 = row lo, %%p1 = row count,
+; %%p2 = frame t row base, %%p3 = frame t+2 row base, %%p4 = unit id
+  mov.1.dw vr0 = %%p0
+  mov.1.dw vr1 = 0          ; r
+  mov.1.dw vr24 = 0         ; top accumulator
+  mov.1.dw vr25 = 0         ; bottom accumulator
+MROW:
+  add.1.dw vr3 = vr0, vr1   ; y within frame
+  add.1.dw vr4 = vr3, %%p2   ; y in frame t
+  add.1.dw vr5 = vr3, %%p3   ; y in frame t+2
+  and.1.dw vr6 = vr3, 1
+  mov.1.dw vr7 = 0          ; row SAD
+  mov.1.dw vr8 = 0          ; x
+  mov.1.dw vr9 = 0          ; group counter
+MCOL:
+  ld.16.b vr10 = (F, vr8, vr5)
+  ld.16.b vr11 = (F, vr8, vr4)
+  sad.16.b vr12 = vr10, vr11
+  add.1.dw vr7 = vr7, vr12
+  add.1.dw vr8 = vr8, 16
+  add.1.dw vr9 = vr9, 1
+  cmp.lt.1.dw f0 = vr9, %d
+  br.any f0, MCOL
+  cmp.eq.1.dw f1 = vr6, 0
+  (f1) add.1.dw vr24 = vr24, vr7
+  (!f1) add.1.dw vr25 = vr25, vr7
+  add.1.dw vr1 = vr1, 1
+  cmp.lt.1.dw f0 = vr1, %%p1
+  br.any f0, MROW
+  ; store metrics at element indices 2u and 2u+1
+  mul.1.dw vr20 = %%p4, 2
+  st.1.dw (MET, vr20, 0) = vr24
+  st.1.dw (MET, vr20, 1) = vr25
+  end
+|}
+    (w / 16)
+
+let unit_params io u =
+  let h' = Kernel.meta io "h" in
+  let t = u / bands and band = u mod bands in
+  let lo, hi = band_range band in
+  [| lo; hi - lo; t * h'; (t + 2) * h'; u |]
+
+let cpool _io = [| 0l; 0l; 0l; 0l |]
+
+let via32_asm io ~lo ~hi =
+  let open Exochi_memory in
+  let h' = Kernel.meta io "h" in
+  let pitch = Surface.required_pitch ~width:w ~bpp:1 ~tiling:Surface.Linear in
+  let met_pitch = Surface.required_pitch ~width:2 ~bpp:4 ~tiling:Surface.Linear in
+  Printf.sprintf
+    {|; film mode detection, units %d..%d
+  mov.d esi, %d
+uloop:
+  cmp esi, %d
+  jge alldone
+  ; t = u / bands, band = u mod bands
+  mov.d eax, esi
+  sdiv eax, %d            ; t
+  mov.d ecx, esi
+  srem ecx, %d            ; band
+  imul ecx, %d            ; row lo
+  ; edi = row counter within band, ebx = top acc, ebp = bottom acc
+  mov.d ebx, 0
+  mov.d ebp, 0
+  mov.d edi, ecx
+bandrow:
+  ; stop at min(h, lo+band_rows)
+  mov.d edx, ecx
+  add edx, %d
+  cmp edx, %d
+  jle bounded
+  mov.d edx, %d
+bounded:
+  cmp edi, edx
+  jge banddone
+  ; addresses: frame t row = (t*h + y)*pitch ; t+2 = ((t+2)*h + y)*pitch
+  mov.d edx, eax
+  imul edx, %d
+  add edx, edi
+  imul edx, %d            ; frame t row offset
+  push ebp
+  mov.d ebp, eax
+  add ebp, 2
+  imul ebp, %d
+  add ebp, edi
+  imul ebp, %d            ; frame t+2 row offset
+  ; row SAD into a scratch: reuse stack slot? accumulate into xmm5 lane0
+  pxor xmm5, xmm5
+  push ecx
+  mov.d ecx, 0
+sadcol:
+  cmp ecx, %d
+  jge saddone
+  movpk.b xmm0, [F + ebp + ecx]
+  movpk.b xmm1, [F + edx + ecx]
+  psadd xmm0, xmm1
+  paddd xmm5, xmm0
+  add ecx, 4
+  jmp sadcol
+saddone:
+  pop ecx
+  pop ebp
+  ; add row SAD to the right field accumulator
+  movd edx, xmm5
+  mov.d eax, edi
+  and eax, 1
+  cmp eax, 0
+  jne oddacc
+  add ebx, edx
+  jmp accdone
+oddacc:
+  add ebp, edx
+accdone:
+  ; restore eax = t
+  mov.d eax, esi
+  sdiv eax, %d
+  add edi, 1
+  jmp bandrow
+banddone:
+  ; store metrics row u: [top, bottom]
+  mov.d edx, esi
+  imul edx, %d
+  mov.d [MET + edx], ebx
+  mov.d [MET + edx + 4], ebp
+  add esi, 1
+  jmp uloop
+alldone:
+  hlt
+|}
+    lo hi lo hi bands bands band_rows band_rows h' h' h' pitch h' pitch w
+    bands met_pitch
+
+let kernel : Kernel.t =
+  {
+    name = "Film Mode Detection";
+    abbrev = "FMD";
+    description = "Detect video cadence so inverse telecine can be applied";
+    scales = [ Kernel.Small ];
+    make_io;
+    golden;
+    x3k_asm;
+    unit_params;
+    via32_asm;
+    cpool;
+    table2_shreds = (fun _ -> 1_276);
+    band_ordered = false;
+  }

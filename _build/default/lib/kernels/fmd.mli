@@ -1,0 +1,14 @@
+(** Table 2 kernel: film mode detection. The shreds produce per-band
+    field SAD metrics; [detect_cadence] is the host-side decision the
+    paper's "inverse telecine can be applied" step consumes. *)
+
+val kernel : Kernel.t
+
+(** [detect_cadence metrics ~pairs] looks for a period-5 (3:2 pulldown)
+    pattern in the top-field SAD sequence; returns the phase if one
+    stands out. *)
+val detect_cadence : Exochi_media.Image.t -> pairs:int -> int option
+
+(** Number of row bands per frame pair (Table 2's 1,276 = 58 pairs x 22
+    bands at 60 frames). *)
+val bands : int

@@ -1,0 +1,50 @@
+(** Kernel execution harness: sets up a fresh EXO platform, materialises a
+    workload's surfaces in the shared virtual address space, runs the
+    kernel on the chosen sequencers through the CHI runtime, validates the
+    outputs against the golden reference, and reports simulated time.
+
+    This is the measurement machinery behind Figures 7, 8 and 10. *)
+
+type result = {
+  time_ps : int; (* wall-clock on the simulated platform *)
+  correct : bool; (* outputs bit-identical to the golden reference *)
+  max_diff : int; (* worst absolute sample difference (0 when correct) *)
+  gpu_instrs : int;
+  cpu_instrs : int;
+  flush_bytes : int;
+  copy_bytes : int;
+  atr_proxies : int;
+  gtt_hits : int;
+  ceh_proxies : int;
+  shreds : int;
+  thread_switches : int;
+  protocol_violations : int;
+  cpu_busy_ps : int; (* IA32 busy time inside the measured window *)
+  gpu_busy_ps : int; (* exo-sequencer busy time (issue cycles) *)
+}
+
+(** How to split the unit space (Figure 10). [Cooperative f] statically
+    gives fraction [f] of the units to the IA32 sequencer (the rest run as
+    exo-sequencer shreds with [master_nowait]); [Dynamic] self-schedules
+    chunks of units onto whichever sequencer kind is hungry — the dynamic
+    work-distribution policy of paper Section 5.3 (CC-shared memory
+    only). *)
+type split = All_gpu | All_cpu | Cooperative of float | Dynamic
+
+val run :
+  ?memmodel:Exochi_memory.Memmodel.config ->
+  ?flush_policy:Exochi_core.Chi_runtime.flush_policy ->
+  ?gpu_config:Exochi_accel.Gpu.config ->
+  ?gtt_enabled:bool ->
+  ?split:split ->
+  ?seed:int64 ->
+  ?frames:int ->
+  ?validate:bool ->
+  Kernel.t ->
+  Kernel.scale ->
+  result
+
+(** [oracle_fraction ~cpu_time ~gpu_time] — the work fraction to give the
+    IA32 sequencer so both finish together, assuming linear scaling
+    (the paper's oracle partition). *)
+val oracle_fraction : cpu_time:int -> gpu_time:int -> float

@@ -1,0 +1,29 @@
+type scale = Small | Large
+
+type io = {
+  wl_desc : string;
+  inputs : (string * Exochi_media.Image.t) list;
+  outputs : (string * int * int) list;
+  units : int;
+  meta : (string * int) list;
+}
+
+let meta io key =
+  match List.assoc_opt key io.meta with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Kernel.meta: no key %S" key)
+
+type t = {
+  name : string;
+  abbrev : string;
+  description : string;
+  scales : scale list;
+  make_io : ?frames:int -> Exochi_util.Prng.t -> scale -> io;
+  golden : io -> (string * Exochi_media.Image.t) list;
+  x3k_asm : io -> string;
+  unit_params : io -> int -> int array;
+  via32_asm : io -> lo:int -> hi:int -> string;
+  cpool : io -> int32 array;
+  table2_shreds : scale -> int;
+  band_ordered : bool;
+}

@@ -1,0 +1,46 @@
+(** Common interface for the Table 2 media kernels.
+
+    Every kernel provides a golden OCaml reference, an X3K (accelerator)
+    implementation as inline-assembly text, and a VIA32 (CPU/SSE-class)
+    implementation, plus the shred decomposition the paper reports. Work
+    is expressed in {e units} — one unit is one shred's worth (a pixel
+    block, a band, a frame tile, per kernel) — so the cooperative
+    experiments (Figure 10) can split the same unit space between the
+    IA32 sequencer and the exo-sequencers. *)
+
+type scale = Small | Large
+
+(** A concrete workload instance. *)
+type io = {
+  wl_desc : string; (* Table 2 "data size" text *)
+  inputs : (string * Exochi_media.Image.t) list; (* surface name -> pixels *)
+  outputs : (string * int * int) list; (* name, width, height *)
+  units : int; (* total shreds at 100% GPU *)
+  meta : (string * int) list; (* kernel-specific dimensions *)
+}
+
+val meta : io -> string -> int
+
+type t = {
+  name : string;
+  abbrev : string;
+  description : string; (* Table 2 description *)
+  scales : scale list;
+  make_io : ?frames:int -> Exochi_util.Prng.t -> scale -> io;
+      (** [frames] overrides the video length for quick benchmark runs
+          (video kernels only). *)
+  golden : io -> (string * Exochi_media.Image.t) list;
+  x3k_asm : io -> string; (* accelerator program; one shred = one unit *)
+  unit_params : io -> int -> int array; (* unit id -> %p0..%p7 *)
+  via32_asm : io -> lo:int -> hi:int -> string;
+      (** CPU program processing units [lo, hi); references surfaces by
+          name and the constant pool as symbol CPOOL. *)
+  cpool : io -> int32 array; (* constant-pool dwords for the CPU code *)
+  table2_shreds : scale -> int; (* shred count the paper reports *)
+  band_ordered : bool;
+      (* shred i only reads input bytes near fraction i/units of each
+         input surface — the precondition for interleaved (chunked)
+         cache flushing in non-coherent mode. Temporal kernels that read
+         far-apart frames (Kalman, FMD) are not band-ordered and must be
+         flushed up-front. *)
+}

@@ -1,0 +1,180 @@
+(* Linear filter (Table 2): each output pixel is the average of the input
+   pixel and its eight neighbours — a 3x3 box blur. Inputs carry a 1-pixel
+   replicated border so the inner loops have no edge cases; division by 9
+   is the exact fixed-point multiply (x * 7282 + 32768) >> 16 on both
+   targets. One shred processes an 8x6 pixel block. *)
+
+open Exochi_media
+
+let block_w = 8
+let block_h = 6
+
+let dims = function
+  | Kernel.Small -> (640, 480)
+  | Kernel.Large -> (2000, 2004)
+(* paper says 2000x2000; 2004 rows align the 8x6 block grid and give
+   exactly the 83,500 shreds Table 2 reports *)
+
+let make_io ?frames prng scale =
+  ignore frames;
+  let w, h = dims scale in
+  let src = Image.synthetic prng ~width:w ~height:h Image.Natural in
+  let padded = Image.pad src ~margin:1 in
+  {
+    Kernel.wl_desc = Printf.sprintf "%dx%d image" w h;
+    inputs = [ ("IN", padded) ];
+    outputs = [ ("OUT", w, h) ];
+    units = w / block_w * (h / block_h);
+    meta = [ ("w", w); ("h", h); ("bw", w / block_w); ("bh", h / block_h) ];
+  }
+
+let golden io =
+  let padded = List.assoc "IN" io.Kernel.inputs in
+  let w = Kernel.meta io "w" and h = Kernel.meta io "h" in
+  let out =
+    Image.init ~width:w ~height:h (fun ~x ~y ->
+        let sum = ref 0 in
+        for dy = 0 to 2 do
+          for dx = 0 to 2 do
+            sum := !sum + Image.get padded ~x:(x + dx) ~y:(y + dy)
+          done
+        done;
+        ((!sum * 7282) + 32768) lsr 16)
+  in
+  [ ("OUT", out) ]
+
+let x3k_asm _io =
+  {|; linear filter: 8x6 block at (%p0, %p1)
+  mul.1.dw vr0 = %p0, 8        ; x0 (window-left column, padded coords)
+  mul.1.dw vr1 = %p1, 6        ; y0
+  mov.1.dw vr2 = 0             ; row counter
+ROW:
+  add.1.dw vr3 = vr1, vr2      ; top window row / output row
+  add.1.dw vr4 = vr3, 1
+  add.1.dw vr5 = vr3, 2
+  add.1.dw vr6 = vr0, 1
+  add.1.dw vr7 = vr0, 2
+  ld.8.b vr10 = (IN, vr0, vr3)
+  ld.8.b vr11 = (IN, vr6, vr3)
+  ld.8.b vr12 = (IN, vr7, vr3)
+  ld.8.b vr13 = (IN, vr0, vr4)
+  ld.8.b vr14 = (IN, vr6, vr4)
+  ld.8.b vr15 = (IN, vr7, vr4)
+  ld.8.b vr16 = (IN, vr0, vr5)
+  ld.8.b vr17 = (IN, vr6, vr5)
+  ld.8.b vr18 = (IN, vr7, vr5)
+  add.8.dw vr20 = vr10, vr11
+  add.8.dw vr20 = vr20, vr12
+  add.8.dw vr20 = vr20, vr13
+  add.8.dw vr20 = vr20, vr14
+  add.8.dw vr20 = vr20, vr15
+  add.8.dw vr20 = vr20, vr16
+  add.8.dw vr20 = vr20, vr17
+  add.8.dw vr20 = vr20, vr18
+  mul.8.dw vr20 = vr20, 7282
+  add.8.dw vr20 = vr20, 32768
+  shr.8.dw vr20 = vr20, 16
+  sat.8.b vr20 = vr20
+  st.8.b (OUT, vr0, vr3) = vr20
+  add.1.dw vr2 = vr2, 1
+  cmp.lt.1.dw f0 = vr2, 6
+  br.any f0, ROW
+  end
+|}
+
+let unit_params io u =
+  let bw = Kernel.meta io "bw" in
+  [| u mod bw; u / bw |]
+
+let cpool _io = [| 7282l; 7282l; 7282l; 7282l; 32768l; 32768l; 32768l; 32768l |]
+
+let via32_asm io ~lo ~hi =
+  let open Exochi_memory in
+  let w = Kernel.meta io "w" in
+  let bw = Kernel.meta io "bw" in
+  let pin = Surface.required_pitch ~width:(w + 2) ~bpp:1 ~tiling:Surface.Linear in
+  let pout = Surface.required_pitch ~width:w ~bpp:1 ~tiling:Surface.Linear in
+  Printf.sprintf
+    {|; linear filter, units %d..%d (SSE 4-wide)
+  mov.d esi, %d
+uloop:
+  cmp esi, %d
+  jge alldone
+  mov.d eax, esi
+  sdiv eax, %d
+  mov.d ebx, eax
+  imul ebx, %d
+  mov.d ecx, esi
+  sub ecx, ebx
+  shl ecx, 3
+  imul eax, 6
+  mov.d edi, 0
+rloop:
+  cmp edi, 6
+  jge rdone
+  mov.d edx, eax
+  add edx, edi
+  imul edx, %d
+  add edx, ecx
+  mov.d ebp, 0
+gloop:
+  cmp ebp, 8
+  jge gdone
+  movpk.b xmm0, [IN + edx + ebp]
+  movpk.b xmm1, [IN + edx + ebp + 1]
+  paddd xmm0, xmm1
+  movpk.b xmm1, [IN + edx + ebp + 2]
+  paddd xmm0, xmm1
+  movpk.b xmm1, [IN + edx + ebp + %d]
+  paddd xmm0, xmm1
+  movpk.b xmm1, [IN + edx + ebp + %d]
+  paddd xmm0, xmm1
+  movpk.b xmm1, [IN + edx + ebp + %d]
+  paddd xmm0, xmm1
+  movpk.b xmm1, [IN + edx + ebp + %d]
+  paddd xmm0, xmm1
+  movpk.b xmm1, [IN + edx + ebp + %d]
+  paddd xmm0, xmm1
+  movpk.b xmm1, [IN + edx + ebp + %d]
+  paddd xmm0, xmm1
+  pmulld xmm0, [CPOOL]
+  paddd xmm0, [CPOOL + 16]
+  psrld xmm0, 16
+  packus xmm0, xmm0
+  mov.d ebx, eax
+  add ebx, edi
+  imul ebx, %d
+  add ebx, ecx
+  add ebx, ebp
+  movpk.b [OUT + ebx], xmm0
+  add ebp, 4
+  jmp gloop
+gdone:
+  add edi, 1
+  jmp rloop
+rdone:
+  add esi, 1
+  jmp uloop
+alldone:
+  hlt
+|}
+    lo hi lo hi bw bw pin pin (pin + 1) (pin + 2) (2 * pin) ((2 * pin) + 1)
+    ((2 * pin) + 2) pout
+
+let kernel : Kernel.t =
+  {
+    name = "Linear Filter";
+    abbrev = "LinearFilter";
+    description =
+      "Compute output pixel as average of input pixel and eight surrounding \
+       pixels";
+    scales = [ Kernel.Small; Kernel.Large ];
+    make_io;
+    golden;
+    x3k_asm;
+    unit_params;
+    via32_asm;
+    cpool;
+    table2_shreds = (function Kernel.Small -> 6_480 | Kernel.Large -> 83_500);
+    band_ordered = true;
+  }

@@ -1,0 +1,172 @@
+(* ProcAmp (Table 2): simple linear modification to YUV values for colour
+   correction — contrast/brightness on luma, saturation on chroma, in Q7
+   fixed point. Video frames are stacked vertically in one surface; one
+   shred processes a 240x16 tile. *)
+
+open Exochi_media
+
+let w = 720
+let h = 480
+let tile_w = 240
+let tile_h = 16
+let contrast = 140 (* Q7 *)
+let brightness = 10
+let saturation = 130 (* Q7 *)
+
+let make_io ?(frames = 30) prng _scale =
+  let plane c = Image.synthetic_video prng ~width:w ~height:h ~frames c in
+  let hs = h * frames in
+  {
+    Kernel.wl_desc = Printf.sprintf "%d frames %dx%d" frames w h;
+    inputs =
+      [
+        ("Y", plane Image.Natural);
+        ("U", plane Image.Gradient);
+        ("V", plane Image.Noise);
+      ];
+    outputs = [ ("YO", w, hs); ("UO", w, hs); ("VO", w, hs) ];
+    units = w / tile_w * (hs / tile_h);
+    meta = [ ("w", w); ("hs", hs); ("frames", frames) ];
+  }
+
+let clamp255 v = if v < 0 then 0 else if v > 255 then 255 else v
+let luma v = clamp255 ((((v - 16) * contrast) asr 7) + 16 + brightness)
+let chroma v = clamp255 ((((v - 128) * saturation) asr 7) + 128)
+
+let golden io =
+  let map name f =
+    let p = List.assoc name io.Kernel.inputs in
+    Image.init ~width:p.Image.width ~height:p.Image.height (fun ~x ~y ->
+        f (Image.get p ~x ~y))
+  in
+  [ ("YO", map "Y" luma); ("UO", map "U" chroma); ("VO", map "V" chroma) ]
+
+let x3k_asm _io =
+  Printf.sprintf
+    {|; procamp: 240x16 tile at (%%p0, %%p1)
+  mov.1.dw vr0 = %%p0
+  mov.1.dw vr1 = %%p1
+  mov.1.dw vr2 = 0
+PROW:
+  add.1.dw vr3 = vr1, vr2
+  mov.1.dw vr4 = vr0
+  mov.1.dw vr5 = 0
+PCOL:
+  ld.16.b vr10 = (Y, vr4, vr3)
+  sub.16.dw vr10 = vr10, 16
+  mul.16.dw vr10 = vr10, %d
+  sar.16.dw vr10 = vr10, 7
+  add.16.dw vr10 = vr10, %d
+  sat.16.b vr10 = vr10
+  st.16.b (YO, vr4, vr3) = vr10
+  ld.16.b vr11 = (U, vr4, vr3)
+  sub.16.dw vr11 = vr11, 128
+  mul.16.dw vr11 = vr11, %d
+  sar.16.dw vr11 = vr11, 7
+  add.16.dw vr11 = vr11, 128
+  sat.16.b vr11 = vr11
+  st.16.b (UO, vr4, vr3) = vr11
+  ld.16.b vr12 = (V, vr4, vr3)
+  sub.16.dw vr12 = vr12, 128
+  mul.16.dw vr12 = vr12, %d
+  sar.16.dw vr12 = vr12, 7
+  add.16.dw vr12 = vr12, 128
+  sat.16.b vr12 = vr12
+  st.16.b (VO, vr4, vr3) = vr12
+  add.1.dw vr4 = vr4, 16
+  add.1.dw vr5 = vr5, 1
+  cmp.lt.1.dw f0 = vr5, %d
+  br.any f0, PCOL
+  add.1.dw vr2 = vr2, 1
+  cmp.lt.1.dw f0 = vr2, %d
+  br.any f0, PROW
+  end
+|}
+    contrast (16 + brightness) saturation saturation (tile_w / 16) tile_h
+
+let unit_params _io u =
+  let cols = w / tile_w in
+  [| u mod cols * tile_w; u / cols * tile_h |]
+
+let cpool _io =
+  let quad v = [ v; v; v; v ] in
+  (* 0:contrast 16:16+bri 32:saturation 48:const16 64:const128 *)
+  List.concat_map quad [ contrast; 16 + brightness; saturation; 16; 128 ]
+  |> List.map Int32.of_int |> Array.of_list
+
+let via32_asm io ~lo ~hi =
+  let open Exochi_memory in
+  ignore io;
+  let pitch = Surface.required_pitch ~width:w ~bpp:1 ~tiling:Surface.Linear in
+  let cols = w / tile_w in
+  let chan inp out coeff_off bias_off sub_off =
+    Printf.sprintf
+      {|  movpk.b xmm0, [%s + edx + ebp]
+  psubd xmm0, [CPOOL + %d]
+  pmulld xmm0, [CPOOL + %d]
+  psrad xmm0, 7
+  paddd xmm0, [CPOOL + %d]
+  packus xmm0, xmm0
+  movpk.b [%s + edx + ebp], xmm0|}
+      inp sub_off coeff_off bias_off out
+  in
+  Printf.sprintf
+    {|; procamp, units %d..%d
+  mov.d esi, %d
+uloop:
+  cmp esi, %d
+  jge alldone
+  mov.d eax, esi
+  sdiv eax, %d
+  mov.d ebx, eax
+  imul ebx, %d
+  mov.d ecx, esi
+  sub ecx, ebx
+  imul ecx, %d
+  imul eax, %d
+  mov.d edi, 0
+rloop:
+  cmp edi, %d
+  jge rdone
+  mov.d edx, eax
+  add edx, edi
+  imul edx, %d
+  add edx, ecx
+  mov.d ebp, 0
+gloop:
+  cmp ebp, %d
+  jge gdone
+%s
+%s
+%s
+  add ebp, 4
+  jmp gloop
+gdone:
+  add edi, 1
+  jmp rloop
+rdone:
+  add esi, 1
+  jmp uloop
+alldone:
+  hlt
+|}
+    lo hi lo hi cols cols tile_w tile_h tile_h pitch tile_w
+    (chan "Y" "YO" 0 16 48)
+    (chan "U" "UO" 32 64 64)
+    (chan "V" "VO" 32 64 64)
+
+let kernel : Kernel.t =
+  {
+    name = "ProcAmp";
+    abbrev = "ProcAmp";
+    description = "Simple linear modification to YUV values for color correction";
+    scales = [ Kernel.Small ];
+    make_io;
+    golden;
+    x3k_asm;
+    unit_params;
+    via32_asm;
+    cpool;
+    table2_shreds = (fun _ -> 2_700);
+    band_ordered = true;
+  }

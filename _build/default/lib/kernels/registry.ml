@@ -1,0 +1,19 @@
+let all =
+  [
+    Linear_filter.kernel;
+    Sepia.kernel;
+    Fgt.kernel;
+    Bicubic.kernel;
+    Kalman.kernel;
+    Fmd.kernel;
+    Alphablend.kernel;
+    Bob.kernel;
+    Advdi.kernel;
+    Procamp.kernel;
+  ]
+
+let find abbrev =
+  let target = String.lowercase_ascii abbrev in
+  List.find_opt
+    (fun k -> String.lowercase_ascii k.Kernel.abbrev = target)
+    all

@@ -1,0 +1,6 @@
+(** The full Table 2 kernel suite, in the paper's order. *)
+
+val all : Kernel.t list
+
+(** Look up a kernel by its abbreviation (case-insensitive). *)
+val find : string -> Kernel.t option

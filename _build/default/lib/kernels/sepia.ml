@@ -1,0 +1,174 @@
+(* Sepia tone (Table 2): modify RGB values to artificially age the image.
+   Classic sepia matrix in 8.8 fixed point, saturating to bytes. One shred
+   processes an 8x8 block across all three channel planes. *)
+
+open Exochi_media
+
+let block = 8
+
+(* matrix rows (R G B coefficients, x256) *)
+let cr = (101, 197, 48)
+let cg = (89, 176, 43)
+let cb = (70, 137, 34)
+
+let dims = function
+  | Kernel.Small -> (640, 480)
+  | Kernel.Large -> (2000, 2000)
+
+let make_io ?frames prng scale =
+  ignore frames;
+  let w, h = dims scale in
+  let plane c = Image.synthetic prng ~width:w ~height:h c in
+  {
+    Kernel.wl_desc = Printf.sprintf "%dx%d image" w h;
+    inputs =
+      [
+        ("RI", plane Image.Natural);
+        ("GI", plane Image.Gradient);
+        ("BI", plane Image.Noise);
+      ];
+    outputs = [ ("RO", w, h); ("GO", w, h); ("BO", w, h) ];
+    units = w / block * (h / block);
+    meta = [ ("w", w); ("h", h); ("bw", w / block) ];
+  }
+
+let clamp255 v = if v < 0 then 0 else if v > 255 then 255 else v
+
+let golden io =
+  let r = List.assoc "RI" io.Kernel.inputs in
+  let g = List.assoc "GI" io.Kernel.inputs in
+  let b = List.assoc "BI" io.Kernel.inputs in
+  let w = Kernel.meta io "w" and h = Kernel.meta io "h" in
+  let mk (c1, c2, c3) =
+    Image.init ~width:w ~height:h (fun ~x ~y ->
+        clamp255
+          (((Image.get r ~x ~y * c1)
+           + (Image.get g ~x ~y * c2)
+           + (Image.get b ~x ~y * c3))
+          lsr 8))
+  in
+  [ ("RO", mk cr); ("GO", mk cg); ("BO", mk cb) ]
+
+let x3k_asm _io =
+  let channel (c1, c2, c3) out =
+    Printf.sprintf
+      {|  mul.8.dw vr20 = vr10, %d
+  mac.8.dw vr20 = vr11, %d
+  mac.8.dw vr20 = vr12, %d
+  shr.8.dw vr20 = vr20, 8
+  sat.8.b vr20 = vr20
+  st.8.b (%s, vr0, vr3) = vr20|}
+      c1 c2 c3 out
+  in
+  Printf.sprintf
+    {|; sepia tone: 8x8 block at pixel (%%p0, %%p1)
+  mov.1.dw vr0 = %%p0
+  mov.1.dw vr1 = %%p1
+  mov.1.dw vr2 = 0
+SROW:
+  add.1.dw vr3 = vr1, vr2
+  ld.8.b vr10 = (RI, vr0, vr3)
+  ld.8.b vr11 = (GI, vr0, vr3)
+  ld.8.b vr12 = (BI, vr0, vr3)
+%s
+%s
+%s
+  add.1.dw vr2 = vr2, 1
+  cmp.lt.1.dw f0 = vr2, 8
+  br.any f0, SROW
+  end
+|}
+    (channel cr "RO") (channel cg "GO") (channel cb "BO")
+
+let unit_params io u =
+  let bw = Kernel.meta io "bw" in
+  [| u mod bw * block; u / bw * block |]
+
+let cpool _io =
+  let quad v = [ v; v; v; v ] in
+  let (r1, r2, r3) = cr and (g1, g2, g3) = cg and (b1, b2, b3) = cb in
+  List.concat_map quad [ r1; r2; r3; g1; g2; g3; b1; b2; b3 ]
+  |> List.map Int32.of_int |> Array.of_list
+
+let via32_asm io ~lo ~hi =
+  let open Exochi_memory in
+  let w = Kernel.meta io "w" in
+  let bw = Kernel.meta io "bw" in
+  let pitch = Surface.required_pitch ~width:w ~bpp:1 ~tiling:Surface.Linear in
+  let channel idx out =
+    (* coefficients for channel [idx] live at CPOOL offsets 48*idx *)
+    let o = 48 * idx in
+    Printf.sprintf
+      {|  movdqu xmm4, xmm0
+  pmulld xmm4, [CPOOL + %d]
+  movdqu xmm5, xmm1
+  pmulld xmm5, [CPOOL + %d]
+  paddd xmm4, xmm5
+  movdqu xmm5, xmm2
+  pmulld xmm5, [CPOOL + %d]
+  paddd xmm4, xmm5
+  psrld xmm4, 8
+  packus xmm4, xmm4
+  movpk.b [%s + edx + ebp], xmm4|}
+      o (o + 16) (o + 32) out
+  in
+  Printf.sprintf
+    {|; sepia tone, units %d..%d
+  mov.d esi, %d
+uloop:
+  cmp esi, %d
+  jge alldone
+  mov.d eax, esi
+  sdiv eax, %d
+  mov.d ebx, eax
+  imul ebx, %d
+  mov.d ecx, esi
+  sub ecx, ebx
+  shl ecx, 3
+  imul eax, 8
+  mov.d edi, 0
+rloop:
+  cmp edi, 8
+  jge rdone
+  mov.d edx, eax
+  add edx, edi
+  imul edx, %d
+  add edx, ecx
+  mov.d ebp, 0
+gloop:
+  cmp ebp, 8
+  jge gdone
+  movpk.b xmm0, [RI + edx + ebp]
+  movpk.b xmm1, [GI + edx + ebp]
+  movpk.b xmm2, [BI + edx + ebp]
+%s
+%s
+%s
+  add ebp, 4
+  jmp gloop
+gdone:
+  add edi, 1
+  jmp rloop
+rdone:
+  add esi, 1
+  jmp uloop
+alldone:
+  hlt
+|}
+    lo hi lo hi bw bw pitch (channel 0 "RO") (channel 1 "GO") (channel 2 "BO")
+
+let kernel : Kernel.t =
+  {
+    name = "Sepia Tone";
+    abbrev = "SepiaTone";
+    description = "Modify RGB values to artificially age image";
+    scales = [ Kernel.Small; Kernel.Large ];
+    make_io;
+    golden;
+    x3k_asm;
+    unit_params;
+    via32_asm;
+    cpool;
+    table2_shreds = (function Kernel.Small -> 4_800 | Kernel.Large -> 62_500);
+    band_ordered = true;
+  }

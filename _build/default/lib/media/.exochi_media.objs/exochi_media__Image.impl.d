@@ -1,0 +1,1 @@
+lib/media/image.ml: Address_space Array Bits Exochi_memory Exochi_util Int32 Printf Prng Surface

@@ -1,0 +1,1 @@
+lib/media/image.mli: Exochi_memory Exochi_util

@@ -1,0 +1,62 @@
+(** Host-side image planes: the golden-reference representation of media
+    data, plus conversion to and from simulated-memory surfaces.
+
+    A plane is a [width] x [height] grid of integer samples (8-bit pixel
+    data or wider intermediate values). Multi-frame video is represented
+    as a plane of height [frames * height] — frames stacked vertically,
+    which is also how the kernels' surfaces are laid out. *)
+
+type t = { width : int; height : int; data : int array }
+
+val create : width:int -> height:int -> t
+val init : width:int -> height:int -> (x:int -> y:int -> int) -> t
+val get : t -> x:int -> y:int -> int
+val set : t -> x:int -> y:int -> int -> unit
+
+(** [get_clamped] replicates edges (border handling for filters). *)
+val get_clamped : t -> x:int -> y:int -> int
+
+(** [pad t ~margin] returns a plane grown by [margin] on every side with
+    replicated edges (kernels with spatial neighbourhoods consume padded
+    inputs so the inline assembly needs no border cases). *)
+val pad : t -> margin:int -> t
+
+(** [crop t ~x ~y ~width ~height] extracts a sub-plane. *)
+val crop : t -> x:int -> y:int -> width:int -> height:int -> t
+
+(** {1 Synthetic content} *)
+
+type content =
+  | Gradient (* smooth diagonal ramp *)
+  | Noise (* uniform noise *)
+  | Natural (* gradients + edges + texture + noise: exercises all paths *)
+  | Checker of int (* checkerboard with the given tile size *)
+
+val synthetic : Exochi_util.Prng.t -> width:int -> height:int -> content -> t
+
+(** [synthetic_video prng ~width ~height ~frames content] builds a stacked
+    video whose frames pan slowly (so temporal kernels see real motion). *)
+val synthetic_video :
+  Exochi_util.Prng.t -> width:int -> height:int -> frames:int -> content -> t
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+val max_abs_diff : t -> t -> int
+
+(** Peak signal-to-noise ratio assuming 8-bit samples; [infinity] when
+    identical. *)
+val psnr : t -> t -> float
+
+(** {1 Simulated-memory interop} *)
+
+(** [store aspace t ~surface] writes the plane's samples into a surface's
+    backing memory ([bpp] must be 1, 2 or 4; samples are truncated).
+    Functional, untimed: workload setup. *)
+val store :
+  Exochi_memory.Address_space.t -> t -> surface:Exochi_memory.Surface.t -> unit
+
+(** [load aspace ~surface] reads a surface back into a plane (byte
+    surfaces zero-extend, word surfaces sign-extend). *)
+val load :
+  Exochi_memory.Address_space.t -> surface:Exochi_memory.Surface.t -> t

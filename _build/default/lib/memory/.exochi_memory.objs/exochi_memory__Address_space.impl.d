@@ -1,0 +1,1 @@
+lib/memory/address_space.ml: Bits Bytes Exochi_util Int64 List Page_table Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/memory/address_space.mli: Page_table Phys_mem

@@ -1,0 +1,1 @@
+lib/memory/bus.ml: Exochi_util Timebase

@@ -1,0 +1,1 @@
+lib/memory/cache.ml: Array Bits Exochi_util

@@ -1,0 +1,1 @@
+lib/memory/memmodel.ml: Exochi_util Timebase

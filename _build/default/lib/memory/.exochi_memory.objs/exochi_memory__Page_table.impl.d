@@ -1,0 +1,1 @@
+lib/memory/page_table.ml: Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/memory/page_table.mli: Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/memory/phys_mem.ml: Bytes Char Hashtbl List

@@ -1,0 +1,1 @@
+lib/memory/pte.ml: Exochi_util Format Int32 Int64 Printf

@@ -1,0 +1,1 @@
+lib/memory/surface.ml: Bits Exochi_util Format Printf Pte

@@ -1,0 +1,1 @@
+lib/memory/surface.mli: Format Pte

@@ -1,0 +1,1 @@
+lib/memory/tlb.ml: Hashtbl

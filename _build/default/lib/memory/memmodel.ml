@@ -1,0 +1,31 @@
+open Exochi_util
+
+type config = Data_copy | Non_cc_shared | Cc_shared
+
+let name = function
+  | Data_copy -> "Data Copy"
+  | Non_cc_shared -> "Non-CC Shared"
+  | Cc_shared -> "CC Shared"
+
+let all = [ Data_copy; Non_cc_shared; Cc_shared ]
+
+type costs = {
+  copy_gbps : float;
+  flush_gbps : float;
+  naive_flush_gbps : float;
+  semaphore_ps : int;
+  snoop_ps : int;
+}
+
+let default_costs =
+  {
+    copy_gbps = 3.1; (* paper §5.2 *)
+    flush_gbps = 8.0; (* optimised write-back of dirty lines *)
+    naive_flush_gbps = 2.0; (* paper §5.2: unoptimised flush *)
+    semaphore_ps = 200_000; (* 200 ns uncontended semaphore round trip *)
+    snoop_ps = 40_000; (* 40 ns cross-agent probe *)
+  }
+
+let copy_ps c ~bytes = Timebase.transfer_ps ~bytes ~gbps:c.copy_gbps
+let flush_ps c ~bytes = Timebase.transfer_ps ~bytes ~gbps:c.flush_gbps
+let naive_flush_ps c ~bytes = Timebase.transfer_ps ~bytes ~gbps:c.naive_flush_gbps

@@ -1,0 +1,37 @@
+(** The three memory-model configurations of the paper's Figure 8, plus
+    their cost parameters.
+
+    - [Data_copy]: no shared virtual memory. Inputs are copied from the
+      CPU's address space into an accelerator-private region before
+      dispatch, and outputs copied back afterwards, at [copy_gbps]
+      (3.1 GB/s in the paper — an SSE-optimised cacheable→write-combining
+      copy).
+    - [Non_cc_shared]: shared virtual address space, no hardware cache
+      coherence. Handing data across requires flushing dirty lines, at
+      [flush_gbps]; critical sections serialise hand-offs.
+    - [Cc_shared]: coherent shared virtual memory — no copies, no flushes,
+      only per-line snoop traffic. *)
+
+type config = Data_copy | Non_cc_shared | Cc_shared
+
+val name : config -> string
+val all : config list
+
+type costs = {
+  copy_gbps : float; (* explicit data-copy rate *)
+  flush_gbps : float; (* optimised cache-flush writeback rate *)
+  naive_flush_gbps : float; (* unoptimised flush rate (paper: 2 GB/s) *)
+  semaphore_ps : int; (* critical-section acquire/release cost *)
+  snoop_ps : int; (* per-line coherence probe cost *)
+}
+
+(** Paper-calibrated defaults: 3.1 GB/s copy, 8 GB/s optimised flush,
+    2 GB/s naive flush. *)
+val default_costs : costs
+
+(** [copy_ps costs ~bytes] / [flush_ps costs ~bytes] /
+    [naive_flush_ps costs ~bytes] price a transfer. *)
+val copy_ps : costs -> bytes:int -> int
+
+val flush_ps : costs -> bytes:int -> int
+val naive_flush_ps : costs -> bytes:int -> int

@@ -1,0 +1,60 @@
+(** Two-dimensional surfaces — the accelerator's native view of memory.
+
+    The GMA X3000 accesses virtual memory through *surfaces*: 2-D blocks
+    with a pixel format, a pitch and a tiling layout (paper §4.4). The CHI
+    descriptor API ({!Exochi_core.Chi_descriptor}) wraps these. Address
+    computation, including the X/Y tile swizzles, happens here, so both
+    the sampler and ordinary surface loads agree on the layout. *)
+
+type tiling = Pte.X3k.tiling = Linear | Tiled_x | Tiled_y
+
+type mode = Input | Output | In_out
+
+type t = {
+  id : int;
+  name : string;
+  base : int; (* virtual base address *)
+  width : int; (* in elements *)
+  height : int;
+  bpp : int; (* bytes per element: 1, 2 or 4 *)
+  pitch : int; (* bytes per row, tiling-aligned *)
+  tiling : tiling;
+  mode : mode;
+}
+
+(** [required_pitch ~width ~bpp ~tiling] is the smallest legal pitch:
+    64-byte aligned for linear, 512 for X-tiled, 128 for Y-tiled. *)
+val required_pitch : width:int -> bpp:int -> tiling:tiling -> int
+
+(** Total bytes of backing store ([pitch * aligned_height]); X tiles are
+    8 rows tall and Y tiles 32, so tiled surfaces round the height up. *)
+val byte_size : t -> int
+
+(** [make ~id ~name ~base ~width ~height ~bpp ~tiling ~mode] — validates
+    dimensions and computes the pitch. *)
+val make :
+  id:int ->
+  name:string ->
+  base:int ->
+  width:int ->
+  height:int ->
+  bpp:int ->
+  tiling:tiling ->
+  mode:mode ->
+  t
+
+(** [element_addr t ~x ~y] is the virtual address of element [(x, y)],
+    applying the tile swizzle. Out-of-bounds coordinates are rejected with
+    [Invalid_argument] — the hardware's surface-state bounds check. *)
+val element_addr : t -> x:int -> y:int -> int
+
+(** [row_addr t ~y] is the address of element [(0, y)]. For linear
+    surfaces, consecutive x share a row segment; for tiled surfaces use
+    {!element_addr} per element. *)
+val row_addr : t -> y:int -> int
+
+(** [contains t ~vaddr] — whether an address falls in the surface's
+    backing range. *)
+val contains : t -> vaddr:int -> bool
+
+val pp : Format.formatter -> t -> unit

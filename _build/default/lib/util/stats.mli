@@ -1,0 +1,19 @@
+(** Small statistics helpers for the benchmark harness and the simulator's
+    performance counters. *)
+
+(** Arithmetic mean. Raises [Invalid_argument] on an empty list. *)
+val mean : float list -> float
+
+(** Geometric mean; all inputs must be positive. The paper's aggregate
+    memory-model ratios (70.5%, 85.3%) are means across kernels; we report
+    both arithmetic and geometric. *)
+val geomean : float list -> float
+
+(** Population standard deviation. *)
+val stddev : float list -> float
+
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation. *)
+val percentile : float -> float list -> float
+
+(** Min and max of a non-empty list. *)
+val min_max : float list -> float * float

@@ -1,0 +1,28 @@
+(** Clock-domain arithmetic.
+
+    The simulated platform runs two clock domains — the CPU sequencer
+    (2.4 GHz in the prototype) and the accelerator (667 MHz class) — plus
+    bandwidth-priced operations such as data copies. All cross-domain
+    comparison happens on a single global timeline in picoseconds. *)
+
+(** A clock domain: frequency in MHz. *)
+type clock
+
+val clock : mhz:int -> clock
+val mhz : clock -> int
+
+(** Picoseconds per cycle of this clock. *)
+val ps_per_cycle : clock -> int
+
+(** [cycles_to_ps c n] is the duration of [n] cycles. *)
+val cycles_to_ps : clock -> int -> int
+
+(** [ps_to_cycles c ps] rounds up to whole cycles. *)
+val ps_to_cycles : clock -> int -> int
+
+(** [transfer_ps ~bytes ~gbps] is the time to move [bytes] at [gbps]
+    (decimal gigabytes per second), rounded up to a picosecond. *)
+val transfer_ps : bytes:int -> gbps:float -> int
+
+(** Pretty-print a picosecond duration with an adaptive unit. *)
+val pp_ps : Format.formatter -> int -> unit

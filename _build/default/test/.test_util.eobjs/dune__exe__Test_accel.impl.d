@@ -1,0 +1,1 @@
+test/test_accel.ml: Address_space Alcotest Array Buffer Bus Exochi_accel Exochi_isa Exochi_memory Float Int32 List Page_table Phys_mem Printf Pte QCheck QCheck_alcotest Surface X3k_asm X3k_ast

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Address_space Alcotest Bus Exochi_cpu Exochi_isa Exochi_memory Int32 List Phys_mem Printf Via32_asm Via32_ast

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm_lexer Astring Exochi_isa Gen Int32 List Loc QCheck QCheck_alcotest Via32_asm Via32_ast X3k_asm X3k_ast X3k_check

@@ -1,0 +1,1 @@
+test/test_media.ml: Address_space Alcotest Array Exochi_media Exochi_memory Exochi_util Image List Phys_mem QCheck QCheck_alcotest Surface

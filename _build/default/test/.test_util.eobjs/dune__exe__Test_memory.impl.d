@@ -1,0 +1,1 @@
+test/test_memory.ml: Address_space Alcotest Bus Bytes Cache Char Exochi_memory Hashtbl List Option Page_table Phys_mem Pte QCheck QCheck_alcotest Surface Tlb

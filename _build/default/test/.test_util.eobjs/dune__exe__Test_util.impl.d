@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bits Exochi_util Int64 Prng QCheck QCheck_alcotest Stats Timebase

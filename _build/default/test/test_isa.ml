@@ -1,0 +1,375 @@
+open Exochi_isa
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let x3k_ok src =
+  match X3k_asm.assemble ~name:"t" src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "unexpected error: %s" (Loc.error_to_string e)
+
+let x3k_err src =
+  match X3k_asm.assemble ~name:"t" src with
+  | Ok _ -> Alcotest.fail "expected an assembler error"
+  | Error e -> e
+
+let via_ok src =
+  match Via32_asm.assemble ~name:"t" src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "unexpected error: %s" (Loc.error_to_string e)
+
+let via_err src =
+  match Via32_asm.assemble ~name:"t" src with
+  | Ok _ -> Alcotest.fail "expected an assembler error"
+  | Error e -> e
+
+(* ---- lexer ---- *)
+
+let test_lexer_tokens () =
+  let lx = Asm_lexer.create ~file:"t" "mov.8 [vr1..vr2], -42 ; comment\n%sid" in
+  let rec collect acc =
+    match Asm_lexer.next lx with
+    | Ok (Asm_lexer.EOF, _) -> List.rev acc
+    | Ok (t, _) -> collect (t :: acc)
+    | Error _ -> Alcotest.fail "lex error"
+  in
+  let toks = collect [] in
+  check_int "token count" 14 (List.length toks);
+  check_bool "comment skipped" true
+    (List.for_all (function Asm_lexer.IDENT "comment" -> false | _ -> true) toks)
+
+let test_lexer_hex_and_floats () =
+  let lx = Asm_lexer.create ~file:"t" "0x1F 2.5 1e3" in
+  (match Asm_lexer.next lx with
+  | Ok (Asm_lexer.INT 31L, _) -> ()
+  | _ -> Alcotest.fail "hex");
+  (match Asm_lexer.next lx with
+  | Ok (Asm_lexer.FLOAT f, _) when f = 2.5 -> ()
+  | _ -> Alcotest.fail "float");
+  (* 1e3 without a dot lexes as INT 1 followed by IDENT e3 *)
+  match Asm_lexer.next lx with
+  | Ok (Asm_lexer.INT 1L, _) -> ()
+  | _ -> Alcotest.fail "int before exponent needs a dot"
+
+let test_lexer_bad_char () =
+  let lx = Asm_lexer.create ~file:"t" "mov $" in
+  ignore (Asm_lexer.next lx);
+  match Asm_lexer.next lx with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected lex error"
+
+(* ---- X3K parsing and validation ---- *)
+
+let fig6 =
+  {|
+  shl.1.dw   vr1 = %p0, 3
+  ld.8.dw    [vr2..vr9] = (A, vr1, 0)
+  ld.8.dw    [vr10..vr17] = (B, vr1, 0)
+  add.8.dw   [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+  st.8.dw    (C, vr1, 0) = [vr18..vr25]
+  end
+|}
+
+let test_x3k_fig6_parses () =
+  let p = x3k_ok fig6 in
+  check_int "instr count" 6 (Array.length p.X3k_ast.instrs);
+  check_int "three surfaces interned" 3 (Array.length p.X3k_ast.surfaces);
+  check_bool "slots in order" true (p.X3k_ast.surfaces = [| "A"; "B"; "C" |])
+
+let test_x3k_labels_resolve () =
+  let p = x3k_ok "L:\n  add.1.dw vr0 = vr0, 1\n  jmp L\n" in
+  match p.X3k_ast.instrs.(1).X3k_ast.srcs with
+  | [ X3k_ast.Imm 0l ] -> ()
+  | _ -> Alcotest.fail "label should resolve to instruction 0"
+
+let test_x3k_undefined_label () =
+  let e = x3k_err "  jmp NOWHERE\n  end\n" in
+  check_bool "message" true
+    (Astring.String.is_infix ~affix:"undefined label" e.Loc.msg)
+
+let test_x3k_duplicate_label () =
+  let e = x3k_err "A:\nA:\n  end\n" in
+  check_bool "message" true
+    (Astring.String.is_infix ~affix:"duplicate label" e.Loc.msg)
+
+let test_x3k_bad_register () =
+  let e = x3k_err "  mov.1.dw vr200 = 0\n  end\n" in
+  check_bool "register range" true
+    (Astring.String.is_infix ~affix:"vr200" e.Loc.msg)
+
+let test_x3k_width_divisibility () =
+  let e = x3k_err "  add.8.dw [vr0..vr2] = vr4, vr5\n  end\n" in
+  check_bool "divisibility" true
+    (Astring.String.is_infix ~affix:"not divisible" e.Loc.msg)
+
+let test_x3k_missing_end () =
+  let e = x3k_err "  mov.1.dw vr0 = 1\n" in
+  check_bool "termination check" true
+    (Astring.String.is_infix ~affix:"must end" e.Loc.msg)
+
+let test_x3k_cmp_needs_flag_dst () =
+  let e = x3k_err "  cmp.lt.1.dw vr0 = vr1, vr2\n  end\n" in
+  check_bool "flag dst" true
+    (Astring.String.is_infix ~affix:"flag register" e.Loc.msg)
+
+let test_x3k_sel_requires_pred () =
+  let e = x3k_err "  sel.8.dw vr0 = vr1, vr2\n  end\n" in
+  check_bool "pred" true
+    (Astring.String.is_infix ~affix:"predication" e.Loc.msg)
+
+let test_x3k_branch_target_checked () =
+  (* hand-build an out-of-range target through the parser is impossible,
+     so exercise the arity error instead *)
+  let e = x3k_err "  br.any f0\n  end\n" in
+  check_bool "br arity" true
+    (Astring.String.is_infix ~affix:"expects" e.Loc.msg)
+
+let test_x3k_predication_parses () =
+  let p = x3k_ok "  cmp.lt.8.dw f1 = vr0, vr1\n  (!f1) mov.8.dw vr2 = 0\n  end\n" in
+  match p.X3k_ast.instrs.(1).X3k_ast.pred with
+  | Some { X3k_ast.flag = 1; negate = true } -> ()
+  | _ -> Alcotest.fail "negated predication"
+
+let test_x3k_float_imm () =
+  let p = x3k_ok "  fadd.4.f vr0 = vr1, 1.5\n  end\n" in
+  match p.X3k_ast.instrs.(0).X3k_ast.srcs with
+  | [ _; X3k_ast.Imm bits ] ->
+    Alcotest.(check (float 0.0)) "bits" 1.5 (Int32.float_of_bits bits)
+  | _ -> Alcotest.fail "imm"
+
+let test_x3k_sem_suffixes () =
+  let p = x3k_ok "  sem.acq 3\n  sem.rel 3\n  end\n" in
+  check_bool "acq" true (p.X3k_ast.instrs.(0).X3k_ast.op = X3k_ast.Semacq);
+  check_bool "rel" true (p.X3k_ast.instrs.(1).X3k_ast.op = X3k_ast.Semrel)
+
+let test_x3k_remote_and_spawn () =
+  let p =
+    x3k_ok
+      "CHILD:\n  end\n  sendreg @(vr1, 7) = vr2\n  spawn CHILD, vr3\n  end\n"
+  in
+  (match p.X3k_ast.instrs.(1).X3k_ast.dst with
+  | Some (X3k_ast.Remote { shred_reg = 1; reg = 7 }) -> ()
+  | _ -> Alcotest.fail "remote operand");
+  match p.X3k_ast.instrs.(2).X3k_ast.srcs with
+  | [ X3k_ast.Imm 0l; X3k_ast.Reg 3 ] -> ()
+  | _ -> Alcotest.fail "spawn operands"
+
+(* round trip: source -> program -> binary -> program *)
+let test_x3k_binary_roundtrip () =
+  let p = x3k_ok fig6 in
+  let bin = X3k_asm.to_binary p in
+  match X3k_asm.of_binary ~name:"t" bin with
+  | Error e -> Alcotest.fail e
+  | Ok p2 ->
+    check_int "instrs" (Array.length p.X3k_ast.instrs)
+      (Array.length p2.X3k_ast.instrs);
+    Array.iteri
+      (fun i instr ->
+        check_bool "instr equal" true (instr = p2.X3k_ast.instrs.(i)))
+      p.X3k_ast.instrs;
+    check_bool "surfaces" true (p.X3k_ast.surfaces = p2.X3k_ast.surfaces);
+    check_bool "labels" true
+      (List.sort compare p.X3k_ast.labels = List.sort compare p2.X3k_ast.labels)
+
+(* property: random well-formed ALU programs round-trip through the
+   encoder *)
+let x3k_gen_instr =
+  QCheck.Gen.(
+    let reg = int_bound 127 in
+    let width = oneofl [ 1; 2; 4; 8; 16 ] in
+    let dt = oneofl [ X3k_ast.B; X3k_ast.W; X3k_ast.DW ] in
+    let op =
+      oneofl
+        [
+          X3k_ast.Add; X3k_ast.Sub; X3k_ast.Mul; X3k_ast.Min; X3k_ast.Max;
+          X3k_ast.And; X3k_ast.Or; X3k_ast.Xor; X3k_ast.Avg;
+        ]
+    in
+    let imm = map Int32.of_int (int_range (-1000000) 1000000) in
+    let operand =
+      frequency
+        [ (3, map (fun r -> X3k_ast.Reg r) reg); (1, map (fun i -> X3k_ast.Imm i) imm) ]
+    in
+    let pred =
+      frequency
+        [
+          (3, return None);
+          ( 1,
+            map2
+              (fun f n -> Some { X3k_ast.flag = f; negate = n })
+              (int_bound 3) bool );
+        ]
+    in
+    map2
+      (fun (op, width, dt, d) (s1, s2, pred) ->
+        {
+          X3k_ast.pred;
+          op;
+          width;
+          dtype = dt;
+          dst = Some (X3k_ast.Reg d);
+          srcs = [ s1; s2 ];
+          line = 1;
+        })
+      (tup4 op width dt reg)
+      (tup3 operand operand pred))
+
+let prop_x3k_encode_roundtrip =
+  QCheck.Test.make ~name:"x3k random program encode/decode roundtrip"
+    ~count:100
+    QCheck.(
+      make
+        Gen.(
+          map
+            (fun instrs ->
+              {
+                X3k_ast.name = "rand";
+                instrs =
+                  Array.of_list
+                    (instrs
+                    @ [
+                        {
+                          X3k_ast.pred = None;
+                          op = X3k_ast.End;
+                          width = 1;
+                          dtype = X3k_ast.DW;
+                          dst = None;
+                          srcs = [];
+                          line = 99;
+                        };
+                      ]);
+                surfaces = [||];
+                labels = [];
+                source = "";
+              })
+            (list_size (int_bound 20) x3k_gen_instr)))
+    (fun p ->
+      match X3k_check.check p with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok p -> (
+        match X3k_asm.of_binary ~name:"rand" (X3k_asm.to_binary p) with
+        | Error _ -> false
+        | Ok p2 ->
+          p.X3k_ast.instrs = p2.X3k_ast.instrs))
+
+let test_x3k_disassemble_contains_mnemonics () =
+  let p = x3k_ok fig6 in
+  let dis = X3k_asm.disassemble p in
+  List.iter
+    (fun m ->
+      check_bool m true (Astring.String.is_infix ~affix:m dis))
+    [ "shl.1.dw"; "ld.8.dw"; "add.8.dw"; "st.8.dw"; "(A, vr1, 0)" ]
+
+(* ---- VIA32 ---- *)
+
+let via_prog =
+  {|
+entry:
+  mov.d   eax, 0
+loop_top:
+  cmp     eax, 16
+  jge     fin
+  movdqu  xmm0, [DATA + eax*4]
+  paddd   xmm0, xmm1
+  movdqu  [DATA + eax*4], xmm0
+  add     eax, 4
+  jmp     loop_top
+fin:
+  ret
+|}
+
+let test_via32_parses () =
+  let p = via_ok via_prog in
+  check_int "instrs" 9 (Array.length p.Via32_ast.instrs);
+  check_bool "symbol interned" true (p.Via32_ast.symbols = [| "DATA" |])
+
+let test_via32_mem_operand_forms () =
+  let p = via_ok "  mov.d eax, [ebx + ecx*8 - 12]\n  hlt\n" in
+  match p.Via32_ast.instrs.(0).Via32_ast.operands with
+  | [ _; Via32_ast.M { base = Some Via32_ast.EBX; index = Some (Via32_ast.ECX, 8); disp = -12; sym = None } ] -> ()
+  | _ -> Alcotest.fail "memory operand decomposition"
+
+let test_via32_call_classification () =
+  let p = via_ok "f:\n  ret\nmain:\n  call f\n  call chi_wait\n  hlt\n" in
+  (match Via32_ast.call_target p 1 with
+  | Some (Via32_ast.Internal 0) -> ()
+  | _ -> Alcotest.fail "internal call");
+  match Via32_ast.call_target p 2 with
+  | Some (Via32_ast.Intrinsic "chi_wait") -> ()
+  | _ -> Alcotest.fail "intrinsic call"
+
+let test_via32_undefined_jump () =
+  let e = via_err "  jmp nowhere_at_all\n  hlt\n" in
+  check_bool "msg" true (Astring.String.is_infix ~affix:"undefined label" e.Loc.msg)
+
+let test_via32_two_mem_rejected () =
+  let e = via_err "  mov.d [eax], [ebx]\n  hlt\n" in
+  check_bool "msg" true
+    (Astring.String.is_infix ~affix:"two memory operands" e.Loc.msg)
+
+let test_via32_shift_operand_kinds () =
+  let e = via_err "  shl eax, [ebx]\n  hlt\n" in
+  check_bool "msg" true
+    (Astring.String.is_infix ~affix:"register or immediate" e.Loc.msg)
+
+let test_via32_termination_required () =
+  let e = via_err "  mov.d eax, 1\n" in
+  check_bool "msg" true (Astring.String.is_infix ~affix:"must end" e.Loc.msg)
+
+let test_via32_binary_roundtrip () =
+  let p = via_ok via_prog in
+  match Via32_asm.of_binary ~name:"t" (Via32_asm.to_binary p) with
+  | Error e -> Alcotest.fail e
+  | Ok p2 ->
+    check_bool "instrs equal" true (p.Via32_ast.instrs = p2.Via32_ast.instrs);
+    check_bool "calls equal" true
+      (List.sort compare p.Via32_ast.calls = List.sort compare p2.Via32_ast.calls);
+    check_bool "symbols equal" true (p.Via32_ast.symbols = p2.Via32_ast.symbols)
+
+let test_via32_pshufd_arity () =
+  ignore (via_ok "  pshufd xmm0, xmm1, 27\n  hlt\n");
+  let e = via_err "  pshufd xmm0, xmm1\n  hlt\n" in
+  check_bool "msg" true (Astring.String.is_infix ~affix:"3 operand" e.Loc.msg)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "hex/float" `Quick test_lexer_hex_and_floats;
+          Alcotest.test_case "bad char" `Quick test_lexer_bad_char;
+        ] );
+      ( "x3k",
+        [
+          Alcotest.test_case "figure 6 parses" `Quick test_x3k_fig6_parses;
+          Alcotest.test_case "labels" `Quick test_x3k_labels_resolve;
+          Alcotest.test_case "undefined label" `Quick test_x3k_undefined_label;
+          Alcotest.test_case "duplicate label" `Quick test_x3k_duplicate_label;
+          Alcotest.test_case "bad register" `Quick test_x3k_bad_register;
+          Alcotest.test_case "width divisibility" `Quick test_x3k_width_divisibility;
+          Alcotest.test_case "missing end" `Quick test_x3k_missing_end;
+          Alcotest.test_case "cmp flag dst" `Quick test_x3k_cmp_needs_flag_dst;
+          Alcotest.test_case "sel needs pred" `Quick test_x3k_sel_requires_pred;
+          Alcotest.test_case "br arity" `Quick test_x3k_branch_target_checked;
+          Alcotest.test_case "predication" `Quick test_x3k_predication_parses;
+          Alcotest.test_case "float imm" `Quick test_x3k_float_imm;
+          Alcotest.test_case "sem suffixes" `Quick test_x3k_sem_suffixes;
+          Alcotest.test_case "remote/spawn" `Quick test_x3k_remote_and_spawn;
+          Alcotest.test_case "binary roundtrip" `Quick test_x3k_binary_roundtrip;
+          QCheck_alcotest.to_alcotest prop_x3k_encode_roundtrip;
+          Alcotest.test_case "disassembly" `Quick test_x3k_disassemble_contains_mnemonics;
+        ] );
+      ( "via32",
+        [
+          Alcotest.test_case "parses" `Quick test_via32_parses;
+          Alcotest.test_case "memory operands" `Quick test_via32_mem_operand_forms;
+          Alcotest.test_case "call classes" `Quick test_via32_call_classification;
+          Alcotest.test_case "undefined jump" `Quick test_via32_undefined_jump;
+          Alcotest.test_case "two mem rejected" `Quick test_via32_two_mem_rejected;
+          Alcotest.test_case "shift kinds" `Quick test_via32_shift_operand_kinds;
+          Alcotest.test_case "termination" `Quick test_via32_termination_required;
+          Alcotest.test_case "binary roundtrip" `Quick test_via32_binary_roundtrip;
+          Alcotest.test_case "pshufd arity" `Quick test_via32_pshufd_arity;
+        ] );
+    ]

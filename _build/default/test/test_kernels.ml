@@ -1,0 +1,227 @@
+(* Every Table 2 kernel, executed on both simulated targets and compared
+   bit-for-bit with the golden OCaml reference. Video kernels run with a
+   short frame count to keep the suite fast; the full lengths run in the
+   benchmark harness. *)
+
+open Exochi_kernels
+module Image = Exochi_media.Image
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let frames_for (k : Kernel.t) =
+  match k.abbrev with "FMD" -> Some 6 | _ -> Some 3
+
+let gpu_case (k : Kernel.t) () =
+  let r = Harness.run ?frames:(frames_for k) k Kernel.Small in
+  check_int (k.abbrev ^ " exo-sequencer output exact") 0 r.max_diff;
+  check_bool "correct" true r.correct;
+  check_bool "shreds ran" true (r.shreds > 0)
+
+let cpu_case (k : Kernel.t) () =
+  let r =
+    Harness.run ?frames:(frames_for k) ~split:Harness.All_cpu k Kernel.Small
+  in
+  check_int (k.abbrev ^ " IA32 output exact") 0 r.max_diff;
+  check_bool "no shreds on cpu path" true (r.shreds = 0)
+
+let coop_case (k : Kernel.t) () =
+  let r =
+    Harness.run ?frames:(frames_for k) ~split:(Harness.Cooperative 0.3) k
+      Kernel.Small
+  in
+  check_int (k.abbrev ^ " cooperative output exact") 0 r.max_diff
+
+let memmodel_case (k : Kernel.t) mm () =
+  let r = Harness.run ?frames:(frames_for k) ~memmodel:mm k Kernel.Small in
+  check_int (k.abbrev ^ " output exact") 0 r.max_diff;
+  check_int "no protocol violations" 0 r.protocol_violations
+
+(* Table 2 shred counts at paper sizes *)
+let shred_count_case (k : Kernel.t) scale () =
+  let io =
+    k.make_io
+      ?frames:(match k.abbrev with "FMD" -> Some 60 | _ -> Some 30)
+      (Exochi_util.Prng.create 1L) scale
+  in
+  let paper = k.table2_shreds scale in
+  let delta = abs (io.Kernel.units - paper) in
+  check_bool
+    (Printf.sprintf "%s units %d within 2%% of paper %d" k.abbrev
+       io.Kernel.units paper)
+    true
+    (100 * delta <= 2 * paper)
+
+(* FMD cadence detection finds an injected 3:2 pulldown *)
+let test_fmd_cadence_detection () =
+  let prng = Exochi_util.Prng.create 11L in
+  let frames = 30 in
+  let base =
+    Image.synthetic_video prng ~width:720 ~height:480 ~frames:12 Image.Natural
+  in
+  (* telecine: repeat source frames in a 2:3 pattern *)
+  let pulldown =
+    Image.init ~width:720 ~height:(480 * frames) (fun ~x ~y ->
+        let f = y / 480 and py = y mod 480 in
+        let src = f * 12 / frames in
+        Image.get base ~x ~y:((src * 480) + py))
+  in
+  let io =
+    {
+      Kernel.wl_desc = "pulldown";
+      inputs = [ ("F", pulldown) ];
+      outputs = [ ("MET", 2, (frames - 2) * 22) ];
+      units = (frames - 2) * 22;
+      meta =
+        [ ("w", 720); ("h", 480); ("frames", frames); ("pairs", frames - 2);
+          ("bpp:MET", 4) ];
+    }
+  in
+  let metrics = List.assoc "MET" (Fmd.kernel.Kernel.golden io) in
+  match Fmd.detect_cadence metrics ~pairs:(frames - 2) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a cadence to be detected"
+
+let test_fmd_no_cadence_on_plain_video () =
+  let prng = Exochi_util.Prng.create 12L in
+  let io = Fmd.kernel.Kernel.make_io ~frames:30 prng Kernel.Small in
+  let metrics = List.assoc "MET" (Fmd.kernel.Kernel.golden io) in
+  check_bool "no false positive" true
+    (Fmd.detect_cadence metrics ~pairs:28 = None)
+
+(* deterministic workloads: same seed, same golden *)
+let test_workloads_deterministic () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      let io1 = k.make_io ?frames:(frames_for k) (Exochi_util.Prng.create 5L) Kernel.Small in
+      let io2 = k.make_io ?frames:(frames_for k) (Exochi_util.Prng.create 5L) Kernel.Small in
+      List.iter2
+        (fun (n1, p1) (n2, p2) ->
+          check_bool (k.abbrev ^ " input " ^ n1) true
+            (n1 = n2 && Image.equal p1 p2))
+        io1.Kernel.inputs io2.Kernel.inputs)
+    Registry.all
+
+(* The whole stack on tiled surfaces: SepiaTone's accelerator code uses
+   2-D surface addressing, so re-homing its six planes onto Y-tiled
+   surfaces must not change a single pixel. ATR picks the tiling up from
+   the descriptor registry when transcoding PTEs. *)
+let test_kernel_on_tiled_surfaces () =
+  let open Exochi_core in
+  let open Exochi_memory in
+  let k = Sepia.kernel in
+  let io = k.Kernel.make_io (Exochi_util.Prng.create 21L) Kernel.Small in
+  (* shrink: crop every plane to 64x64 to keep the test quick *)
+  let crop img = Image.crop img ~x:0 ~y:0 ~width:64 ~height:64 in
+  let io =
+    {
+      io with
+      Kernel.inputs = List.map (fun (n, p) -> (n, crop p)) io.Kernel.inputs;
+      outputs = List.map (fun (n, _, _) -> (n, 64, 64)) io.Kernel.outputs;
+      units = 64 / 8 * (64 / 8);
+      meta = [ ("w", 64); ("h", 64); ("bw", 8) ];
+    }
+  in
+  let platform = Exo_platform.create () in
+  let rt = Chi_runtime.create ~platform () in
+  let aspace = Exo_platform.aspace platform in
+  let mk name mode img_opt =
+    let pitch = Surface.required_pitch ~width:64 ~bpp:1 ~tiling:Surface.Tiled_y in
+    let base =
+      Address_space.alloc aspace ~name ~bytes:(pitch * 64 * 2) ~align:4096
+    in
+    let d =
+      Chi_descriptor.alloc platform ~name ~base ~width:64 ~height:64
+        ~tiling:Surface.Tiled_y ~mode ()
+    in
+    Option.iter (fun img -> Image.store aspace img ~surface:d.Chi_descriptor.surface) img_opt;
+    d
+  in
+  let descs =
+    List.map
+      (fun (n, img) -> mk n Chi_descriptor.Input (Some img))
+      io.Kernel.inputs
+    @ List.map (fun (n, _, _) -> mk n Chi_descriptor.Output None) io.Kernel.outputs
+  in
+  let prog =
+    Exochi_isa.X3k_asm.assemble_exn ~name:"sepia" (k.Kernel.x3k_asm io)
+  in
+  ignore
+    (Chi_runtime.parallel rt ~prog ~descriptors:descs ~num_threads:io.Kernel.units
+       ~params:(k.Kernel.unit_params io) ~master_nowait:false ());
+  let golden = k.Kernel.golden io in
+  List.iter
+    (fun (name, expected) ->
+      let d =
+        List.find
+          (fun d -> d.Chi_descriptor.surface.Surface.name = name)
+          descs
+      in
+      let got = Image.load aspace ~surface:d.Chi_descriptor.surface in
+      check_int (name ^ " tiled output exact") 0 (Image.max_abs_diff expected got))
+    golden
+
+let test_registry_complete () =
+  check_int "ten kernels" 10 (List.length Registry.all);
+  check_bool "lookup" true (Registry.find "bob" <> None);
+  check_bool "case insensitive" true (Registry.find "LINEARFILTER" <> None);
+  check_bool "missing" true (Registry.find "nope" = None)
+
+let () =
+  let per_kernel =
+    List.concat_map
+      (fun (k : Kernel.t) ->
+        [
+          Alcotest.test_case (k.Kernel.abbrev ^ " on exo-sequencers") `Slow
+            (gpu_case k);
+          Alcotest.test_case (k.Kernel.abbrev ^ " on IA32") `Slow (cpu_case k);
+        ])
+      Registry.all
+  in
+  let coop =
+    List.map
+      (fun (k : Kernel.t) ->
+        Alcotest.test_case (k.Kernel.abbrev ^ " cooperative") `Slow (coop_case k))
+      [ Linear_filter.kernel; Bob.kernel ]
+  in
+  let memmodels =
+    List.concat_map
+      (fun (k : Kernel.t) ->
+        [
+          Alcotest.test_case (k.Kernel.abbrev ^ " non-cc") `Slow
+            (memmodel_case k Exochi_memory.Memmodel.Non_cc_shared);
+          Alcotest.test_case (k.Kernel.abbrev ^ " data-copy") `Slow
+            (memmodel_case k Exochi_memory.Memmodel.Data_copy);
+        ])
+      [ Linear_filter.kernel; Advdi.kernel ]
+  in
+  let shred_counts =
+    List.concat_map
+      (fun (k : Kernel.t) ->
+        List.map
+          (fun scale ->
+            Alcotest.test_case
+              (k.Kernel.abbrev ^ " table2 shreds") `Quick
+              (shred_count_case k scale))
+          k.Kernel.scales)
+      Registry.all
+  in
+  Alcotest.run "kernels"
+    [
+      ("golden-vs-targets", per_kernel);
+      ("cooperative", coop);
+      ("memory-models", memmodels);
+      ("table2", shred_counts);
+      ( "fmd-cadence",
+        [
+          Alcotest.test_case "detects pulldown" `Slow test_fmd_cadence_detection;
+          Alcotest.test_case "no false positive" `Slow test_fmd_no_cadence_on_plain_video;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "deterministic workloads" `Quick test_workloads_deterministic;
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "tiled surfaces end-to-end" `Quick
+            test_kernel_on_tiled_surfaces;
+        ] );
+    ]
