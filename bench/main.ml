@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- fig7    -- one experiment
      dune exec bench/main.exe -- --full  -- paper-sized workloads (slow)
 
-   Experiments: table2 fig7 fig8 fig10 flush ablate-smt ablate-atr micro.
+   Experiments: table2 fig7 fig8 fig10 flush ablate-smt ablate-atr soak
+   micro.
    Absolute times are simulated-platform times; the reproduction target is
    the *shape* (who wins, by what factor, where the crossovers are). *)
 
@@ -275,6 +276,51 @@ let ablate_atr cfg =
     "tlb=  32, no GTT shadow (pure lazy ATR): %8.3fms  full-proxies=%d\n"
     (ms lazy_atr.time_ps) lazy_atr.atr_proxies
 
+(* ---- fault-injection soak (robustness of self-healing dispatch) ---- *)
+
+let soak cfg =
+  header
+    "Fault-injection soak: self-healing shred dispatch under per-class \
+     fault rates (outputs must stay bit-correct)";
+  let kernels =
+    List.filter_map Registry.find [ "SepiaTone"; "LinearFilter"; "Bicubic" ]
+  in
+  let rates = [ 0.0; 0.002; 0.01 ] in
+  Printf.printf "%-14s %7s %10s %8s %8s %6s %9s %7s %6s  %s\n" "Kernel" "rate"
+    "time" "injected" "retries" "quar" "fallbacks" "recov" "fatal" "check";
+  List.iter
+    (fun (k : Kernel.t) ->
+      let scale = scale_of cfg k in
+      let frames = frames_of cfg k in
+      let baseline = Harness.run ?frames k scale in
+      List.iter
+        (fun rate ->
+          let fault_plan =
+            Exochi_faults.Fault_plan.create ~seed:42L
+              ~rates:(Exochi_faults.Fault_plan.uniform_rates rate)
+              ()
+          in
+          let r = Harness.run ?frames ~fault_plan k scale in
+          assert r.correct;
+          (* a disabled (all-zero-rate) plan must be free: the run is
+             time-for-time identical to one with no plan installed *)
+          if rate = 0.0 then begin
+            assert (r.time_ps = baseline.time_ps);
+            assert (r.faults_injected = 0 && r.retries = 0);
+            assert (r.quarantined_seqs = 0 && r.fallback_shreds = 0)
+          end;
+          Printf.printf
+            "%-14s %6.1f%% %8.3fms %8d %8d %6d %9d %7d %6d  %s\n%!" k.abbrev
+            (100.0 *. rate) (ms r.time_ps) r.faults_injected r.retries
+            r.quarantined_seqs r.fallback_shreds r.recovered_faults
+            r.fatal_faults
+            (if r.correct then "outputs-ok" else "OUTPUT-MISMATCH"))
+        rates)
+    kernels;
+  Printf.printf
+    "\nall runs bit-correct; zero-rate plans verified time-identical to \
+     fault-free runs.\n"
+
 (* ---- bechamel micro-benchmarks of the simulator itself ---- *)
 
 let micro () =
@@ -353,13 +399,13 @@ let () =
       (fun a ->
         List.mem a
           [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
-            "ablate-atr"; "micro" ])
+            "ablate-atr"; "soak"; "micro" ])
       args
   in
   let wanted =
     if wanted = [] then
       [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
-        "ablate-atr"; "micro" ]
+        "ablate-atr"; "soak"; "micro" ]
     else wanted
   in
   Printf.printf
@@ -375,6 +421,7 @@ let () =
       | "flush" -> flush_ablation cfg
       | "ablate-smt" -> ablate_smt cfg
       | "ablate-atr" -> ablate_atr cfg
+      | "soak" -> soak cfg
       | "micro" -> micro ()
       | _ -> ())
     wanted

@@ -1,8 +1,10 @@
 (* Compile and execute a CHI-lite program on the simulated EXO platform.
 
-     exochi_run prog.chi [--memmodel cc|noncc|copy]
+     exochi_run prog.chi [--memmodel cc|noncc|copy] [--faults SEED:RATE]
 
-   print_int output goes to stdout; a simulated-platform summary follows. *)
+   print_int output goes to stdout; a simulated-platform summary follows.
+   --faults installs a deterministic fault-injection plan (uniform
+   per-class rate) and the self-healing runtime absorbs the faults. *)
 
 open Exochi_core
 
@@ -32,12 +34,28 @@ let () =
       in
       find rest
     in
+    let fault_plan =
+      let rec find = function
+        | "--faults" :: spec :: _ -> (
+          match Exochi_faults.Fault_plan.of_spec spec with
+          | Ok plan -> Some plan
+          | Error msg ->
+            prerr_endline msg;
+            exit 1)
+        | [ "--faults" ] ->
+          prerr_endline "--faults requires an argument (SEED:RATE)";
+          exit 1
+        | _ :: r -> find r
+        | [] -> None
+      in
+      find rest
+    in
     (match Chilite_compile.compile ~name src with
     | Error e ->
       prerr_endline (Exochi_isa.Loc.error_to_string e);
       exit 1
     | Ok compiled ->
-      let platform = Exo_platform.create ~memmodel () in
+      let platform = Exo_platform.create ~memmodel ?fault_plan () in
       let prog = Chilite_run.load ~platform compiled in
       Chilite_run.run prog;
       List.iter (fun v -> Printf.printf "%d\n" v) (Chilite_run.output prog);
@@ -52,7 +70,23 @@ let () =
         (Exochi_accel.Gpu.shreds_completed gpu)
         (Exo_platform.atr_proxies platform)
         (Exo_platform.gtt_hits platform)
-        (Exo_platform.ceh_proxies platform))
+        (Exo_platform.ceh_proxies platform);
+      match fault_plan with
+      | None -> ()
+      | Some plan ->
+        let r = Chi_runtime.recovery (Chilite_run.runtime prog) in
+        Printf.eprintf
+          "[exochi] faults: %d injected (seed %Ld); recovery: %d redispatch, \
+           %d doorbell re-rings, %d watchdog kills, %d quarantined, %d ATR \
+           retries, %d IA32 fallbacks, %d fatal\n"
+          (Exochi_faults.Fault_plan.injected_total plan)
+          (Exochi_faults.Fault_plan.seed plan)
+          r.Chi_runtime.redispatches r.Chi_runtime.doorbell_redeliveries
+          r.Chi_runtime.watchdog_kills r.Chi_runtime.quarantined_seqs
+          (Exo_platform.atr_transient_retries platform)
+          r.Chi_runtime.fallback_shreds r.Chi_runtime.fatal)
   | _ ->
-    prerr_endline "usage: exochi_run <prog.chi> [--memmodel cc|noncc|copy]";
+    prerr_endline
+      "usage: exochi_run <prog.chi> [--memmodel cc|noncc|copy] [--faults \
+       SEED:RATE]";
     exit 1

@@ -1,6 +1,7 @@
 open Exochi_util
 open Exochi_memory
 open Exochi_isa.X3k_ast
+module Fault_plan = Exochi_faults.Fault_plan
 
 type config = {
   clock_mhz : int;
@@ -12,6 +13,7 @@ type config = {
   tlb_entries : int;
   dispatch_cycles : int;
   switch_on_stall : bool;
+  fault_plan : Fault_plan.t option;
 }
 
 let default_config =
@@ -25,6 +27,7 @@ let default_config =
     tlb_entries = 128;
     dispatch_cycles = 120;
     switch_on_stall = true;
+    fault_plan = None;
   }
 
 type shred = { shred_id : int; entry : int; params : int array }
@@ -39,18 +42,22 @@ type fault_request = {
 type hooks = {
   atr : vpage:int -> now_ps:int -> Pte.X3k.t option * int;
   ceh : fault_request -> now_ps:int -> int array * int;
+  ceh_spurious : now_ps:int -> int;
   mem_delay : paddr:int -> bytes:int -> write:bool -> now_ps:int -> int;
   on_shred_done : shred -> now_ps:int -> unit;
 }
 
 exception Stuck of string
-exception Gpu_segfault of int
+
+exception
+  Gpu_segfault of { vaddr : int; vpage : int; shred_id : int }
 
 type ctx_state =
   | Idle
   | Ready
   | Stalled of int (* resume at ps *)
   | Wait_sem of int
+  | Hung (* injected fault: the context stopped retiring *)
 
 type ctx = {
   mutable state : ctx_state;
@@ -61,6 +68,10 @@ type ctx = {
   flag_ready : int array;
   mutable shred : shred option;
   mutable store_done : int; (* last posted store completion *)
+  mutable started : int; (* dispatch timestamp, for the watchdog *)
+  mutable fails : int; (* consecutive reaps on this slot *)
+  mutable disabled : bool; (* quarantined: removed from the eligible set *)
+  mutable sems_held : int list;
 }
 
 type eu = {
@@ -84,6 +95,7 @@ type t = {
   gtlb : Pte.X3k.t Tlb.t;
   eus : eu array;
   queue : shred Queue.t;
+  parked : shred Queue.t; (* enqueued but doorbell lost: invisible to EUs *)
   mutable binding : binding option;
   mutable nshred : int; (* team size visible as %nshred *)
   mutable spawn_counter : int;
@@ -102,20 +114,24 @@ type t = {
   mutable operand_stall_ps : int;
 }
 
+let mk_ctx () =
+  {
+    state = Idle;
+    pc = 0;
+    vregs = Array.make (128 * 16) 0;
+    reg_ready = Array.make 128 0;
+    flags = Array.make 4 0;
+    flag_ready = Array.make 4 0;
+    shred = None;
+    store_done = 0;
+    started = 0;
+    fails = 0;
+    disabled = false;
+    sems_held = [];
+  }
+
 let create ?(config = default_config) ~aspace ~bus ~hooks () =
   let clock = Timebase.clock ~mhz:config.clock_mhz in
-  let mk_ctx () =
-    {
-      state = Idle;
-      pc = 0;
-      vregs = Array.make (128 * 16) 0;
-      reg_ready = Array.make 128 0;
-      flags = Array.make 4 0;
-      flag_ready = Array.make 4 0;
-      shred = None;
-      store_done = 0;
-    }
-  in
   {
     cfg = config;
     aspace;
@@ -137,6 +153,7 @@ let create ?(config = default_config) ~aspace ~bus ~hooks () =
             streak = 0;
           });
     queue = Queue.create ();
+    parked = Queue.create ();
     binding = None;
     nshred = 0;
     spawn_counter = 0;
@@ -164,9 +181,37 @@ let bind t ~prog ~surfaces =
     invalid_arg "Gpu.bind: surface table smaller than program slot table";
   t.binding <- Some { prog; surf_table = surfaces }
 
+(* One SIGNAL doorbell covers the whole batch: if the fault plan drops
+   it, the shreds sit in shared memory ([parked]) but no EU ever polls
+   them until the runtime re-rings the doorbell. *)
 let enqueue t shreds =
-  List.iter (fun s -> Queue.add s t.queue) shreds;
-  t.nshred <- t.nshred + List.length shreds
+  t.nshred <- t.nshred + List.length shreds;
+  let lost =
+    match t.cfg.fault_plan with
+    | Some plan -> Fault_plan.decide plan Fault_plan.Lost_signal
+    | None -> false
+  in
+  let q = if lost then t.parked else t.queue in
+  List.iter (fun s -> Queue.add s q) shreds
+
+(* Re-dispatch of already-counted shreds (recovery): the team size must
+   not grow, and the recovery doorbell is assumed reliable. *)
+let reenqueue t shreds = List.iter (fun s -> Queue.add s t.queue) shreds
+
+let redeliver_doorbell t =
+  let n = Queue.length t.parked in
+  Queue.transfer t.parked t.queue;
+  n
+
+let parked_count t = Queue.length t.parked
+
+let drain_queue t =
+  let acc = ref [] in
+  Queue.iter (fun s -> acc := s :: !acc) t.queue;
+  Queue.iter (fun s -> acc := s :: !acc) t.parked;
+  Queue.clear t.queue;
+  Queue.clear t.parked;
+  List.rev !acc
 
 let queue_length t = Queue.length t.queue
 let shreds_completed t = t.completed
@@ -304,7 +349,13 @@ let translate_page t eu vaddr =
     | Some pte, done_ps ->
       Tlb.insert t.gtlb ~vpage pte;
       `Stall done_ps
-    | None, _ -> raise (Gpu_segfault vaddr))
+    | None, _ ->
+      let shred_id =
+        match eu.ctxs.(eu.current).shred with
+        | Some sh -> sh.shred_id
+        | None -> -1
+      in
+      raise (Gpu_segfault { vaddr; vpage; shred_id }))
 
 (* Timing for an access to a translated physical range. Returns the
    completion timestamp. *)
@@ -410,6 +461,7 @@ let sem_release t sem =
     let ctx = t.eus.(e).ctxs.(s) in
     (* hand the semaphore to the waiter and wake it *)
     ctx.state <- Stalled (t.eus.(e).now + (10 * t.cycle));
+    ctx.sems_held <- sem :: ctx.sems_held;
     ctx.pc <- ctx.pc + 1 (* its semacq completes *)
 
 (* ---- sampler ---- *)
@@ -524,6 +576,17 @@ let exec_instr t eu slot =
     t.operand_stall_ps <- t.operand_stall_ps + (ready_needed - eu.now);
     Replay ready_needed
   end
+  else if
+    (match t.cfg.fault_plan with
+    | None -> false
+    | Some plan -> (
+      match i.op with
+      | Nop | End | Br _ | Jmp | Fence | Semacq | Semrel -> false
+      | _ -> Fault_plan.decide plan Fault_plan.Ceh_spurious))
+  then
+    (* injected spurious CEH trap: the IA32 handler finds nothing to
+       emulate and resumes the shred, which replays the instruction *)
+    Replay (t.hooks.ceh_spurious ~now_ps:eu.now)
   else begin
     let mask = pred_mask ctx ~width i.pred in
     let src n = List.nth i.srcs n in
@@ -821,13 +884,16 @@ let exec_instr t eu slot =
           if t.sem_held.(s) then Blocked_sem s
           else begin
             t.sem_held.(s) <- true;
+            ctx.sems_held <- s :: ctx.sems_held;
             Advance
           end
         | _ -> invalid_arg "sem operands")
       | Semrel -> (
         match i.srcs with
         | [ Imm s ] ->
-          sem_release t (Int32.to_int s);
+          let s = Int32.to_int s in
+          ctx.sems_held <- List.filter (fun x -> x <> s) ctx.sems_held;
+          sem_release t s;
           Advance
         | _ -> invalid_arg "sem operands")
       | Sendreg -> (
@@ -903,7 +969,17 @@ let dispatch t eu slot shred =
       !cell;
     Hashtbl.remove t.pending_regs shred.shred_id
   | None -> ());
-  ctx.state <- Stalled (eu.now + (t.cfg.dispatch_cycles * t.cycle))
+  ctx.started <- eu.now;
+  let hang =
+    match t.cfg.fault_plan with
+    | Some plan -> Fault_plan.decide plan Fault_plan.Shred_hang
+    | None -> false
+  in
+  if hang then
+    (* the EU wedges before retiring anything: no architectural state of
+       the shred changes, so a re-dispatch restarts it from scratch *)
+    ctx.state <- Hung
+  else ctx.state <- Stalled (eu.now + (t.cfg.dispatch_cycles * t.cycle))
 
 (* Refresh stalled contexts whose resume time has passed; fill idle
    contexts from the queue. *)
@@ -913,8 +989,8 @@ let refresh t eu =
       (match ctx.state with
       | Stalled ps when ps <= eu.now -> ctx.state <- Ready
       | _ -> ());
-      if ctx.state = Idle && not (Queue.is_empty t.queue) then
-        dispatch t eu slot (Queue.pop t.queue))
+      if ctx.state = Idle && (not ctx.disabled) && not (Queue.is_empty t.queue)
+      then dispatch t eu slot (Queue.pop t.queue))
     eu.ctxs
 
 (* Pick the context to issue from. Switch-on-stall: keep the current
@@ -964,6 +1040,8 @@ let finish_shred t eu ctx =
     t.hooks.on_shred_done sh ~now_ps:eu.now
   | None -> ());
   ctx.shred <- None;
+  ctx.fails <- 0;
+  ctx.sems_held <- [];
   ctx.state <- Idle
 
 let step_eu t eu target_ps =
@@ -981,7 +1059,7 @@ let step_eu t eu target_ps =
       | _ ->
         if
           (not (Queue.is_empty t.queue))
-          && Array.exists (fun c -> c.state = Idle) eu.ctxs
+          && Array.exists (fun c -> c.state = Idle && not c.disabled) eu.ctxs
         then refresh t eu
         else begin
           t.stall_cyc <- t.stall_cyc + ((target_ps - eu.now) / t.cycle);
@@ -1098,3 +1176,294 @@ let resident t =
         eu.ctxs)
     t.eus;
   List.rev !acc
+
+(* ---- recovery interface (driven by the supervising CHI runtime) ---- *)
+
+let reap_overdue t ~watchdog_ps =
+  let reaped = ref [] in
+  Array.iter
+    (fun eu ->
+      Array.iteri
+        (fun slot ctx ->
+          match (ctx.state, ctx.shred) with
+          | Hung, Some sh when eu.now - ctx.started >= watchdog_ps ->
+            (* hangs strike before the first instruction retires, so the
+               shred has no architectural effects to undo; release any
+               semaphores the slot held and free it *)
+            List.iter (fun s -> sem_release t s) ctx.sems_held;
+            ctx.sems_held <- [];
+            ctx.shred <- None;
+            ctx.state <- Idle;
+            ctx.fails <- ctx.fails + 1;
+            reaped := (eu.eu_id, slot, sh, ctx.fails) :: !reaped
+          | _ -> ())
+        eu.ctxs)
+    t.eus;
+  List.rev !reaped
+
+let quarantine t ~eu ~slot = t.eus.(eu).ctxs.(slot).disabled <- true
+
+let quarantined_slots t =
+  Array.fold_left
+    (fun acc eu ->
+      Array.fold_left (fun a c -> if c.disabled then a + 1 else a) acc eu.ctxs)
+    0 t.eus
+
+let active_slots t =
+  Array.fold_left
+    (fun acc eu ->
+      Array.fold_left (fun a c -> if c.disabled then a else a + 1) acc eu.ctxs)
+    0 t.eus
+
+(* ---- whole-shred IA32 fallback emulation ----
+
+   Proxy-executes one shred functionally on the IA32 sequencer using the
+   same lane semantics as the EUs (graceful degradation: slower, never
+   wrong). Runs on a scratch context with no timing model — the caller
+   charges CPU time from the returned instruction/lane counts. Runs at a
+   point where the EUs are paused, so semaphores degenerate to no-ops:
+   the emulated shred is atomic with respect to the team. *)
+
+let emulate_shred t sh =
+  let b =
+    match t.binding with
+    | None -> invalid_arg "Gpu.emulate_shred: no binding"
+    | Some b -> b
+  in
+  let ctx = mk_ctx () in
+  ctx.shred <- Some sh;
+  ctx.pc <- sh.entry;
+  (match Hashtbl.find_opt t.pending_regs sh.shred_id with
+  | Some cell ->
+    List.iter
+      (fun (reg, lanes) ->
+        Array.iteri (fun j v -> set_reg_lane ctx reg j v) lanes)
+      !cell;
+    Hashtbl.remove t.pending_regs sh.shred_id
+  | None -> ());
+  let segfault vaddr =
+    raise
+      (Gpu_segfault
+         {
+           vaddr;
+           vpage = vaddr lsr Phys_mem.page_shift;
+           shred_id = sh.shred_id;
+         })
+  in
+  (* IA32-side translation: the fallback runs under the OS, so a miss is
+     an ordinary page fault, not an ATR round trip *)
+  let translate vaddr =
+    let pt = Address_space.page_table t.aspace in
+    match Page_table.translate pt ~vaddr with
+    | Some pa -> pa
+    | None -> (
+      match Address_space.fault_in t.aspace ~vaddr with
+      | exception Address_space.Segfault _ -> segfault vaddr
+      | `Already | `Faulted -> (
+        match Page_table.translate pt ~vaddr with
+        | Some pa -> pa
+        | None -> segfault vaddr))
+  in
+  let instrs = ref 0 and lane_ops = ref 0 in
+  let running = ref true in
+  let fuel = ref 10_000_000 in
+  while !running do
+    decr fuel;
+    if !fuel <= 0 then
+      raise (Stuck "IA32 fallback emulation: shred did not terminate");
+    let i = b.prog.instrs.(ctx.pc) in
+    let width = i.width in
+    incr instrs;
+    lane_ops := !lane_ops + width;
+    let mask = pred_mask ctx ~width i.pred in
+    let src n = List.nth i.srcs n in
+    let wr dst res =
+      let old = read_lanes t ctx ~width dst in
+      write_lanes ctx ~width dst (apply_pred ~mask ~width old res) ~ready:0
+    in
+    let next = ref (ctx.pc + 1) in
+    (match i.op with
+    | Nop | Fence | Semacq | Semrel -> ()
+    | Add | Sub | Mul | Min | Max | Avg | Shl | Shr | Sar | And | Or | Xor
+    | Fadd | Fsub | Fmul | Fmin | Fmax ->
+      let a = read_lanes t ctx ~width (src 0) in
+      let bl = read_lanes t ctx ~width (src 1) in
+      wr (Option.get i.dst)
+        (Array.init width (fun j -> alu_result i.op i.dtype a.(j) bl.(j)))
+    | Mac | Fmac ->
+      let a = read_lanes t ctx ~width (src 0) in
+      let bl = read_lanes t ctx ~width (src 1) in
+      let dst = Option.get i.dst in
+      let acc = read_lanes t ctx ~width dst in
+      wr dst
+        (Array.init width (fun j ->
+             if i.op = Mac then
+               Lane.add i.dtype acc.(j) (Lane.mul i.dtype a.(j) bl.(j))
+             else Lane.fadd acc.(j) (Lane.fmul a.(j) bl.(j))))
+    | Bcast ->
+      let a = read_lanes t ctx ~width (src 0) in
+      wr (Option.get i.dst) (Array.make width (Lane.wrap i.dtype a.(0)))
+    | Mov | Abs | Not | Sat | Fabs | Cvtif | Cvtfi ->
+      let a = read_lanes t ctx ~width (src 0) in
+      wr (Option.get i.dst) (Array.map (unary_result i.op i.dtype) a)
+    | Fdiv | Fsqrt | Dpadd ->
+      (* on the IA32 sequencer the "faulting" cases are just IEEE
+         arithmetic — this is the CEH emulation path running locally *)
+      let a = read_lanes t ctx ~width (src 0) in
+      let bl =
+        if i.op = Fsqrt then Array.make width 0
+        else read_lanes t ctx ~width (src 1)
+      in
+      let res =
+        match i.op with
+        | Fdiv -> Array.init width (fun j -> Lane.fdiv_ieee a.(j) bl.(j))
+        | Fsqrt -> Array.init width (fun j -> Lane.fsqrt_ieee a.(j))
+        | _ -> Lane.dpadd_pairs a bl
+      in
+      wr (Option.get i.dst) res
+    | Sad ->
+      let a = read_lanes t ctx ~width (src 0) in
+      let bl = read_lanes t ctx ~width (src 1) in
+      let sum = ref 0 in
+      for j = 0 to width - 1 do
+        if (mask lsr j) land 1 = 1 then sum := !sum + abs (a.(j) - bl.(j))
+      done;
+      let res = Array.make width 0 in
+      res.(0) <- Lane.wrap32 !sum;
+      write_lanes ctx ~width (Option.get i.dst) res ~ready:0
+    | Hadd ->
+      let a = read_lanes t ctx ~width (src 0) in
+      let sum = ref 0 in
+      for j = 0 to width - 1 do
+        if (mask lsr j) land 1 = 1 then sum := !sum + a.(j)
+      done;
+      let res = Array.make width 0 in
+      res.(0) <- Lane.wrap i.dtype !sum;
+      write_lanes ctx ~width (Option.get i.dst) res ~ready:0
+    | Cmp cond -> (
+      let a = read_lanes t ctx ~width (src 0) in
+      let bl = read_lanes t ctx ~width (src 1) in
+      let m = ref 0 in
+      for j = 0 to width - 1 do
+        if Lane.compare_lanes i.dtype cond a.(j) bl.(j) then
+          m := !m lor (1 lsl j)
+      done;
+      match i.dst with
+      | Some (Flag f) -> ctx.flags.(f) <- !m
+      | _ -> invalid_arg "cmp dst")
+    | Sel ->
+      let a = read_lanes t ctx ~width (src 0) in
+      let bl = read_lanes t ctx ~width (src 1) in
+      let res =
+        Array.init width (fun j ->
+            if (mask lsr j) land 1 = 1 then a.(j) else bl.(j))
+      in
+      write_lanes ctx ~width (Option.get i.dst) res ~ready:0
+    | Ld ->
+      let vaddrs = element_vaddrs t ctx ~width (src 0) in
+      let paddrs = Array.map translate vaddrs in
+      wr (Option.get i.dst)
+        (Array.init width (fun k ->
+             read_elem t ~paddr:paddrs.(k) ~dtype:i.dtype))
+    | St ->
+      let vaddrs = element_vaddrs t ctx ~width (Option.get i.dst) in
+      let paddrs = Array.map translate vaddrs in
+      let v = read_lanes t ctx ~width (src 0) in
+      for k = 0 to width - 1 do
+        if (mask lsr k) land 1 = 1 then
+          write_elem t ~paddr:paddrs.(k) ~dtype:i.dtype v.(k)
+      done
+    | Gather ->
+      let vaddrs = gather_vaddrs t ctx ~width (src 0) in
+      let paddrs = Array.map translate vaddrs in
+      wr (Option.get i.dst)
+        (Array.init width (fun k ->
+             read_elem t ~paddr:paddrs.(k) ~dtype:i.dtype))
+    | Scatter ->
+      let vaddrs = gather_vaddrs t ctx ~width (Option.get i.dst) in
+      let paddrs = Array.map translate vaddrs in
+      let v = read_lanes t ctx ~width (src 0) in
+      for k = 0 to width - 1 do
+        if (mask lsr k) land 1 = 1 then
+          write_elem t ~paddr:paddrs.(k) ~dtype:i.dtype v.(k)
+      done
+    | Sample -> (
+      match src 0 with
+      | Surf2d { slot; xreg; yreg } ->
+        let s = surface t slot in
+        if s.Surface.bpp <> 1 then invalid_arg "sample: only bpp=1 surfaces";
+        let clampi lo hi x = if x < lo then lo else if x > hi then hi else x in
+        let u0 = reg_lane ctx xreg 0 and v0 = reg_lane ctx yreg 0 in
+        let x0 = clampi 0 (s.Surface.width - 1) (u0 asr 16)
+        and y0 = clampi 0 (s.Surface.height - 1) (v0 asr 16) in
+        ignore (translate (Surface.element_addr s ~x:x0 ~y:y0));
+        wr (Option.get i.dst)
+          (Array.init width (fun k ->
+               sample_value t s ~u:(reg_lane ctx xreg k)
+                 ~v:(reg_lane ctx yreg k)))
+      | _ -> invalid_arg "sample operand")
+    | Br mode -> (
+      match i.srcs with
+      | [ Flag f; Imm target ] ->
+        let m = ctx.flags.(f) land ((1 lsl width) - 1) in
+        let taken =
+          match mode with
+          | Any -> m <> 0
+          | All -> m = (1 lsl width) - 1
+          | None_set -> m = 0
+        in
+        if taken then next := Int32.to_int target
+      | _ -> invalid_arg "br operands")
+    | Jmp -> (
+      match i.srcs with
+      | [ Imm target ] -> next := Int32.to_int target
+      | _ -> invalid_arg "jmp operands")
+    | End -> running := false
+    | Sendreg -> (
+      match i.dst with
+      | Some (Remote { shred_reg; reg }) ->
+        let target_sid = reg_lane ctx shred_reg 0 in
+        let v = read_lanes t ctx ~width (src 0) in
+        let delivered = ref false in
+        Array.iter
+          (fun e ->
+            Array.iter
+              (fun c ->
+                match c.shred with
+                | Some s2 when s2.shred_id = target_sid && not !delivered ->
+                  delivered := true;
+                  for j = 0 to width - 1 do
+                    set_reg_lane c reg j v.(j)
+                  done
+                | _ -> ())
+              e.ctxs)
+          t.eus;
+        if not !delivered then begin
+          let cell =
+            match Hashtbl.find_opt t.pending_regs target_sid with
+            | Some c -> c
+            | None ->
+              let c = ref [] in
+              Hashtbl.replace t.pending_regs target_sid c;
+              c
+          in
+          cell := (reg, Array.sub v 0 width) :: !cell
+        end
+      | _ -> invalid_arg "sendreg dst")
+    | Spawn -> (
+      match i.srcs with
+      | [ Imm target; Reg preg ] ->
+        t.spawn_counter <- t.spawn_counter + 1;
+        let params = Array.init 8 (fun j -> reg_lane ctx preg j) in
+        Queue.add
+          {
+            shred_id = 1_000_000 + t.spawn_counter;
+            entry = Int32.to_int target;
+            params;
+          }
+          t.queue;
+        t.nshred <- t.nshred + 1
+      | _ -> invalid_arg "spawn operands"));
+    if !running then ctx.pc <- !next
+  done;
+  (!instrs, !lane_ops)

@@ -26,6 +26,8 @@ type config = {
   tlb_entries : int;
   dispatch_cycles : int; (* command-streamer cost per shred *)
   switch_on_stall : bool; (* ablation: disable fine-grained MT *)
+  fault_plan : Exochi_faults.Fault_plan.t option;
+      (* deterministic fault injection; [None] = pristine hardware *)
 }
 
 val default_config : config
@@ -52,6 +54,10 @@ type hooks = {
   ceh : fault_request -> now_ps:int -> int array * int;
       (** Proxy a faulting instruction; returns the emulated lane results
           and the completion time. *)
+  ceh_spurious : now_ps:int -> int;
+      (** An injected spurious CEH trap: the IA32 handler finds nothing
+          to emulate; returns the resume time. Only called when a fault
+          plan is installed. *)
   mem_delay : paddr:int -> bytes:int -> write:bool -> now_ps:int -> int;
       (** Extra picoseconds of delay for a memory access (coherence
           snoops of the CPU caches in CC mode, protocol checking in
@@ -82,8 +88,25 @@ val bind :
   t -> prog:X3k_ast.program -> surfaces:Exochi_memory.Surface.t array -> unit
 
 (** Enqueue shreds on the software work queue (the queue lives in shared
-    virtual memory; the runtime charges its own enqueue costs). *)
+    virtual memory; the runtime charges its own enqueue costs). One
+    SIGNAL doorbell covers the batch: if the installed fault plan drops
+    it, the shreds park invisibly until {!redeliver_doorbell}. *)
 val enqueue : t -> shred list -> unit
+
+(** Re-dispatch already-counted shreds after a recovery action: the team
+    size ([%nshred]) does not grow and the doorbell is reliable. *)
+val reenqueue : t -> shred list -> unit
+
+(** Move doorbell-lost shreds back onto the visible queue; returns how
+    many were redelivered. *)
+val redeliver_doorbell : t -> int
+
+(** Shreds parked behind a lost doorbell. *)
+val parked_count : t -> int
+
+(** Remove and return every queued shred (visible and parked) — used
+    when no exo-sequencer is left to run them. *)
+val drain_queue : t -> shred list
 
 val queue_length : t -> int
 
@@ -118,8 +141,34 @@ val run_to_quiescence : t -> int
 exception Stuck of string
 
 (** An exo-sequencer touched an address outside every mapped region and
-    the ATR proxy could not resolve it. *)
-exception Gpu_segfault of int
+    the ATR proxy could not resolve it. [shred_id] is [-1] when no shred
+    was resident on the faulting context. *)
+exception
+  Gpu_segfault of { vaddr : int; vpage : int; shred_id : int }
+
+(** {1 Fault recovery (driven by the supervising CHI runtime)} *)
+
+(** Kill hung contexts whose shred has made no progress for
+    [watchdog_ps] of simulated time. Each reaped entry is
+    [(eu, slot, shred, consecutive_fails_on_slot)]; the slot is freed
+    (and its semaphores released) so it can accept new work. *)
+val reap_overdue :
+  t -> watchdog_ps:int -> (int * int * shred * int) list
+
+(** Remove a HW-thread slot from the eligible set permanently. *)
+val quarantine : t -> eu:int -> slot:int -> unit
+
+val quarantined_slots : t -> int
+
+(** Slots still eligible for dispatch. *)
+val active_slots : t -> int
+
+(** Proxy-execute one whole shred functionally on the IA32 sequencer
+    (graceful degradation when retries are exhausted or every slot is
+    quarantined). Same lane semantics as the EUs; no timing model —
+    returns [(instructions, lane_ops)] so the caller can charge CPU
+    time. Must run while the EUs are paused. *)
+val emulate_shred : t -> shred -> int * int
 
 (** Flush the GPU cache through the bus (non-CC hand-off); returns dirty
     bytes written back. *)

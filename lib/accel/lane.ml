@@ -82,3 +82,28 @@ let cvtfi v =
     if r >= 2147483647.0 then 0x7FFFFFFF
     else if r <= -2147483648.0 then wrap32 0x80000000
     else wrap32 (int_of_float r)
+
+(* Double-precision pair add (the [dpadd] instruction the X3K cannot
+   execute natively): adjacent lane pairs (2p, 2p+1) hold the low/high
+   32-bit words of an IEEE binary64 value. Shared by the CEH proxy
+   handler and the whole-shred IA32 fallback emulator. *)
+let dpadd_pairs a b =
+  let lanes = Array.length a in
+  let res = Array.make lanes 0 in
+  let of_pair lo hi =
+    Int64.float_of_bits
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int (hi land 0xFFFFFFFF)) 32)
+         (Int64.of_int (lo land 0xFFFFFFFF)))
+  in
+  for p = 0 to (lanes / 2) - 1 do
+    let lo = 2 * p and hi = (2 * p) + 1 in
+    let da = of_pair a.(lo) a.(hi) in
+    let db = of_pair b.(lo) b.(hi) in
+    let bits = Int64.bits_of_float (da +. db) in
+    res.(lo) <- wrap32 (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+    res.(hi) <- wrap32 (Int64.to_int (Int64.shift_right_logical bits 32))
+  done;
+  (* an odd trailing lane has no partner: pass it through unchanged *)
+  if lanes land 1 = 1 then res.(lanes - 1) <- a.(lanes - 1);
+  res

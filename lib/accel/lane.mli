@@ -71,3 +71,9 @@ val fdiv_ieee : int -> int -> int
 val fsqrt_ieee : int -> int
 val cvtif : int -> int
 val cvtfi : int -> int
+
+(** [dpadd_pairs a b] emulates the double-precision pair add on the IA32
+    side: adjacent lane pairs (2p, 2p+1) hold the low/high words of a
+    binary64 value. Used by both the CEH proxy handler and the
+    whole-shred fallback emulator. *)
+val dpadd_pairs : int array -> int array -> int array

@@ -4,20 +4,49 @@ module Machine = Exochi_cpu.Machine
 
 type flush_policy = Upfront | Upfront_naive | Interleaved
 
+type recovery = {
+  mutable redispatches : int;
+  mutable doorbell_redeliveries : int;
+  mutable watchdog_kills : int;
+  mutable quarantined_seqs : int;
+  mutable fallback_shreds : int;
+  mutable fatal : int;
+}
+
 type t = {
   platform : Exo_platform.t;
   features : Chi_descriptor.features;
   flush_policy : flush_policy;
+  watchdog_ps : int;
+  max_redispatch : int;
+  quarantine_after : int;
+  backoff_ps : int;
+  recovery : recovery;
   mutable last_flush_bytes : int;
   mutable last_copy_bytes : int;
   mutable dev_counter : int;
 }
 
-let create ~platform ?(flush_policy = Interleaved) () =
+let create ~platform ?(flush_policy = Interleaved)
+    ?(watchdog_ps = 1_000_000_000) ?(max_redispatch = 3)
+    ?(quarantine_after = 3) ?(backoff_ps = 200_000) () =
   {
     platform;
     features = Chi_descriptor.features ();
     flush_policy;
+    watchdog_ps;
+    max_redispatch;
+    quarantine_after;
+    backoff_ps;
+    recovery =
+      {
+        redispatches = 0;
+        doorbell_redeliveries = 0;
+        watchdog_kills = 0;
+        quarantined_seqs = 0;
+        fallback_shreds = 0;
+        fatal = 0;
+      };
     last_flush_bytes = 0;
     last_copy_bytes = 0;
     dev_counter = 0;
@@ -28,6 +57,7 @@ let features t = t.features
 let flush_policy t = t.flush_policy
 let last_flush_bytes t = t.last_flush_bytes
 let last_copy_bytes t = t.last_copy_bytes
+let recovery t = t.recovery
 
 type team = {
   size : int;
@@ -166,6 +196,110 @@ let enqueue_shreds t ~lo ~hi ~params =
   Exo_platform.sync_gpu_to_cpu t.platform;
   Gpu.enqueue gpu shreds
 
+(* ---- self-healing drain (fault recovery) ---- *)
+
+(* Graceful degradation: proxy-execute the whole shred on the IA32
+   sequencer via the CEH lane-emulation semantics. Slower, never wrong. *)
+let fallback_shred t sh =
+  let gpu = Exo_platform.gpu t.platform in
+  let cpu = Exo_platform.cpu t.platform in
+  let costs = Exo_platform.costs t.platform in
+  t.recovery.fallback_shreds <- t.recovery.fallback_shreds + 1;
+  let _instrs, lane_ops = Gpu.emulate_shred gpu sh in
+  Machine.add_time_ps cpu
+    (costs.Exo_platform.uli_ps + costs.Exo_platform.ceh_base_ps
+    + (lane_ops * costs.Exo_platform.ceh_per_lane_ps));
+  Exo_platform.notify_shred_done t.platform sh ~now_ps:(Machine.now_ps cpu)
+
+(* Supervised replacement for [Gpu.run_to_quiescence], active only when
+   a fault plan is installed. Runs the GPU in the same 200 us quanta and
+   between quanta performs the recovery work the paper leaves to the
+   application-level runtime: watchdog-reap hung contexts, re-dispatch
+   their shreds with exponential backoff (bounded), quarantine a slot
+   after K consecutive failures, re-ring lost doorbells, and fall back
+   to IA32 proxy execution when retries are exhausted or no slot is
+   left. With a zero-rate plan none of the recovery paths trigger and
+   the [run_until] call sequence is identical to the unsupervised one —
+   zero overhead when disabled. *)
+let supervised_drain t =
+  match Exo_platform.fault_plan t.platform with
+  | None -> ()
+  | Some _ ->
+    let gpu = Exo_platform.gpu t.platform in
+    let cpu = Exo_platform.cpu t.platform in
+    let costs = Exo_platform.costs t.platform in
+    let quantum = 200_000_000 (* keep in lock-step with run_to_quiescence *) in
+    let attempts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let pending = ref [] (* (release_ps, shred): backoff re-dispatches *) in
+    let idle_rounds = ref 0 in
+    let max_idle = 8 + (t.watchdog_ps / quantum) + 1 in
+    let handle_reaped (eu, slot, sh, fails) =
+      t.recovery.watchdog_kills <- t.recovery.watchdog_kills + 1;
+      if fails >= t.quarantine_after then begin
+        Gpu.quarantine gpu ~eu ~slot;
+        t.recovery.quarantined_seqs <- t.recovery.quarantined_seqs + 1
+      end;
+      let a =
+        1
+        + Option.value (Hashtbl.find_opt attempts sh.Gpu.shred_id) ~default:0
+      in
+      Hashtbl.replace attempts sh.Gpu.shred_id a;
+      if a > t.max_redispatch || Gpu.active_slots gpu = 0 then
+        fallback_shred t sh
+      else begin
+        t.recovery.redispatches <- t.recovery.redispatches + 1;
+        let delay = t.backoff_ps * (1 lsl min 8 (a - 1)) in
+        pending := (Gpu.now_ps gpu + delay, sh) :: !pending
+      end
+    in
+    let release_due () =
+      let now = Gpu.now_ps gpu in
+      let due, later = List.partition (fun (ps, _) -> ps <= now) !pending in
+      pending := later;
+      if due <> [] then begin
+        let shreds = List.map snd due in
+        Machine.add_overhead_ps cpu
+          (costs.Exo_platform.signal_ps
+          + (List.length shreds * costs.Exo_platform.dispatch_cpu_ps));
+        Gpu.reenqueue gpu shreds
+      end
+    in
+    let continue_ = ref true in
+    while !continue_ do
+      if Gpu.quiescent gpu && Gpu.parked_count gpu = 0 && !pending = [] then
+        continue_ := false
+      else begin
+        let retired = Gpu.run_until gpu (Gpu.now_ps gpu + quantum) in
+        let reaped = Gpu.reap_overdue gpu ~watchdog_ps:t.watchdog_ps in
+        List.iter handle_reaped reaped;
+        (* shreds parked behind a lost doorbell and the machine has gone
+           quiet: the master notices the missing completions and re-rings *)
+        if Gpu.parked_count gpu > 0 && (retired = 0 || Gpu.quiescent gpu)
+        then begin
+          t.recovery.doorbell_redeliveries <-
+            t.recovery.doorbell_redeliveries + 1;
+          Machine.add_overhead_ps cpu costs.Exo_platform.signal_ps;
+          ignore (Gpu.redeliver_doorbell gpu)
+        end;
+        release_due ();
+        if Gpu.active_slots gpu = 0 then begin
+          (* every exo-sequencer slot is quarantined: nothing will ever
+             run on the GPU again — emulate the stranded work *)
+          let stranded = Gpu.drain_queue gpu @ List.map snd !pending in
+          pending := [];
+          List.iter (fallback_shred t) stranded
+        end;
+        if retired = 0 && reaped = [] then begin
+          incr idle_rounds;
+          if !idle_rounds > max_idle then begin
+            t.recovery.fatal <- t.recovery.fatal + 1;
+            raise (Gpu.Stuck "supervised drain: no progress")
+          end
+        end
+        else idle_rounds := 0
+      end
+    done
+
 let wait t team =
   if not team.waited then begin
     team.waited <- true;
@@ -173,6 +307,7 @@ let wait t team =
     let cpu = Exo_platform.cpu t.platform in
     let memmodel = Exo_platform.memmodel t.platform in
     let costs = Exo_platform.model_costs t.platform in
+    supervised_drain t;
     ignore (Exo_platform.barrier t.platform);
     match memmodel with
     | Memmodel.Non_cc_shared ->
@@ -347,6 +482,7 @@ let taskq t ~prog ~descriptors ~tasks =
       + (List.length !roots * pcosts.Exo_platform.dispatch_cpu_ps));
     Exo_platform.sync_gpu_to_cpu t.platform;
     List.iter enqueue_task (List.rev !roots);
+    supervised_drain t;
     ignore (Exo_platform.barrier t.platform);
     if !done_count <> n then raise Dependency_cycle;
     if memmodel = Memmodel.Non_cc_shared then begin

@@ -31,12 +31,41 @@
       the paper measures — the baseline of §5.2's flush experiment. *)
 type flush_policy = Upfront | Upfront_naive | Interleaved
 
+(** Recovery activity of the self-healing dispatcher (counters only grow
+    across constructs; read them, never write). *)
+type recovery = {
+  mutable redispatches : int;  (** shreds re-dispatched after a reap *)
+  mutable doorbell_redeliveries : int;  (** lost SIGNALs re-rung *)
+  mutable watchdog_kills : int;  (** hung contexts reaped *)
+  mutable quarantined_seqs : int;  (** HW-thread slots retired for good *)
+  mutable fallback_shreds : int;  (** shreds proxy-executed on IA32 *)
+  mutable fatal : int;  (** faults recovery could not absorb *)
+}
+
 type t
 
-val create : platform:Exo_platform.t -> ?flush_policy:flush_policy -> unit -> t
+(** [watchdog_ps] (default 1 ms simulated): a dispatched shred that has
+    retired nothing for this long is declared hung and reaped.
+    [max_redispatch] (default 3): re-dispatch attempts per shred before
+    falling back to IA32 proxy execution. [quarantine_after] (default
+    3): consecutive failures on one HW-thread slot before it is removed
+    from the eligible set. [backoff_ps] (default 200 ns): base of the
+    exponential re-dispatch backoff. All are inert without a fault plan
+    on the platform. *)
+val create :
+  platform:Exo_platform.t ->
+  ?flush_policy:flush_policy ->
+  ?watchdog_ps:int ->
+  ?max_redispatch:int ->
+  ?quarantine_after:int ->
+  ?backoff_ps:int ->
+  unit ->
+  t
+
 val platform : t -> Exo_platform.t
 val features : t -> Chi_descriptor.features
 val flush_policy : t -> flush_policy
+val recovery : t -> recovery
 
 (** An outstanding parallel construct (a team of heterogeneous shreds
     launched with [master_nowait]). *)

@@ -1,4 +1,5 @@
 open Exochi_memory
+module Fault_plan = Exochi_faults.Fault_plan
 
 type costs = {
   uli_ps : int;
@@ -37,11 +38,15 @@ type t = {
   protocol : protocol_mode;
   gtt_enabled : bool;
   gtt : (int, Pte.X3k.t) Hashtbl.t; (* vpage -> transcoded entry *)
+  fault_plan : Fault_plan.t option;
   mutable surfaces : Surface.t list;
   mutable atr_proxies : int;
   mutable gtt_hits : int;
   mutable ceh_proxies : int;
   mutable violations : int;
+  mutable atr_transient_retries : int;
+  mutable gtt_evictions : int;
+  mutable ceh_spurious : int;
   mutable on_shred_done :
     Exochi_accel.Gpu.shred -> now_ps:int -> unit;
 }
@@ -70,9 +75,25 @@ let tiling_for t ~vaddr =
 
 (* Full proxy round trip for one page: user-level interrupt on the IA32
    sequencer, page-table walk (possibly faulting the page in first),
-   PTE transcode, exo-TLB/GTT insert. *)
-let atr_proxy t ~vpage ~now_ps =
+   PTE transcode, exo-TLB/GTT insert. An injected transient failure
+   loses the round trip in flight; the proxy handler notices and
+   retries (bounded, so a pathological plan cannot live-lock it). *)
+let rec atr_proxy ?(attempt = 0) t ~vpage ~now_ps =
   t.atr_proxies <- t.atr_proxies + 1;
+  let transient =
+    attempt < 5
+    &&
+    match t.fault_plan with
+    | Some plan -> Fault_plan.decide plan Fault_plan.Atr_transient
+    | None -> false
+  in
+  if transient then begin
+    let wasted = t.costs.uli_ps + t.costs.atr_service_ps in
+    Exochi_cpu.Machine.add_overhead_ps t.cpu wasted;
+    t.atr_transient_retries <- t.atr_transient_retries + 1;
+    atr_proxy ~attempt:(attempt + 1) t ~vpage ~now_ps:(now_ps + wasted)
+  end
+  else begin
   let vaddr = vpage lsl Phys_mem.page_shift in
   let fault_ps =
     match Address_space.fault_in t.aspace ~vaddr with
@@ -92,12 +113,27 @@ let atr_proxy t ~vpage ~now_ps =
       (Some x3k, now_ps + service)
     | _ -> (None, now_ps)
   end
+  end
 
 let atr_hook t ~vpage ~now_ps =
   match Hashtbl.find_opt t.gtt vpage with
   | Some pte ->
-    t.gtt_hits <- t.gtt_hits + 1;
-    (Some pte, now_ps + t.costs.gtt_fetch_ps)
+    let corrupt =
+      match t.fault_plan with
+      | Some plan -> Fault_plan.decide plan Fault_plan.Gtt_corrupt
+      | None -> false
+    in
+    if corrupt then begin
+      (* the shadow entry is gone/corrupt: drop it and pay the full
+         proxy re-walk, which also repairs the GTT *)
+      Hashtbl.remove t.gtt vpage;
+      t.gtt_evictions <- t.gtt_evictions + 1;
+      atr_proxy t ~vpage ~now_ps
+    end
+    else begin
+      t.gtt_hits <- t.gtt_hits + 1;
+      (Some pte, now_ps + t.costs.gtt_fetch_ps)
+    end
   | None -> atr_proxy t ~vpage ~now_ps
 
 let prewalk t ~vaddr ~len =
@@ -137,44 +173,30 @@ let ceh_hook t (req : Exochi_accel.Gpu.fault_request) ~now_ps =
   let open Exochi_isa.X3k_ast in
   let lanes = Array.length req.lane_a in
   let results =
-    Array.init lanes (fun j ->
-        match req.fault_op with
-        | Fdiv -> Exochi_accel.Lane.fdiv_ieee req.lane_a.(j) req.lane_b.(j)
-        | Fsqrt -> Exochi_accel.Lane.fsqrt_ieee req.lane_a.(j)
-        | Dpadd ->
-          (* Emulate the double-precision pair add on the IA32 side:
-             adjacent lane pairs hold the low/high words. Pair j handles
-             lanes (2j, 2j+1); odd results are patched below. *)
-          req.lane_a.(j)
-        | op ->
-          invalid_arg
-            (Printf.sprintf "CEH: unexpected faulting op %s" (opcode_name op)))
+    match req.fault_op with
+    | Fdiv ->
+      Array.init lanes (fun j ->
+          Exochi_accel.Lane.fdiv_ieee req.lane_a.(j) req.lane_b.(j))
+    | Fsqrt ->
+      Array.init lanes (fun j -> Exochi_accel.Lane.fsqrt_ieee req.lane_a.(j))
+    | Dpadd -> Exochi_accel.Lane.dpadd_pairs req.lane_a req.lane_b
+    | op ->
+      invalid_arg
+        (Printf.sprintf "CEH: unexpected faulting op %s" (opcode_name op))
   in
-  (if req.fault_op = Dpadd then begin
-     let pairs = lanes / 2 in
-     for p = 0 to pairs - 1 do
-       let lo = 2 * p and hi = (2 * p) + 1 in
-       let of_pair a_lo a_hi =
-         Int64.float_of_bits
-           (Int64.logor
-              (Int64.shift_left (Int64.of_int (a_hi land 0xFFFFFFFF)) 32)
-              (Int64.of_int (a_lo land 0xFFFFFFFF)))
-       in
-       let da = of_pair req.lane_a.(lo) req.lane_a.(hi) in
-       let db = of_pair req.lane_b.(lo) req.lane_b.(hi) in
-       let bits = Int64.bits_of_float (da +. db) in
-       results.(lo) <-
-         Exochi_accel.Lane.wrap32 (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
-       results.(hi) <-
-         Exochi_accel.Lane.wrap32
-           (Int64.to_int (Int64.shift_right_logical bits 32))
-     done
-   end);
   let service =
     t.costs.uli_ps + t.costs.ceh_base_ps + (lanes * t.costs.ceh_per_lane_ps)
   in
   Exochi_cpu.Machine.add_overhead_ps t.cpu service;
   (results, now_ps + service)
+
+(* An injected spurious CEH trap: the handler takes the ULI, decodes,
+   finds nothing to emulate and resumes the shred. *)
+let ceh_spurious_hook t ~now_ps =
+  t.ceh_spurious <- t.ceh_spurious + 1;
+  let service = t.costs.uli_ps + t.costs.ceh_base_ps in
+  Exochi_cpu.Machine.add_overhead_ps t.cpu service;
+  now_ps + service
 
 (* ---- memory-model hook ---- *)
 
@@ -225,23 +247,40 @@ let reset_counters t =
   t.atr_proxies <- 0;
   t.gtt_hits <- 0;
   t.ceh_proxies <- 0;
-  t.violations <- 0
+  t.violations <- 0;
+  t.atr_transient_retries <- 0;
+  t.gtt_evictions <- 0;
+  t.ceh_spurious <- 0
 
 let atr_proxies t = t.atr_proxies
 let gtt_hits t = t.gtt_hits
 let ceh_proxies t = t.ceh_proxies
 let protocol_violations t = t.violations
+let atr_transient_retries t = t.atr_transient_retries
+let gtt_evictions t = t.gtt_evictions
+let ceh_spurious t = t.ceh_spurious
+let fault_plan t = t.fault_plan
 
 (* ---- construction ---- *)
 
 let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
     ?(bus_latency_ps = 90_000) ?(memmodel = Memmodel.Cc_shared)
     ?(model_costs = Memmodel.default_costs) ?(costs = default_costs)
-    ?(protocol = Count_only) ?(gtt_enabled = true) () =
+    ?(protocol = Count_only) ?(gtt_enabled = true) ?fault_plan () =
   let mem = Phys_mem.create ~frames in
   let aspace = Address_space.create mem in
   let bus = Bus.create ~gbps:bus_gbps ~latency_ps:bus_latency_ps in
   let cpu = Exochi_cpu.Machine.create ?config:cpu_config ~aspace ~bus () in
+  (* one plan drives every layer: an explicit [?fault_plan] wins, else a
+     plan carried in [gpu_config] is adopted platform-wide *)
+  let gpu_base =
+    Option.value gpu_config ~default:Exochi_accel.Gpu.default_config
+  in
+  let fault_plan =
+    match fault_plan with
+    | Some _ -> fault_plan
+    | None -> gpu_base.Exochi_accel.Gpu.fault_plan
+  in
   let t =
     {
       mem;
@@ -255,11 +294,15 @@ let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
       protocol;
       gtt_enabled;
       gtt = Hashtbl.create 4096;
+      fault_plan;
       surfaces = [];
       atr_proxies = 0;
       gtt_hits = 0;
       ceh_proxies = 0;
       violations = 0;
+      atr_transient_retries = 0;
+      gtt_evictions = 0;
+      ceh_spurious = 0;
       on_shred_done = (fun _ ~now_ps:_ -> ());
     }
   in
@@ -267,17 +310,24 @@ let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
     {
       Exochi_accel.Gpu.atr = (fun ~vpage ~now_ps -> atr_hook t ~vpage ~now_ps);
       ceh = (fun req ~now_ps -> ceh_hook t req ~now_ps);
+      ceh_spurious = (fun ~now_ps -> ceh_spurious_hook t ~now_ps);
       mem_delay =
         (fun ~paddr ~bytes ~write ~now_ps ->
           mem_delay_hook t ~paddr ~bytes ~write ~now_ps);
       on_shred_done = (fun sh ~now_ps -> t.on_shred_done sh ~now_ps);
     }
   in
-  let gpu = Exochi_accel.Gpu.create ?config:gpu_config ~aspace ~bus ~hooks () in
+  let gpu_cfg = { gpu_base with Exochi_accel.Gpu.fault_plan } in
+  let gpu = Exochi_accel.Gpu.create ~config:gpu_cfg ~aspace ~bus ~hooks () in
   t.gpu <- Some gpu;
   t
 
 let set_shred_done_callback t f = t.on_shred_done <- f
+
+(* Completion notification for a shred the runtime proxy-executed on the
+   IA32 sequencer (graceful-degradation path) — routes through the same
+   callback a GPU retirement would. *)
+let notify_shred_done t sh ~now_ps = t.on_shred_done sh ~now_ps
 
 let sync_gpu_to_cpu t =
   Exochi_accel.Gpu.advance_to_ps (gpu t) (Exochi_cpu.Machine.now_ps t.cpu)

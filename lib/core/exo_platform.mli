@@ -53,12 +53,18 @@ val create :
   ?costs:costs ->
   ?protocol:protocol_mode ->
   ?gtt_enabled:bool ->
+  ?fault_plan:Exochi_faults.Fault_plan.t ->
   unit ->
   t
 (** [gtt_enabled] (default true): cache transcoded entries in a
     memory-resident GTT shadow so only cold pages pay the full ATR proxy
     round trip. Disabling it (an ablation) makes every exo TLB miss a
-    user-level-interrupt proxy execution. *)
+    user-level-interrupt proxy execution.
+
+    [fault_plan] installs a deterministic fault-injection plan across
+    every layer (GPU dispatch/doorbells/instructions, ATR proxy, GTT
+    shadow). Omitted: pristine hardware, with bit-identical behaviour to
+    a zero-rate plan. *)
 
 val aspace : t -> Exochi_memory.Address_space.t
 val cpu : t -> Exochi_cpu.Machine.t
@@ -98,6 +104,11 @@ val invalidate_gtt : t -> unit
 val set_shred_done_callback :
   t -> (Exochi_accel.Gpu.shred -> now_ps:int -> unit) -> unit
 
+(** Deliver a completion notification for a shred the runtime
+    proxy-executed on the IA32 sequencer (graceful degradation) — the
+    team bookkeeping must see it exactly as a GPU retirement. *)
+val notify_shred_done : t -> Exochi_accel.Gpu.shred -> now_ps:int -> unit
+
 (** {1 Synchronisation} *)
 
 (** [sync_gpu_to_cpu t] advances every EU clock to the CPU's current time
@@ -115,4 +126,11 @@ val atr_proxies : t -> int (* full proxy round trips *)
 val gtt_hits : t -> int
 val ceh_proxies : t -> int
 val protocol_violations : t -> int
+
+(** Injected-fault recovery activity. *)
+
+val atr_transient_retries : t -> int (* lost ATR round trips, retried *)
+val gtt_evictions : t -> int (* injected GTT corruptions repaired *)
+val ceh_spurious : t -> int (* spurious CEH traps absorbed *)
+val fault_plan : t -> Exochi_faults.Fault_plan.t option
 val reset_counters : t -> unit

@@ -19,6 +19,12 @@ type result = {
   protocol_violations : int;
   cpu_busy_ps : int;
   gpu_busy_ps : int;
+  faults_injected : int;
+  retries : int;
+  quarantined_seqs : int;
+  fallback_shreds : int;
+  recovered_faults : int;
+  fatal_faults : int;
 }
 
 type split = All_gpu | All_cpu | Cooperative of float | Dynamic
@@ -242,11 +248,19 @@ let run_dynamic platform kernel io input_descs output_descs =
   !cpu_busy
 
 let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
-    ?gtt_enabled ?(split = All_gpu) ?(seed = 42L) ?frames ?(validate = true)
-    kernel scale =
+    ?gtt_enabled ?fault_plan ?(split = All_gpu) ?(seed = 42L) ?frames
+    ?(validate = true) kernel scale =
+  (match (fault_plan, split) with
+  | Some _, Dynamic ->
+    invalid_arg
+      "Harness: fault injection with dynamic distribution is not supported \
+       (the dynamic feeder bypasses the supervised drain)"
+  | _ -> ());
   let prng = Exochi_util.Prng.create seed in
   let io = kernel.Kernel.make_io ?frames prng scale in
-  let platform = Exo_platform.create ~memmodel ?gpu_config ?gtt_enabled () in
+  let platform =
+    Exo_platform.create ~memmodel ?gpu_config ?gtt_enabled ?fault_plan ()
+  in
   let flush_policy =
     match flush_policy with
     | Some p -> Some p
@@ -329,4 +343,22 @@ let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
     gpu_busy_ps =
       Exochi_accel.Gpu.busy_cycles gpu
       * Exochi_util.Timebase.ps_per_cycle (Exochi_accel.Gpu.clock gpu);
+    faults_injected =
+      (match fault_plan with
+      | Some plan -> Exochi_faults.Fault_plan.injected_total plan
+      | None -> 0);
+    retries =
+      (let r = Chi_runtime.recovery rt in
+       r.Chi_runtime.redispatches + r.Chi_runtime.doorbell_redeliveries
+       + Exo_platform.atr_transient_retries platform);
+    quarantined_seqs = (Chi_runtime.recovery rt).Chi_runtime.quarantined_seqs;
+    fallback_shreds = (Chi_runtime.recovery rt).Chi_runtime.fallback_shreds;
+    recovered_faults =
+      (let injected =
+         match fault_plan with
+         | Some plan -> Exochi_faults.Fault_plan.injected_total plan
+         | None -> 0
+       in
+       max 0 (injected - (Chi_runtime.recovery rt).Chi_runtime.fatal));
+    fatal_faults = (Chi_runtime.recovery rt).Chi_runtime.fatal;
   }

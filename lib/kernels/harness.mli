@@ -21,6 +21,13 @@ type result = {
   protocol_violations : int;
   cpu_busy_ps : int; (* IA32 busy time inside the measured window *)
   gpu_busy_ps : int; (* exo-sequencer busy time (issue cycles) *)
+  (* fault injection & recovery (all zero without a fault plan) *)
+  faults_injected : int; (* decisions the plan turned into faults *)
+  retries : int; (* re-dispatches + doorbell re-rings + ATR retries *)
+  quarantined_seqs : int; (* HW-thread slots removed from service *)
+  fallback_shreds : int; (* shreds proxy-executed on the IA32 sequencer *)
+  recovered_faults : int; (* injected - fatal *)
+  fatal_faults : int; (* faults recovery could not absorb *)
 }
 
 (** How to split the unit space (Figure 10). [Cooperative f] statically
@@ -31,11 +38,16 @@ type result = {
     only). *)
 type split = All_gpu | All_cpu | Cooperative of float | Dynamic
 
+(** [fault_plan] installs deterministic fault injection for the run; the
+    CHI runtime's self-healing dispatch absorbs the faults (outputs stay
+    bit-correct, the recovery counters in {!result} light up). Not
+    compatible with [split = Dynamic]. *)
 val run :
   ?memmodel:Exochi_memory.Memmodel.config ->
   ?flush_policy:Exochi_core.Chi_runtime.flush_policy ->
   ?gpu_config:Exochi_accel.Gpu.config ->
   ?gtt_enabled:bool ->
+  ?fault_plan:Exochi_faults.Fault_plan.t ->
   ?split:split ->
   ?seed:int64 ->
   ?frames:int ->

@@ -45,6 +45,7 @@ let make_rig ?config () =
                 | _ -> 0)
           in
           (results, now_ps + 500_000));
+      ceh_spurious = (fun ~now_ps -> now_ps + 500_000);
       mem_delay = (fun ~paddr:_ ~bytes:_ ~write:_ ~now_ps:_ -> 0);
       on_shred_done = (fun _ ~now_ps:_ -> ());
     }
