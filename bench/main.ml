@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- --full  -- paper-sized workloads (slow)
 
    Experiments: table2 fig7 fig8 fig10 flush ablate-smt ablate-atr soak
-   micro.
+   metrics micro ("metrics" also writes BENCH_metrics.json).
    Absolute times are simulated-platform times; the reproduction target is
    the *shape* (who wins, by what factor, where the crossovers are). *)
 
@@ -321,6 +321,56 @@ let soak cfg =
     "\nall runs bit-correct; zero-rate plans verified time-identical to \
      fault-free runs.\n"
 
+(* ---- per-kernel observability metrics (Exo-trace aggregator) ---- *)
+
+let metrics cfg =
+  header
+    "Per-kernel Exo-trace metrics (occupancy, shred latency, proxy \
+     breakdowns) -> BENCH_metrics.json";
+  Printf.printf "%-14s %8s %12s %12s %8s %8s %8s\n" "Kernel" "occup"
+    "lat-p50" "lat-p99" "gtt" "proxy" "events";
+  let rows =
+    List.map
+      (fun (k : Kernel.t) ->
+        let scale = scale_of cfg k in
+        let frames = frames_of cfg k in
+        let sink = Exochi_obs.Trace.create () in
+        let r = Harness.run ?frames ~trace:sink k scale in
+        assert r.Harness.correct;
+        let m = Exochi_obs.Metrics.of_sink sink in
+        Printf.printf "%-14s %7.1f%% %10.3fms %10.3fms %8d %8d %8d\n%!"
+          k.abbrev
+          (100.0 *. m.Exochi_obs.Metrics.occupancy)
+          (m.Exochi_obs.Metrics.lat_p50_ps /. 1e9)
+          (m.Exochi_obs.Metrics.lat_p99_ps /. 1e9)
+          m.Exochi_obs.Metrics.atr_gtt_hits.Exochi_obs.Metrics.count
+          m.Exochi_obs.Metrics.atr_proxies.Exochi_obs.Metrics.count
+          m.Exochi_obs.Metrics.events;
+        Exochi_obs.Metrics.to_json
+          ~extra:
+            [
+              ("kernel", Printf.sprintf "%S" k.abbrev);
+              ("time_ps", string_of_int r.Harness.time_ps);
+            ]
+          m)
+      Registry.all
+  in
+  let oc = open_out "BENCH_metrics.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i json ->
+          output_string oc "  ";
+          output_string oc json;
+          if i < List.length rows - 1 then output_string oc ",";
+          output_string oc "\n")
+        rows;
+      output_string oc "]\n");
+  Printf.printf "\nwrote %d per-kernel metric record(s) to BENCH_metrics.json\n"
+    (List.length rows)
+
 (* ---- bechamel micro-benchmarks of the simulator itself ---- *)
 
 let micro () =
@@ -399,13 +449,13 @@ let () =
       (fun a ->
         List.mem a
           [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
-            "ablate-atr"; "soak"; "micro" ])
+            "ablate-atr"; "soak"; "metrics"; "micro" ])
       args
   in
   let wanted =
     if wanted = [] then
       [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
-        "ablate-atr"; "soak"; "micro" ]
+        "ablate-atr"; "soak"; "metrics"; "micro" ]
     else wanted
   in
   Printf.printf
@@ -422,6 +472,7 @@ let () =
       | "ablate-smt" -> ablate_smt cfg
       | "ablate-atr" -> ablate_atr cfg
       | "soak" -> soak cfg
+      | "metrics" -> metrics cfg
       | "micro" -> micro ()
       | _ -> ())
     wanted

@@ -6,12 +6,14 @@
      --split gpu|cpu|FRACTION   where the work runs (default gpu)
      --memmodel cc|noncc|copy   Figure 8 configuration (default cc)
      --frames N                 video length (default 16)
-     --large                    the kernel's large data size, if it has one *)
+     --large                    the kernel's large data size, if it has one
+     --trace FILE               write a Chrome/Perfetto trace of the run
+     --metrics [FILE]           per-kernel metrics JSON ("-" = stdout) *)
 
 open Cmdliner
 open Exochi_kernels
 
-let run_bench kernel_name split memmodel frames large =
+let run_bench kernel_name split memmodel frames large trace_out metrics_out =
   match Registry.find kernel_name with
   | None ->
     Printf.eprintf "unknown kernel %S; available: %s\n" kernel_name
@@ -40,6 +42,7 @@ let run_bench kernel_name split memmodel frames large =
           prerr_endline "--split must be gpu, cpu, dynamic or a fraction in [0,1]";
           exit 1)
     in
+    let memmodel_name = memmodel in
     let memmodel =
       match memmodel with
       | "cc" -> Exochi_memory.Memmodel.Cc_shared
@@ -49,7 +52,43 @@ let run_bench kernel_name split memmodel frames large =
         prerr_endline "--memmodel must be cc, noncc or copy";
         exit 1
     in
-    let r = Harness.run ~memmodel ~split ~frames k scale in
+    let trace =
+      if trace_out <> None || metrics_out <> None then
+        Some (Exochi_obs.Trace.create ())
+      else None
+    in
+    let r = Harness.run ~memmodel ~split ~frames ?trace k scale in
+    Option.iter
+      (fun sink ->
+        (match trace_out with
+        | Some file ->
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Exochi_obs.Trace_export.to_chrome sink))
+        | None -> ());
+        match metrics_out with
+        | Some dest ->
+          let json =
+            Exochi_obs.Metrics.to_json
+              ~extra:
+                [
+                  ("kernel", Printf.sprintf "%S" k.Kernel.abbrev);
+                  ("memmodel", Printf.sprintf "%S" memmodel_name);
+                  ("time_ps", string_of_int r.time_ps);
+                ]
+              (Exochi_obs.Metrics.of_sink sink)
+          in
+          if dest = "-" then print_endline json
+          else begin
+            let oc = open_out dest in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (json ^ "\n"))
+          end
+        | None -> ())
+      trace;
     Printf.printf "%s (%s, %s)\n" k.Kernel.name k.Kernel.abbrev
       k.Kernel.description;
     Printf.printf "  simulated time : %.3f ms\n" (float_of_int r.time_ps /. 1e9);
@@ -80,9 +119,26 @@ let memmodel_arg =
 let frames_arg = Arg.(value & opt int 16 & info [ "frames" ] ~docv:"N")
 let large_arg = Arg.(value & flag & info [ "large" ])
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome/Perfetto trace-event JSON of the run to $(docv).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write per-kernel metrics JSON to $(docv) (use - for stdout).")
+
 let cmd =
   Cmd.v
     (Cmd.info "exochi_bench" ~doc:"Run one Table 2 kernel on the simulated EXO platform")
-    Term.(const run_bench $ kernel_arg $ split_arg $ memmodel_arg $ frames_arg $ large_arg)
+    Term.(
+      const run_bench $ kernel_arg $ split_arg $ memmodel_arg $ frames_arg
+      $ large_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

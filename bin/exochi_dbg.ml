@@ -12,6 +12,9 @@
                              reaches X3K instruction index N
      exo-where               resident shreds (eu, slot, shred, pc)
      exo-reg SID REG LANE    read a resident shred's register lane
+     exo-trace SEQ [N]       timeline of the last N (default 16) trace
+                             events on one sequencer; SEQ is "ia32",
+                             "EU/SLOT" (e.g. 2/1), or "all"
      output                  values printed so far
      quit
 
@@ -39,7 +42,12 @@ let () =
         prerr_endline (Exochi_isa.Loc.error_to_string e);
         exit 1
     in
-    let platform = Exo_platform.create () in
+    (* the debugger always records a (small) trace so exo-trace works
+       without a rerun; events beyond the ring capacity are dropped
+       oldest-first, which is exactly what a timeline of "the last N
+       events" wants *)
+    let sink = Exochi_obs.Trace.create ~capacity:65_536 () in
+    let platform = Exo_platform.create ~trace:sink () in
     let prog = Chilite_run.load ~platform compiled in
     let dbg = Chi_debug.create platform in
     let intrinsics = Chilite_run.intrinsic_handler prog in
@@ -108,6 +116,46 @@ let () =
           with
           | Some v -> say "  shred %s vr%s[%s] = %d\n" sid r l v
           | None -> say "  shred %s is not resident\n" sid)
+        | "exo-trace" :: seq :: rest -> (
+          let module Trace = Exochi_obs.Trace in
+          let n = match rest with [ n ] -> int_of_string n | _ -> 16 in
+          let sel =
+            match String.lowercase_ascii seq with
+            | "all" -> Ok None
+            | "ia32" -> Ok (Some Trace.Ia32)
+            | s -> (
+              match String.split_on_char '/' s with
+              | [ e; t ] -> (
+                match (int_of_string_opt e, int_of_string_opt t) with
+                | Some eu, Some slot -> Ok (Some (Trace.Exo { eu; slot }))
+                | _ -> Error ())
+              | _ -> Error ())
+          in
+          match sel with
+          | Error () -> say "exo-trace: SEQ must be ia32, EU/SLOT or all\n"
+          | Ok sel ->
+            let evs =
+              match sel with
+              | None -> Trace.events sink
+              | Some s ->
+                List.filter
+                  (fun (e : Trace.event) -> e.Trace.seq = s)
+                  (Trace.events sink)
+            in
+            let total = List.length evs in
+            let evs =
+              if total > n then List.filteri (fun i _ -> i >= total - n) evs
+              else evs
+            in
+            if evs = [] then say "  (no trace events on %s)\n" seq
+            else begin
+              say "  last %d of %d event(s) on %s:\n" (List.length evs) total
+                seq;
+              List.iter
+                (fun e ->
+                  say "  %s\n" (Format.asprintf "%a" Trace.pp_event e))
+                evs
+            end)
         | [ "output" ] ->
           say "  %s\n"
             (String.concat " "

@@ -1,10 +1,16 @@
 (* Compile and execute a CHI-lite program on the simulated EXO platform.
 
      exochi_run prog.chi [--memmodel cc|noncc|copy] [--faults SEED:RATE]
+                [--trace out.json] [--metrics]
 
    print_int output goes to stdout; a simulated-platform summary follows.
    --faults installs a deterministic fault-injection plan (uniform
-   per-class rate) and the self-healing runtime absorbs the faults. *)
+   per-class rate) and the self-healing runtime absorbs the faults.
+   --trace records every platform event and writes a Chrome/Perfetto
+   trace-event file (open in about:tracing or ui.perfetto.dev), one track
+   per exo-sequencer plus the IA32 proxy track. --metrics prints the
+   aggregated per-run metrics (occupancy, latency percentiles, proxy
+   breakdowns) to stderr; both flags may be combined. *)
 
 open Exochi_core
 
@@ -50,14 +56,51 @@ let () =
       in
       find rest
     in
+    let trace_out =
+      let rec find = function
+        | "--trace" :: file :: _ -> Some file
+        | [ "--trace" ] ->
+          prerr_endline "--trace requires an output file";
+          exit 1
+        | _ :: r -> find r
+        | [] -> None
+      in
+      find rest
+    in
+    let want_metrics = List.mem "--metrics" rest in
+    let trace =
+      if trace_out <> None || want_metrics then
+        Some (Exochi_obs.Trace.create ())
+      else None
+    in
     (match Chilite_compile.compile ~name src with
     | Error e ->
       prerr_endline (Exochi_isa.Loc.error_to_string e);
       exit 1
     | Ok compiled ->
-      let platform = Exo_platform.create ~memmodel ?fault_plan () in
+      let platform = Exo_platform.create ~memmodel ?fault_plan ?trace () in
       let prog = Chilite_run.load ~platform compiled in
       Chilite_run.run prog;
+      Exo_platform.emit_mem_counters platform;
+      Option.iter
+        (fun sink ->
+          (match trace_out with
+          | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Exochi_obs.Trace_export.to_chrome sink));
+            Printf.eprintf
+              "[exochi] trace: %d event(s) on %d track(s) written to %s\n"
+              (Exochi_obs.Trace.length sink)
+              (Exochi_obs.Trace_export.track_count sink)
+              file
+          | None -> ());
+          if want_metrics then
+            prerr_string
+              (Exochi_obs.Metrics.render (Exochi_obs.Metrics.of_sink sink)))
+        trace;
       List.iter (fun v -> Printf.printf "%d\n" v) (Chilite_run.output prog);
       let cpu = Exo_platform.cpu platform in
       let gpu = Exo_platform.gpu platform in
@@ -88,5 +131,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: exochi_run <prog.chi> [--memmodel cc|noncc|copy] [--faults \
-       SEED:RATE]";
+       SEED:RATE] [--trace out.json] [--metrics]";
     exit 1

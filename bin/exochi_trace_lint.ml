@@ -1,0 +1,52 @@
+(* Validate an exported Chrome/Perfetto trace-event file:
+
+     exochi_trace_lint trace.json [--min-tracks N]
+
+   Checks the file is well-formed JSON with a traceEvents array, that
+   every event carries ph/pid/tid/ts (dur on "X" slices), and that
+   timestamps are monotonically non-decreasing per track. CI runs this
+   over the example trace it uploads as an artifact. Exit 0 on success. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let usage () =
+    prerr_endline "usage: exochi_trace_lint <trace.json> [--min-tracks N]";
+    exit 2
+  in
+  match Array.to_list Sys.argv with
+  | _ :: path :: rest ->
+    let min_tracks =
+      match rest with
+      | [] -> 0
+      | [ "--min-tracks"; n ] -> (
+        match int_of_string_opt n with Some n -> n | None -> usage ())
+      | _ -> usage ()
+    in
+    let text =
+      try read_file path
+      with Sys_error msg ->
+        prerr_endline ("exochi_trace_lint: " ^ msg);
+        exit 1
+    in
+    (match Exochi_obs.Trace_export.validate_chrome text with
+    | Error msg ->
+      Printf.eprintf "exochi_trace_lint: %s: INVALID: %s\n" path msg;
+      exit 1
+    | Ok v ->
+      if v.Exochi_obs.Trace_export.tracks < min_tracks then begin
+        Printf.eprintf
+          "exochi_trace_lint: %s: only %d track(s), expected at least %d\n"
+          path v.Exochi_obs.Trace_export.tracks min_tracks;
+        exit 1
+      end;
+      Printf.printf
+        "%s: OK (%d track(s), %d event(s), %d counter sample(s); per-track \
+         timestamps monotonic)\n"
+        path v.Exochi_obs.Trace_export.tracks v.Exochi_obs.Trace_export.events
+        v.Exochi_obs.Trace_export.counters)
+  | _ -> usage ()

@@ -2,6 +2,7 @@ open Exochi_util
 open Exochi_memory
 open Exochi_isa.X3k_ast
 module Fault_plan = Exochi_faults.Fault_plan
+module Trace = Exochi_obs.Trace
 
 type config = {
   clock_mhz : int;
@@ -14,6 +15,7 @@ type config = {
   dispatch_cycles : int;
   switch_on_stall : bool;
   fault_plan : Fault_plan.t option;
+  trace : Trace.sink option;
 }
 
 let default_config =
@@ -28,6 +30,7 @@ let default_config =
     dispatch_cycles = 120;
     switch_on_stall = true;
     fault_plan = None;
+    trace = None;
   }
 
 type shred = { shred_id : int; entry : int; params : int array }
@@ -176,6 +179,16 @@ let clock t = t.clock
 let cache t = t.cache
 let tlb t = t.gtlb
 
+let now_ps t = Array.fold_left (fun acc eu -> max acc eu.now) 0 t.eus
+
+(* Tracing reads simulator state only — no clock, counter, or PRNG is
+   touched — so a traced run is time-for-time and bit-for-bit identical
+   to an untraced one; without a sink each site costs one [match]. *)
+let trace_emit t ~ts ?dur ~seq kind =
+  match t.cfg.trace with
+  | None -> ()
+  | Some sink -> Trace.emit sink ~ts_ps:ts ?dur_ps:dur ~seq kind
+
 let bind t ~prog ~surfaces =
   if Array.length surfaces < Array.length prog.surfaces then
     invalid_arg "Gpu.bind: surface table smaller than program slot table";
@@ -191,6 +204,20 @@ let enqueue t shreds =
     | Some plan -> Fault_plan.decide plan Fault_plan.Lost_signal
     | None -> false
   in
+  (match t.cfg.trace with
+  | None -> ()
+  | Some _ ->
+    let ts = now_ps t in
+    List.iter
+      (fun s ->
+        trace_emit t ~ts ~seq:Trace.Ia32
+          (Trace.Shred_enqueue { shred_id = s.shred_id }))
+      shreds;
+    trace_emit t ~ts ~seq:Trace.Ia32
+      (Trace.Signal_doorbell { shreds = List.length shreds; lost });
+    if lost then
+      trace_emit t ~ts ~seq:Trace.Ia32
+        (Trace.Fault_injected { cls = "lost-signal" }));
   let q = if lost then t.parked else t.queue in
   List.iter (fun s -> Queue.add s q) shreds
 
@@ -201,6 +228,9 @@ let reenqueue t shreds = List.iter (fun s -> Queue.add s t.queue) shreds
 let redeliver_doorbell t =
   let n = Queue.length t.parked in
   Queue.transfer t.parked t.queue;
+  if n > 0 then
+    trace_emit t ~ts:(now_ps t) ~seq:Trace.Ia32
+      (Trace.Doorbell_redeliver { shreds = n });
   n
 
 let parked_count t = Queue.length t.parked
@@ -221,8 +251,6 @@ let quiescent t =
   && Array.for_all
        (fun eu -> Array.for_all (fun c -> c.state = Idle) eu.ctxs)
        t.eus
-
-let now_ps t = Array.fold_left (fun acc eu -> max acc eu.now) 0 t.eus
 
 let advance_to_ps t ps =
   Array.iter (fun eu -> if eu.now < ps then eu.now <- ps) t.eus
@@ -345,6 +373,9 @@ let translate_page t eu vaddr =
     `Ok ((Pte.X3k.frame pte lsl Phys_mem.page_shift)
         lor (vaddr land (Phys_mem.page_size - 1)))
   | _ -> (
+    trace_emit t ~ts:eu.now
+      ~seq:(Trace.Exo { eu = eu.eu_id; slot = eu.current })
+      (Trace.Atr_tlb_miss { vpage });
     match t.hooks.atr ~vpage ~now_ps:eu.now with
     | Some pte, done_ps ->
       Tlb.insert t.gtlb ~vpage pte;
@@ -583,10 +614,14 @@ let exec_instr t eu slot =
       match i.op with
       | Nop | End | Br _ | Jmp | Fence | Semacq | Semrel -> false
       | _ -> Fault_plan.decide plan Fault_plan.Ceh_spurious))
-  then
+  then begin
     (* injected spurious CEH trap: the IA32 handler finds nothing to
        emulate and resumes the shred, which replays the instruction *)
+    trace_emit t ~ts:eu.now
+      ~seq:(Trace.Exo { eu = eu.eu_id; slot })
+      (Trace.Fault_injected { cls = "ceh-spurious" });
     Replay (t.hooks.ceh_spurious ~now_ps:eu.now)
+  end
   else begin
     let mask = pred_mask ctx ~width i.pred in
     let src n = List.nth i.srcs n in
@@ -674,6 +709,9 @@ let exec_instr t eu slot =
             { fault_op = i.op; fault_dtype = i.dtype; lane_a = a; lane_b = bl }
           in
           let emulated, done_ps = t.hooks.ceh req ~now_ps:eu.now in
+          trace_emit t ~ts:done_ps
+            ~seq:(Trace.Exo { eu = eu.eu_id; slot })
+            (Trace.Ceh_writeback { op = opcode_name i.op; lanes = width });
           write_lanes ctx ~width dst
             (apply_pred ~mask ~width old emulated)
             ~ready:done_ps;
@@ -975,11 +1013,22 @@ let dispatch t eu slot shred =
     | Some plan -> Fault_plan.decide plan Fault_plan.Shred_hang
     | None -> false
   in
-  if hang then
+  let seq = Trace.Exo { eu = eu.eu_id; slot } in
+  trace_emit t ~ts:eu.now ~seq
+    (Trace.Shred_dispatch { shred_id = shred.shred_id });
+  if hang then begin
     (* the EU wedges before retiring anything: no architectural state of
        the shred changes, so a re-dispatch restarts it from scratch *)
+    trace_emit t ~ts:eu.now ~seq (Trace.Fault_injected { cls = "shred-hang" });
     ctx.state <- Hung
-  else ctx.state <- Stalled (eu.now + (t.cfg.dispatch_cycles * t.cycle))
+  end
+  else begin
+    trace_emit t
+      ~ts:(eu.now + (t.cfg.dispatch_cycles * t.cycle))
+      ~seq
+      (Trace.Shred_start { shred_id = shred.shred_id });
+    ctx.state <- Stalled (eu.now + (t.cfg.dispatch_cycles * t.cycle))
+  end
 
 (* Refresh stalled contexts whose resume time has passed; fill idle
    contexts from the queue. *)
@@ -1032,11 +1081,16 @@ let next_event eu =
       | _ -> acc)
     None eu.ctxs
 
-let finish_shred t eu ctx =
+let finish_shred t eu slot =
+  let ctx = eu.ctxs.(slot) in
   (match ctx.shred with
   | Some sh ->
     t.completed <- t.completed + 1;
     t.last_done <- max t.last_done eu.now;
+    trace_emit t ~ts:ctx.started
+      ~dur:(max 0 (eu.now - ctx.started))
+      ~seq:(Trace.Exo { eu = eu.eu_id; slot })
+      (Trace.Shred_run { shred_id = sh.shred_id });
     t.hooks.on_shred_done sh ~now_ps:eu.now
   | None -> ());
   ctx.shred <- None;
@@ -1095,7 +1149,7 @@ let step_eu t eu target_ps =
         t.retired <- t.retired + 1;
         incr retired_here;
         eu.now <- eu.now + t.cycle;
-        finish_shred t eu ctx
+        finish_shred t eu slot
       | Blocked_sem s ->
         ctx.state <- Wait_sem s;
         t.sem_waiters.(s) <- t.sem_waiters.(s) @ [ (eu.eu_id, slot) ])
@@ -1195,13 +1249,18 @@ let reap_overdue t ~watchdog_ps =
             ctx.shred <- None;
             ctx.state <- Idle;
             ctx.fails <- ctx.fails + 1;
+            trace_emit t ~ts:eu.now
+              ~seq:(Trace.Exo { eu = eu.eu_id; slot })
+              (Trace.Watchdog_reap { shred_id = sh.shred_id; fails = ctx.fails });
             reaped := (eu.eu_id, slot, sh, ctx.fails) :: !reaped
           | _ -> ())
         eu.ctxs)
     t.eus;
   List.rev !reaped
 
-let quarantine t ~eu ~slot = t.eus.(eu).ctxs.(slot).disabled <- true
+let quarantine t ~eu ~slot =
+  trace_emit t ~ts:(now_ps t) ~seq:(Trace.Exo { eu; slot }) Trace.Quarantine;
+  t.eus.(eu).ctxs.(slot).disabled <- true
 
 let quarantined_slots t =
   Array.fold_left

@@ -28,6 +28,10 @@ type config = {
   switch_on_stall : bool; (* ablation: disable fine-grained MT *)
   fault_plan : Exochi_faults.Fault_plan.t option;
       (* deterministic fault injection; [None] = pristine hardware *)
+  trace : Exochi_obs.Trace.sink option;
+      (* exo-trace sink; [None] = tracing off (zero overhead). Emission
+         reads state only, so a traced run is bit-identical to an
+         untraced one. *)
 }
 
 val default_config : config

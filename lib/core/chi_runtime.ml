@@ -1,6 +1,7 @@
 open Exochi_memory
 module Gpu = Exochi_accel.Gpu
 module Machine = Exochi_cpu.Machine
+module Trace = Exochi_obs.Trace
 
 type flush_policy = Upfront | Upfront_naive | Interleaved
 
@@ -54,6 +55,13 @@ let create ~platform ?(flush_policy = Interleaved)
 
 let platform t = t.platform
 let features t = t.features
+
+(* Runtime services run on the IA32 master, so their events land on its
+   track; the sink is adopted from the platform. State-read-only. *)
+let rev t ~ts ?dur kind =
+  match Exo_platform.trace t.platform with
+  | None -> ()
+  | Some sink -> Trace.emit sink ~ts_ps:ts ?dur_ps:dur ~seq:Trace.Ia32 kind
 let flush_policy t = t.flush_policy
 let last_flush_bytes t = t.last_flush_bytes
 let last_copy_bytes t = t.last_copy_bytes
@@ -113,14 +121,19 @@ let charged_copy t ~src ~dst ~len =
   let data = Address_space.read_bytes aspace ~vaddr:src ~len in
   Address_space.write_bytes aspace ~vaddr:dst data;
   let cost = Memmodel.copy_ps (Exo_platform.model_costs t.platform) ~bytes:len in
-  Machine.add_time_ps (Exo_platform.cpu t.platform) cost;
+  let cpu = Exo_platform.cpu t.platform in
+  rev t ~ts:(Machine.now_ps cpu) ~dur:cost (Trace.Copy { bytes = len });
+  Machine.add_time_ps cpu cost;
   t.last_copy_bytes <- t.last_copy_bytes + len
 
 (* Flush a virtual range out of the CPU caches (timed through the bus —
    the optimised flush path). *)
 let charged_flush t ~vaddr ~len =
   let cpu = Exo_platform.cpu t.platform in
+  let t0 = Machine.now_ps cpu in
   let bytes = Machine.flush_range cpu ~vaddr ~len in
+  if bytes > 0 then
+    rev t ~ts:t0 ~dur:(Machine.now_ps cpu - t0) (Trace.Flush { bytes });
   t.last_flush_bytes <- t.last_flush_bytes + bytes;
   bytes
 
@@ -134,6 +147,8 @@ let charged_flush_naive t ~vaddr ~len =
   let fast = Machine.now_ps cpu - t0 in
   let naive = Memmodel.naive_flush_ps costs ~bytes in
   if naive > fast then Machine.add_time_ps cpu (naive - fast);
+  if bytes > 0 then
+    rev t ~ts:t0 ~dur:(Machine.now_ps cpu - t0) (Trace.Flush { bytes });
   t.last_flush_bytes <- t.last_flush_bytes + bytes;
   bytes
 
@@ -205,10 +220,14 @@ let fallback_shred t sh =
   let cpu = Exo_platform.cpu t.platform in
   let costs = Exo_platform.costs t.platform in
   t.recovery.fallback_shreds <- t.recovery.fallback_shreds + 1;
-  let _instrs, lane_ops = Gpu.emulate_shred gpu sh in
-  Machine.add_time_ps cpu
-    (costs.Exo_platform.uli_ps + costs.Exo_platform.ceh_base_ps
-    + (lane_ops * costs.Exo_platform.ceh_per_lane_ps));
+  let instrs, lane_ops = Gpu.emulate_shred gpu sh in
+  let service =
+    costs.Exo_platform.uli_ps + costs.Exo_platform.ceh_base_ps
+    + (lane_ops * costs.Exo_platform.ceh_per_lane_ps)
+  in
+  rev t ~ts:(Machine.now_ps cpu) ~dur:service
+    (Trace.Ia32_fallback { shred_id = sh.Gpu.shred_id; instrs; lane_ops });
+  Machine.add_time_ps cpu service;
   Exo_platform.notify_shred_done t.platform sh ~now_ps:(Machine.now_ps cpu)
 
 (* Supervised replacement for [Gpu.run_to_quiescence], active only when
@@ -249,6 +268,9 @@ let supervised_drain t =
       else begin
         t.recovery.redispatches <- t.recovery.redispatches + 1;
         let delay = t.backoff_ps * (1 lsl min 8 (a - 1)) in
+        rev t ~ts:(Gpu.now_ps gpu)
+          (Trace.Redispatch
+             { shred_id = sh.Gpu.shred_id; attempt = a; delay_ps = delay });
         pending := (Gpu.now_ps gpu + delay, sh) :: !pending
       end
     in

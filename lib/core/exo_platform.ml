@@ -1,5 +1,6 @@
 open Exochi_memory
 module Fault_plan = Exochi_faults.Fault_plan
+module Trace = Exochi_obs.Trace
 
 type costs = {
   uli_ps : int;
@@ -39,6 +40,7 @@ type t = {
   gtt_enabled : bool;
   gtt : (int, Pte.X3k.t) Hashtbl.t; (* vpage -> transcoded entry *)
   fault_plan : Fault_plan.t option;
+  trace : Trace.sink option;
   mutable surfaces : Surface.t list;
   mutable atr_proxies : int;
   mutable gtt_hits : int;
@@ -58,6 +60,15 @@ let bus t = t.bus
 let memmodel t = t.memmodel
 let model_costs t = t.mcosts
 let costs t = t.costs
+let trace t = t.trace
+
+(* Proxy-side trace emission: ATR walks, CEH emulation and prewalks all
+   execute on the IA32 sequencer, so their events land on its track.
+   Reads state only — the no-sink path is one [match]. *)
+let pev t ~ts ?dur kind =
+  match t.trace with
+  | None -> ()
+  | Some sink -> Trace.emit sink ~ts_ps:ts ?dur_ps:dur ~seq:Trace.Ia32 kind
 
 (* ---- surface registry ---- *)
 
@@ -89,6 +100,8 @@ let rec atr_proxy ?(attempt = 0) t ~vpage ~now_ps =
   in
   if transient then begin
     let wasted = t.costs.uli_ps + t.costs.atr_service_ps in
+    pev t ~ts:now_ps (Trace.Fault_injected { cls = "atr-transient" });
+    pev t ~ts:now_ps ~dur:wasted (Trace.Atr_transient { vpage; attempt });
     Exochi_cpu.Machine.add_overhead_ps t.cpu wasted;
     t.atr_transient_retries <- t.atr_transient_retries + 1;
     atr_proxy ~attempt:(attempt + 1) t ~vpage ~now_ps:(now_ps + wasted)
@@ -108,6 +121,8 @@ let rec atr_proxy ?(attempt = 0) t ~vpage ~now_ps =
       let x3k = Pte.transcode pte ~tiling:(tiling_for t ~vaddr) in
       if t.gtt_enabled then Hashtbl.replace t.gtt vpage x3k;
       let service = t.costs.uli_ps + t.costs.atr_service_ps + fault_ps in
+      pev t ~ts:now_ps ~dur:service
+        (Trace.Atr_proxy { vpage; faulted_in = fault_ps > 0 });
       (* the CPU pays for servicing the interrupt *)
       Exochi_cpu.Machine.add_overhead_ps t.cpu service;
       (Some x3k, now_ps + service)
@@ -126,12 +141,14 @@ let atr_hook t ~vpage ~now_ps =
     if corrupt then begin
       (* the shadow entry is gone/corrupt: drop it and pay the full
          proxy re-walk, which also repairs the GTT *)
+      pev t ~ts:now_ps (Trace.Fault_injected { cls = "gtt-corrupt" });
       Hashtbl.remove t.gtt vpage;
       t.gtt_evictions <- t.gtt_evictions + 1;
       atr_proxy t ~vpage ~now_ps
     end
     else begin
       t.gtt_hits <- t.gtt_hits + 1;
+      pev t ~ts:now_ps ~dur:t.costs.gtt_fetch_ps (Trace.Atr_gtt_hit { vpage });
       (Some pte, now_ps + t.costs.gtt_fetch_ps)
     end
   | None -> atr_proxy t ~vpage ~now_ps
@@ -156,6 +173,10 @@ let prewalk t ~vaddr ~len =
     if !fresh > 0 then begin
       (* one ULI covers the whole batch; per-page walk+transcode ~40ns *)
       let service = t.costs.uli_ps + (!fresh * 40_000) in
+      pev t
+        ~ts:(Exochi_cpu.Machine.now_ps t.cpu)
+        ~dur:service
+        (Trace.Atr_prewalk { pages = !fresh });
       Exochi_cpu.Machine.add_time_ps t.cpu service
     end
   end
@@ -187,6 +208,8 @@ let ceh_hook t (req : Exochi_accel.Gpu.fault_request) ~now_ps =
   let service =
     t.costs.uli_ps + t.costs.ceh_base_ps + (lanes * t.costs.ceh_per_lane_ps)
   in
+  pev t ~ts:now_ps ~dur:service
+    (Trace.Ceh_proxy { op = opcode_name req.fault_op; lanes });
   Exochi_cpu.Machine.add_overhead_ps t.cpu service;
   (results, now_ps + service)
 
@@ -195,6 +218,7 @@ let ceh_hook t (req : Exochi_accel.Gpu.fault_request) ~now_ps =
 let ceh_spurious_hook t ~now_ps =
   t.ceh_spurious <- t.ceh_spurious + 1;
   let service = t.costs.uli_ps + t.costs.ceh_base_ps in
+  pev t ~ts:now_ps ~dur:service Trace.Ceh_spurious;
   Exochi_cpu.Machine.add_overhead_ps t.cpu service;
   now_ps + service
 
@@ -266,7 +290,7 @@ let fault_plan t = t.fault_plan
 let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
     ?(bus_latency_ps = 90_000) ?(memmodel = Memmodel.Cc_shared)
     ?(model_costs = Memmodel.default_costs) ?(costs = default_costs)
-    ?(protocol = Count_only) ?(gtt_enabled = true) ?fault_plan () =
+    ?(protocol = Count_only) ?(gtt_enabled = true) ?fault_plan ?trace () =
   let mem = Phys_mem.create ~frames in
   let aspace = Address_space.create mem in
   let bus = Bus.create ~gbps:bus_gbps ~latency_ps:bus_latency_ps in
@@ -281,6 +305,18 @@ let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
     | Some _ -> fault_plan
     | None -> gpu_base.Exochi_accel.Gpu.fault_plan
   in
+  (* same resolution as the fault plan: an explicit [?trace] wins, else a
+     sink carried in [gpu_config] is adopted platform-wide *)
+  let trace =
+    match trace with
+    | Some _ -> trace
+    | None -> gpu_base.Exochi_accel.Gpu.trace
+  in
+  Option.iter
+    (fun sink ->
+      Trace.set_topology sink ~eus:gpu_base.Exochi_accel.Gpu.eus
+        ~threads_per_eu:gpu_base.Exochi_accel.Gpu.threads_per_eu)
+    trace;
   let t =
     {
       mem;
@@ -295,6 +331,7 @@ let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
       gtt_enabled;
       gtt = Hashtbl.create 4096;
       fault_plan;
+      trace;
       surfaces = [];
       atr_proxies = 0;
       gtt_hits = 0;
@@ -317,7 +354,7 @@ let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
       on_shred_done = (fun sh ~now_ps -> t.on_shred_done sh ~now_ps);
     }
   in
-  let gpu_cfg = { gpu_base with Exochi_accel.Gpu.fault_plan } in
+  let gpu_cfg = { gpu_base with Exochi_accel.Gpu.fault_plan; trace } in
   let gpu = Exochi_accel.Gpu.create ~config:gpu_cfg ~aspace ~bus ~hooks () in
   t.gpu <- Some gpu;
   t
@@ -331,6 +368,31 @@ let notify_shred_done t sh ~now_ps = t.on_shred_done sh ~now_ps
 
 let sync_gpu_to_cpu t =
   Exochi_accel.Gpu.advance_to_ps (gpu t) (Exochi_cpu.Machine.now_ps t.cpu)
+
+(* Snapshot the memory-system counters into the trace as Chrome counter
+   samples — typically called once at the end of a run, before export. *)
+let emit_mem_counters t =
+  match t.trace with
+  | None -> ()
+  | Some _ ->
+    let g = gpu t in
+    let ts =
+      max (Exochi_cpu.Machine.now_ps t.cpu) (Exochi_accel.Gpu.now_ps g)
+    in
+    let c name value = pev t ~ts (Trace.Counter { counter = name; value }) in
+    let gcache = Exochi_accel.Gpu.cache g in
+    let gtlb = Exochi_accel.Gpu.tlb g in
+    c "gpu_cache_hits" (Cache.hits gcache);
+    c "gpu_cache_misses" (Cache.misses gcache);
+    c "gpu_cache_writebacks" (Cache.writebacks gcache);
+    c "gpu_tlb_hits" (Tlb.hits gtlb);
+    c "gpu_tlb_misses" (Tlb.misses gtlb);
+    c "cpu_l1_hits" (Cache.hits (Exochi_cpu.Machine.l1 t.cpu));
+    c "cpu_l1_misses" (Cache.misses (Exochi_cpu.Machine.l1 t.cpu));
+    c "cpu_l2_hits" (Cache.hits (Exochi_cpu.Machine.l2 t.cpu));
+    c "cpu_l2_misses" (Cache.misses (Exochi_cpu.Machine.l2 t.cpu));
+    c "bus_bytes" (Bus.total_bytes t.bus);
+    c "bus_requests" (Bus.total_requests t.bus)
 
 let barrier t =
   let g = gpu t in

@@ -54,6 +54,7 @@ val create :
   ?protocol:protocol_mode ->
   ?gtt_enabled:bool ->
   ?fault_plan:Exochi_faults.Fault_plan.t ->
+  ?trace:Exochi_obs.Trace.sink ->
   unit ->
   t
 (** [gtt_enabled] (default true): cache transcoded entries in a
@@ -64,7 +65,14 @@ val create :
     [fault_plan] installs a deterministic fault-injection plan across
     every layer (GPU dispatch/doorbells/instructions, ATR proxy, GTT
     shadow). Omitted: pristine hardware, with bit-identical behaviour to
-    a zero-rate plan. *)
+    a zero-rate plan.
+
+    [trace] installs an exo-trace sink platform-wide (the GPU, the ATR
+    and CEH proxy paths, and the CHI runtime all emit into it); like the
+    fault plan, an explicit argument wins over a sink carried in
+    [gpu_config]. The sink's topology is set from the GPU configuration
+    so exporters know the full track layout. Omitted: tracing off, with
+    zero overhead and bit-identical behaviour to a traced run. *)
 
 val aspace : t -> Exochi_memory.Address_space.t
 val cpu : t -> Exochi_cpu.Machine.t
@@ -73,6 +81,14 @@ val bus : t -> Exochi_memory.Bus.t
 val memmodel : t -> Exochi_memory.Memmodel.config
 val model_costs : t -> Exochi_memory.Memmodel.costs
 val costs : t -> costs
+
+(** The installed exo-trace sink, if any (the CHI runtime adopts it). *)
+val trace : t -> Exochi_obs.Trace.sink option
+
+(** Snapshot memory-system counters (GPU cache/TLB, CPU L1/L2, bus) into
+    the trace as counter samples, stamped at the later of the CPU and GPU
+    clocks. No-op without a sink. *)
+val emit_mem_counters : t -> unit
 
 (** {1 Surface registry}
 

@@ -248,7 +248,7 @@ let run_dynamic platform kernel io input_descs output_descs =
   !cpu_busy
 
 let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
-    ?gtt_enabled ?fault_plan ?(split = All_gpu) ?(seed = 42L) ?frames
+    ?gtt_enabled ?fault_plan ?trace ?(split = All_gpu) ?(seed = 42L) ?frames
     ?(validate = true) kernel scale =
   (match (fault_plan, split) with
   | Some _, Dynamic ->
@@ -259,7 +259,8 @@ let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
   let prng = Exochi_util.Prng.create seed in
   let io = kernel.Kernel.make_io ?frames prng scale in
   let platform =
-    Exo_platform.create ~memmodel ?gpu_config ?gtt_enabled ?fault_plan ()
+    Exo_platform.create ~memmodel ?gpu_config ?gtt_enabled ?fault_plan ?trace
+      ()
   in
   let flush_policy =
     match flush_policy with
@@ -321,6 +322,7 @@ let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
   end;
   Option.iter (fun team -> Chi_runtime.wait rt team) team;
   let t1 = Machine.now_ps cpu in
+  Exo_platform.emit_mem_counters platform;
   let correct, max_diff =
     if validate then check_outputs platform io golden output_descs
     else (true, 0)

@@ -48,6 +48,7 @@ val run :
   ?gpu_config:Exochi_accel.Gpu.config ->
   ?gtt_enabled:bool ->
   ?fault_plan:Exochi_faults.Fault_plan.t ->
+  ?trace:Exochi_obs.Trace.sink ->
   ?split:split ->
   ?seed:int64 ->
   ?frames:int ->

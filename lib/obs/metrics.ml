@@ -1,0 +1,239 @@
+(* Per-kernel metrics aggregated from the trace event stream: EU
+   occupancy, shred-latency percentiles, proxy-service breakdowns and
+   bytes moved. Everything is derived from events (plus the counter
+   snapshots the platform emits at the end of a run), so the aggregator
+   works on any sink regardless of which layer filled it. *)
+
+type service = { count : int; total_ps : int }
+
+let no_service = { count = 0; total_ps = 0 }
+let bump s dur = { count = s.count + 1; total_ps = s.total_ps + dur }
+
+type t = {
+  events : int;
+  dropped : int;
+  span_ps : int; (* first event start .. last event end *)
+  exo_tracks : int;
+  (* shreds *)
+  shreds_retired : int;
+  shreds_enqueued : int;
+  lat_p50_ps : float;
+  lat_p95_ps : float;
+  lat_p99_ps : float;
+  lat_mean_ps : float;
+  (* occupancy: summed shred-run time / (exo_tracks * span) *)
+  exo_busy_ps : int;
+  occupancy : float;
+  (* proxy breakdown *)
+  atr_tlb_misses : int;
+  atr_gtt_hits : service;
+  atr_proxies : service;
+  atr_transients : int;
+  ceh_proxies : service;
+  ceh_spurious : int;
+  (* dispatch & recovery *)
+  doorbells : int;
+  doorbells_lost : int;
+  redeliveries : int;
+  redispatches : int;
+  watchdog_reaps : int;
+  quarantines : int;
+  ia32_fallbacks : int;
+  faults : (string * int) list; (* per class, name-sorted *)
+  (* bytes moved *)
+  flush_bytes : int;
+  copy_bytes : int;
+  counters : (string * int) list; (* last value per counter, name-sorted *)
+}
+
+let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
+  let exo_tracks = eus * threads_per_eu in
+  let first = ref max_int and last = ref 0 in
+  let retired = ref 0 and enqueued = ref 0 in
+  let lats = ref [] in
+  let busy = ref 0 in
+  let tlb_misses = ref 0 and transients = ref 0 and spurious = ref 0 in
+  let gtt = ref no_service and proxy = ref no_service and ceh = ref no_service in
+  let doorbells = ref 0 and lost = ref 0 and redeliveries = ref 0 in
+  let redispatches = ref 0 and reaps = ref 0 and quarantines = ref 0 in
+  let fallbacks = ref 0 in
+  let faults : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let flush = ref 0 and copy = ref 0 in
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let n = ref 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      incr n;
+      first := min !first e.ts_ps;
+      last := max !last (e.ts_ps + e.dur_ps);
+      match e.kind with
+      | Trace.Shred_run _ ->
+        incr retired;
+        busy := !busy + e.dur_ps;
+        lats := float_of_int e.dur_ps :: !lats
+      | Trace.Shred_enqueue _ -> incr enqueued
+      | Trace.Signal_doorbell { lost = l; _ } ->
+        incr doorbells;
+        if l then incr lost
+      | Trace.Doorbell_redeliver _ -> incr redeliveries
+      | Trace.Shred_dispatch _ | Trace.Shred_start _ -> ()
+      | Trace.Watchdog_reap _ -> incr reaps
+      | Trace.Redispatch _ -> incr redispatches
+      | Trace.Quarantine -> incr quarantines
+      | Trace.Ia32_fallback _ -> incr fallbacks
+      | Trace.Atr_tlb_miss _ -> incr tlb_misses
+      | Trace.Atr_gtt_hit _ -> gtt := bump !gtt e.dur_ps
+      | Trace.Atr_proxy _ -> proxy := bump !proxy e.dur_ps
+      | Trace.Atr_transient _ -> incr transients
+      | Trace.Atr_prewalk _ -> ()
+      | Trace.Ceh_proxy _ -> ceh := bump !ceh e.dur_ps
+      | Trace.Ceh_writeback _ -> ()
+      | Trace.Ceh_spurious -> incr spurious
+      | Trace.Fault_injected { cls } ->
+        Hashtbl.replace faults cls
+          (1 + Option.value (Hashtbl.find_opt faults cls) ~default:0)
+      | Trace.Flush { bytes } -> flush := !flush + bytes
+      | Trace.Copy { bytes } -> copy := !copy + bytes
+      | Trace.Counter { counter; value } -> Hashtbl.replace counters counter value)
+    events;
+  let span = if !n = 0 then 0 else max 0 (!last - !first) in
+  let pct p = if !lats = [] then 0.0 else Exochi_util.Stats.percentile p !lats in
+  let sorted_assoc tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    events = !n;
+    dropped;
+    span_ps = span;
+    exo_tracks;
+    shreds_retired = !retired;
+    shreds_enqueued = !enqueued;
+    lat_p50_ps = pct 50.0;
+    lat_p95_ps = pct 95.0;
+    lat_p99_ps = pct 99.0;
+    lat_mean_ps = (if !lats = [] then 0.0 else Exochi_util.Stats.mean !lats);
+    exo_busy_ps = !busy;
+    occupancy =
+      (if span = 0 || exo_tracks = 0 then 0.0
+       else float_of_int !busy /. (float_of_int span *. float_of_int exo_tracks));
+    atr_tlb_misses = !tlb_misses;
+    atr_gtt_hits = !gtt;
+    atr_proxies = !proxy;
+    atr_transients = !transients;
+    ceh_proxies = !ceh;
+    ceh_spurious = !spurious;
+    doorbells = !doorbells;
+    doorbells_lost = !lost;
+    redeliveries = !redeliveries;
+    redispatches = !redispatches;
+    watchdog_reaps = !reaps;
+    quarantines = !quarantines;
+    ia32_fallbacks = !fallbacks;
+    faults = sorted_assoc faults;
+    flush_bytes = !flush;
+    copy_bytes = !copy;
+    counters = sorted_assoc counters;
+  }
+
+let of_sink sink =
+  of_events ~dropped:(Trace.dropped sink) ~eus:(Trace.eus sink)
+    ~threads_per_eu:(Trace.threads_per_eu sink)
+    (Trace.events sink)
+
+(* ---- rendering ---- *)
+
+let ms ps = float_of_int ps /. 1e9
+let us f = f /. 1e6
+
+let render m =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "trace        : %d event(s)%s over %.3f ms on %d exo track(s) + IA32"
+    m.events
+    (if m.dropped > 0 then Printf.sprintf " (%d dropped)" m.dropped else "")
+    (ms m.span_ps) m.exo_tracks;
+  line "shreds       : %d retired / %d enqueued; %d doorbell(s)%s"
+    m.shreds_retired m.shreds_enqueued m.doorbells
+    (if m.doorbells_lost > 0 then
+       Printf.sprintf " (%d lost, %d re-rung)" m.doorbells_lost m.redeliveries
+     else "");
+  if m.shreds_retired > 0 then begin
+    line "shred latency: p50 %.1f us  p95 %.1f us  p99 %.1f us  (mean %.1f us)"
+      (us m.lat_p50_ps) (us m.lat_p95_ps) (us m.lat_p99_ps) (us m.lat_mean_ps);
+    line "EU occupancy : %.1f%% (%.3f ms busy across %d contexts)"
+      (100.0 *. m.occupancy) (ms m.exo_busy_ps) m.exo_tracks
+  end;
+  line "ATR          : %d TLB miss(es) -> %d GTT-shadow hit(s) (%.1f us), %d \
+        full proxy walk(s) (%.1f us)%s"
+    m.atr_tlb_misses m.atr_gtt_hits.count
+    (us (float_of_int m.atr_gtt_hits.total_ps))
+    m.atr_proxies.count
+    (us (float_of_int m.atr_proxies.total_ps))
+    (if m.atr_transients > 0 then
+       Printf.sprintf ", %d transient retry(ies)" m.atr_transients
+     else "");
+  line "CEH          : %d proxy(ies) (%.1f us)%s" m.ceh_proxies.count
+    (us (float_of_int m.ceh_proxies.total_ps))
+    (if m.ceh_spurious > 0 then
+       Printf.sprintf ", %d spurious trap(s)" m.ceh_spurious
+     else "");
+  if
+    m.redispatches > 0 || m.watchdog_reaps > 0 || m.quarantines > 0
+    || m.ia32_fallbacks > 0
+  then
+    line "recovery     : %d watchdog reap(s), %d redispatch(es), %d \
+          quarantine(s), %d IA32 fallback(s)"
+      m.watchdog_reaps m.redispatches m.quarantines m.ia32_fallbacks;
+  if m.faults <> [] then
+    line "faults       : %s"
+      (String.concat ", "
+         (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) m.faults));
+  if m.flush_bytes > 0 || m.copy_bytes > 0 then
+    line "bytes moved  : %d KiB flushed, %d KiB copied" (m.flush_bytes / 1024)
+      (m.copy_bytes / 1024);
+  List.iter (fun (name, v) -> line "counter      : %-18s %d" name v) m.counters;
+  Buffer.contents b
+
+(* deterministic flat JSON (per-kernel metrics snapshots for bench) *)
+let to_json ?(extra = []) m =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{";
+  let first = ref true in
+  let field k v =
+    if !first then first := false else Buffer.add_string b ",";
+    Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v)
+  in
+  let num_int k v = field k (string_of_int v) in
+  let num_f k v = field k (Printf.sprintf "%.6f" v) in
+  List.iter (fun (k, v) -> field k v) extra;
+  num_int "events" m.events;
+  num_int "dropped" m.dropped;
+  num_int "span_ps" m.span_ps;
+  num_int "exo_tracks" m.exo_tracks;
+  num_int "shreds_retired" m.shreds_retired;
+  num_f "occupancy" m.occupancy;
+  num_f "shred_lat_p50_ps" m.lat_p50_ps;
+  num_f "shred_lat_p95_ps" m.lat_p95_ps;
+  num_f "shred_lat_p99_ps" m.lat_p99_ps;
+  num_f "shred_lat_mean_ps" m.lat_mean_ps;
+  num_int "atr_tlb_misses" m.atr_tlb_misses;
+  num_int "atr_gtt_hits" m.atr_gtt_hits.count;
+  num_int "atr_gtt_ps" m.atr_gtt_hits.total_ps;
+  num_int "atr_proxies" m.atr_proxies.count;
+  num_int "atr_proxy_ps" m.atr_proxies.total_ps;
+  num_int "atr_transients" m.atr_transients;
+  num_int "ceh_proxies" m.ceh_proxies.count;
+  num_int "ceh_proxy_ps" m.ceh_proxies.total_ps;
+  num_int "ceh_spurious" m.ceh_spurious;
+  num_int "doorbells" m.doorbells;
+  num_int "doorbells_lost" m.doorbells_lost;
+  num_int "redispatches" m.redispatches;
+  num_int "watchdog_reaps" m.watchdog_reaps;
+  num_int "quarantines" m.quarantines;
+  num_int "ia32_fallbacks" m.ia32_fallbacks;
+  num_int "flush_bytes" m.flush_bytes;
+  num_int "copy_bytes" m.copy_bytes;
+  List.iter (fun (name, v) -> num_int name v) m.counters;
+  Buffer.add_string b "}";
+  Buffer.contents b

@@ -1,0 +1,20 @@
+(** Minimal dependency-free JSON parser used to validate exported traces
+    (the CI lint step and the regression tests). Numbers are floats;
+    [\u] escapes are decoded just well enough for validation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+(** Field of an object, if present (and the value is an object). *)
+val member : string -> t -> t option
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_arr : t -> t list option

@@ -1,0 +1,94 @@
+(** Exo-trace: typed event tracing for the EXO/CHI stack.
+
+    A {!sink} is a bounded ring buffer of typed events, each stamped with
+    a {!Timebase} picosecond timestamp and a sequencer id ({!seq}). One
+    sink is optionally installed platform-wide ({!Exo_platform.create} /
+    [Gpu.config] / the CHI runtime adopts it from the platform) and every
+    load-bearing transition emits into it: shred
+    enqueue/dispatch/start/retire, SIGNAL doorbells, ATR TLB miss →
+    GTT-shadow hit vs. full proxy walk, CEH proxy begin/writeback, fault
+    injections and every recovery action, plus memory-system counters.
+
+    {b Overhead guarantee}: emission never touches simulation state — no
+    clock, no counter, no PRNG draw — so a traced run is time-for-time
+    and bit-for-bit identical to an untraced one, and the no-sink path
+    pays a single [match] per potential event. Enforced by
+    [test/test_obs.ml]. *)
+
+(** The sequencer (track) an event belongs to. The platform has one
+    OS-managed IA32 sequencer plus [eus * threads_per_eu] exo-sequencers
+    (32 in the prototype configuration). *)
+type seq = Ia32 | Exo of { eu : int; slot : int }
+
+(** Event taxonomy (DESIGN.md §8). Durations live on the {!event}, not
+    the kind: a kind with a nonzero duration renders as a Perfetto slice,
+    a zero-duration one as an instant. *)
+type kind =
+  | Shred_enqueue of { shred_id : int }  (** placed on the work queue *)
+  | Signal_doorbell of { shreds : int; lost : bool }
+      (** one SIGNAL covers the batch; [lost] = injected drop *)
+  | Doorbell_redeliver of { shreds : int }  (** runtime re-rings *)
+  | Shred_dispatch of { shred_id : int }  (** bound to an EU context *)
+  | Shred_start of { shred_id : int }  (** first instruction may issue *)
+  | Shred_run of { shred_id : int }
+      (** dispatch→retire slice on the executing exo-sequencer *)
+  | Watchdog_reap of { shred_id : int; fails : int }
+  | Redispatch of { shred_id : int; attempt : int; delay_ps : int }
+  | Quarantine  (** the HW-thread slot is retired for good *)
+  | Ia32_fallback of { shred_id : int; instrs : int; lane_ops : int }
+      (** whole-shred proxy execution on the IA32 sequencer *)
+  | Atr_tlb_miss of { vpage : int }  (** exo TLB miss, escalating *)
+  | Atr_gtt_hit of { vpage : int }  (** serviced from the GTT shadow *)
+  | Atr_proxy of { vpage : int; faulted_in : bool }
+      (** full ULI proxy walk on the IA32 sequencer *)
+  | Atr_transient of { vpage : int; attempt : int }
+      (** injected lost round trip, retried *)
+  | Atr_prewalk of { pages : int }  (** batched descriptor prewalk *)
+  | Ceh_proxy of { op : string; lanes : int }
+      (** faulting instruction emulated on the IA32 sequencer *)
+  | Ceh_writeback of { op : string; lanes : int }
+      (** emulated results land back in the faulting context *)
+  | Ceh_spurious  (** injected trap with nothing to emulate *)
+  | Fault_injected of { cls : string }  (** a plan decision fired *)
+  | Flush of { bytes : int }  (** non-CC hand-off cache flush *)
+  | Copy of { bytes : int }  (** data-copy mode transfer *)
+  | Counter of { counter : string; value : int }
+      (** memory-system counter snapshot (TLB/cache hits, bus bytes) *)
+
+type event = { ts_ps : int; dur_ps : int; seq : seq; kind : kind }
+
+type sink
+
+(** [create ~capacity ()] builds an empty bounded sink (default capacity
+    262144 events). When full, the oldest event is overwritten and
+    {!dropped} grows. *)
+val create : ?capacity:int -> unit -> sink
+
+(** Recorded by the platform when the sink is installed, so exporters
+    know the full track layout even for tracks that saw no events. *)
+val set_topology : sink -> eus:int -> threads_per_eu:int -> unit
+
+val eus : sink -> int
+val threads_per_eu : sink -> int
+
+(** [emit sink ~ts_ps ?dur_ps ~seq kind] appends one event. O(1), no
+    simulation side effects. *)
+val emit : sink -> ts_ps:int -> ?dur_ps:int -> seq:seq -> kind -> unit
+
+(** Events in emission order (oldest surviving first). *)
+val events : sink -> event list
+
+val length : sink -> int
+val capacity : sink -> int
+val dropped : sink -> int
+val clear : sink -> unit
+
+(** {1 Rendering helpers} *)
+
+val kind_name : kind -> string
+
+(** ["IA32"] or ["EU3/T1"]. *)
+val seq_label : seq -> string
+
+(** One-line human rendering (the [exochi_dbg] timeline view). *)
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,36 @@
+(** Chrome/Perfetto trace-event JSON export and validation.
+
+    Track layout: tid 0 is the IA32 proxy sequencer; tids
+    [1 .. eus * threads_per_eu] are the exo-sequencers (one track per HW
+    thread context), named ["exo EU<e>/T<s>"]. All tracks are declared
+    via [thread_name] metadata even when empty, so a default-configured
+    platform always exports 33 tracks. Events with a nonzero duration
+    become ["X"] (complete) slices, instants become ["i"], and
+    {!Trace.Counter} events become ["C"] counter samples.
+
+    The serialisation is deterministic: equal event streams produce
+    byte-identical output (fixed-precision timestamps, stable per-track
+    sort with emission order as the tie-break). *)
+
+(** Track id an event lands on. *)
+val tid_of : Trace.sink -> Trace.seq -> int
+
+(** Total declared tracks: 1 + eus * threads_per_eu. *)
+val track_count : Trace.sink -> int
+
+val track_name : Trace.sink -> int -> string
+
+(** Serialise the sink to Chrome trace-event JSON (a complete file,
+    loadable in about:tracing and ui.perfetto.dev). *)
+val to_chrome : Trace.sink -> string
+
+type validation = {
+  tracks : int; (* thread_name metadata entries *)
+  events : int; (* slice/instant events *)
+  counters : int; (* counter samples *)
+}
+
+(** Parse and check an exported file: well-formed JSON, a [traceEvents]
+    array, every event carrying [ph]/[pid]/[tid]/[ts], durations on
+    ["X"] slices, and per-track monotonically non-decreasing [ts]. *)
+val validate_chrome : string -> (validation, string) result

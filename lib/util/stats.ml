@@ -19,7 +19,11 @@ let stddev xs =
 let percentile p xs =
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let xs = check_nonempty "Stats.percentile" xs in
-  let sorted = List.sort compare xs in
+  (* Float.compare, not polymorphic compare: the generic compare goes
+     through the runtime's structural comparison for boxed floats, and
+     gives unspecified order on nan (which would silently poison the
+     interpolation below rather than sorting nan consistently last). *)
+  let sorted = List.sort Float.compare xs in
   let arr = Array.of_list sorted in
   let n = Array.length arr in
   if n = 1 then arr.(0)

@@ -12,8 +12,12 @@ val geomean : float list -> float
 (** Population standard deviation. *)
 val stddev : float list -> float
 
-(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation. *)
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation.
+    Sorts with [Float.compare] (total order, nan sorted consistently),
+    never the polymorphic [compare]. *)
 val percentile : float -> float list -> float
 
-(** Min and max of a non-empty list. *)
+(** Min and max of a non-empty list. Uses [Float.min]/[Float.max], so a
+    nan anywhere in the input propagates to both components — callers
+    feed simulator-derived latencies, which are always finite. *)
 val min_max : float list -> float * float

@@ -1,0 +1,262 @@
+(* Exo-trace observability subsystem: ring-buffer sink semantics, the
+   Chrome/Perfetto exporter and its validator, metrics aggregation, and
+   the two load-bearing invariants of the design:
+
+     - determinism: same seed (and same fault plan) produces a
+       byte-identical exported trace;
+     - zero overhead: installing a sink leaves the simulated run
+       time-for-time and bit-for-bit identical to an untraced run. *)
+
+open Exochi_obs
+open Exochi_kernels
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- ring-buffer sink ---- *)
+
+let ev i = Trace.Shred_enqueue { shred_id = i }
+
+let test_sink_basic () =
+  let s = Trace.create ~capacity:8 () in
+  check_int "capacity" 8 (Trace.capacity s);
+  check_int "empty" 0 (Trace.length s);
+  Trace.emit s ~ts_ps:100 ~seq:Trace.Ia32 (ev 0);
+  Trace.emit s ~ts_ps:200 ~dur_ps:50
+    ~seq:(Trace.Exo { eu = 1; slot = 2 })
+    (ev 1);
+  check_int "two events" 2 (Trace.length s);
+  check_int "no drops" 0 (Trace.dropped s);
+  (match Trace.events s with
+  | [ a; b ] ->
+    check_int "oldest first" 100 a.Trace.ts_ps;
+    check_int "dur default" 0 a.Trace.dur_ps;
+    check_int "dur recorded" 50 b.Trace.dur_ps;
+    check_string "seq label" "EU1/T2" (Trace.seq_label b.Trace.seq)
+  | _ -> Alcotest.fail "expected 2 events");
+  Trace.clear s;
+  check_int "cleared" 0 (Trace.length s)
+
+let test_sink_overflow_drops_oldest () =
+  let s = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit s ~ts_ps:(1000 * i) ~seq:Trace.Ia32 (ev i)
+  done;
+  check_int "bounded" 4 (Trace.length s);
+  check_int "drops counted" 6 (Trace.dropped s);
+  let ids =
+    List.map
+      (fun (e : Trace.event) ->
+        match e.Trace.kind with
+        | Trace.Shred_enqueue { shred_id } -> shred_id
+        | _ -> -1)
+      (Trace.events s)
+  in
+  Alcotest.(check (list int)) "last 4 survive, oldest first" [ 6; 7; 8; 9 ] ids
+
+let test_sink_topology () =
+  let s = Trace.create () in
+  check_int "default eus" 8 (Trace.eus s);
+  check_int "default threads/eu" 4 (Trace.threads_per_eu s);
+  Trace.set_topology s ~eus:2 ~threads_per_eu:3;
+  check_int "track count follows topology" 7 (Trace_export.track_count s);
+  check_int "ia32 tid" 0 (Trace_export.tid_of s Trace.Ia32);
+  check_int "exo tid" 6
+    (Trace_export.tid_of s (Trace.Exo { eu = 1; slot = 2 }))
+
+(* ---- export + validation ---- *)
+
+let kernel name =
+  match Registry.find name with Some k -> k | None -> assert false
+
+let traced_run ?fault_plan ?(frames = 2) name =
+  let sink = Trace.create () in
+  let r = Harness.run ?fault_plan ~frames ~trace:sink (kernel name) Kernel.Small in
+  (r, sink)
+
+let test_export_validates () =
+  let r, sink = traced_run "BOB" in
+  check_bool "run correct" true r.Harness.correct;
+  let json = Trace_export.to_chrome sink in
+  match Trace_export.validate_chrome json with
+  | Error msg -> Alcotest.fail ("exported trace invalid: " ^ msg)
+  | Ok v ->
+    check_int "all 33 tracks declared" 33 v.Trace_export.tracks;
+    check_bool "events present" true (v.Trace_export.events > 0);
+    check_bool "counter samples present" true (v.Trace_export.counters > 0)
+
+let test_export_track_names () =
+  let s = Trace.create () in
+  check_string "tid 0" "IA32 sequencer (proxy)" (Trace_export.track_name s 0);
+  check_string "tid 1" "exo EU0/T0" (Trace_export.track_name s 1);
+  check_string "tid 32" "exo EU7/T3" (Trace_export.track_name s 32)
+
+let test_validate_rejects_garbage () =
+  let bad s =
+    match Trace_export.validate_chrome s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("validator accepted: " ^ s)
+  in
+  bad "not json at all";
+  bad "{}";
+  (* traceEvents missing *)
+  bad {|{"traceEvents": 42}|};
+  (* event without ph *)
+  bad {|{"traceEvents":[{"pid":1,"tid":0,"ts":1.0}]}|};
+  (* X slice without dur *)
+  bad {|{"traceEvents":[{"ph":"X","pid":1,"tid":0,"ts":1.0,"name":"a"}]}|};
+  (* per-track ts going backwards *)
+  bad
+    {|{"traceEvents":[
+        {"ph":"i","s":"t","pid":1,"tid":3,"ts":2.0,"name":"a"},
+        {"ph":"i","s":"t","pid":1,"tid":3,"ts":1.0,"name":"b"}]}|}
+
+let test_validate_accepts_minimal () =
+  let good =
+    {|{"traceEvents":[
+        {"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"t0"}},
+        {"ph":"i","s":"t","pid":1,"tid":0,"ts":1.0,"name":"a"},
+        {"ph":"X","pid":1,"tid":0,"ts":1.0,"dur":0.5,"name":"b"},
+        {"ph":"i","s":"t","pid":1,"tid":1,"ts":0.5,"name":"c"}]}|}
+  in
+  match Trace_export.validate_chrome good with
+  | Error msg -> Alcotest.fail ("validator rejected minimal trace: " ^ msg)
+  | Ok v ->
+    check_int "one named track" 1 v.Trace_export.tracks;
+    check_int "three events" 3 v.Trace_export.events
+
+(* ---- determinism ---- *)
+
+let fresh_plan () =
+  Exochi_faults.Fault_plan.create ~seed:42L
+    ~rates:(Exochi_faults.Fault_plan.uniform_rates 0.01)
+    ()
+
+let test_trace_byte_identical () =
+  let _, s1 = traced_run "SepiaTone" in
+  let _, s2 = traced_run "SepiaTone" in
+  check_string "same seed, byte-identical export"
+    (Trace_export.to_chrome s1) (Trace_export.to_chrome s2)
+
+let test_trace_byte_identical_under_faults () =
+  let r1, s1 = traced_run ~fault_plan:(fresh_plan ()) "SepiaTone" in
+  let r2, s2 = traced_run ~fault_plan:(fresh_plan ()) "SepiaTone" in
+  check_bool "faulted run recovers" true
+    (r1.Harness.correct && r2.Harness.correct);
+  check_bool "faults actually fired" true (r1.Harness.faults_injected > 0);
+  check_string "same seed + same fault plan, byte-identical export"
+    (Trace_export.to_chrome s1) (Trace_export.to_chrome s2)
+
+(* ---- zero overhead ---- *)
+
+let test_tracing_is_free () =
+  let k = kernel "BOB" in
+  let plain = Harness.run ~frames:2 k Kernel.Small in
+  let traced = Harness.run ~frames:2 ~trace:(Trace.create ()) k Kernel.Small in
+  check_bool "Harness.result identical with and without a sink" true
+    (plain = traced)
+
+let test_tracing_is_free_under_faults () =
+  let k = kernel "SepiaTone" in
+  let plain = Harness.run ~frames:2 ~fault_plan:(fresh_plan ()) k Kernel.Small in
+  let traced =
+    Harness.run ~frames:2 ~fault_plan:(fresh_plan ())
+      ~trace:(Trace.create ()) k Kernel.Small
+  in
+  check_bool "identical result under fault injection" true (plain = traced)
+
+(* ---- metrics ---- *)
+
+let test_metrics_agree_with_harness () =
+  let r, sink = traced_run "BOB" in
+  let m = Metrics.of_sink sink in
+  check_int "shreds retired" r.Harness.shreds m.Metrics.shreds_retired;
+  check_int "shreds enqueued" r.Harness.shreds m.Metrics.shreds_enqueued;
+  check_int "gtt hits" r.Harness.gtt_hits m.Metrics.atr_gtt_hits.Metrics.count;
+  check_int "atr proxies" r.Harness.atr_proxies
+    m.Metrics.atr_proxies.Metrics.count;
+  check_int "ceh proxies" r.Harness.ceh_proxies
+    m.Metrics.ceh_proxies.Metrics.count;
+  check_int "flush bytes" r.Harness.flush_bytes m.Metrics.flush_bytes;
+  check_int "copy bytes" r.Harness.copy_bytes m.Metrics.copy_bytes;
+  check_bool "occupancy in (0,1]" true
+    (m.Metrics.occupancy > 0.0 && m.Metrics.occupancy <= 1.0);
+  check_bool "latency percentiles ordered" true
+    (m.Metrics.lat_p50_ps <= m.Metrics.lat_p95_ps
+    && m.Metrics.lat_p95_ps <= m.Metrics.lat_p99_ps);
+  check_bool "render mentions occupancy" true
+    (Astring.String.is_infix ~affix:"occupancy" (Metrics.render m))
+
+let test_metrics_json_parses () =
+  let _, sink = traced_run "BOB" in
+  let json =
+    Metrics.to_json ~extra:[ ("kernel", {|"BOB"|}) ] (Metrics.of_sink sink)
+  in
+  match Tiny_json.parse json with
+  | Error msg -> Alcotest.fail ("metrics JSON malformed: " ^ msg)
+  | Ok j ->
+    (match Tiny_json.member "kernel" j with
+    | Some (Tiny_json.Str "BOB") -> ()
+    | _ -> Alcotest.fail "extra field lost");
+    (match Tiny_json.member "shreds_retired" j with
+    | Some (Tiny_json.Num n) -> check_bool "shreds > 0" true (n > 0.0)
+    | _ -> Alcotest.fail "shreds_retired missing")
+
+(* ---- Tiny_json ---- *)
+
+let test_tiny_json_roundtrip () =
+  match Tiny_json.parse {|{"a":[1,2.5,-3e2],"b":"x\n\"y\"","c":null,"d":true}|} with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+    (match Tiny_json.member "a" j with
+    | Some (Tiny_json.Arr [ Tiny_json.Num a; Tiny_json.Num b; Tiny_json.Num c ])
+      ->
+      check_bool "nums" true (a = 1.0 && b = 2.5 && c = -300.0)
+    | _ -> Alcotest.fail "array");
+    (match Tiny_json.member "b" j with
+    | Some (Tiny_json.Str s) -> check_string "escapes" "x\n\"y\"" s
+    | _ -> Alcotest.fail "string");
+    check_bool "trailing garbage rejected" true
+      (match Tiny_json.parse "{} junk" with Error _ -> true | Ok _ -> false)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "sink",
+        [
+          Alcotest.test_case "basic" `Quick test_sink_basic;
+          Alcotest.test_case "overflow" `Quick test_sink_overflow_drops_oldest;
+          Alcotest.test_case "topology" `Quick test_sink_topology;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "kernel trace validates" `Quick
+            test_export_validates;
+          Alcotest.test_case "track names" `Quick test_export_track_names;
+          Alcotest.test_case "validator rejects" `Quick
+            test_validate_rejects_garbage;
+          Alcotest.test_case "validator accepts" `Quick
+            test_validate_accepts_minimal;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "byte-identical" `Quick test_trace_byte_identical;
+          Alcotest.test_case "byte-identical under faults" `Quick
+            test_trace_byte_identical_under_faults;
+        ] );
+      ( "zero-overhead",
+        [
+          Alcotest.test_case "tracing is free" `Quick test_tracing_is_free;
+          Alcotest.test_case "free under faults" `Quick
+            test_tracing_is_free_under_faults;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "agree with harness" `Quick
+            test_metrics_agree_with_harness;
+          Alcotest.test_case "json parses" `Quick test_metrics_json_parses;
+        ] );
+      ( "tiny-json",
+        [ Alcotest.test_case "roundtrip" `Quick test_tiny_json_roundtrip ] );
+    ]

@@ -104,6 +104,34 @@ let test_stats_percentile () =
     (Stats.percentile 50.0 [ 1.0; 2.0; 3.0; 4.0 ]);
   Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile 0.0 [ 3.0; 1.0 ])
 
+let test_stats_percentile_float_order () =
+  (* regression: percentile once sorted with the polymorphic [compare];
+     Float.compare must be used so ordering is the IEEE total order and
+     large magnitudes interleaved with small ones sort numerically *)
+  let xs = [ 1e300; -1e300; 2.0; -0.0; 0.0; 1e-300 ] in
+  Alcotest.(check (float 0.0)) "p0 is min" (-1e300) (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 0.0)) "p100 is max" 1e300 (Stats.percentile 100.0 xs);
+  let sorted = [ -1e300; -0.0; 0.0; 1e-300; 2.0; 1e300 ] in
+  List.iteri
+    (fun i v ->
+      let p = 100.0 *. float_of_int i /. 5.0 in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%.0f lands on sorted rank %d" p i)
+        v (Stats.percentile p xs))
+    sorted;
+  (* interpolation between adjacent ranks still works on the sorted data *)
+  Alcotest.(check (float 1e-9)) "median interpolates" 0.5
+    (Stats.percentile 50.0 [ 3.0; 0.0; 1.0; -2.0 ])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 4.0; -7.5; 0.0; 3.25 ] in
+  Alcotest.(check (float 0.0)) "min" (-7.5) lo;
+  Alcotest.(check (float 0.0)) "max" 4.0 hi;
+  (* documented behavior: nan propagates through Float.min/Float.max *)
+  let lo, hi = Stats.min_max [ 1.0; Float.nan; 2.0 ] in
+  check_bool "nan min" true (Float.is_nan lo);
+  check_bool "nan max" true (Float.is_nan hi)
+
 let test_stats_empty_rejected () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty list")
     (fun () -> ignore (Stats.mean []))
@@ -147,6 +175,9 @@ let () =
           Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "geomean" `Quick test_stats_geomean;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile float order" `Quick
+            test_stats_percentile_float_order;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
           Alcotest.test_case "empty" `Quick test_stats_empty_rejected;
         ] );
       ( "timebase",
