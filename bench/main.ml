@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- --full  -- paper-sized workloads (slow)
 
    Experiments: table2 fig7 fig8 fig10 flush ablate-smt ablate-atr soak
-   metrics micro ("metrics" also writes BENCH_metrics.json).
+   metrics lint micro ("metrics" writes BENCH_metrics.json; "lint" writes
+   BENCH_lint.json).
    Absolute times are simulated-platform times; the reproduction target is
    the *shape* (who wins, by what factor, where the crossovers are). *)
 
@@ -371,6 +372,78 @@ let metrics cfg =
   Printf.printf "\nwrote %d per-kernel metric record(s) to BENCH_metrics.json\n"
     (List.length rows)
 
+(* ---- Exo-check analyzer throughput ---- *)
+
+let count_lines s =
+  (* non-empty trailing line counts *)
+  let n = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s in
+  if String.length s > 0 && s.[String.length s - 1] <> '\n' then n + 1 else n
+
+let lint cfg =
+  header
+    "Exo-check throughput over the media-kernel sections -> BENCH_lint.json";
+  Printf.printf "%-14s %8s %8s %6s %6s %10s %12s\n" "Kernel" "x3k-ln"
+    "via-ln" "errs" "warns" "lint-us" "lines/sec";
+  let module F = Exochi_analysis.Finding in
+  let module E = Exochi_analysis.Exo_check in
+  let rows =
+    List.map
+      (fun (k : Kernel.t) ->
+        let scale = scale_of cfg k in
+        let io =
+          k.make_io ?frames:(frames_of cfg k)
+            (Exochi_util.Prng.create 1L)
+            scale
+        in
+        let x3k_src = k.x3k_asm io in
+        let via_src = k.via32_asm io ~lo:0 ~hi:io.Kernel.units in
+        let xp =
+          Exochi_isa.X3k_asm.assemble_exn ~name:(k.abbrev ^ ".x3k") x3k_src
+        in
+        let vp =
+          match Exochi_isa.Via32_asm.assemble ~name:(k.abbrev ^ ".s") via_src with
+          | Ok p -> p
+          | Error e -> failwith (Exochi_isa.Loc.error_to_string e)
+        in
+        let lint_once () = E.check_x3k xp @ E.check_via32 vp in
+        let findings = lint_once () in
+        (* the registry kernels must stay clean at error severity *)
+        assert (not (F.has_errors findings));
+        let lines = count_lines x3k_src + count_lines via_src in
+        let reps = 50 in
+        let t0 = Sys.time () in
+        for _ = 1 to reps do
+          ignore (lint_once ())
+        done;
+        let elapsed = Float.max (Sys.time () -. t0) 1e-9 in
+        let per_lint_us = elapsed /. float_of_int reps *. 1e6 in
+        let lps = float_of_int (lines * reps) /. elapsed in
+        let errs = F.count F.Error findings
+        and warns = F.count F.Warning findings in
+        Printf.printf "%-14s %8d %8d %6d %6d %10.1f %12.0f\n%!" k.abbrev
+          (count_lines x3k_src) (count_lines via_src) errs warns per_lint_us
+          lps;
+        let module J = Exochi_obs.Tiny_json in
+        J.Obj
+          [
+            ("kernel", J.Str k.abbrev);
+            ("x3k_lines", J.Num (float_of_int (count_lines x3k_src)));
+            ("via32_lines", J.Num (float_of_int (count_lines via_src)));
+            ("errors", J.Num (float_of_int errs));
+            ("warnings", J.Num (float_of_int warns));
+            ("lint_us", J.Num per_lint_us);
+            ("lines_per_sec", J.Num lps);
+          ])
+      Registry.all
+  in
+  let module J = Exochi_obs.Tiny_json in
+  let oc = open_out "BENCH_lint.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string ~indent:2 (J.Arr rows)));
+  Printf.printf "\nwrote %d analyzer throughput record(s) to BENCH_lint.json\n"
+    (List.length rows)
+
 (* ---- bechamel micro-benchmarks of the simulator itself ---- *)
 
 let micro () =
@@ -449,13 +522,13 @@ let () =
       (fun a ->
         List.mem a
           [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
-            "ablate-atr"; "soak"; "metrics"; "micro" ])
+            "ablate-atr"; "soak"; "metrics"; "lint"; "micro" ])
       args
   in
   let wanted =
     if wanted = [] then
       [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
-        "ablate-atr"; "soak"; "metrics"; "micro" ]
+        "ablate-atr"; "soak"; "metrics"; "lint"; "micro" ]
     else wanted
   in
   Printf.printf
@@ -473,6 +546,7 @@ let () =
       | "ablate-atr" -> ablate_atr cfg
       | "soak" -> soak cfg
       | "metrics" -> metrics cfg
+      | "lint" -> lint cfg
       | "micro" -> micro ()
       | _ -> ())
     wanted

@@ -3,7 +3,11 @@
      exochi_cc prog.chi                 compile, write prog.fat
      exochi_cc prog.chi -o out.fat      choose the output path
      exochi_cc prog.chi -S              print the generated VIA32 assembly
-     exochi_cc prog.chi --sections      list the fat binary's sections *)
+     exochi_cc prog.chi --sections      list the fat binary's sections
+     exochi_cc prog.chi --lint          also run Exo-check (warnings only)
+     exochi_cc prog.chi --lint-error    fail on error-severity findings
+
+   Compile failures print the offending source line with a caret. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -16,19 +20,32 @@ let () =
   | _ :: path :: rest ->
     let src = read_file path in
     let name = Filename.remove_extension (Filename.basename path) in
+    let fail e =
+      prerr_endline (Exochi_isa.Loc.error_to_string_source ~src e);
+      exit 1
+    in
     if List.mem "-S" rest then begin
       match Exochi_core.Chilite_compile.compile_to_via32_text ~name src with
       | Ok text -> print_string text
-      | Error e ->
-        prerr_endline (Exochi_isa.Loc.error_to_string e);
-        exit 1
+      | Error e -> fail e
     end
     else begin
       match Exochi_core.Chilite_compile.compile ~name src with
-      | Error e ->
-        prerr_endline (Exochi_isa.Loc.error_to_string e);
-        exit 1
+      | Error e -> fail e
       | Ok compiled ->
+        let lint = List.mem "--lint" rest in
+        let lint_error = List.mem "--lint-error" rest in
+        if lint || lint_error then begin
+          let findings =
+            Exochi_analysis.Exo_check.check_compiled compiled
+          in
+          List.iter
+            (fun f ->
+              prerr_endline (Exochi_analysis.Finding.to_string f))
+            findings;
+          if lint_error && Exochi_analysis.Finding.has_errors findings then
+            exit 1
+        end;
         let fb = compiled.Exochi_core.Chilite_compile.fatbin in
         if List.mem "--sections" rest then
           List.iter
@@ -55,5 +72,7 @@ let () =
         end
     end
   | _ ->
-    prerr_endline "usage: exochi_cc <prog.chi> [-o out.fat] [-S] [--sections]";
+    prerr_endline
+      "usage: exochi_cc <prog.chi> [-o out.fat] [-S] [--sections] [--lint] \
+       [--lint-error]";
     exit 1

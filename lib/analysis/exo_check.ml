@@ -1,0 +1,936 @@
+(* Exo-check: static analysis over a compiled CHI-lite program and its
+   accelerator sections (see DESIGN.md §9 for the rule catalog).
+
+   Pass 1 (shred races): abstract-interpret each parallel region's X3K
+   block into an access summary — read/write footprints over surfaces
+   addressed by %p0-affine expressions — and decide, exactly, whether
+   two distinct iterations of the region can touch the same element.
+   Host code racing a master_nowait team is checked on the AST.
+
+   Pass 2 (descriptors/clauses): writes through Input-mode descriptors,
+   accesses outside the declared width*height extent (interval analysis
+   on the same affine footprints), shared variables never bound to a
+   descriptor, clause misuse.
+
+   Pass 3 (assembly dataflow): def-use lint over the X3K and VIA32
+   CFGs — possibly-uninitialized register/predicate reads, dead stores,
+   unreachable code — generalizing the per-instruction shape checks of
+   X3k_check/Via32_check. *)
+
+module Loc = Exochi_isa.Loc
+module X = Exochi_isa.X3k_ast
+module XF = Exochi_isa.X3k_flow
+module V = Exochi_isa.Via32_ast
+module VF = Exochi_isa.Via32_flow
+module Ast = Exochi_core.Chilite_ast
+module Compile = Exochi_core.Chilite_compile
+module Fatbin = Exochi_core.Chi_fatbin
+module Surface = Exochi_memory.Surface
+module ISet = Set.Make (Int)
+
+let finding = Finding.make
+
+(* ==================================================================== *)
+(* Pass 3: dataflow lint over the X3K CFG                               *)
+(* ==================================================================== *)
+
+(* Definite-assignment: a forward must-analysis. The state at an
+   instruction is the set of (registers, flags) written on *every* path
+   from an entry; a use outside the state may read garbage. Predicated
+   defs still count as defs — the idiom "(f0) mov vr1 = a / (!f0) mov
+   vr1 = b" would otherwise drown the report in false positives; a
+   predicated *first* write is rare enough to accept the false negative
+   (DESIGN.md §9, EXO008). *)
+let x3k_uninit ~loc p =
+  let n = Array.length p.X.instrs in
+  let entry : (ISet.t * ISet.t) option array = Array.make n None in
+  let work = Queue.create () in
+  let push idx st =
+    let merged =
+      match entry.(idx) with
+      | None -> Some st
+      | Some (r, f) ->
+        let r' = ISet.inter r (fst st) and f' = ISet.inter f (snd st) in
+        if ISet.equal r' r && ISet.equal f' f then None else Some (r', f')
+    in
+    match merged with
+    | None -> ()
+    | Some st ->
+      entry.(idx) <- Some st;
+      Queue.add idx work
+  in
+  List.iter (fun e -> push e (ISet.empty, ISet.empty)) (XF.entries p);
+  while not (Queue.is_empty work) do
+    let idx = Queue.pop work in
+    match entry.(idx) with
+    | None -> ()
+    | Some (regs, flags) ->
+      let du = XF.def_use p.X.instrs.(idx) in
+      let out =
+        ( ISet.union regs (ISet.of_list du.XF.reg_defs),
+          ISet.union flags (ISet.of_list du.XF.flag_defs) )
+      in
+      List.iter (fun s -> push s out) (XF.succs p idx)
+  done;
+  let out = ref [] in
+  Array.iteri
+    (fun idx i ->
+      match entry.(idx) with
+      | None -> () (* unreachable; EXO010's business *)
+      | Some (regs, flags) ->
+        let du = XF.def_use i in
+        let uninit =
+          List.sort_uniq Int.compare
+            (List.filter (fun r -> not (ISet.mem r regs)) du.XF.reg_uses)
+        in
+        (* one finding per run of consecutive registers: a [vrA..vrB]
+           range operand reports once, not once per lane *)
+        let rec runs = function
+          | [] -> []
+          | r :: rest ->
+            let rec extend last = function
+              | r' :: rest' when r' = last + 1 -> extend r' rest'
+              | rest' -> (last, rest')
+            in
+            let last, rest = extend r rest in
+            (r, last) :: runs rest
+        in
+        List.iter
+          (fun (a, b) ->
+            let reg_str =
+              if a = b then Printf.sprintf "vr%d" a
+              else Printf.sprintf "vr%d..vr%d" a b
+            in
+            out :=
+              finding ~rule:"EXO008" ~severity:Finding.Warning (loc i)
+                "%s may be read before initialization in '%s'" reg_str
+                (X.opcode_name i.X.op)
+              :: !out)
+          (runs uninit);
+        List.iter
+          (fun f ->
+            if not (ISet.mem f flags) then
+              out :=
+                finding ~rule:"EXO008" ~severity:Finding.Warning (loc i)
+                  "flag f%d may be read before initialization in '%s'" f
+                  (X.opcode_name i.X.op)
+                :: !out)
+          du.XF.flag_uses)
+    p.X.instrs;
+  List.rev !out
+
+(* Backward liveness; a def with no live reader and no side effect is a
+   dead store. Predicated defs do not kill (the old value survives a
+   false predicate). *)
+let x3k_dead_stores ~loc p =
+  let n = Array.length p.X.instrs in
+  let live_out = Array.make n (ISet.empty, ISet.empty) in
+  let du = Array.map XF.def_use p.X.instrs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for idx = n - 1 downto 0 do
+      let lo =
+        List.fold_left
+          (fun (r, f) s ->
+            let sr, sf = live_out.(s) in
+            let d = du.(s) in
+            (* a predicated def may not execute, so it kills nothing *)
+            let kill_r, kill_f =
+              if d.XF.predicated then (ISet.empty, ISet.empty)
+              else (ISet.of_list d.XF.reg_defs, ISet.of_list d.XF.flag_defs)
+            in
+            let live_in_r =
+              ISet.union (ISet.of_list d.XF.reg_uses) (ISet.diff sr kill_r)
+            and live_in_f =
+              ISet.union (ISet.of_list d.XF.flag_uses) (ISet.diff sf kill_f)
+            in
+            (ISet.union r live_in_r, ISet.union f live_in_f))
+          (ISet.empty, ISet.empty) (XF.succs p idx)
+      in
+      let cur_r, cur_f = live_out.(idx) in
+      if not (ISet.equal (fst lo) cur_r && ISet.equal (snd lo) cur_f) then begin
+        live_out.(idx) <- lo;
+        changed := true
+      end
+    done
+  done;
+  let reach = XF.reachable p in
+  let out = ref [] in
+  Array.iteri
+    (fun idx i ->
+      let d = du.(idx) in
+      if
+        reach.(idx)
+        && (not (XF.has_side_effect i))
+        && (d.XF.reg_defs <> [] || d.XF.flag_defs <> [])
+        && List.for_all (fun r -> not (ISet.mem r (fst live_out.(idx)))) d.XF.reg_defs
+        && List.for_all (fun f -> not (ISet.mem f (snd live_out.(idx)))) d.XF.flag_defs
+      then
+        out :=
+          finding ~rule:"EXO009" ~severity:Finding.Warning (loc i)
+            "dead store: result of '%s' is never read" (X.opcode_name i.X.op)
+          :: !out)
+    p.X.instrs;
+  List.rev !out
+
+(* One finding per maximal run of unreachable instructions. *)
+let x3k_unreachable ~loc p =
+  let reach = XF.reachable p in
+  let out = ref [] in
+  let run_start = ref None in
+  let flush_run stop =
+    match !run_start with
+    | Some start ->
+      let count = stop - start in
+      out :=
+        finding ~rule:"EXO010" ~severity:Finding.Warning
+          (loc p.X.instrs.(start))
+          "unreachable code (%d instruction%s)" count
+          (if count = 1 then "" else "s")
+        :: !out;
+      run_start := None
+    | None -> ()
+  in
+  Array.iteri
+    (fun idx _ ->
+      if not reach.(idx) then begin
+        if !run_start = None then run_start := Some idx
+      end
+      else flush_run idx)
+    p.X.instrs;
+  flush_run (Array.length p.X.instrs);
+  List.rev !out
+
+let x3k_lint ?loc p =
+  let loc =
+    match loc with
+    | Some f -> f
+    | None -> fun i -> Loc.make ~file:p.X.name ~line:i.X.line ~col:1
+  in
+  x3k_uninit ~loc p @ x3k_dead_stores ~loc p @ x3k_unreachable ~loc p
+
+let check_x3k p = x3k_lint p
+
+(* ==================================================================== *)
+(* Pass 3: dataflow lint over the VIA32 CFG                             *)
+(* ==================================================================== *)
+
+module SSet = Set.Make (struct
+  type t = VF.slot
+
+  let compare = compare
+end)
+
+(* The stack pointer and frame pointer are live-in (the loader sets the
+   stack up); everything else starts undefined. *)
+let via32_entry_defined = SSet.of_list [ VF.Gpr V.ESP; VF.Gpr V.EBP ]
+
+(* ret/hlt "use" every register only so that liveness keeps values handed
+   to the caller alive; they are not real reads, so never report them. *)
+let via32_synthetic_uses (i : V.instr) =
+  match i.V.op with V.Ret | V.Hlt -> true | _ -> false
+
+let via32_uninit ~loc p =
+  let n = Array.length p.V.instrs in
+  let entry : SSet.t option array = Array.make n None in
+  let work = Queue.create () in
+  let push idx st =
+    let merged =
+      match entry.(idx) with
+      | None -> Some st
+      | Some cur ->
+        let st' = SSet.inter cur st in
+        if SSet.equal st' cur then None else Some st'
+    in
+    match merged with
+    | None -> ()
+    | Some st ->
+      entry.(idx) <- Some st;
+      Queue.add idx work
+  in
+  List.iter (fun e -> push e via32_entry_defined) (VF.entries p);
+  while not (Queue.is_empty work) do
+    let idx = Queue.pop work in
+    match entry.(idx) with
+    | None -> ()
+    | Some defined ->
+      let du = VF.def_use p.V.instrs.(idx) in
+      let out = SSet.union defined (SSet.of_list du.VF.defs) in
+      List.iter (fun s -> push s out) (VF.succs p idx)
+  done;
+  let out = ref [] in
+  Array.iteri
+    (fun idx i ->
+      match entry.(idx) with
+      | None -> ()
+      | Some defined ->
+        if not (via32_synthetic_uses i) then
+          let du = VF.def_use i in
+          List.iter
+            (fun s ->
+              if not (SSet.mem s defined) then
+                out :=
+                  finding ~rule:"EXO008" ~severity:Finding.Warning (loc i)
+                    "%s may be read before initialization in '%s'"
+                    (VF.slot_name s) (V.opcode_name i.V.op)
+                  :: !out)
+            du.VF.uses)
+    p.V.instrs;
+  List.rev !out
+
+let via32_dead_stores ~loc p =
+  let n = Array.length p.V.instrs in
+  let live_out = Array.make n SSet.empty in
+  let du = Array.map VF.def_use p.V.instrs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for idx = n - 1 downto 0 do
+      let lo =
+        List.fold_left
+          (fun acc s ->
+            let d = du.(s) in
+            SSet.union acc
+              (SSet.union
+                 (SSet.of_list d.VF.uses)
+                 (SSet.diff live_out.(s) (SSet.of_list d.VF.defs))))
+          SSet.empty (VF.succs p idx)
+      in
+      if not (SSet.equal lo live_out.(idx)) then begin
+        live_out.(idx) <- lo;
+        changed := true
+      end
+    done
+  done;
+  let reach = VF.reachable p in
+  let out = ref [] in
+  Array.iteri
+    (fun idx i ->
+      let d = du.(idx) in
+      (* only flag stores whose defs are pure register writes *)
+      let reportable =
+        d.VF.defs <> []
+        && List.for_all (function VF.Flags -> false | _ -> true) d.VF.defs
+      in
+      if
+        reach.(idx) && reportable
+        && (not (VF.has_side_effect p idx))
+        && List.for_all (fun s -> not (SSet.mem s live_out.(idx))) d.VF.defs
+      then
+        out :=
+          finding ~rule:"EXO009" ~severity:Finding.Warning (loc i)
+            "dead store: result of '%s' is never read" (V.opcode_name i.V.op)
+          :: !out)
+    p.V.instrs;
+  List.rev !out
+
+let via32_unreachable ~loc p =
+  let reach = VF.reachable p in
+  let out = ref [] in
+  let run_start = ref None in
+  let flush_run stop =
+    match !run_start with
+    | Some start ->
+      let count = stop - start in
+      out :=
+        finding ~rule:"EXO010" ~severity:Finding.Warning
+          (loc p.V.instrs.(start))
+          "unreachable code (%d instruction%s)" count
+          (if count = 1 then "" else "s")
+        :: !out;
+      run_start := None
+    | None -> ()
+  in
+  Array.iteri
+    (fun idx _ ->
+      if not reach.(idx) then begin
+        if !run_start = None then run_start := Some idx
+      end
+      else flush_run idx)
+    p.V.instrs;
+  flush_run (Array.length p.V.instrs);
+  List.rev !out
+
+let via32_lint ?loc p =
+  let loc =
+    match loc with
+    | Some f -> f
+    | None -> fun i -> Loc.make ~file:p.V.name ~line:i.V.line ~col:1
+  in
+  via32_uninit ~loc p @ via32_dead_stores ~loc p @ via32_unreachable ~loc p
+
+let check_via32 p = via32_lint p
+
+(* ==================================================================== *)
+(* Passes 1 & 2: abstract interpretation of a parallel region           *)
+(* ==================================================================== *)
+
+(* Lane-0 scalar values as affine functions of the iteration index:
+   [Aff (a, b)] is a*%p0 + b. %p1.. (firstprivate) and anything the
+   domain cannot follow go to [Top]. *)
+type av = Bot | Aff of int * int | Top
+
+let av_join x y =
+  match (x, y) with Bot, v | v, Bot -> v | _ -> if x = y then x else Top
+
+let av_binop f x y =
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | Aff (a1, b1), Aff (a2, b2) -> f (a1, b1) (a2, b2)
+  | _ -> Top
+
+let av_add = av_binop (fun (a1, b1) (a2, b2) -> Aff (a1 + a2, b1 + b2))
+let av_sub = av_binop (fun (a1, b1) (a2, b2) -> Aff (a1 - a2, b1 - b2))
+
+let av_mul =
+  av_binop (fun (a1, b1) (a2, b2) ->
+      if a1 = 0 then Aff (a2 * b1, b2 * b1)
+      else if a2 = 0 then Aff (a1 * b2, b1 * b2)
+      else Top)
+
+let av_shl x k =
+  match x with Aff (a, b) -> Aff (a lsl k, b lsl k) | v -> v
+
+let av_offset x c = av_add x (Aff (0, c))
+
+(* Access footprints: each dimension is an affine base plus a constant
+   element count. 1-D [Surf] accesses have one dimension; [Surf2d] has
+   (x, width) and (y, 1). *)
+type access = {
+  surf : string;
+  kind : [ `R | `W ];
+  dims : (av * int) list;
+  line : int; (* X3K-relative source line *)
+}
+
+let max_tracked_reg = 255
+
+let x3k_interp (p : X.program) =
+  let n = Array.length p.X.instrs in
+  let nregs = max_tracked_reg + 1 in
+  let entry : av array option array = Array.make n None in
+  let work = Queue.create () in
+  let push idx st =
+    let merged =
+      match entry.(idx) with
+      | None -> Some st
+      | Some cur ->
+        let changed = ref false in
+        let st' =
+          Array.mapi
+            (fun r v ->
+              let j = av_join v st.(r) in
+              if j <> v then changed := true;
+              j)
+            cur
+        in
+        if !changed then Some st' else None
+    in
+    match merged with
+    | None -> ()
+    | Some st ->
+      entry.(idx) <- Some st;
+      Queue.add idx work
+  in
+  List.iter (fun e -> push e (Array.make nregs Bot)) (XF.entries p);
+  let operand_av st = function
+    | X.Imm c -> Aff (0, Int32.to_int c)
+    | X.Sreg (X.Param 0) -> Aff (1, 0) (* the iteration index *)
+    | X.Sreg _ -> Top
+    | X.Reg r -> if r < nregs then st.(r) else Top
+    | X.Range (a, _) -> if a < nregs then st.(a) else Top
+    | X.Flag _ | X.Surf _ | X.Surf2d _ | X.Remote _ -> Top
+  in
+  let transfer st (i : X.instr) =
+    let dst_regs =
+      match i.X.dst with
+      | Some (X.Reg r) -> [ (r, true) ] (* (register, carries lane 0) *)
+      | Some (X.Range (a, b)) ->
+        List.init (b - a + 1) (fun k -> (a + k, k = 0))
+      | _ -> []
+    in
+    if dst_regs = [] then st
+    else begin
+      let value =
+        match (i.X.op, i.X.srcs) with
+        | (X.Mov | X.Bcast), [ s ] -> operand_av st s
+        | X.Add, [ s1; s2 ] -> av_add (operand_av st s1) (operand_av st s2)
+        | X.Sub, [ s1; s2 ] -> av_sub (operand_av st s1) (operand_av st s2)
+        | X.Mul, [ s1; s2 ] -> av_mul (operand_av st s1) (operand_av st s2)
+        | X.Shl, [ s1; X.Imm k ] ->
+          let k = Int32.to_int k in
+          if k >= 0 && k < 31 then av_shl (operand_av st s1) k else Top
+        | _ -> Top
+      in
+      let st = Array.copy st in
+      List.iter
+        (fun (r, lane0) ->
+          if r < nregs then begin
+            let v = if lane0 then value else Top in
+            (* a predicated write may not happen: join with the old value *)
+            st.(r) <- (if i.X.pred = None then v else av_join st.(r) v)
+          end)
+        dst_regs;
+      st
+    end
+  in
+  while not (Queue.is_empty work) do
+    let idx = Queue.pop work in
+    match entry.(idx) with
+    | None -> ()
+    | Some st ->
+      let out = transfer st p.X.instrs.(idx) in
+      List.iter (fun s -> push s out) (XF.succs p idx)
+  done;
+  (* collect the access summary with the fixpoint states *)
+  let accesses = ref [] in
+  Array.iteri
+    (fun idx (i : X.instr) ->
+      match entry.(idx) with
+      | None -> ()
+      | Some st ->
+        let surf_name slot = X.surf_name p.X.surfaces slot in
+        let record kind op =
+          match op with
+          | X.Surf { slot; index; offset } ->
+            let base = av_offset (operand_av st (X.Reg index)) offset in
+            (* gather/scatter index registers hold per-lane indices the
+               scalar domain cannot follow *)
+            let base =
+              match i.X.op with
+              | X.Gather | X.Scatter -> Top
+              | _ -> base
+            in
+            accesses :=
+              {
+                surf = surf_name slot;
+                kind;
+                dims = [ (base, i.X.width) ];
+                line = i.X.line;
+              }
+              :: !accesses
+          | X.Surf2d { slot; xreg; yreg } ->
+            let x = operand_av st (X.Reg xreg)
+            and y = operand_av st (X.Reg yreg) in
+            (* sampler coordinates are Q16.16 and clamped in hardware *)
+            let x, y =
+              match i.X.op with X.Sample -> (Top, Top) | _ -> (x, y)
+            in
+            accesses :=
+              {
+                surf = surf_name slot;
+                kind;
+                dims = [ (x, i.X.width); (y, 1) ];
+                line = i.X.line;
+              }
+              :: !accesses
+          | _ -> ()
+        in
+        (match (i.X.op, i.X.srcs) with
+        | (X.Ld | X.Gather | X.Sample), [ src ] -> record `R src
+        | _ -> ());
+        (match (i.X.op, i.X.dst) with
+        | (X.St | X.Scatter), Some dst -> record `W dst
+        | _ -> ()))
+    p.X.instrs;
+  List.rev !accesses
+
+(* ---- exact overlap decision between iterations ---- *)
+
+let cdiv a b = if a >= 0 then (a + b - 1) / b else -(-a / b)
+let fdiv a b = if a >= 0 then a / b else -((-a + b - 1) / b)
+
+(* Integer i-interval (inclusive) where slope*i + c lands in [l, h]. *)
+let solve_affine_in ~slope ~c ~l ~h =
+  if slope = 0 then if c >= l && c <= h then `All else `None
+  else if slope > 0 then `Range (cdiv (l - c) slope, fdiv (h - c) slope)
+  else `Range (cdiv (c - h) (-slope), fdiv (c - l) (-slope))
+
+let inter_range r (lo, hi) =
+  match r with
+  | `None -> None
+  | `All -> if lo <= hi then Some (lo, hi) else None
+  | `Range (a, b) ->
+    let a = max a lo and b = min b hi in
+    if a <= b then Some (a, b) else None
+
+(* how far apart two iterations can be before we stop looking (bounds
+   the d-scan; beyond this the analyzer goes quiet — DESIGN.md §9) *)
+let max_iter_scan = 65_536
+
+(* ∃ i≠j ∈ [lo,hi) such that, in every dimension, access 1 at iteration
+   i overlaps access 2 at iteration j. Dimensions must all be affine. *)
+let overlaps_across_iterations ~lo ~hi dims1 dims2 =
+  let niter = hi - lo in
+  if niter < 2 || niter > max_iter_scan then false
+  else begin
+    let dims =
+      List.map2
+        (fun (v1, w1) (v2, w2) ->
+          match (v1, v2) with
+          | Aff (a1, b1), Aff (a2, b2) -> Some ((a1, b1, w1), (a2, b2, w2))
+          | _ -> None)
+        dims1 dims2
+    in
+    if List.exists (fun d -> d = None) dims then false
+    else begin
+      let dims = List.filter_map Fun.id dims in
+      let found = ref false in
+      let d = ref (1 - niter) in
+      while (not !found) && !d < niter do
+        if !d <> 0 then begin
+          (* j = i - d; both i and j must lie in [lo, hi) *)
+          let ilo = max lo (lo + !d) and ihi = min (hi - 1) (hi - 1 + !d) in
+          if ilo <= ihi then begin
+            (* overlap in a dimension: a1*i + b1 - (a2*j + b2) within
+               (-(w2-1) .. w1-1); substitute j = i - d *)
+            let feasible =
+              List.fold_left
+                (fun acc ((a1, b1, w1), (a2, b2, w2)) ->
+                  match acc with
+                  | None -> None
+                  | Some bounds ->
+                    let slope = a1 - a2 in
+                    let c = (a2 * !d) + b1 - b2 in
+                    inter_range
+                      (solve_affine_in ~slope ~c ~l:(-(w2 - 1)) ~h:(w1 - 1))
+                      bounds)
+                (Some (ilo, ihi)) dims
+            in
+            if feasible <> None then found := true
+          end
+        end;
+        incr d
+      done;
+      !found
+    end
+  end
+
+(* Extreme element indices a dimension can reach over [lo, hi). *)
+let dim_bounds ~lo ~hi (v, w) =
+  match v with
+  | Aff (a, b) ->
+    let at_lo = (a * lo) + b and at_hi = (a * (hi - 1)) + b in
+    Some (min at_lo at_hi, max at_lo at_hi + w - 1)
+  | _ -> None
+
+(* ==================================================================== *)
+(* Descriptor environment from the AST                                  *)
+(* ==================================================================== *)
+
+type desc_info = {
+  d_mode : int option; (* 0 input / 1 output / 2 in-out, when literal *)
+  d_width : int option;
+  d_height : int option;
+}
+
+let lit = function Ast.Int v -> Some (Int32.to_int v) | _ -> None
+
+let rec expr_iter f e =
+  f e;
+  match e with
+  | Ast.Int _ | Ast.Var _ -> ()
+  | Ast.Index (_, e) -> expr_iter f e
+  | Ast.Unop (_, e) -> expr_iter f e
+  | Ast.Binop (_, a, b) ->
+    expr_iter f a;
+    expr_iter f b
+  | Ast.Call (_, args) -> List.iter (expr_iter f) args
+
+let rec stmt_iter_exprs f = function
+  | Ast.Decl (_, e) -> Option.iter (expr_iter f) e
+  | Ast.Assign (_, e) -> expr_iter f e
+  | Ast.Store (_, i, e) ->
+    expr_iter f i;
+    expr_iter f e
+  | Ast.If (c, t, e) ->
+    expr_iter f c;
+    List.iter (stmt_iter_exprs f) t;
+    Option.iter (List.iter (stmt_iter_exprs f)) e
+  | Ast.While (c, b) ->
+    expr_iter f c;
+    List.iter (stmt_iter_exprs f) b
+  | Ast.For (i, c, s, b) ->
+    stmt_iter_exprs f i;
+    expr_iter f c;
+    stmt_iter_exprs f s;
+    List.iter (stmt_iter_exprs f) b
+  | Ast.Return e -> Option.iter (expr_iter f) e
+  | Ast.Expr e -> expr_iter f e
+  | Ast.Block b -> List.iter (stmt_iter_exprs f) b
+  | Ast.Parallel r ->
+    expr_iter f r.Ast.lo;
+    expr_iter f r.Ast.hi
+
+(* Every chi_desc(VAR, mode, w, h) call in the program, flow-insensitive
+   (first call wins). *)
+let collect_descriptors (prog : Ast.program) =
+  let descs = ref [] in
+  let visit = function
+    | Ast.Call ("chi_desc", [ Ast.Var a; mode; w; h ]) ->
+      if not (List.mem_assoc a !descs) then
+        descs :=
+          (a, { d_mode = lit mode; d_width = lit w; d_height = lit h })
+          :: !descs
+    | _ -> ()
+  in
+  List.iter
+    (fun (f : Ast.func) -> List.iter (stmt_iter_exprs visit) f.Ast.body)
+    prog.Ast.funcs;
+  !descs
+
+(* ==================================================================== *)
+(* Pass 1b: host code racing a master_nowait team (AST walk)            *)
+(* ==================================================================== *)
+
+(* Does the statement (or any sub-expression) call chi_wait()? *)
+let stmt_calls_wait s =
+  let found = ref false in
+  stmt_iter_exprs
+    (function Ast.Call ("chi_wait", _) -> found := true | _ -> ())
+    s;
+  !found
+
+(* Global arrays the statement touches (reads or writes), restricted to
+   a candidate set. *)
+let stmt_touches ~candidates s =
+  let touched = ref [] in
+  let note v = if List.mem v candidates && not (List.mem v !touched) then touched := v :: !touched in
+  let visit = function
+    | Ast.Var v -> note v
+    | Ast.Index (v, _) -> note v
+    | Ast.Call ("chi_desc", Ast.Var v :: _) -> note v
+    | _ -> ()
+  in
+  stmt_iter_exprs visit s;
+  (match s with
+  | Ast.Store (v, _, _) -> note v
+  | Ast.Parallel r ->
+    List.iter
+      (fun c ->
+        match c with
+        | Ast.Shared vs -> List.iter note vs
+        | _ -> ())
+      r.Ast.pragma.Ast.clauses
+  | _ -> ());
+  List.rev !touched
+
+(* Walk each function body: after a Parallel with master_nowait, any
+   touch of its shared arrays before a chi_wait() races the still-running
+   team. The scan is per-block — an access in the *enclosing* block after
+   this one returns is a deliberate false negative (DESIGN.md §9). *)
+let host_races (prog : Ast.program) =
+  let out = ref [] in
+  let rec walk_block stmts =
+    match stmts with
+    | [] -> ()
+    | s :: rest ->
+      (match s with
+      | Ast.Parallel r when List.mem Ast.Master_nowait r.Ast.pragma.Ast.clauses
+        ->
+        let shared =
+          List.concat_map
+            (function Ast.Shared l -> l | _ -> [])
+            r.Ast.pragma.Ast.clauses
+        in
+        let rec scan = function
+          | [] -> ()
+          | s' :: rest' ->
+            if stmt_calls_wait s' then ()
+            else begin
+              List.iter
+                (fun v ->
+                  out :=
+                    finding ~rule:"EXO003" ~severity:Finding.Error
+                      r.Ast.pragma.Ast.ploc
+                      "host code touches shared(%s) after this \
+                       master_nowait launch without an intervening \
+                       chi_wait()"
+                      v
+                    :: !out)
+                (stmt_touches ~candidates:shared s');
+              scan rest'
+            end
+        in
+        scan rest
+      | _ -> ());
+      (* recurse into nested blocks *)
+      (match s with
+      | Ast.If (_, t, e) ->
+        walk_block t;
+        Option.iter walk_block e
+      | Ast.While (_, b) -> walk_block b
+      | Ast.For (_, _, _, b) -> walk_block b
+      | Ast.Block b -> walk_block b
+      | _ -> ());
+      walk_block rest
+  in
+  List.iter (fun (f : Ast.func) -> walk_block f.Ast.body) prog.Ast.funcs;
+  List.rev !out
+
+(* ==================================================================== *)
+(* Per-section checks                                                   *)
+(* ==================================================================== *)
+
+let check_section ~descs (sec : Compile.section_info) =
+  let out = ref [] in
+  let add f = out := f :: !out in
+  (* map an X3K-relative line into the .chi file: the __asm text starts
+     right after the '{', whose location is asm_loc *)
+  let map_line l = sec.Compile.asm_loc.Loc.line + l - 1 in
+  let instr_loc (i : X.instr) =
+    Loc.make ~file:sec.Compile.asm_loc.Loc.file ~line:(map_line i.X.line)
+      ~col:1
+  in
+  let line_loc l =
+    Loc.make ~file:sec.Compile.asm_loc.Loc.file ~line:(map_line l) ~col:1
+  in
+  (* ---- clause checks ---- *)
+  if not (List.mem sec.Compile.loop_var sec.Compile.private_vars) then
+    add
+      (finding ~rule:"EXO007" ~severity:Finding.Warning sec.Compile.ploc
+         "loop variable %S is not listed in private(...); every shred \
+          rebinds it from %%p0"
+         sec.Compile.loop_var);
+  List.iter
+    (fun v ->
+      if not (List.mem v sec.Compile.shared) then
+        add
+          (finding ~rule:"EXO007" ~severity:Finding.Warning sec.Compile.ploc
+             "descriptor(%s) is not listed in shared(...)" v))
+    sec.Compile.descriptor_clause;
+  List.iter
+    (fun v ->
+      if not (List.mem_assoc v descs) then
+        add
+          (finding ~rule:"EXO006" ~severity:Finding.Warning sec.Compile.ploc
+             "shared(%s) is never bound to a descriptor (no chi_desc \
+              call for it)"
+             v))
+    sec.Compile.shared;
+  (* ---- access summary ---- *)
+  let accesses = x3k_interp sec.Compile.x3k in
+  let bounds =
+    match (lit sec.Compile.lo, lit sec.Compile.hi) with
+    | Some lo, Some hi when hi > lo -> Some (lo, hi)
+    | _ -> None
+  in
+  (* ---- pass 1: shred/shred races ---- *)
+  (match bounds with
+  | None -> () (* non-literal iteration space: deliberately quiet *)
+  | Some (lo, hi) ->
+    let pairs = ref [] in
+    List.iteri
+      (fun i a1 ->
+        List.iteri
+          (fun j a2 ->
+            if j >= i && a1.surf = a2.surf
+               && (a1.kind = `W || a2.kind = `W)
+               && List.length a1.dims = List.length a2.dims
+            then pairs := (a1, a2) :: !pairs)
+          accesses)
+      accesses;
+    List.iter
+      (fun (a1, a2) ->
+        if overlaps_across_iterations ~lo ~hi a1.dims a2.dims then begin
+          let rule, severity =
+            if a1.kind = `W && a2.kind = `W then ("EXO001", Finding.Error)
+            else ("EXO002", Finding.Warning)
+          in
+          let verb = function `R -> "read" | `W -> "write" in
+          add
+            (finding ~rule ~severity
+               (line_loc (max a1.line a2.line))
+               "shred race on %S: %s at line %d overlaps %s at line %d \
+                in another iteration of [%d, %d)"
+               a1.surf (verb a1.kind) (map_line a1.line) (verb a2.kind)
+               (map_line a2.line) lo hi)
+        end)
+      (List.rev !pairs));
+  (* ---- pass 2: descriptor mode + extent ---- *)
+  List.iter
+    (fun a ->
+      match List.assoc_opt a.surf descs with
+      | None -> () (* EXO006 already reported *)
+      | Some d ->
+        if a.kind = `W && d.d_mode = Some 0 then
+          add
+            (finding ~rule:"EXO004" ~severity:Finding.Error (line_loc a.line)
+               "store to %S, which is bound with an Input-mode descriptor"
+               a.surf);
+        (match (d.d_width, d.d_height, bounds) with
+        | Some w, Some h, Some (lo, hi) -> (
+          match a.dims with
+          | [ (v, cnt) ] -> (
+            (* 1-D: element indices must stay inside width*height *)
+            match dim_bounds ~lo ~hi (v, cnt) with
+            | Some (emin, emax) ->
+              if
+                emin < 0
+                || not (Surface.index_in_extent ~width:w ~height:h emax)
+              then
+                add
+                  (finding ~rule:"EXO005" ~severity:Finding.Error
+                     (line_loc a.line)
+                     "access to %S reaches element %d, outside the \
+                      declared %dx%d extent (%d elements)"
+                     a.surf
+                     (if emin < 0 then emin else emax)
+                     w h
+                     (Surface.extent_elements ~width:w ~height:h))
+            | None -> ())
+          | [ (x, cnt); (y, _) ] ->
+            (match dim_bounds ~lo ~hi (x, cnt) with
+            | Some (xmin, xmax) ->
+              if xmin < 0 || xmax >= w then
+                add
+                  (finding ~rule:"EXO005" ~severity:Finding.Error
+                     (line_loc a.line)
+                     "access to %S reaches column %d, outside the \
+                      declared width %d"
+                     a.surf
+                     (if xmin < 0 then xmin else xmax)
+                     w)
+            | None -> ());
+            (match dim_bounds ~lo ~hi (y, 1) with
+            | Some (ymin, ymax) ->
+              if ymin < 0 || ymax >= h then
+                add
+                  (finding ~rule:"EXO005" ~severity:Finding.Error
+                     (line_loc a.line)
+                     "access to %S reaches row %d, outside the declared \
+                      height %d"
+                     a.surf
+                     (if ymin < 0 then ymin else ymax)
+                     h)
+            | None -> ())
+          | _ -> ())
+        | _ -> ()))
+    accesses;
+  (* ---- pass 3 on the section body ---- *)
+  out := List.rev_append (x3k_lint ~loc:instr_loc sec.Compile.x3k) (List.rev !out);
+  List.rev !out
+
+(* ==================================================================== *)
+(* Whole-program entry points                                           *)
+(* ==================================================================== *)
+
+let check_compiled (c : Compile.compiled) =
+  let descs = collect_descriptors c.Compile.ast in
+  let section_findings =
+    List.concat_map (check_section ~descs) c.Compile.sections
+  in
+  let host_findings = host_races c.Compile.ast in
+  let via32_findings =
+    match Fatbin.find_via32 c.Compile.fatbin "main" with
+    | Ok p -> via32_lint p
+    | Error _ -> []
+  in
+  List.stable_sort Finding.compare
+    (section_findings @ host_findings @ via32_findings)
+
+let check_source ~name src =
+  match Compile.compile ~name src with
+  | Error e -> Error e
+  | Ok compiled -> Ok (check_compiled compiled)

@@ -1,0 +1,44 @@
+(** Exo-check: the cross-ISA static analyzer.
+
+    Three passes over a compiled CHI-lite program (DESIGN.md §9):
+
+    - {b shred races} (EXO001–EXO003): each parallel region's X3K block
+      is abstractly interpreted into an access summary — footprints over
+      surfaces addressed by affine functions of the iteration index
+      [%p0] — and overlapping footprints between distinct iterations are
+      reported. Host accesses racing a [master_nowait] team are found by
+      an AST walk.
+    - {b descriptors and clauses} (EXO004–EXO007): stores through
+      Input-mode descriptors, accesses outside the declared
+      [width*height] extent, [shared] variables never bound by
+      [chi_desc], clause misuse.
+    - {b assembly dataflow} (EXO008–EXO010): def-use lint over the X3K
+      and VIA32 control-flow graphs ({!Exochi_isa.X3k_flow},
+      {!Exochi_isa.Via32_flow}) — possibly-uninitialized reads, dead
+      stores, unreachable code.
+
+    The analyzer is deliberately quiet when it cannot prove a problem:
+    non-affine addresses, non-literal iteration bounds, and gather /
+    scatter / sampler accesses produce no race or extent findings. Those
+    false negatives are documented per rule in DESIGN.md §9. *)
+
+(** Dataflow lint (EXO008–EXO010) over a standalone X3K program.
+    Findings are anchored at [program.name:line]. *)
+val check_x3k : Exochi_isa.X3k_ast.program -> Finding.t list
+
+(** Dataflow lint (EXO008–EXO010) over a standalone VIA32 program. *)
+val check_via32 : Exochi_isa.Via32_ast.program -> Finding.t list
+
+(** All three passes over a compiled program: every accelerator section,
+    the host AST, and the compiled VIA32 [main] section. Findings are
+    sorted with {!Finding.compare}; section findings are anchored into
+    the original [.chi] source via the section's [asm_loc]. *)
+val check_compiled : Exochi_core.Chilite_compile.compiled -> Finding.t list
+
+(** Compile [src] (named [name] in diagnostics) and run
+    {!check_compiled}. [Error] is a compile-time failure, not a
+    finding. *)
+val check_source :
+  name:string ->
+  string ->
+  (Finding.t list, Exochi_isa.Loc.error) result

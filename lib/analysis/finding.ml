@@ -1,0 +1,86 @@
+module Loc = Exochi_isa.Loc
+module Tiny_json = Exochi_obs.Tiny_json
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type t = { rule : string; severity : severity; loc : Loc.t; msg : string }
+
+let make ~rule ~severity loc fmt =
+  Format.kasprintf (fun msg -> { rule; severity; loc; msg }) fmt
+
+(* The Exo-check rule catalog. Stable ids: rules are never renumbered,
+   only retired. Described in DESIGN.md §9 with one true-positive and
+   one deliberate false-negative example per rule. *)
+let rules =
+  [
+    ("EXO001", "write/write overlap between shred iterations of a parallel \
+                region (shred race)");
+    ("EXO002", "read/write overlap between shred iterations of a parallel \
+                region");
+    ("EXO003", "host access to a shared surface after a master_nowait \
+                launch without an intervening chi_wait()");
+    ("EXO004", "store through a surface bound with an Input-mode \
+                descriptor");
+    ("EXO005", "surface access outside the declared width*height extent");
+    ("EXO006", "shared(...) variable never bound to a descriptor before \
+                the launch");
+    ("EXO007", "clause misuse: loop variable not private, or \
+                descriptor(...) variable not shared");
+    ("EXO008", "register or predicate flag may be read before \
+                initialization");
+    ("EXO009", "dead store: register written but never read afterwards");
+    ("EXO010", "unreachable code after jmp/end");
+  ]
+
+let rule_description rule = List.assoc_opt rule rules
+
+(* Sort: file, line, column, then severity (errors first), then rule. *)
+let compare a b =
+  let c = String.compare a.loc.Loc.file b.loc.Loc.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.loc.Loc.line b.loc.Loc.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.loc.Loc.col b.loc.Loc.col in
+      if c <> 0 then c
+      else
+        let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+        if c <> 0 then c else String.compare a.rule b.rule
+
+let pp fmt t =
+  Format.fprintf fmt "%a: %s: [%s] %s" Loc.pp t.loc
+    (severity_name t.severity) t.rule t.msg
+
+let to_string t = Format.asprintf "%a" pp t
+
+let count sev l = List.length (List.filter (fun f -> f.severity = sev) l)
+let has_errors l = List.exists (fun f -> f.severity = Error) l
+
+let to_json t =
+  Tiny_json.Obj
+    [
+      ("rule", Tiny_json.Str t.rule);
+      ("severity", Tiny_json.Str (severity_name t.severity));
+      ("file", Tiny_json.Str t.loc.Loc.file);
+      ("line", Tiny_json.Num (float_of_int t.loc.Loc.line));
+      ("col", Tiny_json.Num (float_of_int t.loc.Loc.col));
+      ("message", Tiny_json.Str t.msg);
+    ]
+
+let report_json ?(extra = []) findings =
+  Tiny_json.Obj
+    (extra
+    @ [
+        ("errors", Tiny_json.Num (float_of_int (count Error findings)));
+        ("warnings", Tiny_json.Num (float_of_int (count Warning findings)));
+        ("infos", Tiny_json.Num (float_of_int (count Info findings)));
+        ("findings", Tiny_json.Arr (List.map to_json findings));
+      ])

@@ -1,0 +1,45 @@
+(** Exo-check diagnostics: [Loc]-anchored findings with a stable rule id
+    ([EXO001]...), a severity, and a machine-readable JSON form.
+
+    Rule ids are stable across releases — rules are retired, never
+    renumbered — so findings can be suppressed or tracked by id. The
+    catalog with a true-positive and a deliberate false-negative example
+    per rule lives in DESIGN.md §9. *)
+
+module Loc = Exochi_isa.Loc
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+
+type t = { rule : string; severity : severity; loc : Loc.t; msg : string }
+
+val make :
+  rule:string ->
+  severity:severity ->
+  Loc.t ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+(** The rule catalog, [(id, description)] in id order. *)
+val rules : (string * string) list
+
+val rule_description : string -> string option
+
+(** Order by location, then severity (errors first), then rule id. *)
+val compare : t -> t -> int
+
+(** ["file:line:col: severity: [EXO00N] message"]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+val to_json : t -> Exochi_obs.Tiny_json.t
+
+(** The findings report object: severity counts plus the finding array,
+    with optional leading [extra] fields (e.g. the file name). *)
+val report_json :
+  ?extra:(string * Exochi_obs.Tiny_json.t) list ->
+  t list ->
+  Exochi_obs.Tiny_json.t

@@ -3,13 +3,27 @@ module Loc = Exochi_isa.Loc
 
 let ( let* ) = Result.bind
 
-type section_info = { sec_name : string; shared : string list; nowait : bool }
+type section_info = {
+  sec_name : string;
+  shared : string list;
+  nowait : bool;
+  private_vars : string list;
+  firstprivate : string list;
+  descriptor_clause : string list;
+  loop_var : string;
+  lo : Chilite_ast.expr;
+  hi : Chilite_ast.expr;
+  x3k : Exochi_isa.X3k_ast.program;
+  ploc : Loc.t;
+  asm_loc : Loc.t;
+}
 
 type compiled = {
   fatbin : Chi_fatbin.t;
   globals : (string * int) list;
   global_init : (string * int32) list;
   sections : section_info list;
+  ast : Chilite_ast.program;
 }
 
 (* ---- environments ---- *)
@@ -24,7 +38,7 @@ type env = {
   params : (string * int) list; (* name -> [ebp + off] *)
   buf : Buffer.t;
   label : int ref;
-  sections : (string * Exochi_isa.X3k_ast.program * section_info) list ref;
+  sections : section_info list ref;
   floc : Loc.t;
 }
 
@@ -278,6 +292,30 @@ and gen_parallel env region =
   (* validate clauses *)
   let clauses = region.pragma.clauses in
   let* () =
+    (* each clause kind may appear at most once; a duplicate list is
+       almost always a merge mistake and would silently concatenate *)
+    let kind = function
+      | Target _ -> Some "target"
+      | Shared _ -> Some "shared"
+      | Private _ -> Some "private"
+      | Firstprivate _ -> Some "firstprivate"
+      | Descriptor _ -> Some "descriptor"
+      | Num_threads _ -> Some "num_threads"
+      | Master_nowait -> None
+    in
+    let rec dup seen = function
+      | [] -> Ok ()
+      | c :: rest -> (
+        match kind c with
+        | None -> dup seen rest
+        | Some k ->
+          if List.mem k seen then
+            err region.pragma.ploc "duplicate %s(...) clause" k
+          else dup (k :: seen) rest)
+    in
+    dup [] clauses
+  in
+  let* () =
     match List.find_map (function Target t -> Some t | _ -> None) clauses with
     | Some "X3000" -> Ok ()
     | Some other ->
@@ -298,6 +336,25 @@ and gen_parallel env region =
           err region.pragma.ploc "shared(%s): not a global array" v)
       (Ok ()) shared
   in
+  let descriptor_clause =
+    List.concat_map (function Descriptor l -> l | _ -> []) clauses
+  in
+  let* () =
+    (* descriptor(...) names accelerator-visible variables: they must be
+       declared global arrays, and being listed implies being shared *)
+    List.fold_left
+      (fun acc v ->
+        let* () = acc in
+        match List.assoc_opt v env.globals with
+        | Some (Array _) -> Ok ()
+        | Some Scalar ->
+          err region.pragma.ploc
+            "descriptor(%s): %S is a scalar, not a global array" v v
+        | None ->
+          err region.pragma.ploc
+            "descriptor(%s): no such global variable" v)
+      (Ok ()) descriptor_clause
+  in
   (* assemble the accelerator block *)
   let sec_name = Printf.sprintf "sec%d" (List.length !(env.sections)) in
   let* prog =
@@ -317,14 +374,32 @@ and gen_parallel env region =
             "inline assembly references %S which is not in shared(...)" s)
       (Ok ()) prog.Exochi_isa.X3k_ast.surfaces
   in
-  let info = { sec_name; shared; nowait } in
-  let sec_id = List.length !(env.sections) in
-  env.sections := (sec_name, prog, info) :: !(env.sections);
   (* firstprivate values are evaluated once at the fork and delivered to
      every shred in %p1, %p2, ... (%p0 carries the iteration index) *)
   let firstprivate =
     List.concat_map (function Firstprivate l -> l | _ -> []) clauses
   in
+  let private_vars =
+    List.concat_map (function Private l -> l | _ -> []) clauses
+  in
+  let info =
+    {
+      sec_name;
+      shared;
+      nowait;
+      private_vars;
+      firstprivate;
+      descriptor_clause;
+      loop_var = region.loop_var;
+      lo = region.lo;
+      hi = region.hi;
+      x3k = prog;
+      ploc = region.pragma.ploc;
+      asm_loc = region.asm_loc;
+    }
+  in
+  let sec_id = List.length !(env.sections) in
+  env.sections := info :: !(env.sections);
   let* () =
     if List.length firstprivate > 7 then
       err region.pragma.ploc "at most 7 firstprivate values fit in %%p1..%%p7"
@@ -446,7 +521,7 @@ let compile ~name src =
   let fatbin = Chi_fatbin.add_via32 fatbin via_prog in
   let fatbin =
     List.fold_left
-      (fun fb (_, p, _) -> Chi_fatbin.add_x3k fb p)
+      (fun fb info -> Chi_fatbin.add_x3k fb info.x3k)
       fatbin
       (List.rev !(env.sections))
   in
@@ -467,7 +542,8 @@ let compile ~name src =
       fatbin;
       globals;
       global_init;
-      sections = List.rev_map (fun (_, _, i) -> i) !(env.sections);
+      sections = List.rev !(env.sections);
+      ast = prog;
     }
 
 let compile_to_via32_text ~name src =

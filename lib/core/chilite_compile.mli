@@ -14,10 +14,23 @@
     - [chi_wait()] — barrier for the outstanding [master_nowait] team.
     - [print_int(v)] — host console output (examples, tests). *)
 
+(** Per-parallel-region metadata, exported for the runtime (which needs
+    [shared]/[nowait]) and for the Exo-check static analyzer (which
+    needs the clause lists, the iteration space, the assembled X3K
+    program and the source anchors). *)
 type section_info = {
   sec_name : string;
   shared : string list; (* surface names the region binds *)
   nowait : bool;
+  private_vars : string list; (* private(...) clause *)
+  firstprivate : string list; (* firstprivate(...), delivered in %p1.. *)
+  descriptor_clause : string list; (* descriptor(...) clause *)
+  loop_var : string; (* iteration variable, seeded from %p0 *)
+  lo : Chilite_ast.expr; (* iteration space [lo, hi) *)
+  hi : Chilite_ast.expr;
+  x3k : Exochi_isa.X3k_ast.program; (* the assembled region body *)
+  ploc : Exochi_isa.Loc.t; (* the #pragma line *)
+  asm_loc : Exochi_isa.Loc.t; (* just past the __asm '{' *)
 }
 
 type compiled = {
@@ -25,6 +38,7 @@ type compiled = {
   globals : (string * int) list; (* name -> byte size, in layout order *)
   global_init : (string * int32) list; (* scalar initialisers *)
   sections : section_info list;
+  ast : Chilite_ast.program; (* the parsed source, for analysis *)
 }
 
 val compile :

@@ -6,8 +6,46 @@ let pp fmt t = Format.fprintf fmt "%s:%d:%d" t.file t.line t.col
 
 type error = { loc : t; msg : string }
 
+let errorf loc fmt = Format.kasprintf (fun msg -> { loc; msg }) fmt
+
 let error loc fmt =
   Format.kasprintf (fun msg -> Error { loc; msg }) fmt
 
 let pp_error fmt e = Format.fprintf fmt "%a: %s" pp e.loc e.msg
 let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* ---- source-anchored pretty printing (compiler and linter share it) ---- *)
+
+let source_line src n =
+  if n <= 0 then None
+  else
+    let rec go line start =
+      let stop =
+        match String.index_from_opt src start '\n' with
+        | Some i -> i
+        | None -> String.length src
+      in
+      if line = n then Some (String.sub src start (stop - start))
+      else if stop >= String.length src then None
+      else go (line + 1) (stop + 1)
+    in
+    go 1 0
+
+let pp_source_excerpt fmt ~src loc =
+  match source_line src loc.line with
+  | None -> ()
+  | Some text ->
+    let gutter = Printf.sprintf "%5d | " loc.line in
+    Format.fprintf fmt "%s%s@." gutter text;
+    (* the caret column: clamp into the line, tabs count as one column *)
+    let col = max 1 (min loc.col (String.length text + 1)) in
+    Format.fprintf fmt "%s%s^@."
+      (String.make (String.length gutter) ' ')
+      (String.make (col - 1) ' ')
+
+let pp_error_source ~src fmt e =
+  Format.fprintf fmt "%a@." pp_error e;
+  pp_source_excerpt fmt ~src e.loc
+
+let error_to_string_source ~src e =
+  Format.asprintf "%a" (pp_error_source ~src) e

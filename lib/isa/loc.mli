@@ -11,5 +11,27 @@ val pp : Format.formatter -> t -> unit
 type error = { loc : t; msg : string }
 
 val error : t -> ('a, Format.formatter, unit, ('b, error) result) format4 -> 'a
+
+(** Like {!error} but returns the bare diagnostic record — for code that
+    accumulates several diagnostics instead of short-circuiting. *)
+val errorf : t -> ('a, Format.formatter, unit, error) format4 -> 'a
+
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
+
+(** [source_line src n] is line [n] (1-based) of [src], without its
+    newline, if it exists. *)
+val source_line : string -> int -> string option
+
+(** [pp_error_source ~src fmt e] prints the diagnostic followed by the
+    offending source line and a caret under the reported column:
+    {v
+    prog.chi:7:3: undeclared variable "x"
+        7 |   x = 1;
+          |   ^
+    v}
+    Used by [exochi_cc] and [exochi_lint]; degrades to {!pp_error} when
+    the line is not present in [src]. *)
+val pp_error_source : src:string -> Format.formatter -> error -> unit
+
+val error_to_string_source : src:string -> error -> string

@@ -3,6 +3,12 @@
     here into the fat binary's CPU section. *)
 
 val assemble : name:string -> string -> (Via32_ast.program, Loc.error) result
+
+(** Like {!assemble}, but reports {e every} structural diagnostic the
+    checker accumulates (a lex/parse failure still yields a single
+    error). *)
+val assemble_all :
+  name:string -> string -> (Via32_ast.program, Loc.error list) result
 val assemble_exn : name:string -> string -> Via32_ast.program
 val to_binary : Via32_ast.program -> bytes
 val of_binary : name:string -> bytes -> (Via32_ast.program, string) result

@@ -123,22 +123,29 @@ let consistency p i =
     err p i "%s moves between xmm and memory" (opcode_name i.op)
   | _ -> Ok ()
 
+(* Accumulate one diagnostic per offending instruction (the first failed
+   check) plus the termination check, in program order. *)
 let check p =
   if Array.length p.instrs = 0 then
-    Loc.error (Loc.make ~file:p.name ~line:1 ~col:1) "empty program"
+    Error [ Loc.errorf (Loc.make ~file:p.name ~line:1 ~col:1) "empty program" ]
   else begin
-    let* () =
-      Array.to_list p.instrs
-      |> List.mapi (fun idx i -> (idx, i))
-      |> List.fold_left
-           (fun acc (idx, i) ->
-             let* () = acc in
-             let* () = check_instr p idx i in
-             consistency p i)
-           (Ok ())
-    in
+    let errs = ref [] in
+    Array.iteri
+      (fun idx i ->
+        let r =
+          let* () = check_instr p idx i in
+          consistency p i
+        in
+        match r with Ok () -> () | Error e -> errs := e :: !errs)
+      p.instrs;
     let last = p.instrs.(Array.length p.instrs - 1) in
-    match last.op with
-    | Hlt | Ret | Jmp -> Ok p
-    | _ -> err p last "program must end with hlt, ret or an unconditional jmp"
+    (match last.op with
+    | Hlt | Ret | Jmp -> ()
+    | _ ->
+      errs :=
+        Loc.errorf
+          (Loc.make ~file:p.name ~line:last.line ~col:1)
+          "program must end with hlt, ret or an unconditional jmp"
+        :: !errs);
+    match List.rev !errs with [] -> Ok p | es -> Error es
   end

@@ -1,6 +1,11 @@
 (** Structural validation of parsed VIA32 programs: operand arity and
     kinds per opcode, memory-operand well-formedness, branch targets in
     range, call targets resolved, and termination ([hlt], [ret] or an
-    unconditional [jmp] last). *)
+    unconditional [jmp] last).
 
-val check : Via32_ast.program -> (Via32_ast.program, Loc.error) result
+    [check] accumulates every structural error (one per offending
+    instruction, in program order) rather than stopping at the first, so
+    drivers can report them all in one pass. The error list is never
+    empty. *)
+
+val check : Via32_ast.program -> (Via32_ast.program, Loc.error list) result

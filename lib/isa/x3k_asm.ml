@@ -1,8 +1,13 @@
-let ( let* ) = Result.bind
+let assemble_all ~name src =
+  match X3k_parser.parse ~name src with
+  | Error e -> Error [ e ]
+  | Ok p -> X3k_check.check p
 
 let assemble ~name src =
-  let* p = X3k_parser.parse ~name src in
-  X3k_check.check p
+  match assemble_all ~name src with
+  | Ok p -> Ok p
+  | Error (e :: _) -> Error e
+  | Error [] -> assert false
 
 let assemble_exn ~name src =
   match assemble ~name src with

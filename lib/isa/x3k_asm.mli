@@ -6,8 +6,14 @@
     binary in a fat-binary section. *)
 
 (** [assemble ~name src] runs the full pipeline:
-    lex → parse → check. *)
+    lex → parse → check. On failure, reports the first diagnostic. *)
 val assemble : name:string -> string -> (X3k_ast.program, Loc.error) result
+
+(** Like {!assemble}, but reports {e every} structural diagnostic the
+    checker accumulates (a lex/parse failure still yields a single
+    error). Used by [exochi_cc] and [exochi_lint]. *)
+val assemble_all :
+  name:string -> string -> (X3k_ast.program, Loc.error list) result
 
 (** [assemble_exn ~name src] — for statically known-good sources (kernel
     libraries, tests); failure messages include the location. *)

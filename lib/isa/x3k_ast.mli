@@ -147,6 +147,10 @@ type program = {
 (** [surface_slot p name] finds the slot bound to a symbolic name. *)
 val surface_slot : program -> string -> int option
 
+(** [surf_name surfaces slot] is the symbolic name of a slot, or a
+    ["?surfN"] placeholder when the slot is out of range. *)
+val surf_name : string array -> int -> string
+
 val pp_operand : surfaces:string array -> Format.formatter -> operand -> unit
 val pp_instr : surfaces:string array -> Format.formatter -> instr -> unit
 

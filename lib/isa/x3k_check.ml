@@ -173,21 +173,27 @@ let check_instr p i =
     | [ target; Reg _ ] -> branch_target p i target
     | _ -> err p i "spawn expects a label and a parameter register")
 
+(* Accumulate one diagnostic per offending instruction (the first failed
+   check; later checks on a malformed instruction are noise) plus the
+   termination check, in program order. *)
 let check p =
   if Array.length p.instrs = 0 then
-    Loc.error
-      (Loc.make ~file:p.name ~line:1 ~col:1)
-      "empty program"
+    Error [ Loc.errorf (Loc.make ~file:p.name ~line:1 ~col:1) "empty program" ]
   else begin
-    let* () =
-      Array.fold_left
-        (fun acc i ->
-          let* () = acc in
-          check_instr p i)
-        (Ok ()) p.instrs
-    in
+    let errs = ref [] in
+    Array.iter
+      (fun i ->
+        match check_instr p i with
+        | Ok () -> ()
+        | Error e -> errs := e :: !errs)
+      p.instrs;
     let last = p.instrs.(Array.length p.instrs - 1) in
-    match last.op with
-    | End | Jmp -> Ok p
-    | _ -> err p last "program must end with 'end' or an unconditional 'jmp'"
+    (match last.op with
+    | End | Jmp -> ()
+    | _ ->
+      errs :=
+        Loc.errorf (loc_of p last)
+          "program must end with 'end' or an unconditional 'jmp'"
+        :: !errs);
+    match List.rev !errs with [] -> Ok p | es -> Error es
   end

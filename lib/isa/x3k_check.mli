@@ -2,6 +2,11 @@
     opcode, SIMD width legality, register-range divisibility, branch
     targets in range, and termination (the program must end in [end] or
     an unconditional [jmp]). Runs after parsing and before encoding, so
-    the simulator can assume well-formed instructions. *)
+    the simulator can assume well-formed instructions.
 
-val check : X3k_ast.program -> (X3k_ast.program, Loc.error) result
+    [check] accumulates every structural error (one per offending
+    instruction, in program order) rather than stopping at the first, so
+    drivers can report them all in one pass. The error list is never
+    empty. *)
+
+val check : X3k_ast.program -> (X3k_ast.program, Loc.error list) result

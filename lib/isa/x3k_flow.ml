@@ -1,0 +1,115 @@
+open X3k_ast
+
+(* Registers a single operand touches, as (vr list, flag list). A [Reg]
+   of any SIMD width stays within one architectural register; [Range]
+   spreads the lanes over vrA..vrB. *)
+let operand_regs = function
+  | Reg r -> ([ r ], [])
+  | Range (a, b) -> (List.init (b - a + 1) (fun k -> a + k), [])
+  | Flag f -> ([], [ f ])
+  | Imm _ | Sreg _ -> ([], [])
+  | Surf { index; _ } -> ([ index ], [])
+  | Surf2d { xreg; yreg; _ } -> ([ xreg; yreg ], [])
+  | Remote { shred_reg; _ } -> ([ shred_reg ], [])
+
+type def_use = {
+  reg_uses : int list;
+  reg_defs : int list;
+  flag_uses : int list;
+  flag_defs : int list;
+  predicated : bool; (* defs are conditional on the predicate *)
+}
+
+let dedup l = List.sort_uniq compare l
+
+let def_use i =
+  let src_regs, src_flags =
+    List.fold_left
+      (fun (rs, fs) o ->
+        let r, f = operand_regs o in
+        (r @ rs, f @ fs))
+      ([], []) i.srcs
+  in
+  let pred_flags =
+    match i.pred with Some { flag; _ } -> [ flag ] | None -> []
+  in
+  (* A surface or remote destination is a store: its address registers
+     are *uses*; only [Reg]/[Range]/[Flag] destinations define state. *)
+  let dst_reg_defs, dst_flag_defs, dst_reg_uses =
+    match i.dst with
+    | None -> ([], [], [])
+    | Some (Reg _ as o) | Some (Range _ as o) -> (fst (operand_regs o), [], [])
+    | Some (Flag f) -> ([], [ f ], [])
+    | Some (Surf _ as o) | Some (Surf2d _ as o) | Some (Remote _ as o) ->
+      ([], [], fst (operand_regs o))
+    | Some (Imm _) | Some (Sreg _) -> ([], [], [])
+  in
+  (* mac/fmac accumulate into the destination: the def is also a use *)
+  let acc_uses =
+    match i.op with Mac | Fmac -> dst_reg_defs | _ -> []
+  in
+  {
+    reg_uses = dedup (src_regs @ dst_reg_uses @ acc_uses);
+    reg_defs = dedup dst_reg_defs;
+    flag_uses = dedup (src_flags @ pred_flags);
+    flag_defs = dedup dst_flag_defs;
+    predicated = i.pred <> None;
+  }
+
+(* Whether the instruction has an effect beyond its register/flag defs
+   (memory traffic, synchronisation, control, shred management) — such
+   instructions are never dead stores. *)
+let has_side_effect i =
+  match i.op with
+  | St | Scatter | Fence | Semacq | Semrel | Sendreg | Spawn | End | Jmp
+  | Br _ ->
+    true
+  | Ld | Gather | Sample ->
+    (* loads are pure in the simulator's memory model, but keep sampler
+       accesses (they can fault through the ATR) *)
+    false
+  | _ -> false
+
+let branch_target i =
+  match (i.op, i.srcs) with
+  | (Jmp, [ Imm t ]) | (Br _, [ _; Imm t ]) | (Spawn, [ Imm t; _ ]) ->
+    Some (Int32.to_int t)
+  | _ -> None
+
+(* Successors within the shred's own control flow. [Spawn]'s target is a
+   *new* shred's entry point, not a successor of this one — it is
+   reported by {!entries} instead. *)
+let succs p idx =
+  let n = Array.length p.instrs in
+  let i = p.instrs.(idx) in
+  let fall = if idx + 1 < n then [ idx + 1 ] else [] in
+  match i.op with
+  | End -> []
+  | Jmp -> ( match branch_target i with Some t when t < n -> [ t ] | _ -> [])
+  | Br _ -> (
+    match branch_target i with
+    | Some t when t < n -> dedup (t :: fall)
+    | _ -> fall)
+  | _ -> fall
+
+let entries p =
+  let spawned =
+    Array.to_list p.instrs
+    |> List.filter_map (fun i ->
+           match (i.op, branch_target i) with
+           | Spawn, Some t when t < Array.length p.instrs -> Some t
+           | _ -> None)
+  in
+  dedup (0 :: spawned)
+
+let reachable p =
+  let n = Array.length p.instrs in
+  let seen = Array.make n false in
+  let rec go idx =
+    if idx < n && not seen.(idx) then begin
+      seen.(idx) <- true;
+      List.iter go (succs p idx)
+    end
+  in
+  List.iter go (entries p);
+  seen

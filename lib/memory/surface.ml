@@ -76,6 +76,21 @@ let row_addr t ~y =
 
 let contains t ~vaddr = vaddr >= t.base && vaddr < t.base + byte_size t
 
+(* Extent queries for code that reasons about *declared* dimensions
+   before any surface object exists (the Exo-check static analyzer):
+   1-D accelerator addressing treats a surface as a row-major array of
+   [width * height] elements, so a declared extent admits exactly the
+   element indices [0, width*height). *)
+
+let extent_elements ~width ~height = width * height
+
+let extent_bytes ~width ~height ~bpp = width * height * bpp
+
+let index_in_extent ~width ~height index =
+  index >= 0 && index < extent_elements ~width ~height
+
+let element_count t = extent_elements ~width:t.width ~height:t.height
+
 let pp fmt t =
   Format.fprintf fmt "surface#%d %s @%#x %dx%d bpp=%d pitch=%d %s %s" t.id
     t.name t.base t.width t.height t.bpp t.pitch

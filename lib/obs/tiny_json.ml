@@ -189,3 +189,71 @@ let member key = function
 let to_num = function Num f -> Some f | _ -> None
 let to_str = function Str s -> Some s | _ -> None
 let to_arr = function Arr xs -> Some xs | _ -> None
+
+(* ---- serialisation (the linter's machine-readable findings) ---- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+(* [indent = None] emits compact single-line JSON; [Some n] pretty-prints
+   with [n]-space steps. Round-trips through {!parse}. *)
+let to_string ?indent v =
+  let buf = Buffer.create 256 in
+  let pad depth =
+    match indent with
+    | None -> ()
+    | Some n ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (n * depth) ' ')
+  in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (number_string f)
+    | Str s -> escape_string buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (depth + 1);
+          go (depth + 1) x)
+        xs;
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (depth + 1);
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          if indent <> None then Buffer.add_char buf ' ';
+          go (depth + 1) x)
+        fields;
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf

@@ -18,3 +18,8 @@ val member : string -> t -> t option
 val to_num : t -> float option
 val to_str : t -> string option
 val to_arr : t -> t list option
+
+(** Serialise a value; round-trips through {!parse}. [indent] selects
+    pretty-printing with the given step (compact when omitted). Used for
+    the Exo-check machine-readable findings format. *)
+val to_string : ?indent:int -> t -> string

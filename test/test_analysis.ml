@@ -1,0 +1,536 @@
+(* Exo-check analyzer tests: every rule id with at least one flagged and
+   one clean program, plus the JSON findings format and the .chi line
+   anchoring of section findings. *)
+
+open Exochi_analysis
+module Loc = Exochi_isa.Loc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let lint_chi src =
+  match Exo_check.check_source ~name:"t.chi" src with
+  | Ok findings -> findings
+  | Error e -> Alcotest.failf "compile failed: %s" (Loc.error_to_string e)
+
+let lint_x3k src =
+  Exo_check.check_x3k (Exochi_isa.X3k_asm.assemble_exn ~name:"t" src)
+
+let lint_via src =
+  match Exochi_isa.Via32_asm.assemble ~name:"t" src with
+  | Ok p -> Exo_check.check_via32 p
+  | Error e -> Alcotest.failf "assembly failed: %s" (Loc.error_to_string e)
+
+let fired rule findings =
+  List.exists (fun f -> f.Finding.rule = rule) findings
+
+let assert_fired rule findings =
+  if not (fired rule findings) then
+    Alcotest.failf "expected %s, got: [%s]" rule
+      (String.concat "; " (List.map Finding.to_string findings))
+
+let assert_quiet rule findings =
+  List.iter
+    (fun f ->
+      if f.Finding.rule = rule then
+        Alcotest.failf "unexpected %s: %s" rule (Finding.to_string f))
+    findings
+
+(* only the section/AST rules: the compiled VIA32 main section may carry
+   its own EXO008..EXO010 findings, which these tests don't constrain *)
+let chi_rules findings =
+  List.filter (fun f -> f.Finding.loc.Loc.file = "t.chi") findings
+
+(* ---- EXO001 / EXO002: shred races ---- *)
+
+(* stride 4 but width 8: iterations i and i+1 overlap on C *)
+let test_exo001_overlapping_stride () =
+  let fs =
+    lint_chi
+      {|
+int A[64];
+int C[64];
+void main() {
+  int i;
+  chi_desc(A, 0, 64, 1);
+  chi_desc(C, 1, 64, 1);
+  #pragma omp parallel target(X3000) shared(A, C) private(i)
+  for (i = 0; i < 8; i = i + 1) __asm {
+    shl.1.dw   vr1 = %p0, 2
+    ld.8.dw    [vr2..vr9] = (A, vr1, 0)
+    st.8.dw    (C, vr1, 0) = [vr2..vr9]
+    end
+  }
+}
+|}
+  in
+  assert_fired "EXO001" fs;
+  check_bool "EXO001 is an error" true
+    (List.exists
+       (fun f -> f.Finding.rule = "EXO001" && f.Finding.severity = Finding.Error)
+       fs)
+
+(* stride 8, width 8: disjoint slices, no race *)
+let vadd_like stride =
+  Printf.sprintf
+    {|
+int A[256];
+int C[256];
+void main() {
+  int i;
+  chi_desc(A, 0, 256, 1);
+  chi_desc(C, 1, 256, 1);
+  #pragma omp parallel target(X3000) shared(A, C) private(i)
+  for (i = 0; i < 32; i = i + 1) __asm {
+    shl.1.dw   vr1 = %%p0, %d
+    ld.8.dw    [vr2..vr9] = (A, vr1, 0)
+    st.8.dw    (C, vr1, 0) = [vr2..vr9]
+    end
+  }
+}
+|}
+    stride
+
+let test_exo001_disjoint_slices_clean () =
+  let fs = lint_chi (vadd_like 3) in
+  assert_quiet "EXO001" fs;
+  assert_quiet "EXO002" fs
+
+(* single-element writes are disjoint, but an 8-wide read of the same
+   surface sees neighbouring iterations' elements: read/write race *)
+let test_exo002_read_write_overlap () =
+  let fs =
+    lint_chi
+      {|
+int C[64];
+void main() {
+  int i;
+  chi_desc(C, 2, 64, 1);
+  #pragma omp parallel target(X3000) shared(C) private(i)
+  for (i = 0; i < 8; i = i + 1) __asm {
+    mov.1.dw   vr1 = %p0
+    ld.8.dw    [vr2..vr9] = (C, vr1, 0)
+    st.1.dw    (C, vr1, 0) = vr2
+    end
+  }
+}
+|}
+  in
+  assert_fired "EXO002" fs;
+  assert_quiet "EXO001" fs (* the writes themselves stay disjoint *)
+
+(* a single iteration cannot race with itself *)
+let test_exo002_single_iteration_clean () =
+  let fs =
+    lint_chi
+      {|
+int C[64];
+void main() {
+  int i;
+  chi_desc(C, 2, 64, 1);
+  #pragma omp parallel target(X3000) shared(C) private(i)
+  for (i = 0; i < 1; i = i + 1) __asm {
+    mov.1.dw   vr1 = %p0
+    ld.8.dw    [vr2..vr9] = (C, vr1, 0)
+    st.1.dw    (C, vr1, 0) = vr2
+    end
+  }
+}
+|}
+  in
+  assert_quiet "EXO002" fs
+
+(* ---- EXO003: host racing a master_nowait team ---- *)
+
+let nowait_src ~wait_first =
+  Printf.sprintf
+    {|
+int A[64];
+int C[64];
+void main() {
+  int i;
+  chi_desc(A, 0, 64, 1);
+  chi_desc(C, 1, 64, 1);
+  #pragma omp parallel target(X3000) shared(A, C) private(i) master_nowait
+  for (i = 0; i < 8; i = i + 1) __asm {
+    shl.1.dw   vr1 = %%p0, 3
+    ld.8.dw    [vr2..vr9] = (A, vr1, 0)
+    st.8.dw    (C, vr1, 0) = [vr2..vr9]
+    end
+  }
+  %s
+  print_int(C[1]);
+}
+|}
+    (if wait_first then "chi_wait();" else "C[0] = 5;")
+
+let test_exo003_touch_before_wait () =
+  let fs = lint_chi (nowait_src ~wait_first:false) in
+  assert_fired "EXO003" fs
+
+let test_exo003_wait_then_touch_clean () =
+  let fs = lint_chi (nowait_src ~wait_first:true) in
+  assert_quiet "EXO003" fs
+
+(* ---- EXO004: store through an Input descriptor ---- *)
+
+let mode_src mode =
+  Printf.sprintf
+    {|
+int A[64];
+void main() {
+  int i;
+  chi_desc(A, %d, 64, 1);
+  #pragma omp parallel target(X3000) shared(A) private(i)
+  for (i = 0; i < 8; i = i + 1) __asm {
+    shl.1.dw   vr1 = %%p0, 3
+    mov.8.dw   [vr2..vr9] = 0
+    st.8.dw    (A, vr1, 0) = [vr2..vr9]
+    end
+  }
+}
+|}
+    mode
+
+let test_exo004_write_input_surface () =
+  assert_fired "EXO004" (lint_chi (mode_src 0))
+
+let test_exo004_write_output_surface_clean () =
+  let fs = lint_chi (mode_src 1) in
+  assert_quiet "EXO004" fs
+
+(* ---- EXO005: out-of-extent accesses ---- *)
+
+let extent_src ~elems =
+  Printf.sprintf
+    {|
+int C[64];
+void main() {
+  int i;
+  chi_desc(C, 1, %d, 1);
+  #pragma omp parallel target(X3000) shared(C) private(i)
+  for (i = 0; i < 8; i = i + 1) __asm {
+    shl.1.dw   vr1 = %%p0, 3
+    mov.8.dw   [vr2..vr9] = 0
+    st.8.dw    (C, vr1, 0) = [vr2..vr9]
+    end
+  }
+}
+|}
+    elems
+
+(* the last iteration stores elements 56..63; a 4x8 = 32-element extent
+   is exceeded (the seeded out-of-extent surface store) *)
+let test_exo005_store_past_extent () =
+  let fs =
+    lint_chi
+      {|
+int C[64];
+void main() {
+  int i;
+  chi_desc(C, 1, 4, 8);
+  #pragma omp parallel target(X3000) shared(C) private(i)
+  for (i = 0; i < 8; i = i + 1) __asm {
+    shl.1.dw   vr1 = %p0, 3
+    mov.8.dw   [vr2..vr9] = 0
+    st.8.dw    (C, vr1, 0) = [vr2..vr9]
+    end
+  }
+}
+|}
+  in
+  assert_fired "EXO005" fs;
+  check_bool "EXO005 is an error" true
+    (List.exists
+       (fun f -> f.Finding.rule = "EXO005" && f.Finding.severity = Finding.Error)
+       fs)
+
+let test_exo005_exact_extent_clean () =
+  assert_quiet "EXO005" (lint_chi (extent_src ~elems:64))
+
+(* ---- EXO006 / EXO007: descriptor and clause hygiene ---- *)
+
+let test_exo006_unbound_shared () =
+  let fs =
+    lint_chi
+      {|
+int A[64];
+void main() {
+  int i;
+  #pragma omp parallel target(X3000) shared(A) private(i)
+  for (i = 0; i < 8; i = i + 1) __asm {
+    end
+  }
+}
+|}
+  in
+  assert_fired "EXO006" fs
+
+let test_exo006_bound_shared_clean () =
+  assert_quiet "EXO006" (lint_chi (vadd_like 3))
+
+let test_exo007_loop_var_not_private () =
+  let fs =
+    lint_chi
+      {|
+int A[64];
+void main() {
+  int i;
+  chi_desc(A, 0, 64, 1);
+  #pragma omp parallel target(X3000) shared(A)
+  for (i = 0; i < 8; i = i + 1) __asm {
+    end
+  }
+}
+|}
+  in
+  assert_fired "EXO007" fs
+
+let test_exo007_descriptor_not_shared () =
+  let fs =
+    lint_chi
+      {|
+int A[64];
+int B[64];
+void main() {
+  int i;
+  chi_desc(A, 0, 64, 1);
+  chi_desc(B, 0, 64, 1);
+  #pragma omp parallel target(X3000) shared(A) private(i) descriptor(B)
+  for (i = 0; i < 8; i = i + 1) __asm {
+    end
+  }
+}
+|}
+  in
+  assert_fired "EXO007" fs
+
+let test_exo007_well_formed_clauses_clean () =
+  assert_quiet "EXO007" (lint_chi (vadd_like 3))
+
+(* ---- EXO008: reads before initialization ---- *)
+
+let test_exo008_uninit_x3k_register () =
+  let fs = lint_x3k "  add.1.dw vr2 = vr0, vr1\n  end\n" in
+  assert_fired "EXO008" fs
+
+let test_exo008_uninit_x3k_flag () =
+  let fs = lint_x3k "  (f3) mov.1.dw vr0 = 1\n  end\n" in
+  assert_fired "EXO008" fs
+
+let test_exo008_initialized_x3k_clean () =
+  let fs =
+    lint_x3k "  mov.1.dw vr0 = %p0\n  add.1.dw vr1 = vr0, vr0\n  st.1.dw (S0, vr1, 0) = vr1\n  end\n"
+  in
+  assert_quiet "EXO008" fs
+
+let test_exo008_uninit_via32 () =
+  let fs = lint_via "  add eax, ebx\n  push eax\n  ret\n" in
+  assert_fired "EXO008" fs
+
+let test_exo008_via32_zeroing_idiom_clean () =
+  (* xor r, r and pxor x, x define without reading *)
+  let fs =
+    lint_via
+      "  xor eax, eax\n  pxor xmm0, xmm0\n  movdqu [OUT], xmm0\n  push eax\n  ret\n"
+  in
+  assert_quiet "EXO008" fs
+
+(* ---- EXO009: dead stores ---- *)
+
+let test_exo009_dead_x3k_store () =
+  let fs = lint_x3k "  mov.1.dw vr0 = 1\n  mov.1.dw vr0 = 2\n  st.1.dw (S0, vr0, 0) = vr0\n  end\n" in
+  assert_fired "EXO009" fs
+
+(* regression: a predicated overwrite does not kill the plain def *)
+let test_exo009_predicated_overwrite_clean () =
+  let fs =
+    lint_x3k
+      "  mov.1.dw vr0 = %p0\n\
+      \  cmp.gt.1.dw f1 = vr0, 3\n\
+      \  mov.1.dw vr1 = 64\n\
+      \  (f1) mov.1.dw vr1 = 256\n\
+      \  st.1.dw (S0, vr0, 0) = vr1\n\
+      \  end\n"
+  in
+  assert_quiet "EXO009" fs
+
+let test_exo009_dead_via32_store () =
+  let fs = lint_via "  mov.d eax, 1\n  mov.d eax, 2\n  push eax\n  ret\n" in
+  assert_fired "EXO009" fs
+
+(* ---- EXO010: unreachable code ---- *)
+
+let test_exo010_code_after_end () =
+  let fs = lint_x3k "L:\n  jmp L\n  mov.1.dw vr0 = 1\n  end\n" in
+  assert_fired "EXO010" fs
+
+let test_exo010_all_reachable_clean () =
+  let fs = lint_x3k "  mov.1.dw vr0 = 1\n  st.1.dw (S0, vr0, 0) = vr0\n  end\n" in
+  assert_quiet "EXO010" fs
+
+let test_exo010_via32_code_after_ret () =
+  let fs = lint_via "  ret\n  mov.d eax, 1\n  hlt\n" in
+  assert_fired "EXO010" fs
+
+(* ---- anchoring: section findings land on .chi source lines ---- *)
+
+let test_section_finding_line_anchor () =
+  let fs =
+    lint_chi
+      {|
+int A[64];
+int C[64];
+void main() {
+  int i;
+  chi_desc(A, 0, 64, 1);
+  chi_desc(C, 1, 64, 1);
+  #pragma omp parallel target(X3000) shared(A, C) private(i)
+  for (i = 0; i < 8; i = i + 1) __asm {
+    shl.1.dw   vr1 = %p0, 3
+    add.8.dw   [vr2..vr9] = [vr10..vr17], [vr10..vr17]
+    st.8.dw    (C, vr1, 0) = [vr2..vr9]
+    end
+  }
+}
+|}
+  in
+  let f =
+    match List.filter (fun f -> f.Finding.rule = "EXO008") (chi_rules fs) with
+    | f :: _ -> f
+    | [] -> Alcotest.fail "expected an EXO008 finding in t.chi"
+  in
+  check_int "anchored at the add line" 11 f.Finding.loc.Loc.line;
+  check_bool "anchored in the .chi file" true (f.Finding.loc.Loc.file = "t.chi")
+
+(* ---- the registry kernels stay clean ---- *)
+
+let test_registry_kernels_clean () =
+  List.iter
+    (fun (k : Exochi_kernels.Kernel.t) ->
+      let io =
+        k.make_io ?frames:(Some 12)
+          (Exochi_util.Prng.create 1L)
+          Exochi_kernels.Kernel.Small
+      in
+      let xp = Exochi_isa.X3k_asm.assemble_exn ~name:k.abbrev (k.x3k_asm io) in
+      let vp =
+        match
+          Exochi_isa.Via32_asm.assemble ~name:k.abbrev
+            (k.via32_asm io ~lo:0 ~hi:io.Exochi_kernels.Kernel.units)
+        with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "%s: %s" k.abbrev (Loc.error_to_string e)
+      in
+      let fs = Exo_check.check_x3k xp @ Exo_check.check_via32 vp in
+      check_int (k.abbrev ^ " findings") 0 (List.length fs))
+    Exochi_kernels.Registry.all
+
+(* ---- findings report: JSON round-trip ---- *)
+
+let test_report_json_round_trip () =
+  let fs = lint_chi (nowait_src ~wait_first:false) in
+  let json =
+    Exochi_obs.Tiny_json.to_string ~indent:2
+      (Finding.report_json ~extra:[ ("file", Exochi_obs.Tiny_json.Str "t.chi") ] fs)
+  in
+  match Exochi_obs.Tiny_json.parse json with
+  | Error e -> Alcotest.failf "report does not parse: %s" e
+  | Ok v ->
+    let num field =
+      match Option.bind (Exochi_obs.Tiny_json.member field v) Exochi_obs.Tiny_json.to_num with
+      | Some n -> int_of_float n
+      | None -> Alcotest.failf "missing %s" field
+    in
+    check_int "errors" (Finding.count Finding.Error fs) (num "errors");
+    check_int "warnings" (Finding.count Finding.Warning fs) (num "warnings");
+    (match Option.bind (Exochi_obs.Tiny_json.member "findings" v) Exochi_obs.Tiny_json.to_arr with
+    | Some arr -> check_int "findings array" (List.length fs) (List.length arr)
+    | None -> Alcotest.fail "missing findings array")
+
+let test_rule_catalog_complete () =
+  (* every rule a test fires is in the catalog, with a description *)
+  List.iter
+    (fun rule ->
+      match Finding.rule_description rule with
+      | Some d -> check_bool rule true (String.length d > 0)
+      | None -> Alcotest.failf "missing catalog entry for %s" rule)
+    [ "EXO001"; "EXO002"; "EXO003"; "EXO004"; "EXO005"; "EXO006"; "EXO007";
+      "EXO008"; "EXO009"; "EXO010" ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "races",
+        [
+          Alcotest.test_case "EXO001 overlapping stride" `Quick
+            test_exo001_overlapping_stride;
+          Alcotest.test_case "EXO001 disjoint clean" `Quick
+            test_exo001_disjoint_slices_clean;
+          Alcotest.test_case "EXO002 read/write overlap" `Quick
+            test_exo002_read_write_overlap;
+          Alcotest.test_case "EXO002 single iteration clean" `Quick
+            test_exo002_single_iteration_clean;
+          Alcotest.test_case "EXO003 touch before wait" `Quick
+            test_exo003_touch_before_wait;
+          Alcotest.test_case "EXO003 wait first clean" `Quick
+            test_exo003_wait_then_touch_clean;
+        ] );
+      ( "descriptors",
+        [
+          Alcotest.test_case "EXO004 write input surface" `Quick
+            test_exo004_write_input_surface;
+          Alcotest.test_case "EXO004 write output clean" `Quick
+            test_exo004_write_output_surface_clean;
+          Alcotest.test_case "EXO005 store past extent" `Quick
+            test_exo005_store_past_extent;
+          Alcotest.test_case "EXO005 exact extent clean" `Quick
+            test_exo005_exact_extent_clean;
+          Alcotest.test_case "EXO006 unbound shared" `Quick
+            test_exo006_unbound_shared;
+          Alcotest.test_case "EXO006 bound shared clean" `Quick
+            test_exo006_bound_shared_clean;
+          Alcotest.test_case "EXO007 loop var not private" `Quick
+            test_exo007_loop_var_not_private;
+          Alcotest.test_case "EXO007 descriptor not shared" `Quick
+            test_exo007_descriptor_not_shared;
+          Alcotest.test_case "EXO007 well-formed clean" `Quick
+            test_exo007_well_formed_clauses_clean;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "EXO008 uninit x3k register" `Quick
+            test_exo008_uninit_x3k_register;
+          Alcotest.test_case "EXO008 uninit x3k flag" `Quick
+            test_exo008_uninit_x3k_flag;
+          Alcotest.test_case "EXO008 initialized clean" `Quick
+            test_exo008_initialized_x3k_clean;
+          Alcotest.test_case "EXO008 uninit via32" `Quick
+            test_exo008_uninit_via32;
+          Alcotest.test_case "EXO008 zeroing idiom clean" `Quick
+            test_exo008_via32_zeroing_idiom_clean;
+          Alcotest.test_case "EXO009 dead x3k store" `Quick
+            test_exo009_dead_x3k_store;
+          Alcotest.test_case "EXO009 predicated overwrite clean" `Quick
+            test_exo009_predicated_overwrite_clean;
+          Alcotest.test_case "EXO009 dead via32 store" `Quick
+            test_exo009_dead_via32_store;
+          Alcotest.test_case "EXO010 code after jmp" `Quick
+            test_exo010_code_after_end;
+          Alcotest.test_case "EXO010 all reachable clean" `Quick
+            test_exo010_all_reachable_clean;
+          Alcotest.test_case "EXO010 code after ret" `Quick
+            test_exo010_via32_code_after_ret;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "section line anchor" `Quick
+            test_section_finding_line_anchor;
+          Alcotest.test_case "registry kernels clean" `Quick
+            test_registry_kernels_clean;
+          Alcotest.test_case "report json round-trip" `Quick
+            test_report_json_round_trip;
+          Alcotest.test_case "rule catalog complete" `Quick
+            test_rule_catalog_complete;
+        ] );
+    ]

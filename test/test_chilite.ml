@@ -174,6 +174,75 @@ void main() {
   in
   check_bool "unknown ISA" true (contains e "unknown target")
 
+(* error paths must carry an exact source location and a usable message *)
+
+let test_unknown_target_loc_and_msg () =
+  let e =
+    compile_err
+      "int A[8];\n\
+       void main() {\n\
+      \  int i;\n\
+      \  #pragma omp parallel target(PPU) shared(A) private(i)\n\
+      \  for (i = 0; i < 1; i = i + 1) __asm {\n\
+      \    end\n\
+      \  }\n\
+       }\n"
+  in
+  check_bool "msg names the ISA" true (contains e "unknown target");
+  check_bool "msg carries the bad name" true (contains e "PPU");
+  check_int "line" 4 e.Loc.loc.Loc.line
+
+let test_descriptor_undeclared_var_loc_and_msg () =
+  let e =
+    compile_err
+      "int A[8];\n\
+       void main() {\n\
+      \  int i;\n\
+      \  #pragma omp parallel target(X3000) shared(A) private(i) \
+       descriptor(Z)\n\
+      \  for (i = 0; i < 1; i = i + 1) __asm {\n\
+      \    end\n\
+      \  }\n\
+       }\n"
+  in
+  check_bool "msg names the variable" true (contains e "Z");
+  check_bool "msg explains" true (contains e "no such global");
+  check_int "line" 4 e.Loc.loc.Loc.line
+
+let test_descriptor_scalar_loc_and_msg () =
+  let e =
+    compile_err
+      "int A[8];\n\
+       int s;\n\
+       void main() {\n\
+      \  int i;\n\
+      \  #pragma omp parallel target(X3000) shared(A) private(i) \
+       descriptor(s)\n\
+      \  for (i = 0; i < 1; i = i + 1) __asm {\n\
+      \    end\n\
+      \  }\n\
+       }\n"
+  in
+  check_bool "msg names the variable" true (contains e "s");
+  check_bool "msg explains" true (contains e "scalar");
+  check_int "line" 5 e.Loc.loc.Loc.line
+
+let test_duplicate_clause_loc_and_msg () =
+  let e =
+    compile_err
+      "int A[8];\n\
+       int B[8];\n\
+       void main() {\n\
+      \  int i;\n\
+      \  #pragma omp parallel target(X3000) shared(A) shared(B) private(i)\n\
+      \  for (i = 0; i < 1; i = i + 1) __asm {\n\
+      \    end\n\
+      \  }\n\
+       }\n"
+  in
+  check_bool "msg" true (contains e "duplicate shared(...) clause");
+  check_int "line" 5 e.Loc.loc.Loc.line
+
 let test_taskq_pragma_guided () =
   let e =
     compile_err
@@ -480,6 +549,14 @@ let () =
           Alcotest.test_case "bad asm" `Quick test_bad_asm_reported;
           Alcotest.test_case "unshared surface" `Quick test_asm_surface_must_be_shared;
           Alcotest.test_case "unknown target" `Quick test_unknown_target_rejected;
+          Alcotest.test_case "unknown target loc" `Quick
+            test_unknown_target_loc_and_msg;
+          Alcotest.test_case "descriptor undeclared loc" `Quick
+            test_descriptor_undeclared_var_loc_and_msg;
+          Alcotest.test_case "descriptor scalar loc" `Quick
+            test_descriptor_scalar_loc_and_msg;
+          Alcotest.test_case "duplicate clause loc" `Quick
+            test_duplicate_clause_loc_and_msg;
           Alcotest.test_case "taskq guidance" `Quick test_taskq_pragma_guided;
         ] );
       ( "parallel",

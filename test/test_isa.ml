@@ -124,6 +124,43 @@ let test_x3k_branch_target_checked () =
   check_bool "br arity" true
     (Astring.String.is_infix ~affix:"expects" e.Loc.msg)
 
+(* the checkers report *every* offending instruction, in program order;
+   [assemble] keeps its one-error signature by returning the first *)
+
+let test_x3k_accumulates_all_errors () =
+  let src = "  cmp.lt.1.dw vr0 = vr1, vr2\n  sel.8.dw vr3 = vr4, vr5\n" in
+  match X3k_asm.assemble_all ~name:"t" src with
+  | Ok _ -> Alcotest.fail "expected errors"
+  | Error errs ->
+    check_int "all three reported" 3 (List.length errs);
+    (match errs with
+    | [ e1; e2; e3 ] ->
+      check_bool "flag dst first" true
+        (Astring.String.is_infix ~affix:"flag register" e1.Loc.msg);
+      check_int "line 1" 1 e1.Loc.loc.Loc.line;
+      check_bool "sel predication second" true
+        (Astring.String.is_infix ~affix:"predication" e2.Loc.msg);
+      check_int "line 2" 2 e2.Loc.loc.Loc.line;
+      check_bool "termination last" true
+        (Astring.String.is_infix ~affix:"must end" e3.Loc.msg)
+    | _ -> Alcotest.fail "expected exactly three errors");
+    (* assemble returns the first of the accumulated errors *)
+    (match X3k_asm.assemble ~name:"t" src with
+    | Error e -> check_bool "first error" true (e.Loc.msg = (List.hd errs).Loc.msg)
+    | Ok _ -> Alcotest.fail "expected an error")
+
+let test_via32_accumulates_all_errors () =
+  let src = "  mov.d [eax], [ebx]\n  shl eax, [ebx]\n  mov.d eax, 1\n" in
+  match Via32_asm.assemble_all ~name:"t" src with
+  | Ok _ -> Alcotest.fail "expected errors"
+  | Error errs ->
+    check_int "all three reported" 3 (List.length errs);
+    let lines = List.map (fun e -> e.Loc.loc.Loc.line) errs in
+    check_bool "in program order" true (lines = [ 1; 2; 3 ]);
+    check_bool "termination last" true
+      (Astring.String.is_infix ~affix:"must end"
+         (List.nth errs 2).Loc.msg)
+
 let test_x3k_predication_parses () =
   let p = x3k_ok "  cmp.lt.8.dw f1 = vr0, vr1\n  (!f1) mov.8.dw vr2 = 0\n  end\n" in
   match p.X3k_ast.instrs.(1).X3k_ast.pred with
@@ -352,6 +389,8 @@ let () =
           Alcotest.test_case "cmp flag dst" `Quick test_x3k_cmp_needs_flag_dst;
           Alcotest.test_case "sel needs pred" `Quick test_x3k_sel_requires_pred;
           Alcotest.test_case "br arity" `Quick test_x3k_branch_target_checked;
+          Alcotest.test_case "accumulates errors" `Quick
+            test_x3k_accumulates_all_errors;
           Alcotest.test_case "predication" `Quick test_x3k_predication_parses;
           Alcotest.test_case "float imm" `Quick test_x3k_float_imm;
           Alcotest.test_case "sem suffixes" `Quick test_x3k_sem_suffixes;
@@ -362,6 +401,8 @@ let () =
         ] );
       ( "via32",
         [
+          Alcotest.test_case "accumulates errors" `Quick
+            test_via32_accumulates_all_errors;
           Alcotest.test_case "parses" `Quick test_via32_parses;
           Alcotest.test_case "memory operands" `Quick test_via32_mem_operand_forms;
           Alcotest.test_case "call classes" `Quick test_via32_call_classification;
