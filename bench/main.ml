@@ -444,6 +444,125 @@ let lint cfg =
   Printf.printf "\nwrote %d analyzer throughput record(s) to BENCH_lint.json\n"
     (List.length rows)
 
+(* ---- Exo-serve: offered load vs throughput/latency ---- *)
+
+let serve _cfg =
+  header
+    "Exo-serve: multi-tenant serving under offered load -> BENCH_serve.json";
+  let module S = Exochi_serving in
+  let seed = 42L in
+  let run_one ~batch ~mode ~jobs ~deadline_slack_ps =
+    let config = { S.Server.default_config with batch } in
+    let server = S.Server.create ~config () in
+    let spec =
+      {
+        (S.Workload.default_spec ~seed ~tenants:2 ~jobs mode) with
+        deadline_slack_ps;
+      }
+    in
+    S.Server.run server (S.Workload.create spec)
+  in
+  (* 1) closed-loop saturation measures the platform's serving capacity *)
+  let cap_st =
+    run_one ~batch:S.Batcher.default
+      ~mode:(S.Workload.Closed { clients_per_tenant = 8; think_ps = 0 })
+      ~jobs:240 ~deadline_slack_ps:None
+  in
+  let capacity = cap_st.S.Server_stats.throughput_jps in
+  Printf.printf "closed-loop capacity: %.0f jobs/s (2 tenants, 16 clients)\n\n"
+    capacity;
+  Printf.printf "%-10s %10s %10s %10s %10s %10s %6s %6s %7s\n" "run"
+    "offered" "tput" "p50-us" "p95-us" "p99-us" "done" "shed" "batches";
+  let line label offered (st : S.Server_stats.t) =
+    Printf.printf "%-10s %10.0f %10.0f %10.1f %10.1f %10.1f %6d %6d %7d\n%!"
+      label offered st.S.Server_stats.throughput_jps
+      (st.S.Server_stats.lat_p50_ps /. 1e6)
+      (st.S.Server_stats.lat_p95_ps /. 1e6)
+      (st.S.Server_stats.lat_p99_ps /. 1e6)
+      st.S.Server_stats.completed st.S.Server_stats.shed
+      st.S.Server_stats.batches
+  in
+  line "closed" capacity cap_st;
+  (* 2) open loop at three offered-load levels, jobs batched per team *)
+  let deadline = Some 1_000_000_000 (* 1 ms *) in
+  let levels = [ 0.5; 1.0; 2.0 ] in
+  let open_rows =
+    List.map
+      (fun mult ->
+        let offered = mult *. capacity in
+        let st =
+          run_one ~batch:S.Batcher.default
+            ~mode:(S.Workload.Open { rate_jps = offered })
+            ~jobs:300 ~deadline_slack_ps:deadline
+        in
+        line (Printf.sprintf "open-%.1fx" mult) offered st;
+        (Printf.sprintf "open-%.1fx" mult, offered, st))
+      levels
+  in
+  (* 3) one-job-per-team baseline at the overload point: same workload,
+     batching disabled — the gain from coalescing is the ratio *)
+  let nobatch_st =
+    run_one
+      ~batch:{ S.Batcher.max_jobs = 1; max_shreds = S.Batcher.default.S.Batcher.max_shreds }
+      ~mode:(S.Workload.Open { rate_jps = 2.0 *. capacity })
+      ~jobs:300 ~deadline_slack_ps:deadline
+  in
+  line "no-batch" (2.0 *. capacity) nobatch_st;
+  let batched_2x =
+    match List.rev open_rows with (_, _, st) :: _ -> st | [] -> assert false
+  in
+  let gain =
+    batched_2x.S.Server_stats.throughput_jps
+    /. Float.max nobatch_st.S.Server_stats.throughput_jps 1e-9
+  in
+  Printf.printf
+    "\nbatching gain at 2.0x offered load: %.2fx throughput (%.0f vs %.0f \
+     jobs/s)\n"
+    gain batched_2x.S.Server_stats.throughput_jps
+    nobatch_st.S.Server_stats.throughput_jps;
+  assert (
+    batched_2x.S.Server_stats.throughput_jps
+    > nobatch_st.S.Server_stats.throughput_jps);
+  let module J = Exochi_obs.Tiny_json in
+  let row label offered (st : S.Server_stats.t) =
+    J.Obj
+      [
+        ("run", J.Str label);
+        ("mode", J.Str (if label = "closed" then "closed" else "open"));
+        ("offered_jps", J.Num offered);
+        ("throughput_jps", J.Num st.S.Server_stats.throughput_jps);
+        ("goodput_jps", J.Num st.S.Server_stats.goodput_jps);
+        ("lat_p50_ps", J.Num st.S.Server_stats.lat_p50_ps);
+        ("lat_p95_ps", J.Num st.S.Server_stats.lat_p95_ps);
+        ("lat_p99_ps", J.Num st.S.Server_stats.lat_p99_ps);
+        ("completed", J.Num (float_of_int st.S.Server_stats.completed));
+        ("shed", J.Num (float_of_int st.S.Server_stats.shed));
+        ("batches", J.Num (float_of_int st.S.Server_stats.batches));
+        ( "batch_jobs_mean",
+          J.Num st.S.Server_stats.batch_jobs_mean );
+      ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("seed", J.Num (Int64.to_float seed));
+        ("tenants", J.Num 2.0);
+        ("capacity_jps", J.Num capacity);
+        ("batch_gain_2x", J.Num gain);
+        ( "rows",
+          J.Arr
+            (row "closed" capacity cap_st
+             :: List.map (fun (l, o, st) -> row l o st) open_rows
+            @ [ row "no-batch" (2.0 *. capacity) nobatch_st ]) );
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string ~indent:2 doc ^ "\n"));
+  Printf.printf "wrote %d serving record(s) to BENCH_serve.json\n"
+    (2 + List.length open_rows)
+
 (* ---- bechamel micro-benchmarks of the simulator itself ---- *)
 
 let micro () =
@@ -522,13 +641,13 @@ let () =
       (fun a ->
         List.mem a
           [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
-            "ablate-atr"; "soak"; "metrics"; "lint"; "micro" ])
+            "ablate-atr"; "soak"; "metrics"; "lint"; "serve"; "micro" ])
       args
   in
   let wanted =
     if wanted = [] then
       [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
-        "ablate-atr"; "soak"; "metrics"; "lint"; "micro" ]
+        "ablate-atr"; "soak"; "metrics"; "lint"; "serve"; "micro" ]
     else wanted
   in
   Printf.printf
@@ -547,6 +666,7 @@ let () =
       | "soak" -> soak cfg
       | "metrics" -> metrics cfg
       | "lint" -> lint cfg
+      | "serve" -> serve cfg
       | "micro" -> micro ()
       | _ -> ())
     wanted

@@ -20,8 +20,35 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* --list-kernels: the registry as a table — abbreviation, full name,
+   ISA targets, shred decomposition and surface shapes (Small scale,
+   video kernels clipped to a few frames so the listing is instant). *)
+let list_kernels () =
+  Printf.printf "%-14s %-26s %-12s %7s  %s\n" "KERNEL" "NAME" "ISA" "SHREDS"
+    "SURFACES (small scale)";
+  List.iter
+    (fun k ->
+      let prng = Exochi_util.Prng.create 1L in
+      let io = k.Exochi_kernels.Kernel.make_io ~frames:4 prng Exochi_kernels.Kernel.Small in
+      let surf =
+        String.concat ", "
+          (List.map
+             (fun (n, img) ->
+               Printf.sprintf "%s %dx%d in" n
+                 img.Exochi_media.Image.width img.Exochi_media.Image.height)
+             io.Exochi_kernels.Kernel.inputs
+          @ List.map
+              (fun (n, w, h) -> Printf.sprintf "%s %dx%d out" n w h)
+              io.Exochi_kernels.Kernel.outputs)
+      in
+      Printf.printf "%-14s %-26s %-12s %7d  %s\n"
+        k.Exochi_kernels.Kernel.abbrev k.Exochi_kernels.Kernel.name
+        "X3K, VIA32" io.Exochi_kernels.Kernel.units surf)
+    Exochi_kernels.Registry.all
+
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "--list-kernels" :: _ -> list_kernels ()
   | _ :: path :: rest ->
     let src = read_file path in
     let name = Filename.remove_extension (Filename.basename path) in
@@ -131,5 +158,6 @@ let () =
   | _ ->
     prerr_endline
       "usage: exochi_run <prog.chi> [--memmodel cc|noncc|copy] [--faults \
-       SEED:RATE] [--trace out.json] [--metrics]";
+       SEED:RATE] [--trace out.json] [--metrics]\n\
+      \       exochi_run --list-kernels";
     exit 1

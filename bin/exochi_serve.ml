@@ -1,0 +1,228 @@
+(* Exo-serve: run the multi-tenant kernel-job server against a generated
+   workload on the simulated EXO platform.
+
+     exochi_serve [--mode closed|open] [--jobs N] [--tenants N] [--seed S]
+                  [--rate JOBS_PER_S] [--clients N] [--think-us U]
+                  [--kernels NAME[:W],NAME[:W],...] [--shreds LO:HI]
+                  [--deadline-us U] [--weights W,W,...] [--queue-cap N]
+                  [--backlog N] [--batch-jobs N] [--batch-shreds N]
+                  [--no-batch] [--faults SEED:RATE] [--metrics]
+                  [--json FILE] [--trace FILE]
+
+   Closed loop (default): --clients per tenant, each submitting its next
+   job --think-us after the previous one finishes — the generator that
+   measures platform capacity. Open loop: --rate jobs per simulated
+   second with exponential inter-arrival gaps — the generator that
+   exposes overload (queueing, shedding, deadline misses).
+
+   --metrics prints the full serving statistics as JSON (including the
+   CHI runtime's recovery counters: redispatches, watchdog kills,
+   quarantines, IA32 fallbacks, fatal) instead of the human report.
+   --json also writes that JSON to a file. --faults installs a
+   deterministic fault plan; the exit status is nonzero if any injected
+   fault proved fatal (a shed job), so CI can gate on it. *)
+
+module Serve = Exochi_serving
+
+let usage () =
+  prerr_endline
+    "usage: exochi_serve [--mode closed|open] [--jobs N] [--tenants N]\n\
+    \         [--seed S] [--rate JOBS_PER_S] [--clients N] [--think-us U]\n\
+    \         [--kernels NAME[:W],...] [--shreds LO:HI] [--deadline-us U]\n\
+    \         [--weights W,...] [--queue-cap N] [--backlog N]\n\
+    \         [--batch-jobs N] [--batch-shreds N] [--no-batch]\n\
+    \         [--faults SEED:RATE] [--metrics] [--json FILE] [--trace FILE]";
+  exit 1
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* flag lookups over the raw argument list *)
+  let opt name =
+    let rec find = function
+      | f :: v :: _ when f = name -> Some v
+      | [ f ] when f = name -> die "%s requires an argument" name
+      | _ :: r -> find r
+      | [] -> None
+    in
+    find args
+  in
+  let flag name = List.mem name args in
+  let int_opt name default =
+    match opt name with
+    | None -> default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> die "%s: not an integer: %s" name v)
+  in
+  let float_opt name default =
+    match opt name with
+    | None -> default
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None -> die "%s: not a number: %s" name v)
+  in
+  if flag "--help" || flag "-h" then usage ();
+  let known =
+    [ "--mode"; "--jobs"; "--tenants"; "--seed"; "--rate"; "--clients";
+      "--think-us"; "--kernels"; "--shreds"; "--deadline-us"; "--weights";
+      "--queue-cap"; "--backlog"; "--batch-jobs"; "--batch-shreds";
+      "--no-batch"; "--faults"; "--metrics"; "--json"; "--trace" ]
+  in
+  let rec check = function
+    | f :: rest when String.length f > 2 && String.sub f 0 2 = "--" ->
+      if not (List.mem f known) then die "unknown option %s" f;
+      let takes_value = f <> "--no-batch" && f <> "--metrics" in
+      check (if takes_value then match rest with _ :: r -> r | [] -> [] else rest)
+    | _ :: rest -> check rest
+    | [] -> ()
+  in
+  check args;
+  let tenants = int_opt "--tenants" 2 in
+  if tenants <= 0 then die "--tenants must be positive";
+  let jobs = int_opt "--jobs" 200 in
+  let seed = Int64.of_int (int_opt "--seed" 42) in
+  let mode =
+    match Option.value (opt "--mode") ~default:"closed" with
+    | "closed" ->
+      Serve.Workload.Closed
+        {
+          clients_per_tenant = int_opt "--clients" 4;
+          think_ps = int_opt "--think-us" 0 * 1_000_000;
+        }
+    | "open" -> Serve.Workload.Open { rate_jps = float_opt "--rate" 2000.0 }
+    | m -> die "--mode must be closed or open (got %s)" m
+  in
+  let mix =
+    let spec =
+      Option.value (opt "--kernels") ~default:"SepiaTone:3,LinearFilter:1"
+    in
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun entry ->
+           match String.split_on_char ':' entry with
+           | [ name ] -> (name, 1.0)
+           | [ name; w ] -> (
+             match float_of_string_opt w with
+             | Some f when f > 0.0 -> (name, f)
+             | _ -> die "--kernels: bad weight in %s" entry)
+           | _ -> die "--kernels: bad entry %s" entry)
+  in
+  List.iter
+    (fun (name, _) ->
+      if Exochi_kernels.Registry.find name = None then
+        die "--kernels: unknown kernel %s (try exochi_run --list-kernels)" name)
+    mix;
+  let shreds_lo, shreds_hi =
+    match opt "--shreds" with
+    | None -> (4, 32)
+    | Some s -> (
+      match String.split_on_char ':' s with
+      | [ lo; hi ] -> (
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some l, Some h when 0 < l && l <= h -> (l, h)
+        | _ -> die "--shreds: bad range %s" s)
+      | _ -> die "--shreds expects LO:HI")
+  in
+  let deadline_slack_ps =
+    match opt "--deadline-us" with
+    | None -> None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some us when us > 0 -> Some (us * 1_000_000)
+      | _ -> die "--deadline-us: bad value %s" v)
+  in
+  let weights =
+    match opt "--weights" with
+    | None -> Array.make tenants 1.0
+    | Some s ->
+      let ws =
+        String.split_on_char ',' s
+        |> List.map (fun w ->
+               match float_of_string_opt w with
+               | Some f when f > 0.0 -> f
+               | _ -> die "--weights: bad weight %s" w)
+      in
+      if List.length ws <> tenants then
+        die "--weights: expected %d weights" tenants;
+      Array.of_list ws
+  in
+  let queue_cap = int_opt "--queue-cap" 64 in
+  let backlog = int_opt "--backlog" 96 in
+  let batch =
+    if flag "--no-batch" then { Serve.Batcher.max_jobs = 1; max_shreds = 256 }
+    else
+      {
+        Serve.Batcher.max_jobs = int_opt "--batch-jobs" 32;
+        max_shreds = int_opt "--batch-shreds" 256;
+      }
+  in
+  let fault_plan =
+    match opt "--faults" with
+    | None -> None
+    | Some spec -> (
+      match Exochi_faults.Fault_plan.of_spec spec with
+      | Ok plan -> Some plan
+      | Error msg -> die "%s" msg)
+  in
+  let trace_out = opt "--trace" in
+  let trace =
+    if trace_out <> None then Some (Exochi_obs.Trace.create ()) else None
+  in
+  let config =
+    {
+      Serve.Server.default_config with
+      tenants =
+        Array.init tenants (fun i ->
+            Serve.Tenant.make_config ~weight:weights.(i) ~queue_cap
+              (Printf.sprintf "tenant%d" i));
+      batch;
+      backlog_cap = backlog;
+    }
+  in
+  let server = Serve.Server.create ~config ?fault_plan ?trace () in
+  let spec =
+    {
+      (Serve.Workload.default_spec ~seed ~tenants ~jobs mode) with
+      mix;
+      shreds_lo;
+      shreds_hi;
+      deadline_slack_ps;
+    }
+  in
+  let stats = Serve.Server.run server (Serve.Workload.create spec) in
+  let mode_name =
+    match mode with Serve.Workload.Open _ -> "open" | Closed _ -> "closed"
+  in
+  let json =
+    Serve.Server_stats.to_json
+      ~extra:[ ("mode", mode_name); ("seed", Int64.to_string seed) ]
+      stats
+  in
+  if flag "--metrics" then print_endline json
+  else print_string (Serve.Server_stats.render stats);
+  (match opt "--json" with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (json ^ "\n"));
+    Printf.eprintf "[exochi] serving stats written to %s\n" file);
+  (match (trace_out, trace) with
+  | Some file, Some sink ->
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Exochi_obs.Trace_export.to_chrome sink));
+    Printf.eprintf "[exochi] trace: %d event(s) written to %s\n"
+      (Exochi_obs.Trace.length sink) file
+  | _ -> ());
+  if stats.Serve.Server_stats.recovery.Serve.Server_stats.r_fatal > 0 then begin
+    Printf.eprintf "[exochi] FATAL: %d unrecoverable fault(s) during serving\n"
+      stats.Serve.Server_stats.recovery.Serve.Server_stats.r_fatal;
+    exit 2
+  end

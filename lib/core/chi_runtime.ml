@@ -433,7 +433,59 @@ let parallel t ~prog ~descriptors ~num_threads ~params ?(chunk = 512)
 
 type task = { tq_params : int array; tq_deps : int list }
 
-exception Dependency_cycle
+exception Dependency_cycle of int list
+
+(* Up-front cycle check (Kahn's algorithm on a scratch indegree copy).
+   Returns unit for an acyclic graph; for a cyclic one, extracts one
+   concrete cycle deterministically — walk from the smallest unprocessed
+   task, always following its first unprocessed dependency, until a task
+   repeats — and raises before any shred is enqueued, so a bad graph
+   fails with a located error instead of deadlocking the drain. *)
+let check_acyclic tasks indegree children =
+  let n = Array.length tasks in
+  let deg = Array.copy indegree in
+  let processed = Array.make n false in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) deg;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    processed.(i) <- true;
+    incr seen;
+    List.iter
+      (fun j ->
+        deg.(j) <- deg.(j) - 1;
+        if deg.(j) = 0 then Queue.add j queue)
+      children.(i)
+  done;
+  if !seen <> n then begin
+    (* every unprocessed task sits on or downstream of a cycle; walking
+       first-unprocessed-dependency edges from the smallest one must
+       revisit a task, and the revisited suffix is a cycle *)
+    let start = ref 0 in
+    while processed.(!start) do incr start done;
+    let on_path = Array.make n (-1) in
+    let path = ref [] in
+    let rec walk v depth =
+      if on_path.(v) >= 0 then begin
+        (* cycle = path suffix from the first visit of [v] *)
+        let members =
+          List.filter (fun u -> on_path.(u) >= on_path.(v)) !path
+        in
+        List.sort compare members
+      end
+      else begin
+        on_path.(v) <- depth;
+        path := v :: !path;
+        match
+          List.find_opt (fun d -> not processed.(d)) tasks.(v).tq_deps
+        with
+        | Some d -> walk d (depth + 1)
+        | None -> assert false (* unprocessed => has an unprocessed dep *)
+      end
+    in
+    raise (Dependency_cycle (walk !start 0))
+  end
 
 let taskq t ~prog ~descriptors ~tasks =
   let n = Array.length tasks in
@@ -447,17 +499,6 @@ let taskq t ~prog ~descriptors ~tasks =
     if memmodel = Memmodel.Data_copy then
       invalid_arg "Chi_runtime.taskq: data-copy mode not supported (no \
                    shared queue without shared memory)";
-    let surfaces = surf_table prog descriptors in
-    prewalk_surfaces t surfaces;
-    Gpu.bind gpu ~prog ~surfaces;
-    if memmodel = Memmodel.Non_cc_shared then
-      List.iter
-        (fun d ->
-          if is_input d then begin
-            let base, len = desc_range d in
-            ignore (charged_flush t ~vaddr:base ~len)
-          end)
-        descriptors;
     (* dependency bookkeeping: the root shred walks the taskq body
        sequentially and enqueues each task; a task with unmet
        dependencies is parked until its parents complete *)
@@ -473,6 +514,20 @@ let taskq t ~prog ~descriptors ~tasks =
             children.(dep) <- i :: children.(dep))
           task.tq_deps)
       tasks;
+    (* reject cyclic graphs before binding the program or touching the
+       work queue — nothing is dispatched for a graph that cannot drain *)
+    check_acyclic tasks indegree children;
+    let surfaces = surf_table prog descriptors in
+    prewalk_surfaces t surfaces;
+    Gpu.bind gpu ~prog ~surfaces;
+    if memmodel = Memmodel.Non_cc_shared then
+      List.iter
+        (fun d ->
+          if is_input d then begin
+            let base, len = desc_range d in
+            ignore (charged_flush t ~vaddr:base ~len)
+          end)
+        descriptors;
     let done_count = ref 0 in
     let enqueue_task i =
       Gpu.enqueue gpu
@@ -498,7 +553,7 @@ let taskq t ~prog ~descriptors ~tasks =
     (* enqueue the initially ready tasks *)
     let roots = ref [] in
     Array.iteri (fun i d -> if d = 0 then roots := i :: !roots) indegree;
-    if !roots = [] then raise Dependency_cycle;
+    assert (!roots <> []) (* guaranteed by check_acyclic *);
     Machine.add_time_ps cpu
       (pcosts.Exo_platform.signal_ps
       + (List.length !roots * pcosts.Exo_platform.dispatch_cpu_ps));
@@ -506,7 +561,13 @@ let taskq t ~prog ~descriptors ~tasks =
     List.iter enqueue_task (List.rev !roots);
     supervised_drain t;
     ignore (Exo_platform.barrier t.platform);
-    if !done_count <> n then raise Dependency_cycle;
+    if !done_count <> n then begin
+      (* defensive: the graph was proven acyclic, so a short drain means
+         lost work, not a cycle — report the tasks still blocked *)
+      let stuck = ref [] in
+      Array.iteri (fun i d -> if d > 0 then stuck := i :: !stuck) indegree;
+      raise (Dependency_cycle (List.rev !stuck))
+    end;
     if memmodel = Memmodel.Non_cc_shared then begin
       let bytes = Gpu.flush_cache gpu in
       let costs = Exo_platform.model_costs t.platform in

@@ -119,11 +119,15 @@ type task = {
   tq_deps : int list; (* indices into the task array *)
 }
 
-exception Dependency_cycle
+(** The task graph contains a dependency cycle; the payload is the task
+    indices of one concrete cycle (ascending). Raised {e before} any
+    shred is enqueued — a cyclic graph fails fast with a located error
+    instead of deadlocking the drain. *)
+exception Dependency_cycle of int list
 
 (** Runs the whole task graph to completion (the taskq construct itself
-    is synchronous). Raises {!Dependency_cycle} if the graph cannot
-    drain. *)
+    is synchronous). Raises {!Dependency_cycle} up front if the graph
+    cannot drain. *)
 val taskq :
   t ->
   prog:Exochi_isa.X3k_ast.program ->

@@ -43,6 +43,13 @@ type t = {
   (* bytes moved *)
   flush_bytes : int;
   copy_bytes : int;
+  (* Exo-serve job lifecycle (zero unless a serve layer emitted) *)
+  jobs_arrived : int;
+  jobs_done : int;
+  jobs_shed : int;
+  batches : int;
+  job_lat_p50_ps : float;
+  job_lat_p99_ps : float;
   counters : (string * int) list; (* last value per counter, name-sorted *)
 }
 
@@ -59,6 +66,9 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
   let fallbacks = ref 0 in
   let faults : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let flush = ref 0 and copy = ref 0 in
+  let arrived = ref 0 and jobs_done = ref 0 and shed = ref 0 in
+  let batches = ref 0 in
+  let job_lats = ref [] in
   let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let n = ref 0 in
   List.iter
@@ -94,6 +104,12 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
           (1 + Option.value (Hashtbl.find_opt faults cls) ~default:0)
       | Trace.Flush { bytes } -> flush := !flush + bytes
       | Trace.Copy { bytes } -> copy := !copy + bytes
+      | Trace.Job_arrive _ -> incr arrived
+      | Trace.Job_shed _ -> incr shed
+      | Trace.Batch_dispatch _ -> incr batches
+      | Trace.Job_done { latency_ps; _ } ->
+        incr jobs_done;
+        job_lats := float_of_int latency_ps :: !job_lats
       | Trace.Counter { counter; value } -> Hashtbl.replace counters counter value)
     events;
   let span = if !n = 0 then 0 else max 0 (!last - !first) in
@@ -133,6 +149,16 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
     faults = sorted_assoc faults;
     flush_bytes = !flush;
     copy_bytes = !copy;
+    jobs_arrived = !arrived;
+    jobs_done = !jobs_done;
+    jobs_shed = !shed;
+    batches = !batches;
+    job_lat_p50_ps =
+      (if !job_lats = [] then 0.0
+       else Exochi_util.Stats.percentile 50.0 !job_lats);
+    job_lat_p99_ps =
+      (if !job_lats = [] then 0.0
+       else Exochi_util.Stats.percentile 99.0 !job_lats);
     counters = sorted_assoc counters;
   }
 
@@ -192,6 +218,12 @@ let render m =
   if m.flush_bytes > 0 || m.copy_bytes > 0 then
     line "bytes moved  : %d KiB flushed, %d KiB copied" (m.flush_bytes / 1024)
       (m.copy_bytes / 1024);
+  if m.jobs_arrived > 0 || m.jobs_done > 0 || m.jobs_shed > 0 then
+    line
+      "serving      : %d job(s) admitted, %d done, %d shed across %d \
+       batch(es); job latency p50 %.1f us p99 %.1f us"
+      m.jobs_arrived m.jobs_done m.jobs_shed m.batches (us m.job_lat_p50_ps)
+      (us m.job_lat_p99_ps);
   List.iter (fun (name, v) -> line "counter      : %-18s %d" name v) m.counters;
   Buffer.contents b
 
@@ -234,6 +266,12 @@ let to_json ?(extra = []) m =
   num_int "ia32_fallbacks" m.ia32_fallbacks;
   num_int "flush_bytes" m.flush_bytes;
   num_int "copy_bytes" m.copy_bytes;
+  num_int "jobs_arrived" m.jobs_arrived;
+  num_int "jobs_done" m.jobs_done;
+  num_int "jobs_shed" m.jobs_shed;
+  num_int "batches" m.batches;
+  num_f "job_lat_p50_ps" m.job_lat_p50_ps;
+  num_f "job_lat_p99_ps" m.job_lat_p99_ps;
   List.iter (fun (name, v) -> num_int name v) m.counters;
   Buffer.add_string b "}";
   Buffer.contents b

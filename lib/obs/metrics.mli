@@ -36,6 +36,12 @@ type t = {
   faults : (string * int) list;  (** per fault class, name-sorted *)
   flush_bytes : int;
   copy_bytes : int;
+  jobs_arrived : int;  (** Exo-serve: jobs past admission *)
+  jobs_done : int;  (** Exo-serve: jobs completed at a team barrier *)
+  jobs_shed : int;  (** Exo-serve: jobs rejected or dropped *)
+  batches : int;  (** Exo-serve: coalesced teams dispatched *)
+  job_lat_p50_ps : float;  (** submit → completion, media job latency *)
+  job_lat_p99_ps : float;
   counters : (string * int) list;  (** last value per counter, name-sorted *)
 }
 

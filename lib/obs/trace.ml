@@ -22,6 +22,10 @@ type kind =
   | Fault_injected of { cls : string }
   | Flush of { bytes : int }
   | Copy of { bytes : int }
+  | Job_arrive of { job : int; tenant : int }
+  | Job_shed of { job : int; tenant : int; reason : string }
+  | Batch_dispatch of { batch : int; jobs : int; shreds : int }
+  | Job_done of { job : int; tenant : int; latency_ps : int }
   | Counter of { counter : string; value : int }
 
 type event = { ts_ps : int; dur_ps : int; seq : seq; kind : kind }
@@ -99,6 +103,10 @@ let kind_name = function
   | Fault_injected _ -> "fault-injected"
   | Flush _ -> "flush"
   | Copy _ -> "copy"
+  | Job_arrive _ -> "job-arrive"
+  | Job_shed _ -> "job-shed"
+  | Batch_dispatch _ -> "batch-dispatch"
+  | Job_done _ -> "job-done"
   | Counter _ -> "counter"
 
 let seq_label = function
@@ -136,6 +144,13 @@ let kind_detail = function
   | Ceh_spurious -> ""
   | Fault_injected { cls } -> cls
   | Flush { bytes } | Copy { bytes } -> Printf.sprintf "%d bytes" bytes
+  | Job_arrive { job; tenant } -> Printf.sprintf "job %d tenant %d" job tenant
+  | Job_shed { job; tenant; reason } ->
+    Printf.sprintf "job %d tenant %d (%s)" job tenant reason
+  | Batch_dispatch { batch; jobs; shreds } ->
+    Printf.sprintf "batch %d: %d job(s), %d shred(s)" batch jobs shreds
+  | Job_done { job; tenant; latency_ps } ->
+    Printf.sprintf "job %d tenant %d latency %d ps" job tenant latency_ps
   | Counter { counter; value } -> Printf.sprintf "%s = %d" counter value
 
 let pp_event fmt e =

@@ -52,6 +52,16 @@ type kind =
   | Fault_injected of { cls : string }  (** a plan decision fired *)
   | Flush of { bytes : int }  (** non-CC hand-off cache flush *)
   | Copy of { bytes : int }  (** data-copy mode transfer *)
+  | Job_arrive of { job : int; tenant : int }
+      (** Exo-serve: a kernel-invocation job passed admission *)
+  | Job_shed of { job : int; tenant : int; reason : string }
+      (** Exo-serve: a job was rejected/dropped ([reason] is the stable
+          shed-reason label) *)
+  | Batch_dispatch of { batch : int; jobs : int; shreds : int }
+      (** Exo-serve: one coalesced team of compatible jobs launched *)
+  | Job_done of { job : int; tenant : int; latency_ps : int }
+      (** Exo-serve: job completed at the team barrier;
+          [latency_ps] = completion - submission *)
   | Counter of { counter : string; value : int }
       (** memory-system counter snapshot (TLB/cache hits, bus bytes) *)
 

@@ -79,6 +79,13 @@ let kind_args : Trace.kind -> (string * arg) list = function
   | Ceh_spurious -> []
   | Fault_injected { cls } -> [ ("class", S cls) ]
   | Flush { bytes } | Copy { bytes } -> [ ("bytes", I bytes) ]
+  | Job_arrive { job; tenant } -> [ ("job", I job); ("tenant", I tenant) ]
+  | Job_shed { job; tenant; reason } ->
+    [ ("job", I job); ("tenant", I tenant); ("reason", S reason) ]
+  | Batch_dispatch { batch; jobs; shreds } ->
+    [ ("batch", I batch); ("jobs", I jobs); ("shreds", I shreds) ]
+  | Job_done { job; tenant; latency_ps } ->
+    [ ("job", I job); ("tenant", I tenant); ("latency_ps", I latency_ps) ]
   | Counter _ -> []
 
 let event_name (e : Trace.event) =
@@ -101,6 +108,7 @@ let category (e : Trace.event) =
   | Ceh_proxy _ | Ceh_writeback _ | Ceh_spurious -> "ceh"
   | Fault_injected _ -> "fault"
   | Flush _ | Copy _ -> "memmodel"
+  | Job_arrive _ | Job_shed _ | Batch_dispatch _ | Job_done _ -> "serve"
   | Counter _ -> "counter"
 
 let pid = 1

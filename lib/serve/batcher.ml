@@ -1,0 +1,72 @@
+type config = { max_jobs : int; max_shreds : int }
+
+let default = { max_jobs = 32; max_shreds = 256 }
+
+type batch = { kernel : string; jobs : Job.t list; shreds : int }
+
+(* Tenants ordered by (virtual time, id) — the WFQ service order. *)
+let by_vtime tenants =
+  let ts = Array.to_list tenants in
+  List.sort
+    (fun a b ->
+      let c = Float.compare (Tenant.vtime a) (Tenant.vtime b) in
+      if c <> 0 then c else compare (Tenant.id a) (Tenant.id b))
+    ts
+
+let select cfg tenants ~now_ps =
+  if cfg.max_jobs <= 0 || cfg.max_shreds <= 0 then
+    invalid_arg "Batcher.select: config";
+  let expired =
+    Array.to_list tenants
+    |> List.concat_map (fun t -> Tenant.drop_expired t ~now_ps)
+  in
+  (* lead: best (class, vtime, id) over the per-tenant heads *)
+  let lead =
+    List.fold_left
+      (fun best t ->
+        match Tenant.head t with
+        | None -> best
+        | Some j -> (
+          let key =
+            (Job.priority_rank j.Job.priority, Tenant.vtime t, Tenant.id t)
+          in
+          match best with
+          | Some (bk, _, _) when bk <= key -> best
+          | _ -> Some (key, t, j)))
+      None
+      (Array.to_list tenants)
+  in
+  match lead with
+  | None -> (expired, None)
+  | Some (_, lead_tenant, lead_job) ->
+    let kernel = lead_job.Job.kernel in
+    (* the lead joins unconditionally (take with an unbounded budget) *)
+    let first =
+      match Tenant.take lead_tenant ~kernel ~max_shreds:max_int with
+      | Some j -> j
+      | None -> assert false
+    in
+    Tenant.charge lead_tenant ~shreds:first.Job.shreds;
+    let jobs = ref [ first ] in
+    let njobs = ref 1 in
+    let shreds = ref first.Job.shreds in
+    let continue_ = ref true in
+    while !continue_ && !njobs < cfg.max_jobs && !shreds < cfg.max_shreds do
+      (* pull from the lowest-vtime tenant that has a compatible job *)
+      let budget = cfg.max_shreds - !shreds in
+      let rec try_tenants = function
+        | [] -> None
+        | t :: rest -> (
+          match Tenant.take t ~kernel ~max_shreds:budget with
+          | Some j -> Some (t, j)
+          | None -> try_tenants rest)
+      in
+      match try_tenants (by_vtime tenants) with
+      | None -> continue_ := false
+      | Some (t, j) ->
+        Tenant.charge t ~shreds:j.Job.shreds;
+        jobs := j :: !jobs;
+        incr njobs;
+        shreds := !shreds + j.Job.shreds
+    done;
+    (expired, Some { kernel; jobs = List.rev !jobs; shreds = !shreds })

@@ -1,0 +1,35 @@
+(** Batch formation: coalesce compatible queued jobs into one CHI
+    [parallel] team per dispatch cycle.
+
+    The rule: pick the {e lead} job — highest priority class first, then
+    smallest tenant virtual time ({!Tenant.vtime}), then tenant id — and
+    let it fix the batch's kernel. Then keep pulling the matching job
+    (same kernel, class-major EDF within each tenant) from whichever
+    tenant currently has the smallest virtual time, charging each
+    tenant's fair-share account as its jobs join, until [max_jobs] or
+    [max_shreds] is reached or no compatible job remains. One team per
+    batch keeps all EU hardware threads occupied and amortises the
+    per-team doorbell/prewalk/barrier cost across jobs. *)
+
+type config = {
+  max_jobs : int;  (** jobs coalesced per team (1 = no batching) *)
+  max_shreds : int;  (** team-size bound — the in-flight shred budget *)
+}
+
+val default : config
+(** 32 jobs / 256 shreds. *)
+
+type batch = {
+  kernel : string;
+  jobs : Job.t list;  (** dispatch order; shred segments are assigned
+                          in this order *)
+  shreds : int;  (** total team size *)
+}
+
+(** [select cfg tenants ~now_ps] first removes every queued job whose
+    deadline has already passed (returned first, to be shed), then forms
+    a batch from the survivors. [None] when every queue is empty. The
+    lead job always joins even if it alone exceeds [max_shreds], so an
+    oversized job cannot starve. *)
+val select :
+  config -> Tenant.t array -> now_ps:int -> Job.t list * batch option

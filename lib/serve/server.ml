@@ -1,0 +1,369 @@
+module Machine = Exochi_cpu.Machine
+module Surface = Exochi_memory.Surface
+module Address_space = Exochi_memory.Address_space
+module Phys_mem = Exochi_memory.Phys_mem
+module Memmodel = Exochi_memory.Memmodel
+module Platform = Exochi_core.Exo_platform
+module Chi = Exochi_core.Chi_runtime
+module Chi_descriptor = Exochi_core.Chi_descriptor
+module Gpu = Exochi_accel.Gpu
+module Trace = Exochi_obs.Trace
+module Kernel = Exochi_kernels.Kernel
+module Registry = Exochi_kernels.Registry
+module Image = Exochi_media.Image
+module Prng = Exochi_util.Prng
+module Fault_plan = Exochi_faults.Fault_plan
+
+type config = {
+  tenants : Tenant.config array;
+  batch : Batcher.config;
+  backlog_cap : int;
+  max_requeue : int;
+  scale : Kernel.scale;
+  frames : int option;
+  memmodel : Memmodel.config;
+}
+
+let default_config =
+  {
+    tenants = [| Tenant.make_config "alpha"; Tenant.make_config "beta" |];
+    batch = Batcher.default;
+    backlog_cap = 96;
+    max_requeue = 3;
+    scale = Kernel.Small;
+    frames = None;
+    memmodel = Memmodel.Cc_shared;
+  }
+
+(* A kernel's resident execution state: workload surfaces materialised in
+   the shared address space, descriptors allocated, inputs produced and
+   the X3K program assembled — once, at prepare time. Jobs then only pay
+   for dispatch. *)
+type arena = {
+  a_units : int;
+  a_unit_params : int -> int array;
+  a_prog : Exochi_isa.X3k_ast.program;
+  a_descriptors : Chi_descriptor.t list;
+}
+
+type t = {
+  cfg : config;
+  platform : Platform.t;
+  rt : Chi.t;
+  tenants : Tenant.t array;
+  arenas : (string, arena) Hashtbl.t; (* keyed by lowercase abbrev *)
+  coll : Server_stats.collector;
+  attempts : (int, int) Hashtbl.t; (* job id -> failed dispatches *)
+  mutable batch_seq : int;
+  mutable job_seq : int;
+}
+
+let create ?(config = default_config) ?fault_plan ?trace () =
+  if Array.length config.tenants = 0 then invalid_arg "Server: no tenants";
+  if config.backlog_cap < 0 then invalid_arg "Server: backlog_cap";
+  let platform =
+    Platform.create ~memmodel:config.memmodel ?fault_plan ?trace ()
+  in
+  (* interleaved flushing is only safe for band-ordered kernels; a mixed
+     arena population must use the conservative policy in non-CC mode *)
+  let rt =
+    match config.memmodel with
+    | Memmodel.Cc_shared -> Chi.create ~platform ()
+    | _ -> Chi.create ~platform ~flush_policy:Chi.Upfront ()
+  in
+  {
+    cfg = config;
+    platform;
+    rt;
+    tenants = Array.mapi (fun id c -> Tenant.create ~id c) config.tenants;
+    arenas = Hashtbl.create 8;
+    coll = Server_stats.collector ();
+    attempts = Hashtbl.create 64;
+    batch_seq = 0;
+    job_seq = 0;
+  }
+
+let config t = t.cfg
+let platform t = t.platform
+let runtime t = t.rt
+let now_ps t = Machine.now_ps (Platform.cpu t.platform)
+
+let queue_depth t =
+  Array.fold_left (fun n ten -> n + Tenant.depth ten) 0 t.tenants
+
+let emit_ev t kind =
+  match Platform.trace t.platform with
+  | None -> ()
+  | Some sink -> Trace.emit sink ~ts_ps:(now_ps t) ~seq:Trace.Ia32 kind
+
+(* ---- arenas ---- *)
+
+(* Fixed arena seed: arena pixel data is server state, independent of any
+   workload seed, so serving results depend only on the job schedule. *)
+let arena_seed = 0x00A7E7A5EEDL
+
+let materialise t (io : Kernel.io) =
+  let aspace = Platform.aspace t.platform in
+  let bpp_of name =
+    match List.assoc_opt ("bpp:" ^ name) io.Kernel.meta with
+    | Some b -> b
+    | None -> 1
+  in
+  let mk_desc name width height mode =
+    let bpp = bpp_of name in
+    let pitch = Surface.required_pitch ~width ~bpp ~tiling:Surface.Linear in
+    let bytes = pitch * height in
+    let base = Address_space.alloc aspace ~name ~bytes ~align:64 in
+    let rec touch off =
+      if off < bytes then begin
+        ignore (Address_space.fault_in aspace ~vaddr:(base + off));
+        touch (off + Phys_mem.page_size)
+      end
+    in
+    touch 0;
+    Chi_descriptor.alloc t.platform ~name ~base ~width ~height ~bpp ~mode ()
+  in
+  let inputs =
+    List.map
+      (fun (name, img) ->
+        let d =
+          mk_desc name img.Image.width img.Image.height Chi_descriptor.Input
+        in
+        Image.store aspace img ~surface:d.Chi_descriptor.surface;
+        d)
+      io.Kernel.inputs
+  in
+  let outputs =
+    List.map
+      (fun (name, w, h) -> mk_desc name w h Chi_descriptor.Output)
+      io.Kernel.outputs
+  in
+  (inputs, outputs)
+
+let find_arena t abbrev =
+  Hashtbl.find_opt t.arenas (String.lowercase_ascii abbrev)
+
+let ensure_arena t abbrev =
+  match find_arena t abbrev with
+  | Some a -> Ok a
+  | None -> (
+    match Registry.find abbrev with
+    | None -> Error (Job.Unknown_kernel abbrev)
+    | Some k ->
+      let prng = Prng.create arena_seed in
+      let io = k.Kernel.make_io ?frames:t.cfg.frames prng t.cfg.scale in
+      let inputs, outputs = materialise t io in
+      (* arena inputs were produced by the tenant's preceding IA32 stage *)
+      List.iter (fun d -> Chi.produce t.rt d) inputs;
+      let prog =
+        Exochi_isa.X3k_asm.assemble_exn ~name:k.Kernel.abbrev
+          (k.Kernel.x3k_asm io)
+      in
+      let a =
+        {
+          a_units = io.Kernel.units;
+          a_unit_params = k.Kernel.unit_params io;
+          a_prog = prog;
+          a_descriptors = inputs @ outputs;
+        }
+      in
+      Hashtbl.replace t.arenas (String.lowercase_ascii abbrev) a;
+      Ok a)
+
+let prepare t kernels =
+  List.iter (fun k -> ignore (ensure_arena t k)) kernels
+
+(* ---- admission ---- *)
+
+let make_job t ~tenant ~kernel ~shreds ?(priority = Job.Normal) ?deadline_ps ()
+    =
+  let id = t.job_seq in
+  t.job_seq <- t.job_seq + 1;
+  { Job.id; tenant; kernel; shreds; priority; submit_ps = now_ps t;
+    deadline_ps }
+
+let shed t (job : Job.t) reason =
+  Server_stats.record_shed t.coll job reason ~now_ps:(now_ps t);
+  emit_ev t
+    (Trace.Job_shed
+       { job = job.Job.id; tenant = job.Job.tenant;
+         reason = Job.reason_label reason })
+
+let admission t (job : Job.t) =
+  if job.Job.tenant < 0 || job.Job.tenant >= Array.length t.tenants then
+    invalid_arg "Server.submit: tenant id out of range";
+  if job.Job.shreds <= 0 then invalid_arg "Server.submit: shreds";
+  match ensure_arena t job.Job.kernel with
+  | Error r -> Error r
+  | Ok _ ->
+    let now = now_ps t in
+    if Job.expired job ~now_ps:now then
+      Error
+        (Job.Deadline_expired
+           { late_ps = now - Option.get job.Job.deadline_ps })
+    else begin
+      let ten = t.tenants.(job.Job.tenant) in
+      let cap = (Tenant.config ten).Tenant.queue_cap in
+      let depth = Tenant.depth ten in
+      if depth >= cap then
+        Error (Job.Queue_full { tenant = job.Job.tenant; depth; cap })
+      else begin
+        let backlog = queue_depth t in
+        if backlog >= t.cfg.backlog_cap then
+          Error (Job.Inflight_exceeded { backlog; cap = t.cfg.backlog_cap })
+        else Ok ten
+      end
+    end
+
+let submit t (job : Job.t) =
+  Server_stats.record_submit t.coll job;
+  match admission t job with
+  | Error reason ->
+    shed t job reason;
+    Error reason
+  | Ok ten ->
+    Tenant.enqueue ten job;
+    Server_stats.record_admit t.coll job;
+    emit_ev t (Trace.Job_arrive { job = job.Job.id; tenant = job.Job.tenant });
+    Ok ()
+
+(* ---- dispatch ---- *)
+
+let shed_expired t ~on_shed jobs =
+  let now = now_ps t in
+  List.iter
+    (fun (j : Job.t) ->
+      let late_ps =
+        match j.Job.deadline_ps with Some d -> now - d | None -> 0
+      in
+      shed t j (Job.Deadline_expired { late_ps });
+      on_shed j)
+    jobs
+
+let dispatch_batch t ~on_done ~on_shed (b : Batcher.batch) =
+  let arena =
+    match find_arena t b.Batcher.kernel with
+    | Some a -> a
+    | None -> assert false (* admission materialised it *)
+  in
+  let njobs = List.length b.Batcher.jobs in
+  let id = t.batch_seq in
+  t.batch_seq <- t.batch_seq + 1;
+  emit_ev t
+    (Trace.Batch_dispatch { batch = id; jobs = njobs; shreds = b.Batcher.shreds });
+  Server_stats.record_batch t.coll ~jobs:njobs ~shreds:b.Batcher.shreds;
+  let params i = arena.a_unit_params (i mod arena.a_units) in
+  match
+    Chi.parallel t.rt ~prog:arena.a_prog ~descriptors:arena.a_descriptors
+      ~num_threads:b.Batcher.shreds ~params ~master_nowait:false ()
+  with
+  | (_ : Chi.team) ->
+    let done_ps = now_ps t in
+    List.iter
+      (fun (j : Job.t) ->
+        Hashtbl.remove t.attempts j.Job.id;
+        Server_stats.record_completion t.coll j ~done_ps;
+        emit_ev t
+          (Trace.Job_done
+             { job = j.Job.id; tenant = j.Job.tenant;
+               latency_ps = done_ps - j.Job.submit_ps });
+        on_done j)
+      b.Batcher.jobs
+  | exception Gpu.Stuck _ ->
+    (* the self-healing dispatcher gave up on this team: clear the work
+       queue and keep the jobs — re-queue each at the front of its class
+       (bounded), so a degraded platform degrades throughput, not
+       correctness *)
+    ignore (Gpu.drain_queue (Platform.gpu t.platform));
+    List.iter
+      (fun (j : Job.t) ->
+        let a =
+          1 + Option.value (Hashtbl.find_opt t.attempts j.Job.id) ~default:0
+        in
+        Hashtbl.replace t.attempts j.Job.id a;
+        if a > t.cfg.max_requeue then begin
+          Hashtbl.remove t.attempts j.Job.id;
+          shed t j (Job.Fatal_fault { attempts = a });
+          on_shed j
+        end
+        else begin
+          Tenant.requeue t.tenants.(j.Job.tenant) j;
+          Server_stats.record_requeue t.coll j
+        end)
+      b.Batcher.jobs
+
+let nop (_ : Job.t) = ()
+
+let dispatch_cycle t ?(on_done = nop) ?(on_shed = nop) () =
+  Server_stats.sample_depth t.coll (queue_depth t);
+  let expired, batch =
+    Batcher.select t.cfg.batch t.tenants ~now_ps:(now_ps t)
+  in
+  shed_expired t ~on_shed expired;
+  match batch with
+  | None -> expired <> []
+  | Some b ->
+    dispatch_batch t ~on_done ~on_shed b;
+    true
+
+let drain t =
+  while queue_depth t > 0 do
+    ignore (dispatch_cycle t ())
+  done
+
+(* ---- statistics ---- *)
+
+let stats t =
+  let r = Chi.recovery t.rt in
+  let recovery =
+    {
+      Server_stats.r_faults_injected =
+        (match Platform.fault_plan t.platform with
+        | Some plan -> Fault_plan.injected_total plan
+        | None -> 0);
+      r_redispatches = r.Chi.redispatches;
+      r_doorbell_redeliveries = r.Chi.doorbell_redeliveries;
+      r_watchdog_kills = r.Chi.watchdog_kills;
+      r_quarantined_seqs = r.Chi.quarantined_seqs;
+      r_fallback_shreds = r.Chi.fallback_shreds;
+      r_atr_retries = Platform.atr_transient_retries t.platform;
+      r_fatal = r.Chi.fatal;
+    }
+  in
+  Server_stats.finalise t.coll
+    ~tenant_names:(Array.map Tenant.name t.tenants)
+    ~recovery
+
+(* ---- serving a generated workload ---- *)
+
+let run t wl =
+  prepare t (Workload.kernels wl);
+  Workload.start wl ~now_ps:(now_ps t);
+  let on_done j = Workload.on_complete wl j ~now_ps:(now_ps t) in
+  let on_shed j = Workload.on_shed wl j ~now_ps:(now_ps t) in
+  let rec admit_due () =
+    match Workload.peek_time wl with
+    | Some at when at <= now_ps t -> (
+      match Workload.pop wl with
+      | None -> ()
+      | Some j ->
+        (match submit t j with Ok () -> () | Error _ -> on_shed j);
+        admit_due ())
+    | _ -> ()
+  in
+  let running = ref true in
+  while !running do
+    admit_due ();
+    if queue_depth t > 0 then
+      ignore (dispatch_cycle t ~on_done ~on_shed ())
+    else begin
+      match Workload.peek_time wl with
+      | Some at ->
+        (* idle: jump the master's clock to the next arrival *)
+        let now = now_ps t in
+        if at > now then
+          Machine.add_time_ps (Platform.cpu t.platform) (at - now)
+      | None -> running := false
+    end
+  done;
+  stats t

@@ -1,0 +1,105 @@
+(** Exo-serve: a multi-tenant kernel-job server over one shared EXO
+    platform.
+
+    The server owns one {!Exochi_core.Exo_platform} (32 exo-sequencer
+    contexts behind the MISP exoskeleton) and one
+    {!Exochi_core.Chi_runtime}, and schedules kernel-invocation jobs
+    ({!Job.t}) from multiple tenants onto it:
+
+    - {b Admission control}: a job is admitted only if its kernel is
+      registered, its deadline has not already passed, its tenant's
+      bounded queue has room and the server-wide backlog budget is not
+      exhausted — otherwise it is shed with a typed {!Job.shed_reason}.
+    - {b Weighted fair sharing}: tenants carry fair-share weights;
+      dispatch order follows per-tenant virtual time ({!Tenant.vtime})
+      within strict priority classes.
+    - {b Batching}: each dispatch cycle coalesces compatible queued jobs
+      (same kernel) into {e one} CHI [parallel] team ({!Batcher}),
+      amortising the doorbell/prewalk/barrier cost and keeping all EU
+      hardware threads fed.
+    - {b Kernel arenas}: every kernel runs against a resident arena —
+      surfaces materialised, descriptors allocated and the X3K program
+      assembled once at {!prepare} time — so steady-state dispatch pays
+      no setup.
+    - {b Graceful degradation}: under an installed fault plan, a team
+      that the self-healing dispatcher cannot save ({!Exochi_accel.Gpu.Stuck})
+      has its jobs re-queued (bounded by [max_requeue], then shed as
+      [Fatal_fault]) instead of lost; quarantined slots and IA32
+      fallbacks appear in {!Server_stats.recovery}.
+
+    Everything runs on the simulated clock, so a fixed workload seed
+    yields bit-identical statistics. *)
+
+type config = {
+  tenants : Tenant.config array;
+  batch : Batcher.config;
+  backlog_cap : int;  (** server-wide bound on queued jobs *)
+  max_requeue : int;  (** dispatch-failure retries before [Fatal_fault] *)
+  scale : Exochi_kernels.Kernel.scale;  (** arena workload size *)
+  frames : int option;  (** video-kernel frame override for arenas *)
+  memmodel : Exochi_memory.Memmodel.config;
+}
+
+(** Two equal-weight tenants ("alpha", "beta"), default batching
+    (32 jobs / 256 shreds), backlog 96, 3 requeues, [Small] arenas,
+    CC-shared memory. *)
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?fault_plan:Exochi_faults.Fault_plan.t ->
+  ?trace:Exochi_obs.Trace.sink ->
+  unit ->
+  t
+
+val config : t -> config
+val platform : t -> Exochi_core.Exo_platform.t
+val runtime : t -> Exochi_core.Chi_runtime.t
+
+(** Simulated CPU clock. *)
+val now_ps : t -> int
+
+(** Jobs queued across all tenants. *)
+val queue_depth : t -> int
+
+(** Materialise arenas for these kernel abbreviations up front (surface
+    allocation, input production, program assembly). Unknown names are
+    ignored — they will shed as [Unknown_kernel] at submission. Idempotent. *)
+val prepare : t -> string list -> unit
+
+(** Fresh job stamped with the next id and the current simulated time. *)
+val make_job :
+  t ->
+  tenant:int ->
+  kernel:string ->
+  shreds:int ->
+  ?priority:Job.priority ->
+  ?deadline_ps:int ->
+  unit ->
+  Job.t
+
+(** Admission: enqueue the job or shed it with a typed reason. Records
+    stats and emits [Job_arrive] / [Job_shed] trace events. *)
+val submit : t -> Job.t -> (unit, Job.shed_reason) result
+
+(** One dispatch cycle: drop expired queued jobs (shed as
+    [Deadline_expired]), form one batch, run it as one team to the
+    barrier. [on_done]/[on_shed] fire per job (closed-loop generators
+    hook these). Returns [false] when there was nothing to do. *)
+val dispatch_cycle :
+  t -> ?on_done:(Job.t -> unit) -> ?on_shed:(Job.t -> unit) -> unit -> bool
+
+(** Dispatch cycles until every queue is empty. *)
+val drain : t -> unit
+
+(** Serve a whole generated workload: admit arrivals as the simulated
+    clock reaches them, dispatch between arrivals, idle-advance the
+    clock when the server is ahead of the arrival process. Returns the
+    final statistics snapshot. *)
+val run : t -> Workload.t -> Server_stats.t
+
+(** Statistics snapshot (including runtime recovery counters) at any
+    point. *)
+val stats : t -> Server_stats.t

@@ -1,0 +1,155 @@
+module Prng = Exochi_util.Prng
+
+type mode =
+  | Open of { rate_jps : float }
+  | Closed of { clients_per_tenant : int; think_ps : int }
+
+type spec = {
+  seed : int64;
+  tenants : int;
+  jobs : int;
+  mix : (string * float) list;
+  shreds_lo : int;
+  shreds_hi : int;
+  p_high : float;
+  p_low : float;
+  deadline_slack_ps : int option;
+  mode : mode;
+}
+
+let default_spec ?(seed = 42L) ?(tenants = 2) ~jobs mode =
+  {
+    seed;
+    tenants;
+    jobs;
+    mix = [ ("SepiaTone", 3.0); ("LinearFilter", 1.0) ];
+    shreds_lo = 4;
+    shreds_hi = 32;
+    p_high = 0.2;
+    p_low = 0.2;
+    deadline_slack_ps = None;
+    mode;
+  }
+
+type pending = { at_ps : int; job : Job.t }
+
+type t = {
+  spec : spec;
+  prng : Prng.t;
+  mutable queue : pending list; (* sorted by (at_ps, job.id) *)
+  mutable generated : int;
+  mutable started : bool;
+}
+
+let validate spec =
+  if spec.tenants <= 0 then invalid_arg "Workload: tenants";
+  if spec.jobs < 0 then invalid_arg "Workload: jobs";
+  if spec.mix = [] then invalid_arg "Workload: empty kernel mix";
+  List.iter
+    (fun (_, w) -> if w <= 0.0 then invalid_arg "Workload: mix weight")
+    spec.mix;
+  if spec.shreds_lo <= 0 || spec.shreds_hi < spec.shreds_lo then
+    invalid_arg "Workload: shred bounds";
+  if spec.p_high < 0.0 || spec.p_low < 0.0 || spec.p_high +. spec.p_low > 1.0
+  then invalid_arg "Workload: priority probabilities";
+  (match spec.mode with
+  | Open { rate_jps } ->
+    if rate_jps <= 0.0 then invalid_arg "Workload: rate_jps"
+  | Closed { clients_per_tenant; think_ps } ->
+    if clients_per_tenant <= 0 then invalid_arg "Workload: clients";
+    if think_ps < 0 then invalid_arg "Workload: think_ps")
+
+let rec insert p = function
+  | [] -> [ p ]
+  | q :: rest as l ->
+    if
+      p.at_ps < q.at_ps || (p.at_ps = q.at_ps && p.job.Job.id < q.job.Job.id)
+    then p :: l
+    else q :: insert p rest
+
+(* One fresh job, consuming a fixed number of PRNG draws per call so the
+   schedule stays deterministic regardless of consumer behaviour. *)
+let draw_job t ~tenant ~at_ps =
+  let s = t.spec in
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 s.mix in
+  let x = Prng.float t.prng *. total in
+  let kernel =
+    let rec pick acc = function
+      | [ (k, _) ] -> k
+      | (k, w) :: rest -> if x < acc +. w then k else pick (acc +. w) rest
+      | [] -> assert false
+    in
+    pick 0.0 s.mix
+  in
+  let shreds = s.shreds_lo + Prng.int t.prng (s.shreds_hi - s.shreds_lo + 1) in
+  let p = Prng.float t.prng in
+  let priority =
+    if p < s.p_high then Job.High
+    else if p < s.p_high +. s.p_low then Job.Low
+    else Job.Normal
+  in
+  let deadline_ps =
+    match s.deadline_slack_ps with
+    | None -> None
+    | Some base -> Some (at_ps + base + Prng.int t.prng (max 1 base))
+  in
+  let id = t.generated in
+  t.generated <- t.generated + 1;
+  { Job.id; tenant; kernel; shreds; priority; submit_ps = at_ps; deadline_ps }
+
+let schedule t ~tenant ~at_ps =
+  if t.generated < t.spec.jobs then
+    let job = draw_job t ~tenant ~at_ps in
+    t.queue <- insert { at_ps; job } t.queue
+
+let create spec =
+  validate spec;
+  { spec; prng = Prng.create spec.seed; queue = []; generated = 0;
+    started = false }
+
+let kernels t = List.map fst t.spec.mix
+
+let start t ~now_ps =
+  if t.started then invalid_arg "Workload.start: already started";
+  t.started <- true;
+  match t.spec.mode with
+  | Open { rate_jps } ->
+    (* exponential inter-arrival gaps; tenant drawn uniformly *)
+    let mean_gap_ps = 1e12 /. rate_jps in
+    let at = ref now_ps in
+    for _ = 1 to t.spec.jobs do
+      let u = Prng.float t.prng in
+      let gap = -.mean_gap_ps *. log (1.0 -. u) in
+      at := !at + max 1 (int_of_float gap);
+      let tenant = Prng.int t.prng t.spec.tenants in
+      schedule t ~tenant ~at_ps:!at
+    done
+  | Closed { clients_per_tenant; think_ps = _ } ->
+    (* every client submits its first job straight away, staggered by
+       1 ns so ties are broken deterministically *)
+    for tenant = 0 to t.spec.tenants - 1 do
+      for c = 0 to clients_per_tenant - 1 do
+        let stagger = ((tenant * clients_per_tenant) + c) * 1_000 in
+        schedule t ~tenant ~at_ps:(now_ps + stagger)
+      done
+    done
+
+let peek_time t =
+  match t.queue with [] -> None | p :: _ -> Some p.at_ps
+
+let pop t =
+  match t.queue with
+  | [] -> None
+  | p :: rest ->
+    t.queue <- rest;
+    Some p.job
+
+let release t job ~now_ps =
+  match t.spec.mode with
+  | Open _ -> ()
+  | Closed { think_ps; _ } ->
+    schedule t ~tenant:job.Job.tenant ~at_ps:(now_ps + think_ps)
+
+let on_complete = release
+let on_shed = release
+let generated t = t.generated

@@ -1,0 +1,70 @@
+(** Deterministic open- and closed-loop load generation for Exo-serve.
+
+    All randomness (inter-arrival gaps, kernel mix, shred counts,
+    priorities, deadline slack) comes from one {!Exochi_util.Prng}
+    stream, so a fixed seed yields a bit-identical submission schedule
+    and — because the platform simulator is deterministic — bit-identical
+    serving results.
+
+    - {b Open loop} models arrival-rate-driven traffic: [jobs]
+      submissions with exponential inter-arrival gaps at [rate_jps]
+      jobs per {e simulated} second, generated up front. Offered load
+      does not react to server latency, so overload exposes queueing,
+      shedding and deadline misses.
+    - {b Closed loop} models concurrency-driven traffic: a fixed fleet
+      of clients per tenant, each submitting its next job [think_ps]
+      after its previous one completes (or is shed). Throughput
+      saturates at the platform's capacity — the generator used to
+      measure it. *)
+
+type mode =
+  | Open of { rate_jps : float }
+  | Closed of { clients_per_tenant : int; think_ps : int }
+
+type spec = {
+  seed : int64;
+  tenants : int;
+  jobs : int;  (** total submissions across all tenants *)
+  mix : (string * float) list;  (** kernel abbrev, weight (> 0) *)
+  shreds_lo : int;  (** inclusive bounds on per-job shred count *)
+  shreds_hi : int;
+  p_high : float;  (** probability of [High] priority *)
+  p_low : float;  (** probability of [Low]; rest are [Normal] *)
+  deadline_slack_ps : int option;
+      (** deadline = submit + slack, slack uniform in [base, 2*base);
+          [None] = no deadlines *)
+  mode : mode;
+}
+
+(** 2 tenants, SepiaTone/LinearFilter mix, 4–32 shreds/job, 20%
+    high / 20% low priority, no deadlines. *)
+val default_spec : ?seed:int64 -> ?tenants:int -> jobs:int -> mode -> spec
+
+type t
+
+val create : spec -> t
+
+(** Distinct kernels the generator can draw (for arena pre-warming). *)
+val kernels : t -> string list
+
+(** Rebase the schedule onto the simulated clock: submission times were
+    generated as offsets from zero; [start t ~now_ps] pins offset 0 to
+    [now_ps] and (closed loop) seeds every client's first submission.
+    Must be called exactly once before {!pop}. *)
+val start : t -> now_ps:int -> unit
+
+(** Earliest pending submission time, if any. *)
+val peek_time : t -> int option
+
+(** Remove and return the earliest pending submission. *)
+val pop : t -> Job.t option
+
+(** Closed loop: the client that owned [job] thinks, then submits its
+    next job (while the overall budget lasts). No-op in open loop. *)
+val on_complete : t -> Job.t -> now_ps:int -> unit
+
+(** Closed loop: a shed job also releases its client. *)
+val on_shed : t -> Job.t -> now_ps:int -> unit
+
+(** Submissions generated so far (≤ [spec.jobs]). *)
+val generated : t -> int

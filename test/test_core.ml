@@ -384,7 +384,38 @@ let test_taskq_cycle_detected () =
     (try
        Chi_runtime.taskq rt ~prog ~descriptors:[ d ] ~tasks;
        false
-     with Chi_runtime.Dependency_cycle -> true)
+     with Chi_runtime.Dependency_cycle _ -> true)
+
+let test_taskq_cycle_located_no_dispatch () =
+  let p = Exo_platform.create () in
+  let rt = Chi_runtime.create ~platform:p () in
+  let aspace = Exo_platform.aspace p in
+  let base = Address_space.alloc aspace ~name:"L" ~bytes:4096 ~align:64 in
+  let d =
+    Chi_descriptor.alloc p ~name:"L" ~base ~width:16 ~height:1 ~bpp:4
+      ~mode:Chi_descriptor.In_out ()
+  in
+  let prog = X3k_asm.assemble_exn ~name:"t" "  nop\n  end\n" in
+  (* 0 is a ready root; 2 <-> 3 is the seeded cycle; 4 hangs off it *)
+  let tasks =
+    [|
+      { Chi_runtime.tq_params = [||]; tq_deps = [] };
+      { Chi_runtime.tq_params = [||]; tq_deps = [ 0 ] };
+      { Chi_runtime.tq_params = [||]; tq_deps = [ 3 ] };
+      { Chi_runtime.tq_params = [||]; tq_deps = [ 2 ] };
+      { Chi_runtime.tq_params = [||]; tq_deps = [ 3 ] };
+    |]
+  in
+  let members =
+    try
+      Chi_runtime.taskq rt ~prog ~descriptors:[ d ] ~tasks;
+      None
+    with Chi_runtime.Dependency_cycle ms -> Some ms
+  in
+  check_bool "cycle members reported" true (members = Some [ 2; 3 ]);
+  (* detection is up front: nothing was dispatched, not even root 0 *)
+  check_int "no shred ran" 0
+    (Exochi_accel.Gpu.shreds_completed (Exo_platform.gpu p))
 
 (* ---- barrier timing sanity ---- *)
 
@@ -437,5 +468,7 @@ let () =
         [
           Alcotest.test_case "dependency order" `Quick test_taskq_dependency_order;
           Alcotest.test_case "cycle detection" `Quick test_taskq_cycle_detected;
+          Alcotest.test_case "cycle located, no dispatch" `Quick
+            test_taskq_cycle_located_no_dispatch;
         ] );
     ]
