@@ -148,13 +148,16 @@ let () =
         Printf.eprintf
           "[exochi] faults: %d injected (seed %Ld); recovery: %d redispatch, \
            %d doorbell re-rings, %d watchdog kills, %d quarantined, %d ATR \
-           retries, %d IA32 fallbacks, %d fatal\n"
+           retries, %d IA32 fallbacks, %d fatal; guard: %d hedge(s) (%d \
+           won), breakers %d open / %d close\n"
           (Exochi_faults.Fault_plan.injected_total plan)
           (Exochi_faults.Fault_plan.seed plan)
           r.Chi_runtime.redispatches r.Chi_runtime.doorbell_redeliveries
           r.Chi_runtime.watchdog_kills r.Chi_runtime.quarantined_seqs
           (Exo_platform.atr_transient_retries platform)
-          r.Chi_runtime.fallback_shreds r.Chi_runtime.fatal)
+          r.Chi_runtime.fallback_shreds r.Chi_runtime.fatal
+          r.Chi_runtime.hedges r.Chi_runtime.hedge_wins
+          r.Chi_runtime.breaker_opens r.Chi_runtime.breaker_closes)
   | _ ->
     prerr_endline
       "usage: exochi_run <prog.chi> [--memmodel cc|noncc|copy] [--faults \

@@ -8,6 +8,9 @@
                   [--backlog N] [--batch-jobs N] [--batch-shreds N]
                   [--no-batch] [--faults SEED:RATE] [--metrics]
                   [--json FILE] [--trace FILE]
+                  [--guard] [--audit FRAC] [--hedge-us U] [--no-hedge]
+                  [--breaker-cooldown-us U] [--journal FILE] [--recover]
+                  [--crash-after N]
 
    Closed loop (default): --clients per tenant, each submitting its next
    job --think-us after the previous one finishes — the generator that
@@ -20,7 +23,22 @@
    quarantines, IA32 fallbacks, fatal) instead of the human report.
    --json also writes that JSON to a file. --faults installs a
    deterministic fault plan; the exit status is nonzero if any injected
-   fault proved fatal (a shed job), so CI can gate on it. *)
+   fault proved fatal (a shed job), so CI can gate on it.
+
+   --guard turns on the Exo-guard resilience stack: output-integrity
+   checking with golden-replay audits (fraction --audit, default 0.05),
+   hedged re-dispatch of stragglers (--hedge-us, default 300; --no-hedge
+   disables) and circuit-breaker quarantine with probationary
+   reinstatement (--breaker-cooldown-us, default 2000).
+
+   --journal FILE appends every admission/completion/shed to a
+   crash-safe journal (checksummed, flushed per record). After a crash,
+   --recover --journal FILE verifies the journal's fingerprint, reports
+   the stranded un-acked jobs, then redoes the deterministic run while
+   checking each completion against the journaled sequence; the journal
+   is rewritten, byte-identical to an uninterrupted run's. --crash-after
+   N SIGKILLs the process after N completions (crash-drill hook for the
+   chaos test). *)
 
 module Serve = Exochi_serving
 
@@ -31,7 +49,10 @@ let usage () =
     \         [--kernels NAME[:W],...] [--shreds LO:HI] [--deadline-us U]\n\
     \         [--weights W,...] [--queue-cap N] [--backlog N]\n\
     \         [--batch-jobs N] [--batch-shreds N] [--no-batch]\n\
-    \         [--faults SEED:RATE] [--metrics] [--json FILE] [--trace FILE]";
+    \         [--faults SEED:RATE] [--metrics] [--json FILE] [--trace FILE]\n\
+    \         [--guard] [--audit FRAC] [--hedge-us U] [--no-hedge]\n\
+    \         [--breaker-cooldown-us U] [--journal FILE] [--recover]\n\
+    \         [--crash-after N]";
   exit 1
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
@@ -70,12 +91,15 @@ let () =
     [ "--mode"; "--jobs"; "--tenants"; "--seed"; "--rate"; "--clients";
       "--think-us"; "--kernels"; "--shreds"; "--deadline-us"; "--weights";
       "--queue-cap"; "--backlog"; "--batch-jobs"; "--batch-shreds";
-      "--no-batch"; "--faults"; "--metrics"; "--json"; "--trace" ]
+      "--no-batch"; "--faults"; "--metrics"; "--json"; "--trace";
+      "--guard"; "--audit"; "--hedge-us"; "--no-hedge";
+      "--breaker-cooldown-us"; "--journal"; "--recover"; "--crash-after" ]
   in
+  let bare = [ "--no-batch"; "--metrics"; "--guard"; "--no-hedge"; "--recover" ] in
   let rec check = function
     | f :: rest when String.length f > 2 && String.sub f 0 2 = "--" ->
       if not (List.mem f known) then die "unknown option %s" f;
-      let takes_value = f <> "--no-batch" && f <> "--metrics" in
+      let takes_value = not (List.mem f bare) in
       check (if takes_value then match rest with _ :: r -> r | [] -> [] else rest)
     | _ :: rest -> check rest
     | [] -> ()
@@ -172,6 +196,23 @@ let () =
   let trace =
     if trace_out <> None then Some (Exochi_obs.Trace.create ()) else None
   in
+  (* Exo-guard stack: --guard is the umbrella; --audit implies the
+     integrity checker; hedging/breakers can be tuned independently *)
+  let guard_on = flag "--guard" || opt "--audit" <> None in
+  let audit_frac = float_opt "--audit" 0.05 in
+  if audit_frac < 0.0 || audit_frac > 1.0 then
+    die "--audit: fraction must be in [0,1]";
+  let hedge_after_ps =
+    if flag "--no-hedge" then 0
+    else if opt "--hedge-us" <> None || flag "--guard" then
+      int_opt "--hedge-us" 300 * 1_000_000
+    else 0
+  in
+  let breaker_cooldown_ps =
+    if opt "--breaker-cooldown-us" <> None || flag "--guard" then
+      int_opt "--breaker-cooldown-us" 2000 * 1_000_000
+    else 0
+  in
   let config =
     {
       Serve.Server.default_config with
@@ -181,9 +222,74 @@ let () =
               (Printf.sprintf "tenant%d" i));
       batch;
       backlog_cap = backlog;
+      guard =
+        (if guard_on then Some { Serve.Server.g_audit_frac = audit_frac }
+         else None);
+      hedge_after_ps;
+      breaker_cooldown_ps;
     }
   in
-  let server = Serve.Server.create ~config ?fault_plan ?trace () in
+  let mode_name =
+    match mode with Serve.Workload.Open _ -> "open" | Closed _ -> "closed"
+  in
+  (* Crash-safe journal + deterministic recovery. The fingerprint hashes
+     every run parameter that shapes the schedule, so --recover refuses a
+     journal written by a different run. *)
+  let fingerprint =
+    Serve.Journal.fingerprint
+      [ mode_name; string_of_int jobs; string_of_int tenants;
+        Int64.to_string seed;
+        Option.value (opt "--rate") ~default:"";
+        Option.value (opt "--clients") ~default:"";
+        Option.value (opt "--think-us") ~default:"";
+        String.concat ","
+          (List.map (fun (n, w) -> Printf.sprintf "%s:%g" n w) mix);
+        Printf.sprintf "%d:%d" shreds_lo shreds_hi;
+        Option.value (opt "--deadline-us") ~default:"";
+        String.concat "," (Array.to_list (Array.map string_of_float weights));
+        string_of_int queue_cap; string_of_int backlog;
+        string_of_int batch.Serve.Batcher.max_jobs;
+        string_of_int batch.Serve.Batcher.max_shreds;
+        Option.value (opt "--faults") ~default:"";
+        string_of_bool guard_on; string_of_float audit_frac;
+        string_of_int hedge_after_ps; string_of_int breaker_cooldown_ps ]
+  in
+  let journal_path = opt "--journal" in
+  let recover = flag "--recover" in
+  if recover && journal_path = None then die "--recover requires --journal";
+  let expect =
+    if not recover then None
+    else begin
+      let path = Option.get journal_path in
+      let rp = Serve.Journal.load path in
+      (match rp.Serve.Journal.rp_fingerprint with
+      | None -> die "--recover: %s is not a serve journal (no fingerprint)" path
+      | Some fp when fp <> fingerprint ->
+        die "--recover: journal %s was written by a different run \
+             configuration" path
+      | Some _ -> ());
+      let unacked = Serve.Journal.unacked rp in
+      Printf.eprintf
+        "[exochi] recover: %s — %d admitted, %d completed, %d shed, %d \
+         un-acked%s%s; redoing the run\n"
+        path
+        (List.length rp.Serve.Journal.rp_admitted)
+        (List.length rp.Serve.Journal.rp_completed)
+        (List.length rp.Serve.Journal.rp_shed)
+        (List.length unacked)
+        (if rp.Serve.Journal.rp_truncated then " (torn tail frame dropped)"
+         else "")
+        (if rp.Serve.Journal.rp_garbled > 0 then
+           Printf.sprintf " (%d garbled record(s) skipped)"
+             rp.Serve.Journal.rp_garbled
+         else "");
+      Some rp.Serve.Journal.rp_completed
+    end
+  in
+  let journal =
+    Option.map (fun p -> Serve.Journal.start p ~fingerprint) journal_path
+  in
+  let server = Serve.Server.create ~config ?fault_plan ?trace ?journal ?expect () in
   let spec =
     {
       (Serve.Workload.default_spec ~seed ~tenants ~jobs mode) with
@@ -193,10 +299,29 @@ let () =
       deadline_slack_ps;
     }
   in
-  let stats = Serve.Server.run server (Serve.Workload.create spec) in
-  let mode_name =
-    match mode with Serve.Workload.Open _ -> "open" | Closed _ -> "closed"
+  let crash_after = int_opt "--crash-after" 0 in
+  let completions = ref 0 in
+  let on_job_done (_ : Serve.Job.t) =
+    incr completions;
+    if crash_after > 0 && !completions >= crash_after then
+      (* a real crash: no atexit, no flush beyond the journal's own *)
+      Unix.kill (Unix.getpid ()) Sys.sigkill
   in
+  let stats =
+    Serve.Server.run ~on_job_done server (Serve.Workload.create spec)
+  in
+  Option.iter Serve.Journal.close journal;
+  if recover then begin
+    let left = Serve.Server.unverified server in
+    if left > 0 then
+      die
+        "[exochi] recover: redo finished with %d journaled completion(s) \
+         never retraced — replay diverged"
+        left;
+    Printf.eprintf
+      "[exochi] recover: redo retraced every journaled completion; journal \
+       rewritten\n"
+  end;
   let json =
     Serve.Server_stats.to_json
       ~extra:[ ("mode", mode_name); ("seed", Int64.to_string seed) ]

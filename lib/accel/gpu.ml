@@ -73,6 +73,7 @@ type ctx = {
   mutable store_done : int; (* last posted store completion *)
   mutable started : int; (* dispatch timestamp, for the watchdog *)
   mutable fails : int; (* consecutive reaps on this slot *)
+  mutable completions : int; (* shreds retired by this slot, ever *)
   mutable disabled : bool; (* quarantined: removed from the eligible set *)
   mutable sems_held : int list;
 }
@@ -86,6 +87,12 @@ type eu = {
 }
 
 type binding = { prog : program; surf_table : Surface.t array }
+
+(* One entry per hedged shred id. The entry exists while copies race;
+   the first copy to retire wins, cancels the others and removes the
+   entry — removal is load-bearing because shred ids restart at 0 with
+   every team, so a stale entry would hijack a later team's shred. *)
+type hedge_entry = { mutable won : bool }
 
 type t = {
   cfg : config;
@@ -105,6 +112,8 @@ type t = {
   sem_held : bool array;
   mutable sem_waiters : (int * int) list array; (* (eu, slot) *)
   pending_regs : (int, (int * int array) list ref) Hashtbl.t;
+  hedged : (int, hedge_entry) Hashtbl.t; (* shred_id -> race state *)
+  mutable hedge_wins_ : int;
   mutable sampler_busy : int;
   (* counters *)
   mutable retired : int;
@@ -129,6 +138,7 @@ let mk_ctx () =
     store_done = 0;
     started = 0;
     fails = 0;
+    completions = 0;
     disabled = false;
     sems_held = [];
   }
@@ -163,6 +173,8 @@ let create ?(config = default_config) ~aspace ~bus ~hooks () =
     sem_held = Array.make 16 false;
     sem_waiters = Array.make 16 [];
     pending_regs = Hashtbl.create 64;
+    hedged = Hashtbl.create 16;
+    hedge_wins_ = 0;
     sampler_busy = 0;
     retired = 0;
     switches = 0;
@@ -1081,17 +1093,69 @@ let next_event eu =
       | _ -> acc)
     None eu.ctxs
 
+(* Cancel every copy of a hedged shred except the winner: clear other
+   resident contexts and purge queued duplicates. Safe mid-race because
+   hedged copies are pure functions of their (identical) params — any
+   stores the losing copy already performed wrote the same values the
+   winner writes. A cancelled Hung copy bumps the slot's fail count: the
+   wedge was real even though the watchdog never had to fire. *)
+let cancel_hedge_copies t shred_id ~except_eu ~except_slot =
+  Array.iter
+    (fun eu ->
+      Array.iteri
+        (fun slot ctx ->
+          match ctx.shred with
+          | Some sh
+            when sh.shred_id = shred_id
+                 && not (eu.eu_id = except_eu && slot = except_slot) ->
+            List.iter (fun s -> sem_release t s) ctx.sems_held;
+            ctx.sems_held <- [];
+            (match ctx.state with
+            | Hung -> ctx.fails <- ctx.fails + 1
+            | _ -> ());
+            ctx.shred <- None;
+            ctx.state <- Idle
+          | _ -> ())
+        eu.ctxs)
+    t.eus;
+  let purge q =
+    let keep = Queue.create () in
+    Queue.iter (fun s -> if s.shred_id <> shred_id then Queue.add s keep) q;
+    Queue.clear q;
+    Queue.transfer keep q
+  in
+  purge t.queue;
+  purge t.parked
+
 let finish_shred t eu slot =
   let ctx = eu.ctxs.(slot) in
   (match ctx.shred with
   | Some sh ->
-    t.completed <- t.completed + 1;
-    t.last_done <- max t.last_done eu.now;
-    trace_emit t ~ts:ctx.started
-      ~dur:(max 0 (eu.now - ctx.started))
-      ~seq:(Trace.Exo { eu = eu.eu_id; slot })
-      (Trace.Shred_run { shred_id = sh.shred_id });
-    t.hooks.on_shred_done sh ~now_ps:eu.now
+    ctx.completions <- ctx.completions + 1;
+    let suppressed =
+      match Hashtbl.find_opt t.hedged sh.shred_id with
+      | Some e when e.won -> true (* a sibling copy already won the race *)
+      | Some e ->
+        e.won <- true;
+        t.hedge_wins_ <- t.hedge_wins_ + 1;
+        trace_emit t ~ts:eu.now
+          ~seq:(Trace.Exo { eu = eu.eu_id; slot })
+          (Trace.Hedge_win { shred_id = sh.shred_id });
+        cancel_hedge_copies t sh.shred_id ~except_eu:eu.eu_id
+          ~except_slot:slot;
+        Hashtbl.remove t.hedged sh.shred_id;
+        false
+      | None -> false
+    in
+    if not suppressed then begin
+      t.completed <- t.completed + 1;
+      t.last_done <- max t.last_done eu.now;
+      trace_emit t ~ts:ctx.started
+        ~dur:(max 0 (eu.now - ctx.started))
+        ~seq:(Trace.Exo { eu = eu.eu_id; slot })
+        (Trace.Shred_run { shred_id = sh.shred_id });
+      t.hooks.on_shred_done sh ~now_ps:eu.now
+    end
   | None -> ());
   ctx.shred <- None;
   ctx.fails <- 0;
@@ -1273,6 +1337,68 @@ let active_slots t =
     (fun acc eu ->
       Array.fold_left (fun a c -> if c.disabled then a else a + 1) acc eu.ctxs)
     0 t.eus
+
+let reinstate t ~eu ~slot =
+  let ctx = t.eus.(eu).ctxs.(slot) in
+  ctx.disabled <- false;
+  ctx.fails <- 0
+
+let slot_completions t ~eu ~slot = t.eus.(eu).ctxs.(slot).completions
+let slot_failures t ~eu ~slot = t.eus.(eu).ctxs.(slot).fails
+
+(* ---- hedged re-dispatch ---- *)
+
+let overdue_shreds t ~age_ps =
+  let acc = ref [] in
+  Array.iter
+    (fun eu ->
+      Array.iter
+        (fun ctx ->
+          match (ctx.state, ctx.shred) with
+          | Hung, Some sh
+            when eu.now - ctx.started >= age_ps
+                 && not (Hashtbl.mem t.hedged sh.shred_id) ->
+            acc := (sh, eu.now - ctx.started) :: !acc
+          | _ -> ())
+        eu.ctxs)
+    t.eus;
+  List.rev !acc
+
+let hedge t sh =
+  if Hashtbl.mem t.hedged sh.shred_id then false
+  else begin
+    Hashtbl.replace t.hedged sh.shred_id { won = false };
+    (* backup copy of an already-counted shred: reenqueue semantics —
+       the team size must not grow, and the hedge doorbell is reliable *)
+    Queue.add sh t.queue;
+    true
+  end
+
+let hedge_pending t ~shred_id = Hashtbl.mem t.hedged shred_id
+
+let hedge_live_copies t ~shred_id =
+  let n = ref 0 in
+  Array.iter
+    (fun eu ->
+      Array.iter
+        (fun c ->
+          match c.shred with
+          | Some sh when sh.shred_id = shred_id -> incr n
+          | _ -> ())
+        eu.ctxs)
+    t.eus;
+  let count q =
+    Queue.iter (fun (s : shred) -> if s.shred_id = shred_id then incr n) q
+  in
+  count t.queue;
+  count t.parked;
+  !n
+
+(* Drop the race entry without declaring a winner — used when the
+   runtime resolves the shred outside the GPU (IA32 fallback), so the
+   dead entry cannot hijack a later team's reused shred id. *)
+let hedge_resolve t ~shred_id = Hashtbl.remove t.hedged shred_id
+let hedge_wins t = t.hedge_wins_
 
 (* ---- whole-shred IA32 fallback emulation ----
 

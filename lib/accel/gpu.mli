@@ -159,13 +159,55 @@ exception
 val reap_overdue :
   t -> watchdog_ps:int -> (int * int * shred * int) list
 
-(** Remove a HW-thread slot from the eligible set permanently. *)
+(** Remove a HW-thread slot from the eligible set. Permanent unless the
+    runtime later calls {!reinstate} (circuit-breaker probation). *)
 val quarantine : t -> eu:int -> slot:int -> unit
 
 val quarantined_slots : t -> int
 
 (** Slots still eligible for dispatch. *)
 val active_slots : t -> int
+
+(** Return a quarantined slot to the eligible set and clear its
+    consecutive-fail count (a circuit breaker entering half-open). *)
+val reinstate : t -> eu:int -> slot:int -> unit
+
+(** Shreds this slot has ever retired (includes suppressed hedge
+    losers) — the runtime's per-slot health signal. *)
+val slot_completions : t -> eu:int -> slot:int -> int
+
+(** Consecutive watchdog reaps on this slot. *)
+val slot_failures : t -> eu:int -> slot:int -> int
+
+(** {1 Hedged re-dispatch}
+
+    A straggler shred (a context that stopped retiring) can be given a
+    backup copy before the watchdog kills it: both copies race, the
+    first to retire wins and is counted once, the loser is cancelled.
+    Safe because shreds are pure functions of their params — duplicate
+    stores write duplicate values. *)
+
+(** Wedged resident shreds older than [age_ps] that have no hedge yet,
+    as [(shred, age_ps)]. *)
+val overdue_shreds : t -> age_ps:int -> (shred * int) list
+
+(** Enqueue a backup copy; [false] if this shred is already hedged.
+    Reenqueue semantics: the team size does not grow. *)
+val hedge : t -> shred -> bool
+
+(** A hedge race for this shred id is still unresolved. *)
+val hedge_pending : t -> shred_id:int -> bool
+
+(** Copies of this shred currently resident or queued. *)
+val hedge_live_copies : t -> shred_id:int -> int
+
+(** Drop the race entry without a winner — the runtime resolved the
+    shred outside the GPU (IA32 fallback). Ids are reused across teams,
+    so stale entries must not linger. *)
+val hedge_resolve : t -> shred_id:int -> unit
+
+(** Hedge races won so far (first copy retired, loser cancelled). *)
+val hedge_wins : t -> int
 
 (** Proxy-execute one whole shred functionally on the IA32 sequencer
     (graceful degradation when retries are exhausted or every slot is

@@ -2,6 +2,9 @@ open Exochi_memory
 module Gpu = Exochi_accel.Gpu
 module Machine = Exochi_cpu.Machine
 module Trace = Exochi_obs.Trace
+module Fault_plan = Exochi_faults.Fault_plan
+module Breaker = Exochi_guard.Breaker
+module Prng = Exochi_util.Prng
 
 type flush_policy = Upfront | Upfront_naive | Interleaved
 
@@ -12,6 +15,10 @@ type recovery = {
   mutable quarantined_seqs : int;
   mutable fallback_shreds : int;
   mutable fatal : int;
+  mutable hedges : int;
+  mutable hedge_wins : int;
+  mutable breaker_opens : int;
+  mutable breaker_closes : int;
 }
 
 type t = {
@@ -22,6 +29,15 @@ type t = {
   max_redispatch : int;
   quarantine_after : int;
   backoff_ps : int;
+  hedge_after_ps : int;
+  breaker_cooldown_ps : int;
+  (* one breaker per exo-sequencer slot, indexed eu * threads_per_eu +
+     slot; empty array when breakers are disabled (legacy permanent
+     quarantine) *)
+  breakers : Breaker.t array;
+  probe_base : int array; (* slot completions when its probe started *)
+  last_comp : int array; (* slot completions at the previous quantum *)
+  mutable jitter : Prng.t option; (* lazy; seeded from the fault plan *)
   recovery : recovery;
   mutable last_flush_bytes : int;
   mutable last_copy_bytes : int;
@@ -30,7 +46,12 @@ type t = {
 
 let create ~platform ?(flush_policy = Interleaved)
     ?(watchdog_ps = 1_000_000_000) ?(max_redispatch = 3)
-    ?(quarantine_after = 3) ?(backoff_ps = 200_000) () =
+    ?(quarantine_after = 3) ?(backoff_ps = 200_000) ?(hedge_after_ps = 0)
+    ?(breaker_cooldown_ps = 0) () =
+  let slots =
+    let cfg = Gpu.config (Exo_platform.gpu platform) in
+    cfg.Gpu.eus * cfg.Gpu.threads_per_eu
+  in
   {
     platform;
     features = Chi_descriptor.features ();
@@ -39,6 +60,17 @@ let create ~platform ?(flush_policy = Interleaved)
     max_redispatch;
     quarantine_after;
     backoff_ps;
+    hedge_after_ps;
+    breaker_cooldown_ps;
+    breakers =
+      (if breaker_cooldown_ps > 0 then
+         Array.init slots (fun _ ->
+             Breaker.create ~fail_threshold:quarantine_after
+               ~cooldown_ps:breaker_cooldown_ps)
+       else [||]);
+    probe_base = Array.make slots 0;
+    last_comp = Array.make slots 0;
+    jitter = None;
     recovery =
       {
         redispatches = 0;
@@ -47,6 +79,10 @@ let create ~platform ?(flush_policy = Interleaved)
         quarantined_seqs = 0;
         fallback_shreds = 0;
         fatal = 0;
+        hedges = 0;
+        hedge_wins = 0;
+        breaker_opens = 0;
+        breaker_closes = 0;
       };
     last_flush_bytes = 0;
     last_copy_bytes = 0;
@@ -219,6 +255,9 @@ let fallback_shred t sh =
   let gpu = Exo_platform.gpu t.platform in
   let cpu = Exo_platform.cpu t.platform in
   let costs = Exo_platform.costs t.platform in
+  (* the shred is resolved off-GPU: a pending hedge race must not
+     survive to hijack the next team's reuse of this shred id *)
+  Gpu.hedge_resolve gpu ~shred_id:sh.Gpu.shred_id;
   t.recovery.fallback_shreds <- t.recovery.fallback_shreds + 1;
   let instrs, lane_ops = Gpu.emulate_shred gpu sh in
   let service =
@@ -243,7 +282,7 @@ let fallback_shred t sh =
 let supervised_drain t =
   match Exo_platform.fault_plan t.platform with
   | None -> ()
-  | Some _ ->
+  | Some plan ->
     let gpu = Exo_platform.gpu t.platform in
     let cpu = Exo_platform.cpu t.platform in
     let costs = Exo_platform.costs t.platform in
@@ -252,27 +291,117 @@ let supervised_drain t =
     let pending = ref [] (* (release_ps, shred): backoff re-dispatches *) in
     let idle_rounds = ref 0 in
     let max_idle = 8 + (t.watchdog_ps / quantum) + 1 in
+    let threads_per_eu =
+      (Gpu.config gpu).Gpu.threads_per_eu
+    in
+    (* Backoff jitter draws from a dedicated stream derived from the
+       plan seed, never from the per-class fault streams — reaps are the
+       only consumers, so a zero-rate plan (which never reaps) remains
+       bit-identical to no plan at all. *)
+    let jitter () =
+      match t.jitter with
+      | Some p -> p
+      | None ->
+        let p =
+          Prng.create
+            (Int64.logxor (Fault_plan.seed plan) 0x9E3779B97F4A7C15L)
+        in
+        t.jitter <- Some p;
+        p
+    in
     let handle_reaped (eu, slot, sh, fails) =
       t.recovery.watchdog_kills <- t.recovery.watchdog_kills + 1;
-      if fails >= t.quarantine_after then begin
-        Gpu.quarantine gpu ~eu ~slot;
-        t.recovery.quarantined_seqs <- t.recovery.quarantined_seqs + 1
-      end;
-      let a =
-        1
-        + Option.value (Hashtbl.find_opt attempts sh.Gpu.shred_id) ~default:0
-      in
-      Hashtbl.replace attempts sh.Gpu.shred_id a;
-      if a > t.max_redispatch || Gpu.active_slots gpu = 0 then
-        fallback_shred t sh
+      (if Array.length t.breakers > 0 then begin
+         let b = t.breakers.((eu * threads_per_eu) + slot) in
+         Breaker.record_fail b;
+         (* a reap on a half-open slot is a failed probe: re-open with a
+            doubled cool-down rather than waiting for the threshold *)
+         let reopen = Breaker.state b = Breaker.Half_open in
+         if reopen || Breaker.should_open b then begin
+           Gpu.quarantine gpu ~eu ~slot;
+           t.recovery.quarantined_seqs <- t.recovery.quarantined_seqs + 1;
+           Breaker.trip b ~now_ps:(Gpu.now_ps gpu);
+           t.recovery.breaker_opens <- t.recovery.breaker_opens + 1;
+           rev t ~ts:(Gpu.now_ps gpu)
+             (Trace.Breaker_open
+                { eu; slot; cooldown_ps = Breaker.cooldown_ps b })
+         end
+       end
+       else if fails >= t.quarantine_after then begin
+         Gpu.quarantine gpu ~eu ~slot;
+         t.recovery.quarantined_seqs <- t.recovery.quarantined_seqs + 1
+       end);
+      if
+        Gpu.hedge_pending gpu ~shred_id:sh.Gpu.shred_id
+        && Gpu.hedge_live_copies gpu ~shred_id:sh.Gpu.shred_id > 0
+      then
+        (* a backup copy of this shred is still racing: the reap freed
+           the slot, no re-dispatch is needed *)
+        ()
       else begin
-        t.recovery.redispatches <- t.recovery.redispatches + 1;
-        let delay = t.backoff_ps * (1 lsl min 8 (a - 1)) in
-        rev t ~ts:(Gpu.now_ps gpu)
-          (Trace.Redispatch
-             { shred_id = sh.Gpu.shred_id; attempt = a; delay_ps = delay });
-        pending := (Gpu.now_ps gpu + delay, sh) :: !pending
+        let a =
+          1
+          + Option.value (Hashtbl.find_opt attempts sh.Gpu.shred_id) ~default:0
+        in
+        Hashtbl.replace attempts sh.Gpu.shred_id a;
+        if a > t.max_redispatch || Gpu.active_slots gpu = 0 then
+          fallback_shred t sh
+        else begin
+          t.recovery.redispatches <- t.recovery.redispatches + 1;
+          let base = t.backoff_ps * (1 lsl min 8 (a - 1)) in
+          (* full jitter over the top half of the window: concurrent
+             reaps of a quarantine wave decorrelate instead of slamming
+             the doorbell in lock-step *)
+          let delay = (base / 2) + Prng.int (jitter ()) ((base / 2) + 1) in
+          rev t ~ts:(Gpu.now_ps gpu)
+            (Trace.Redispatch
+               { shred_id = sh.Gpu.shred_id; attempt = a; delay_ps = delay });
+          pending := (Gpu.now_ps gpu + delay, sh) :: !pending
+        end
       end
+    in
+    let hedge_overdue () =
+      if t.hedge_after_ps > 0 then
+        List.iter
+          (fun ((sh : Gpu.shred), age) ->
+            if Gpu.hedge gpu sh then begin
+              t.recovery.hedges <- t.recovery.hedges + 1;
+              rev t ~ts:(Gpu.now_ps gpu)
+                (Trace.Hedge_dispatch { shred_id = sh.Gpu.shred_id; age_ps = age });
+              Machine.add_overhead_ps cpu
+                (costs.Exo_platform.signal_ps
+                + costs.Exo_platform.dispatch_cpu_ps)
+            end)
+          (Gpu.overdue_shreds gpu ~age_ps:t.hedge_after_ps)
+    in
+    (* open → half-open once the cool-down expires (reinstate the slot
+       for its probe); half-open → closed once the probe retires.
+       Returns true when any breaker moved, which counts as progress. *)
+    let poll_breakers () =
+      let moved = ref false in
+      Array.iteri
+        (fun i b ->
+          let eu = i / threads_per_eu and slot = i mod threads_per_eu in
+          match Breaker.state b with
+          | Breaker.Open ->
+            if Breaker.poll b ~now_ps:(Gpu.now_ps gpu) then begin
+              Gpu.reinstate gpu ~eu ~slot;
+              t.probe_base.(i) <- Gpu.slot_completions gpu ~eu ~slot;
+              moved := true
+            end
+          | Breaker.Half_open ->
+            if Gpu.slot_completions gpu ~eu ~slot > t.probe_base.(i) then begin
+              Breaker.close b;
+              t.recovery.breaker_closes <- t.recovery.breaker_closes + 1;
+              rev t ~ts:(Gpu.now_ps gpu) (Trace.Breaker_close { eu; slot });
+              moved := true
+            end
+          | Breaker.Closed ->
+            let c = Gpu.slot_completions gpu ~eu ~slot in
+            if c > t.last_comp.(i) then Breaker.record_ok b;
+            t.last_comp.(i) <- c)
+        t.breakers;
+      !moved
     in
     let release_due () =
       let now = Gpu.now_ps gpu in
@@ -292,8 +421,11 @@ let supervised_drain t =
         continue_ := false
       else begin
         let retired = Gpu.run_until gpu (Gpu.now_ps gpu + quantum) in
+        hedge_overdue ();
         let reaped = Gpu.reap_overdue gpu ~watchdog_ps:t.watchdog_ps in
         List.iter handle_reaped reaped;
+        let breakers_moved = poll_breakers () in
+        t.recovery.hedge_wins <- Gpu.hedge_wins gpu;
         (* shreds parked behind a lost doorbell and the machine has gone
            quiet: the master notices the missing completions and re-rings *)
         if Gpu.parked_count gpu > 0 && (retired = 0 || Gpu.quiescent gpu)
@@ -311,7 +443,7 @@ let supervised_drain t =
           pending := [];
           List.iter (fallback_shred t) stranded
         end;
-        if retired = 0 && reaped = [] then begin
+        if retired = 0 && reaped = [] && not breakers_moved then begin
           incr idle_rounds;
           if !idle_rounds > max_idle then begin
             t.recovery.fatal <- t.recovery.fatal + 1;
@@ -320,7 +452,8 @@ let supervised_drain t =
         end
         else idle_rounds := 0
       end
-    done
+    done;
+    t.recovery.hedge_wins <- Gpu.hedge_wins gpu
 
 let wait t team =
   if not team.waited then begin

@@ -37,9 +37,15 @@ type recovery = {
   mutable redispatches : int;  (** shreds re-dispatched after a reap *)
   mutable doorbell_redeliveries : int;  (** lost SIGNALs re-rung *)
   mutable watchdog_kills : int;  (** hung contexts reaped *)
-  mutable quarantined_seqs : int;  (** HW-thread slots retired for good *)
+  mutable quarantined_seqs : int;
+      (** HW-thread slots quarantined (permanently in legacy mode; until
+          their breaker's cool-down expires in breaker mode) *)
   mutable fallback_shreds : int;  (** shreds proxy-executed on IA32 *)
   mutable fatal : int;  (** faults recovery could not absorb *)
+  mutable hedges : int;  (** straggler shreds given a backup dispatch *)
+  mutable hedge_wins : int;  (** hedge races resolved by a retirement *)
+  mutable breaker_opens : int;  (** circuit-breaker trips *)
+  mutable breaker_closes : int;  (** probationary reinstatements *)
 }
 
 type t
@@ -50,8 +56,23 @@ type t
     falling back to IA32 proxy execution. [quarantine_after] (default
     3): consecutive failures on one HW-thread slot before it is removed
     from the eligible set. [backoff_ps] (default 200 ns): base of the
-    exponential re-dispatch backoff. All are inert without a fault plan
-    on the platform. *)
+    exponential re-dispatch backoff; the actual delay is jittered over
+    the top half of the window by a dedicated PRNG stream derived from
+    the fault-plan seed, so concurrent retry waves decorrelate without
+    perturbing the per-class fault streams.
+
+    [hedge_after_ps] (default 0 = off): a resident shred that has
+    retired nothing for this long gets a backup dispatch; the first copy
+    to retire wins and the loser is cancelled. Pick a value below
+    [watchdog_ps] to shave straggler latency before the watchdog kills.
+
+    [breaker_cooldown_ps] (default 0 = legacy permanent quarantine):
+    with a positive value each exo-sequencer slot is guarded by a
+    circuit breaker ({!Exochi_guard.Breaker}) — EWMA health scoring
+    trips the slot into quarantine, the cool-down expires into a
+    half-open probe, and a retiring probe reinstates the slot.
+
+    All are inert without a fault plan on the platform. *)
 val create :
   platform:Exo_platform.t ->
   ?flush_policy:flush_policy ->
@@ -59,6 +80,8 @@ val create :
   ?max_redispatch:int ->
   ?quarantine_after:int ->
   ?backoff_ps:int ->
+  ?hedge_after_ps:int ->
+  ?breaker_cooldown_ps:int ->
   unit ->
   t
 

@@ -64,6 +64,7 @@ type t = {
   rates : rates;
   streams : Prng.t array;  (** one independent stream per fault class *)
   counts : int array;
+  draws : int array;  (** decisions drawn per class (hits and misses) *)
 }
 
 let create ~seed ~rates () =
@@ -73,6 +74,7 @@ let create ~seed ~rates () =
     rates;
     streams = Array.init nclasses (fun _ -> Prng.split master);
     counts = Array.make nclasses 0;
+    draws = Array.make nclasses 0;
   }
 
 let seed t = t.seed
@@ -85,6 +87,7 @@ let decide t cls =
   if rate <= 0.0 then false
   else begin
     let i = index cls in
+    t.draws.(i) <- t.draws.(i) + 1;
     let hit = Prng.float t.streams.(i) < rate in
     if hit then t.counts.(i) <- t.counts.(i) + 1;
     hit
@@ -92,6 +95,9 @@ let decide t cls =
 
 let injected t cls = t.counts.(index cls)
 let injected_total t = Array.fold_left ( + ) 0 t.counts
+let injected_counts t = Array.copy t.counts
+let drawn t cls = t.draws.(index cls)
+let drawn_counts t = Array.copy t.draws
 
 let of_spec s =
   match String.index_opt s ':' with

@@ -63,6 +63,24 @@ val injected : t -> fault_class -> int
 
 val injected_total : t -> int
 
+(** Injections per class, in {!all_classes} order (fresh copy). *)
+val injected_counts : t -> int array
+
+(** {2 Stream positions}
+
+    Every {!decide} on a nonzero-rate class consumes exactly one PRNG
+    draw, so the per-class draw count {e is} the stream position. The
+    serve journal records these positions with every completion, and a
+    recovered run verifies its deterministic replay reaches the same
+    positions — the guarantee that re-dispatch after [--recover] draws
+    from the same fault schedule as the original run. *)
+
+(** Decisions drawn so far for one class (hits and misses). *)
+val drawn : t -> fault_class -> int
+
+(** Draw counts per class, in {!all_classes} order (fresh copy). *)
+val drawn_counts : t -> int array
+
 (** Parse a ["SEED:RATE"] command-line spec (e.g. ["7:0.01"]) into a
     plan with [uniform_rates RATE]. *)
 val of_spec : string -> (t, string) result

@@ -50,6 +50,12 @@ type t = {
   batches : int;
   job_lat_p50_ps : float;
   job_lat_p99_ps : float;
+  (* Exo-guard integrity & resilience (zero unless the guard layer ran) *)
+  sdc_detected : int;
+  breaker_opens : int;
+  breaker_closes : int;
+  hedges : int;
+  hedge_wins : int;
   counters : (string * int) list; (* last value per counter, name-sorted *)
 }
 
@@ -69,6 +75,8 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
   let arrived = ref 0 and jobs_done = ref 0 and shed = ref 0 in
   let batches = ref 0 in
   let job_lats = ref [] in
+  let sdc = ref 0 and br_opens = ref 0 and br_closes = ref 0 in
+  let hedges = ref 0 and hedge_wins = ref 0 in
   let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let n = ref 0 in
   List.iter
@@ -110,6 +118,11 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
       | Trace.Job_done { latency_ps; _ } ->
         incr jobs_done;
         job_lats := float_of_int latency_ps :: !job_lats
+      | Trace.Sdc_detected { corruptions; _ } -> sdc := !sdc + corruptions
+      | Trace.Breaker_open _ -> incr br_opens
+      | Trace.Breaker_close _ -> incr br_closes
+      | Trace.Hedge_dispatch _ -> incr hedges
+      | Trace.Hedge_win _ -> incr hedge_wins
       | Trace.Counter { counter; value } -> Hashtbl.replace counters counter value)
     events;
   let span = if !n = 0 then 0 else max 0 (!last - !first) in
@@ -159,6 +172,11 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
     job_lat_p99_ps =
       (if !job_lats = [] then 0.0
        else Exochi_util.Stats.percentile 99.0 !job_lats);
+    sdc_detected = !sdc;
+    breaker_opens = !br_opens;
+    breaker_closes = !br_closes;
+    hedges = !hedges;
+    hedge_wins = !hedge_wins;
     counters = sorted_assoc counters;
   }
 
@@ -224,6 +242,14 @@ let render m =
        batch(es); job latency p50 %.1f us p99 %.1f us"
       m.jobs_arrived m.jobs_done m.jobs_shed m.batches (us m.job_lat_p50_ps)
       (us m.job_lat_p99_ps);
+  if
+    m.sdc_detected > 0 || m.breaker_opens > 0 || m.breaker_closes > 0
+    || m.hedges > 0
+  then
+    line
+      "guard        : %d SDC detected; breakers %d open / %d close; %d \
+       hedge(s), %d won"
+      m.sdc_detected m.breaker_opens m.breaker_closes m.hedges m.hedge_wins;
   List.iter (fun (name, v) -> line "counter      : %-18s %d" name v) m.counters;
   Buffer.contents b
 
@@ -272,6 +298,11 @@ let to_json ?(extra = []) m =
   num_int "batches" m.batches;
   num_f "job_lat_p50_ps" m.job_lat_p50_ps;
   num_f "job_lat_p99_ps" m.job_lat_p99_ps;
+  num_int "sdc_detected" m.sdc_detected;
+  num_int "breaker_opens" m.breaker_opens;
+  num_int "breaker_closes" m.breaker_closes;
+  num_int "hedges" m.hedges;
+  num_int "hedge_wins" m.hedge_wins;
   List.iter (fun (name, v) -> num_int name v) m.counters;
   Buffer.add_string b "}";
   Buffer.contents b

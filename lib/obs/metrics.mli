@@ -42,6 +42,12 @@ type t = {
   batches : int;  (** Exo-serve: coalesced teams dispatched *)
   job_lat_p50_ps : float;  (** submit → completion, media job latency *)
   job_lat_p99_ps : float;
+  sdc_detected : int;
+      (** Exo-guard: corruptions caught by checksums/audits *)
+  breaker_opens : int;  (** Exo-guard: circuit-breaker trips *)
+  breaker_closes : int;  (** Exo-guard: probationary reinstatements *)
+  hedges : int;  (** Exo-guard: backup dispatches for stragglers *)
+  hedge_wins : int;  (** Exo-guard: hedged shreds whose first copy won *)
   counters : (string * int) list;  (** last value per counter, name-sorted *)
 }
 

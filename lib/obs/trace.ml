@@ -26,6 +26,11 @@ type kind =
   | Job_shed of { job : int; tenant : int; reason : string }
   | Batch_dispatch of { batch : int; jobs : int; shreds : int }
   | Job_done of { job : int; tenant : int; latency_ps : int }
+  | Sdc_detected of { batch : int; corruptions : int; source : string }
+  | Breaker_open of { eu : int; slot : int; cooldown_ps : int }
+  | Breaker_close of { eu : int; slot : int }
+  | Hedge_dispatch of { shred_id : int; age_ps : int }
+  | Hedge_win of { shred_id : int }
   | Counter of { counter : string; value : int }
 
 type event = { ts_ps : int; dur_ps : int; seq : seq; kind : kind }
@@ -107,6 +112,11 @@ let kind_name = function
   | Job_shed _ -> "job-shed"
   | Batch_dispatch _ -> "batch-dispatch"
   | Job_done _ -> "job-done"
+  | Sdc_detected _ -> "sdc-detected"
+  | Breaker_open _ -> "breaker-open"
+  | Breaker_close _ -> "breaker-close"
+  | Hedge_dispatch _ -> "hedge-dispatch"
+  | Hedge_win _ -> "hedge-win"
   | Counter _ -> "counter"
 
 let seq_label = function
@@ -151,6 +161,14 @@ let kind_detail = function
     Printf.sprintf "batch %d: %d job(s), %d shred(s)" batch jobs shreds
   | Job_done { job; tenant; latency_ps } ->
     Printf.sprintf "job %d tenant %d latency %d ps" job tenant latency_ps
+  | Sdc_detected { batch; corruptions; source } ->
+    Printf.sprintf "batch %d: %d corruption(s) via %s" batch corruptions source
+  | Breaker_open { eu; slot; cooldown_ps } ->
+    Printf.sprintf "EU%d/T%d cooldown %d ps" eu slot cooldown_ps
+  | Breaker_close { eu; slot } -> Printf.sprintf "EU%d/T%d reinstated" eu slot
+  | Hedge_dispatch { shred_id; age_ps } ->
+    Printf.sprintf "shred %d stuck %d ps" shred_id age_ps
+  | Hedge_win { shred_id } -> Printf.sprintf "shred %d" shred_id
   | Counter { counter; value } -> Printf.sprintf "%s = %d" counter value
 
 let pp_event fmt e =

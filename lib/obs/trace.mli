@@ -62,6 +62,21 @@ type kind =
   | Job_done of { job : int; tenant : int; latency_ps : int }
       (** Exo-serve: job completed at the team barrier;
           [latency_ps] = completion - submission *)
+  | Sdc_detected of { batch : int; corruptions : int; source : string }
+      (** Exo-guard: silent data corruption caught by integrity
+          verification; [source] is ["checksum"] (full-surface golden
+          comparison) or ["audit"] (sampled golden replay) *)
+  | Breaker_open of { eu : int; slot : int; cooldown_ps : int }
+      (** Exo-guard: the slot's circuit breaker tripped; the slot is
+          quarantined for [cooldown_ps] before a half-open probe *)
+  | Breaker_close of { eu : int; slot : int }
+      (** Exo-guard: a half-open probe retired; the slot is reinstated *)
+  | Hedge_dispatch of { shred_id : int; age_ps : int }
+      (** Exo-guard: a straggler shred got a backup dispatch after
+          sitting [age_ps] without retiring *)
+  | Hedge_win of { shred_id : int }
+      (** Exo-guard: first copy of a hedged shred retired; the losing
+          copy is cancelled *)
   | Counter of { counter : string; value : int }
       (** memory-system counter snapshot (TLB/cache hits, bus bytes) *)
 

@@ -86,6 +86,14 @@ let kind_args : Trace.kind -> (string * arg) list = function
     [ ("batch", I batch); ("jobs", I jobs); ("shreds", I shreds) ]
   | Job_done { job; tenant; latency_ps } ->
     [ ("job", I job); ("tenant", I tenant); ("latency_ps", I latency_ps) ]
+  | Sdc_detected { batch; corruptions; source } ->
+    [ ("batch", I batch); ("corruptions", I corruptions); ("source", S source) ]
+  | Breaker_open { eu; slot; cooldown_ps } ->
+    [ ("eu", I eu); ("slot", I slot); ("cooldown_ps", I cooldown_ps) ]
+  | Breaker_close { eu; slot } -> [ ("eu", I eu); ("slot", I slot) ]
+  | Hedge_dispatch { shred_id; age_ps } ->
+    [ ("shred", I shred_id); ("age_ps", I age_ps) ]
+  | Hedge_win { shred_id } -> [ ("shred", I shred_id) ]
   | Counter _ -> []
 
 let event_name (e : Trace.event) =
@@ -100,7 +108,8 @@ let category (e : Trace.event) =
   | Shred_enqueue _ | Signal_doorbell _ | Doorbell_redeliver _
   | Shred_dispatch _ | Shred_start _ | Shred_run _ ->
     "shred"
-  | Watchdog_reap _ | Redispatch _ | Quarantine | Ia32_fallback _ ->
+  | Watchdog_reap _ | Redispatch _ | Quarantine | Ia32_fallback _
+  | Breaker_open _ | Breaker_close _ | Hedge_dispatch _ | Hedge_win _ ->
     "recovery"
   | Atr_tlb_miss _ | Atr_gtt_hit _ | Atr_proxy _ | Atr_transient _
   | Atr_prewalk _ ->
@@ -109,6 +118,7 @@ let category (e : Trace.event) =
   | Fault_injected _ -> "fault"
   | Flush _ | Copy _ -> "memmodel"
   | Job_arrive _ | Job_shed _ | Batch_dispatch _ | Job_done _ -> "serve"
+  | Sdc_detected _ -> "guard"
   | Counter _ -> "counter"
 
 let pid = 1

@@ -1,0 +1,121 @@
+(* Crash-safe serve journal.
+
+   One record per job-lifecycle event, framed by Exochi_guard.Journal
+   (length + FNV-1a checksum, flushed per append), so a SIGKILL at any
+   point leaves a loadable prefix. Because the whole simulator is
+   deterministic, recovery is redo-from-start: the journal's job is not
+   to restore state but to (a) identify which admitted jobs were never
+   acknowledged and (b) verify the redo retraces the original run —
+   each Done record carries the fault-plan stream positions at that
+   completion, so a divergent replay is caught, not silently accepted.
+
+   Payloads are space-separated text: trivially deterministic, and
+   `strings` on a journal file is a usable debugging tool. *)
+
+module Gj = Exochi_guard.Journal
+module Checksum = Exochi_guard.Checksum
+
+type record =
+  | Meta of { fingerprint : int64 }
+  | Admit of { job : int; at_ps : int }
+  | Done of { job : int; done_ps : int; drawn : int array }
+  | Shed of { job : int; reason : string }
+
+let encode = function
+  | Meta { fingerprint } -> Printf.sprintf "M %Lx" fingerprint
+  | Admit { job; at_ps } -> Printf.sprintf "A %d %d" job at_ps
+  | Done { job; done_ps; drawn } ->
+    Printf.sprintf "D %d %d %s" job done_ps
+      (String.concat " " (Array.to_list (Array.map string_of_int drawn)))
+  | Shed { job; reason } -> Printf.sprintf "S %d %s" job reason
+
+let decode s =
+  match String.split_on_char ' ' s with
+  | [ "M"; fp ] -> (
+    match Int64.of_string_opt ("0x" ^ fp) with
+    | Some fingerprint -> Some (Meta { fingerprint })
+    | None -> None)
+  | [ "A"; job; at ] -> (
+    match (int_of_string_opt job, int_of_string_opt at) with
+    | Some job, Some at_ps -> Some (Admit { job; at_ps })
+    | _ -> None)
+  | "D" :: job :: done_ps :: drawn -> (
+    match
+      ( int_of_string_opt job,
+        int_of_string_opt done_ps,
+        List.map int_of_string_opt drawn )
+    with
+    | Some job, Some done_ps, counts
+      when List.for_all Option.is_some counts ->
+      Some
+        (Done
+           {
+             job;
+             done_ps;
+             drawn = Array.of_list (List.map Option.get counts);
+           })
+    | _ -> None)
+  | [ "S"; job; reason ] -> (
+    match int_of_string_opt job with
+    | Some job -> Some (Shed { job; reason })
+    | _ -> None)
+  | _ -> None
+
+(* Fingerprint of the run configuration: a recovered process must be
+   replaying the same config/workload/fault spec, or the deterministic
+   redo is meaningless. Callers hash whatever identifies their run. *)
+let fingerprint parts =
+  List.fold_left Checksum.add_string Checksum.offset_basis parts
+
+type writer = Gj.writer
+
+(* Start a fresh journal: truncates and stamps the fingerprint. Also
+   used by recovery itself — the redo rewrites the journal from scratch
+   so the recovered file is byte-identical to an uninterrupted run's. *)
+let start path ~fingerprint:fp =
+  let w = Gj.create_writer path in
+  Gj.append w (encode (Meta { fingerprint = fp }));
+  w
+
+let record w r = Gj.append w (encode r)
+let close w = Gj.close_writer w
+
+type replay = {
+  rp_fingerprint : int64 option;
+  rp_admitted : (int * int) list; (* job, at_ps — journal order *)
+  rp_completed : (int * int array) list; (* job, drawn — journal order *)
+  rp_shed : (int * string) list;
+  rp_truncated : bool;
+  rp_garbled : int; (* framed-but-undecodable records (skipped) *)
+}
+
+let load path =
+  let { Gj.records; truncated } = Gj.load path in
+  let fp = ref None and garbled = ref 0 in
+  let admitted = ref [] and completed = ref [] and shed = ref [] in
+  List.iter
+    (fun payload ->
+      match decode payload with
+      | Some (Meta { fingerprint }) ->
+        if !fp = None then fp := Some fingerprint
+      | Some (Admit { job; at_ps }) -> admitted := (job, at_ps) :: !admitted
+      | Some (Done { job; drawn; _ }) -> completed := (job, drawn) :: !completed
+      | Some (Shed { job; reason }) -> shed := (job, reason) :: !shed
+      | None -> incr garbled)
+    records;
+  {
+    rp_fingerprint = !fp;
+    rp_admitted = List.rev !admitted;
+    rp_completed = List.rev !completed;
+    rp_shed = List.rev !shed;
+    rp_truncated = truncated;
+    rp_garbled = !garbled;
+  }
+
+(* Jobs admitted but neither completed nor shed — the un-acked work a
+   crash stranded; the redo re-executes them (and everything else). *)
+let unacked rp =
+  let resolved = Hashtbl.create 64 in
+  List.iter (fun (j, _) -> Hashtbl.replace resolved j ()) rp.rp_completed;
+  List.iter (fun (j, _) -> Hashtbl.replace resolved j ()) rp.rp_shed;
+  List.filter (fun (j, _) -> not (Hashtbl.mem resolved j)) rp.rp_admitted

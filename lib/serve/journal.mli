@@ -1,0 +1,52 @@
+(** Crash-safe serve journal (Exo-guard).
+
+    Records every job admission, completion and shed into a
+    length-prefixed, checksummed, per-record-flushed file
+    ({!Exochi_guard.Journal} framing), so a process killed mid-run
+    leaves a loadable prefix.
+
+    The simulator is deterministic, so recovery is {e redo-from-start}:
+    [--recover] replays the identical workload and uses the journal to
+    (a) report which admitted jobs were never acknowledged and (b)
+    {e verify} the redo — each [Done] record carries the fault-plan
+    stream positions ({!Exochi_faults.Fault_plan.drawn_counts}) at that
+    completion, and the redo must reproduce the journaled completion
+    sequence exactly. The redo rewrites the journal from scratch, so a
+    recovered journal is byte-identical to an uninterrupted run's. *)
+
+type record =
+  | Meta of { fingerprint : int64 }
+      (** first record: hash of the run configuration *)
+  | Admit of { job : int; at_ps : int }
+  | Done of { job : int; done_ps : int; drawn : int array }
+      (** [drawn] = per-class fault-stream positions at completion *)
+  | Shed of { job : int; reason : string }
+
+(** Hash a run-identifying list of strings (config, seed, workload and
+    fault specs) into a journal fingerprint. *)
+val fingerprint : string list -> int64
+
+type writer
+
+(** Truncate/create the journal and stamp the fingerprint. *)
+val start : string -> fingerprint:int64 -> writer
+
+val record : writer -> record -> unit
+val close : writer -> unit
+
+type replay = {
+  rp_fingerprint : int64 option;  (** from the leading [Meta] record *)
+  rp_admitted : (int * int) list;  (** (job, at_ps), journal order *)
+  rp_completed : (int * int array) list;
+      (** (job, drawn), journal order — the sequence a recovering run
+          must reproduce *)
+  rp_shed : (int * string) list;
+  rp_truncated : bool;  (** a torn/corrupt tail frame was dropped *)
+  rp_garbled : int;  (** well-framed but undecodable records, skipped *)
+}
+
+val load : string -> replay
+
+(** Admitted jobs with neither a [Done] nor a [Shed] record — the
+    un-acked work the crash stranded. *)
+val unacked : replay -> (int * int) list

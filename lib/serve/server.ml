@@ -13,6 +13,17 @@ module Registry = Exochi_kernels.Registry
 module Image = Exochi_media.Image
 module Prng = Exochi_util.Prng
 module Fault_plan = Exochi_faults.Fault_plan
+module Checksum = Exochi_guard.Checksum
+
+(* End-to-end integrity checking (Exo-guard). With a guard installed,
+   injected GTT-corruption and CEH-spurious faults additionally flip one
+   output byte each (the SDC model): the detection machinery — full
+   output checksums against a golden reference plus sampled golden-replay
+   audits — must then turn every one of them into a *detected* event and
+   repair it, so the server never acknowledges a wrong result. *)
+type guard = {
+  g_audit_frac : float;  (** fraction of batch shreds golden-replayed *)
+}
 
 type config = {
   tenants : Tenant.config array;
@@ -22,6 +33,9 @@ type config = {
   scale : Kernel.scale;
   frames : int option;
   memmodel : Memmodel.config;
+  guard : guard option;
+  hedge_after_ps : int;  (** 0 = hedged re-dispatch off *)
+  breaker_cooldown_ps : int;  (** 0 = legacy permanent quarantine *)
 }
 
 let default_config =
@@ -33,6 +47,9 @@ let default_config =
     scale = Kernel.Small;
     frames = None;
     memmodel = Memmodel.Cc_shared;
+    guard = None;
+    hedge_after_ps = 0;
+    breaker_cooldown_ps = 0;
   }
 
 (* A kernel's resident execution state: workload surfaces materialised in
@@ -44,6 +61,11 @@ type arena = {
   a_unit_params : int -> int array;
   a_prog : Exochi_isa.X3k_ast.program;
   a_descriptors : Chi_descriptor.t list;
+  (* golden reference: checksum + byte snapshot of the output surfaces
+     after a prepare-time full golden replay (outputs are batch-size
+     independent — no kernel reads %sid/%nshred). None when no guard. *)
+  mutable a_ref_sum : int64 option;
+  mutable a_golden : (int * bytes) list; (* (surface base, bytes) *)
 }
 
 type t = {
@@ -56,20 +78,45 @@ type t = {
   attempts : (int, int) Hashtbl.t; (* job id -> failed dispatches *)
   mutable batch_seq : int;
   mutable job_seq : int;
+  (* Exo-guard state *)
+  corrupt_prng : Prng.t option; (* SDC model byte flips *)
+  audit_prng : Prng.t option; (* which shreds the audit samples *)
+  mutable g_last_inj : int; (* gtt+ceh injections already corrupted *)
+  mutable g_corrupted : int;
+  mutable g_detected : int;
+  mutable g_audit_shreds : int;
+  journal : Journal.writer option;
+  (* recovery verification: the journaled completion sequence the redo
+     must reproduce (job id + fault-stream positions, in order) *)
+  expect : (int * int array) Queue.t option;
 }
 
-let create ?(config = default_config) ?fault_plan ?trace () =
+let create ?(config = default_config) ?fault_plan ?trace ?journal ?expect ()
+    =
   if Array.length config.tenants = 0 then invalid_arg "Server: no tenants";
   if config.backlog_cap < 0 then invalid_arg "Server: backlog_cap";
+  (match config.guard with
+  | Some g when g.g_audit_frac < 0.0 || g.g_audit_frac > 1.0 ->
+    invalid_arg "Server: guard audit fraction must be in [0,1]"
+  | _ -> ());
   let platform =
     Platform.create ~memmodel:config.memmodel ?fault_plan ?trace ()
   in
   (* interleaved flushing is only safe for band-ordered kernels; a mixed
      arena population must use the conservative policy in non-CC mode *)
   let rt =
+    let create = Chi.create ~platform ~hedge_after_ps:config.hedge_after_ps
+        ~breaker_cooldown_ps:config.breaker_cooldown_ps
+    in
     match config.memmodel with
-    | Memmodel.Cc_shared -> Chi.create ~platform ()
-    | _ -> Chi.create ~platform ~flush_policy:Chi.Upfront ()
+    | Memmodel.Cc_shared -> create ()
+    | _ -> create ~flush_policy:Chi.Upfront ()
+  in
+  let guard_prng salt =
+    match (config.guard, fault_plan) with
+    | Some _, Some plan ->
+      Some (Prng.create (Int64.logxor (Fault_plan.seed plan) salt))
+    | _ -> None
   in
   {
     cfg = config;
@@ -81,6 +128,20 @@ let create ?(config = default_config) ?fault_plan ?trace () =
     attempts = Hashtbl.create 64;
     batch_seq = 0;
     job_seq = 0;
+    corrupt_prng = guard_prng 0x5DC0FFEE0BADF00DL;
+    audit_prng = guard_prng 0x0A0D17B175L;
+    g_last_inj = 0;
+    g_corrupted = 0;
+    g_detected = 0;
+    g_audit_shreds = 0;
+    journal;
+    expect =
+      (match expect with
+      | None -> None
+      | Some l ->
+        let q = Queue.create () in
+        List.iter (fun e -> Queue.add e q) l;
+        Some q);
   }
 
 let config t = t.cfg
@@ -143,6 +204,66 @@ let materialise t (io : Kernel.io) =
 let find_arena t abbrev =
   Hashtbl.find_opt t.arenas (String.lowercase_ascii abbrev)
 
+(* ---- Exo-guard: golden reference + integrity verification ---- *)
+
+let output_surfaces (a : arena) =
+  List.filter_map
+    (fun d ->
+      let s = d.Chi_descriptor.surface in
+      match s.Surface.mode with
+      | Surface.Output | Surface.In_out -> Some s
+      | Surface.Input -> None)
+    a.a_descriptors
+
+let arena_checksum t (a : arena) =
+  let aspace = Platform.aspace t.platform in
+  List.fold_left
+    (fun acc (s : Surface.t) ->
+      Checksum.add_bytes acc
+        (Address_space.read_bytes aspace ~vaddr:s.Surface.base
+           ~len:(Surface.byte_size s)))
+    Checksum.offset_basis (output_surfaces a)
+
+let bind_arena t (a : arena) =
+  Gpu.bind
+    (Platform.gpu t.platform)
+    ~prog:a.a_prog
+    ~surfaces:
+      (Array.map
+         (fun sname ->
+           match
+             List.find_opt
+               (fun d -> d.Chi_descriptor.surface.Surface.name = sname)
+               a.a_descriptors
+           with
+           | Some d -> d.Chi_descriptor.surface
+           | None -> assert false (* assembler only names real surfaces *))
+         a.a_prog.Exochi_isa.X3k_ast.surfaces)
+
+(* Functionally replay every unit of the arena on the IA32 proxy and
+   record the output checksum plus a byte snapshot. Sound because no
+   kernel reads %sid/%nshred (outputs are pure functions of the per-unit
+   params), and serve arenas have no In_out surfaces. Repair restores
+   the snapshot rather than replaying: kernels may never write padding
+   bytes, so a corrupted pad byte is only healable by copy. *)
+let golden_pass t (a : arena) =
+  let gpu = Platform.gpu t.platform in
+  bind_arena t a;
+  for u = 0 to a.a_units - 1 do
+    ignore
+      (Gpu.emulate_shred gpu
+         { Gpu.shred_id = u; entry = 0; params = a.a_unit_params u })
+  done;
+  let aspace = Platform.aspace t.platform in
+  a.a_golden <-
+    List.map
+      (fun (s : Surface.t) ->
+        ( s.Surface.base,
+          Address_space.read_bytes aspace ~vaddr:s.Surface.base
+            ~len:(Surface.byte_size s) ))
+      (output_surfaces a);
+  a.a_ref_sum <- Some (arena_checksum t a)
+
 let ensure_arena t abbrev =
   match find_arena t abbrev with
   | Some a -> Ok a
@@ -165,8 +286,11 @@ let ensure_arena t abbrev =
           a_unit_params = k.Kernel.unit_params io;
           a_prog = prog;
           a_descriptors = inputs @ outputs;
+          a_ref_sum = None;
+          a_golden = [];
         }
       in
+      if t.cfg.guard <> None then golden_pass t a;
       Hashtbl.replace t.arenas (String.lowercase_ascii abbrev) a;
       Ok a)
 
@@ -183,6 +307,11 @@ let make_job t ~tenant ~kernel ~shreds ?(priority = Job.Normal) ?deadline_ps ()
     deadline_ps }
 
 let shed t (job : Job.t) reason =
+  (match t.journal with
+  | None -> ()
+  | Some w ->
+    Journal.record w
+      (Journal.Shed { job = job.Job.id; reason = Job.reason_label reason }));
   Server_stats.record_shed t.coll job reason ~now_ps:(now_ps t);
   emit_ev t
     (Trace.Job_shed
@@ -223,11 +352,157 @@ let submit t (job : Job.t) =
     Error reason
   | Ok ten ->
     Tenant.enqueue ten job;
+    (match t.journal with
+    | None -> ()
+    | Some w ->
+      Journal.record w
+        (Journal.Admit { job = job.Job.id; at_ps = now_ps t }));
     Server_stats.record_admit t.coll job;
     emit_ev t (Trace.Job_arrive { job = job.Job.id; tenant = job.Job.tenant });
     Ok ()
 
 (* ---- dispatch ---- *)
+
+(* The SDC model plus its detection, run after every successful batch.
+   Ground truth first: each GTT-corrupt / CEH-spurious injection since
+   the previous batch flips one output byte — the silent-data-corruption
+   footprint the legacy recovery path would have acknowledged as a
+   correct result. Then detection: sampled golden-replay audits (each
+   charged at ULI + CEH emulation cost) and a full output checksum
+   against the golden reference. Any mismatch restores the golden byte
+   snapshot, charged at the memory model's copy bandwidth. *)
+let guard_verify t (arena : arena) ~batch ~shreds =
+  match t.cfg.guard with
+  | None -> ()
+  | Some g ->
+    let aspace = Platform.aspace t.platform in
+    let cpu = Platform.cpu t.platform in
+    let outs = Array.of_list (output_surfaces arena) in
+    (* 1. corruption: one flipped byte per new injection *)
+    let delta =
+      match (Platform.fault_plan t.platform, t.corrupt_prng) with
+      | Some plan, Some cp ->
+        let inj =
+          Fault_plan.injected plan Fault_plan.Gtt_corrupt
+          + Fault_plan.injected plan Fault_plan.Ceh_spurious
+        in
+        let delta = inj - t.g_last_inj in
+        t.g_last_inj <- inj;
+        if delta > 0 && Array.length outs > 0 then begin
+          for _ = 1 to delta do
+            let s = outs.(Prng.int cp (Array.length outs)) in
+            let vaddr = s.Surface.base + Prng.int cp (Surface.byte_size s) in
+            let b = Address_space.read_bytes aspace ~vaddr ~len:1 in
+            Bytes.set b 0
+              (Char.chr
+                 (Char.code (Bytes.get b 0) lxor (1 + Prng.int cp 255)));
+            Address_space.write_bytes aspace ~vaddr b
+          done;
+          t.g_corrupted <- t.g_corrupted + delta;
+          delta
+        end
+        else 0
+      | _ -> 0
+    in
+    (* 2. sampled golden-replay audits; replaying a unit rewrites its
+       outputs with golden values, so a checksum change across the audit
+       means the audit itself caught (and partially healed) corruption *)
+    let audit_hit =
+      match t.audit_prng with
+      | Some ap when g.g_audit_frac > 0.0 ->
+        let naudit =
+          int_of_float (Float.ceil (g.g_audit_frac *. float_of_int shreds))
+        in
+        let sum0 = arena_checksum t arena in
+        let gpu = Platform.gpu t.platform in
+        let costs = Platform.costs t.platform in
+        bind_arena t arena;
+        for _ = 1 to naudit do
+          let u = Prng.int ap arena.a_units in
+          let _, lane_ops =
+            Gpu.emulate_shred gpu
+              { Gpu.shred_id = u; entry = 0; params = arena.a_unit_params u }
+          in
+          Machine.add_time_ps cpu
+            (costs.Platform.uli_ps + costs.Platform.ceh_base_ps
+            + (lane_ops * costs.Platform.ceh_per_lane_ps))
+        done;
+        t.g_audit_shreds <- t.g_audit_shreds + naudit;
+        arena_checksum t arena <> sum0
+      | _ -> false
+    in
+    (* 3. full checksum against the golden reference; heal on mismatch *)
+    let mismatch =
+      match arena.a_ref_sum with
+      | Some ref_sum -> arena_checksum t arena <> ref_sum
+      | None -> false
+    in
+    (* page-granular heal: corruption is a handful of bytes, so diff the
+       snapshot page by page and copy back only damaged pages — the data
+       movement is what the memory model charges, the compare rides the
+       checksum pass (charged zero, like all guard hashing) *)
+    if mismatch then begin
+      let page = Exochi_memory.Phys_mem.page_size in
+      let restored = ref 0 in
+      List.iter
+        (fun (base, img) ->
+          let len = Bytes.length img in
+          let cur = Address_space.read_bytes aspace ~vaddr:base ~len in
+          let off = ref 0 in
+          while !off < len do
+            let n = min page (len - !off) in
+            if Bytes.sub cur !off n <> Bytes.sub img !off n then begin
+              Address_space.write_bytes aspace ~vaddr:(base + !off)
+                (Bytes.sub img !off n);
+              restored := !restored + n
+            end;
+            off := !off + page
+          done)
+        arena.a_golden;
+      Machine.add_time_ps cpu
+        (Memmodel.copy_ps (Platform.model_costs t.platform) ~bytes:!restored)
+    end;
+    if delta > 0 && (mismatch || audit_hit) then begin
+      t.g_detected <- t.g_detected + delta;
+      emit_ev t
+        (Trace.Sdc_detected
+           {
+             batch;
+             corruptions = delta;
+             source = (if audit_hit then "audit" else "checksum");
+           })
+    end
+
+let journal_rec t r =
+  match t.journal with None -> () | Some w -> Journal.record w r
+
+let drawn_counts t =
+  match Platform.fault_plan t.platform with
+  | Some plan -> Fault_plan.drawn_counts plan
+  | None -> Array.make (List.length Fault_plan.all_classes) 0
+
+(* Recovery verification: each redo completion must retrace the
+   journaled prefix — same job, same fault-stream positions. An empty
+   queue means we are past the prefix (into the stranded un-acked work
+   and beyond); a mismatch means the redo diverged and the journal's
+   guarantees are void, which is fatal by design. *)
+let verify_expected t (j : Job.t) drawn =
+  match t.expect with
+  | None -> ()
+  | Some q -> (
+    match Queue.take_opt q with
+    | None -> ()
+    | Some (ej, edrawn) ->
+      if ej <> j.Job.id || edrawn <> drawn then
+        failwith
+          (Printf.sprintf
+             "Server: recovery divergence — redo completed job %d where \
+              the journal recorded job %d (or fault-stream positions \
+              differ); the replay is not retracing the original run"
+             j.Job.id ej))
+
+let unverified t =
+  match t.expect with None -> 0 | Some q -> Queue.length q
 
 let shed_expired t ~on_shed jobs =
   let now = now_ps t in
@@ -258,11 +533,15 @@ let dispatch_batch t ~on_done ~on_shed (b : Batcher.batch) =
       ~num_threads:b.Batcher.shreds ~params ~master_nowait:false ()
   with
   | (_ : Chi.team) ->
+    guard_verify t arena ~batch:id ~shreds:b.Batcher.shreds;
     let done_ps = now_ps t in
+    let drawn = drawn_counts t in
     List.iter
       (fun (j : Job.t) ->
         Hashtbl.remove t.attempts j.Job.id;
         Server_stats.record_completion t.coll j ~done_ps;
+        verify_expected t j drawn;
+        journal_rec t (Journal.Done { job = j.Job.id; done_ps; drawn });
         emit_ev t
           (Trace.Job_done
              { job = j.Job.id; tenant = j.Job.tenant;
@@ -328,6 +607,13 @@ let stats t =
       r_fallback_shreds = r.Chi.fallback_shreds;
       r_atr_retries = Platform.atr_transient_retries t.platform;
       r_fatal = r.Chi.fatal;
+      r_sdc_corrupted = t.g_corrupted;
+      r_sdc_detected = t.g_detected;
+      r_audit_shreds = t.g_audit_shreds;
+      r_hedges = r.Chi.hedges;
+      r_hedge_wins = r.Chi.hedge_wins;
+      r_breaker_opens = r.Chi.breaker_opens;
+      r_breaker_closes = r.Chi.breaker_closes;
     }
   in
   Server_stats.finalise t.coll
@@ -336,10 +622,13 @@ let stats t =
 
 (* ---- serving a generated workload ---- *)
 
-let run t wl =
+let run ?(on_job_done = nop) t wl =
   prepare t (Workload.kernels wl);
   Workload.start wl ~now_ps:(now_ps t);
-  let on_done j = Workload.on_complete wl j ~now_ps:(now_ps t) in
+  let on_done j =
+    Workload.on_complete wl j ~now_ps:(now_ps t);
+    on_job_done j
+  in
   let on_shed j = Workload.on_shed wl j ~now_ps:(now_ps t) in
   let rec admit_due () =
     match Workload.peek_time wl with

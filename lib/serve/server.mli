@@ -30,6 +30,17 @@
     Everything runs on the simulated clock, so a fixed workload seed
     yields bit-identical statistics. *)
 
+(** Exo-guard integrity checking (off when [config.guard] is [None]).
+    With a guard installed, injected GTT-corrupt / CEH-spurious faults
+    additionally flip one output byte each (the silent-data-corruption
+    model), and after every batch the server verifies the output
+    surfaces: a fraction [g_audit_frac] of the batch's shreds are
+    golden-replayed on the IA32 proxy (audit, charged at CEH emulation
+    cost) and a full FNV-1a checksum is compared against the arena's
+    golden reference; mismatches are healed from a byte snapshot
+    (charged at copy bandwidth) and counted as detected SDC. *)
+type guard = { g_audit_frac : float }
+
 type config = {
   tenants : Tenant.config array;
   batch : Batcher.config;
@@ -38,19 +49,31 @@ type config = {
   scale : Exochi_kernels.Kernel.scale;  (** arena workload size *)
   frames : int option;  (** video-kernel frame override for arenas *)
   memmodel : Exochi_memory.Memmodel.config;
+  guard : guard option;  (** integrity checking, [None] = off *)
+  hedge_after_ps : int;  (** straggler hedging age, 0 = off *)
+  breaker_cooldown_ps : int;  (** breaker cooldown, 0 = legacy quarantine *)
 }
 
 (** Two equal-weight tenants ("alpha", "beta"), default batching
     (32 jobs / 256 shreds), backlog 96, 3 requeues, [Small] arenas,
-    CC-shared memory. *)
+    CC-shared memory; guard off, hedging off, breakers off. *)
 val default_config : config
 
 type t
 
+(** [journal], when given, receives an [Admit] record per admission, a
+    [Done] record (with the fault-plan stream positions) per completion
+    and a [Shed] record per shed — each flushed immediately, so a
+    SIGKILL leaves a loadable prefix. [expect], when given, is a
+    journaled completion sequence a recovering run must retrace: each
+    completion is checked against it in order and a divergence raises
+    [Failure]. *)
 val create :
   ?config:config ->
   ?fault_plan:Exochi_faults.Fault_plan.t ->
   ?trace:Exochi_obs.Trace.sink ->
+  ?journal:Journal.writer ->
+  ?expect:(int * int array) list ->
   unit ->
   t
 
@@ -97,8 +120,15 @@ val drain : t -> unit
 (** Serve a whole generated workload: admit arrivals as the simulated
     clock reaches them, dispatch between arrivals, idle-advance the
     clock when the server is ahead of the arrival process. Returns the
-    final statistics snapshot. *)
-val run : t -> Workload.t -> Server_stats.t
+    final statistics snapshot. [on_job_done] fires after each completed
+    job, after the workload's own bookkeeping (the CLI's
+    [--crash-after] hook). *)
+val run : ?on_job_done:(Job.t -> unit) -> t -> Workload.t -> Server_stats.t
+
+(** Journaled completions from [expect] not yet retraced by this run.
+    Zero after a finished recovery means the redo reproduced the
+    original run's entire completion prefix. *)
+val unverified : t -> int
 
 (** Statistics snapshot (including runtime recovery counters) at any
     point. *)

@@ -21,6 +21,13 @@ type recovery = {
   r_fallback_shreds : int;
   r_atr_retries : int;
   r_fatal : int;
+  r_sdc_corrupted : int;
+  r_sdc_detected : int;
+  r_audit_shreds : int;
+  r_hedges : int;
+  r_hedge_wins : int;
+  r_breaker_opens : int;
+  r_breaker_closes : int;
 }
 
 type t = {
@@ -276,6 +283,15 @@ let render t =
       r.r_faults_injected r.r_redispatches r.r_doorbell_redeliveries
       r.r_watchdog_kills r.r_quarantined_seqs r.r_fallback_shreds
       r.r_atr_retries r.r_fatal;
+  if
+    r.r_sdc_corrupted > 0 || r.r_sdc_detected > 0 || r.r_audit_shreds > 0
+    || r.r_hedges > 0 || r.r_breaker_opens > 0
+  then
+    line
+      "guard        : %d corruption(s), %d detected; %d audit shred(s); %d \
+       hedge(s) (%d won); breakers %d open / %d close"
+      r.r_sdc_corrupted r.r_sdc_detected r.r_audit_shreds r.r_hedges
+      r.r_hedge_wins r.r_breaker_opens r.r_breaker_closes;
   Buffer.contents b
 
 let to_json ?(extra = []) t =
@@ -328,6 +344,13 @@ let to_json ?(extra = []) t =
         ("fallback_shreds", i r.r_fallback_shreds);
         ("atr_retries", i r.r_atr_retries);
         ("fatal", i r.r_fatal);
+        ("sdc_corrupted", i r.r_sdc_corrupted);
+        ("sdc_detected", i r.r_sdc_detected);
+        ("audit_shreds", i r.r_audit_shreds);
+        ("hedges", i r.r_hedges);
+        ("hedge_wins", i r.r_hedge_wins);
+        ("breaker_opens", i r.r_breaker_opens);
+        ("breaker_closes", i r.r_breaker_closes);
       ]
   in
   J.to_string ~indent:2 (J.Obj fields)

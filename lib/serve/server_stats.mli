@@ -28,6 +28,16 @@ type recovery = {
   r_fallback_shreds : int;
   r_atr_retries : int;
   r_fatal : int;
+  r_sdc_corrupted : int;
+      (** output bytes flipped by the SDC model (ground truth) *)
+  r_sdc_detected : int;
+      (** corruptions caught by checksum/audit — equal to
+          [r_sdc_corrupted] when the guard is on: zero escapes *)
+  r_audit_shreds : int;  (** golden-replay audit executions charged *)
+  r_hedges : int;  (** straggler shreds given a backup dispatch *)
+  r_hedge_wins : int;  (** hedge races resolved by a retirement *)
+  r_breaker_opens : int;  (** circuit-breaker trips *)
+  r_breaker_closes : int;  (** probationary slot reinstatements *)
 }
 
 type t = {

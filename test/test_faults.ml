@@ -168,14 +168,14 @@ void main() {
 }
 |}
 
-let run_vadd rates =
+let run_vadd ?trace rates =
   let compiled =
     match Chilite_compile.compile ~name:"vadd" vadd_src with
     | Ok c -> c
     | Error e -> Alcotest.failf "compile: %s" (Exochi_isa.Loc.error_to_string e)
   in
   let fault_plan = Fault_plan.create ~seed:11L ~rates () in
-  let platform = Exo_platform.create ~fault_plan () in
+  let platform = Exo_platform.create ~fault_plan ?trace () in
   let prog = Chilite_run.load ~platform compiled in
   Chilite_run.run prog;
   check_bool "program output" true (Chilite_run.output prog = [ 1001; 255255 ]);
@@ -195,6 +195,43 @@ let test_watchdog_and_redispatch () =
   check_bool "watchdog reaped hung shreds" true (r.Chi_runtime.watchdog_kills > 0);
   check_bool "hung shreds were re-dispatched" true (r.Chi_runtime.redispatches > 0);
   check_int "nothing fatal" 0 r.Chi_runtime.fatal
+
+let test_redispatch_jitter () =
+  (* re-dispatch backoff is jittered over the top half of the exponential
+     window: a wave of shreds reaped together must not be released in
+     lock-step, and the jitter stream is part of the deterministic plan *)
+  let rates = { Fault_plan.zero_rates with Fault_plan.hang = 0.6 } in
+  let collect () =
+    let trace = Exochi_obs.Trace.create () in
+    ignore (run_vadd ~trace rates);
+    List.filter_map
+      (fun e ->
+        match e.Exochi_obs.Trace.kind with
+        | Exochi_obs.Trace.Redispatch { shred_id; attempt; delay_ps } ->
+          Some (e.Exochi_obs.Trace.ts_ps, shred_id, attempt, delay_ps)
+        | _ -> None)
+      (Exochi_obs.Trace.events trace)
+  in
+  let evs = collect () in
+  check_bool "re-dispatches happened" true (List.length evs >= 2);
+  (* jitter stays inside [base/2, base] of the exponential window *)
+  List.iter
+    (fun (_, _, attempt, delay_ps) ->
+      let base = 200_000 * (1 lsl min 8 (attempt - 1)) in
+      check_bool "delay within jitter window" true
+        (delay_ps >= base / 2 && delay_ps <= base))
+    evs;
+  (* no collisions: shreds reaped at the same instant with the same
+     attempt count get distinct release times *)
+  let release = Hashtbl.create 16 in
+  List.iter
+    (fun (ts, _, attempt, delay_ps) ->
+      let key = (ts, attempt, ts + delay_ps) in
+      check_bool "concurrent reaps decorrelated" false (Hashtbl.mem release key);
+      Hashtbl.replace release key ())
+    evs;
+  (* the jitter stream is seeded from the plan: equal seeds, equal waves *)
+  check_bool "jitter is deterministic" true (collect () = evs)
 
 let test_atr_platform_counter () =
   (* GTT corruption forces full proxy re-walks, which the transient
@@ -398,6 +435,7 @@ let () =
             test_lost_doorbell_redelivered;
           Alcotest.test_case "watchdog + redispatch" `Quick
             test_watchdog_and_redispatch;
+          Alcotest.test_case "redispatch jitter" `Quick test_redispatch_jitter;
           Alcotest.test_case "ATR platform counter" `Quick
             test_atr_platform_counter;
         ] );

@@ -1,0 +1,447 @@
+(* Exo-guard: FNV-1a integrity checksums, circuit-breaker state machine,
+   the crash-safe journal, and the guard stack end to end on the serving
+   pipeline — SDC detection with zero escapes, hedged re-dispatch,
+   probationary breaker reinstatement, all-breakers-open fallback, and
+   deterministic crash recovery. *)
+
+open Exochi_serving
+module Checksum = Exochi_guard.Checksum
+module Breaker = Exochi_guard.Breaker
+module Fault_plan = Exochi_faults.Fault_plan
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- FNV-1a checksums ---- *)
+
+let test_checksum_vectors () =
+  (* the canonical FNV-1a 64-bit test vectors *)
+  check_bool "empty" true (Checksum.of_string "" = 0xcbf29ce484222325L);
+  check_bool "a" true (Checksum.of_string "a" = 0xaf63dc4c8601ec8cL);
+  check_bool "foobar" true
+    (Checksum.of_string "foobar" = 0x85944171f73967e8L);
+  check_string "hex rendering" "cbf29ce484222325"
+    (Checksum.to_hex Checksum.offset_basis)
+
+let test_checksum_incremental () =
+  let whole = Checksum.of_string "exochi-guard" in
+  let parts =
+    Checksum.add_string (Checksum.add_string Checksum.offset_basis "exochi-")
+      "guard"
+  in
+  check_bool "incremental = whole" true (whole = parts);
+  check_bool "bytes = string" true
+    (Checksum.of_bytes (Bytes.of_string "exochi-guard") = whole);
+  check_bool "one flipped byte changes the sum" true
+    (Checksum.of_string "exochi-guarD" <> whole);
+  check_bool "int64 little-endian mix" true
+    (Checksum.add_int64 Checksum.offset_basis 0x0102030405060708L
+    = Checksum.of_string "\x08\x07\x06\x05\x04\x03\x02\x01")
+
+(* ---- breaker state machine ---- *)
+
+let test_breaker_trips_on_burst () =
+  let b = Breaker.create ~fail_threshold:3 ~cooldown_ps:1_000 in
+  check_bool "starts closed" true (Breaker.state b = Breaker.Closed);
+  check_bool "full health" true (Breaker.health b = 1.0);
+  Breaker.record_fail b;
+  Breaker.record_fail b;
+  check_bool "two fails: not yet" false (Breaker.should_open b);
+  Breaker.record_fail b;
+  check_bool "three consecutive fails trip" true (Breaker.should_open b);
+  Breaker.trip b ~now_ps:100;
+  check_bool "open" true (Breaker.state b = Breaker.Open);
+  check_int "one trip" 1 (Breaker.trips b)
+
+let test_breaker_trips_on_ewma () =
+  (* a 2:1 fail/ok mix never reaches the consecutive threshold but
+     grinds health down until the EWMA condition trips *)
+  let b = Breaker.create ~fail_threshold:1000 ~cooldown_ps:1_000 in
+  let tripped = ref false in
+  for _ = 1 to 50 do
+    if not !tripped then begin
+      Breaker.record_fail b;
+      if Breaker.should_open b then tripped := true
+      else begin
+        Breaker.record_fail b;
+        if Breaker.should_open b then tripped := true
+        else Breaker.record_ok b
+      end
+    end
+  done;
+  check_bool "health decayed" true (Breaker.health b < 0.6);
+  check_bool "EWMA condition eventually trips" true !tripped
+
+let test_breaker_probe_success_reinstates () =
+  let b = Breaker.create ~fail_threshold:2 ~cooldown_ps:1_000 in
+  Breaker.record_fail b;
+  Breaker.record_fail b;
+  Breaker.trip b ~now_ps:0;
+  check_bool "before cooldown: stays open" false (Breaker.poll b ~now_ps:500);
+  check_bool "after cooldown: half-open" true (Breaker.poll b ~now_ps:1_000);
+  check_bool "poll fires exactly once" false (Breaker.poll b ~now_ps:2_000);
+  check_bool "half-open" true (Breaker.state b = Breaker.Half_open);
+  Breaker.record_ok b;
+  Breaker.close b;
+  check_bool "probe success closes" true (Breaker.state b = Breaker.Closed);
+  check_bool "health restored to at least 0.5" true (Breaker.health b >= 0.5);
+  check_int "cooldown reset" 1_000 (Breaker.cooldown_ps b)
+
+let test_breaker_probe_failure_doubles_cooldown () =
+  let b = Breaker.create ~fail_threshold:2 ~cooldown_ps:1_000 in
+  Breaker.record_fail b;
+  Breaker.record_fail b;
+  Breaker.trip b ~now_ps:0;
+  ignore (Breaker.poll b ~now_ps:1_000);
+  (* the probe fails: re-open with a doubled cool-down *)
+  Breaker.record_fail b;
+  Breaker.trip b ~now_ps:1_500;
+  check_bool "re-opened" true (Breaker.state b = Breaker.Open);
+  check_int "cooldown doubled" 2_000 (Breaker.cooldown_ps b);
+  check_bool "not yet: doubled window" false (Breaker.poll b ~now_ps:3_000);
+  check_bool "half-open after doubled window" true
+    (Breaker.poll b ~now_ps:3_500);
+  (* repeated probe failures converge to the 256x cap *)
+  for i = 0 to 20 do
+    Breaker.record_fail b;
+    Breaker.trip b ~now_ps:(10_000 * (i + 1));
+    ignore (Breaker.poll b ~now_ps:max_int)
+  done;
+  check_int "cooldown capped at 256x base" 256_000 (Breaker.cooldown_ps b)
+
+(* ---- journal framing + replay ---- *)
+
+let temp_path name = Filename.temp_file "exochi-guard" name
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+let test_journal_roundtrip () =
+  let path = temp_path "journal" in
+  let fp = Journal.fingerprint [ "closed"; "42"; "7:0.001" ] in
+  let w = Journal.start path ~fingerprint:fp in
+  Journal.record w (Journal.Admit { job = 0; at_ps = 10 });
+  Journal.record w (Journal.Admit { job = 1; at_ps = 12 });
+  Journal.record w
+    (Journal.Done { job = 0; done_ps = 99; drawn = [| 1; 2; 3; 4; 5 |] });
+  Journal.record w (Journal.Shed { job = 1; reason = "queue-full" });
+  Journal.close w;
+  let rp = Journal.load path in
+  check_bool "fingerprint" true (rp.Journal.rp_fingerprint = Some fp);
+  check_bool "not truncated" false rp.Journal.rp_truncated;
+  check_int "no garbled records" 0 rp.Journal.rp_garbled;
+  check_bool "admissions in order" true
+    (rp.Journal.rp_admitted = [ (0, 10); (1, 12) ]);
+  check_bool "completion carries stream positions" true
+    (rp.Journal.rp_completed = [ (0, [| 1; 2; 3; 4; 5 |]) ]);
+  check_bool "shed recorded" true (rp.Journal.rp_shed = [ (1, "queue-full") ]);
+  check_bool "nothing unacked" true (Journal.unacked rp = []);
+  Sys.remove path
+
+let test_journal_torn_tail () =
+  let path = temp_path "torn" in
+  let fp = Journal.fingerprint [ "x" ] in
+  let w = Journal.start path ~fingerprint:fp in
+  for j = 0 to 9 do
+    Journal.record w (Journal.Admit { job = j; at_ps = j })
+  done;
+  Journal.close w;
+  let whole = read_file path in
+  (* tear mid-frame: drop the last 5 bytes *)
+  write_file path (String.sub whole 0 (String.length whole - 5));
+  let rp = Journal.load path in
+  check_bool "torn tail detected" true rp.Journal.rp_truncated;
+  check_bool "fingerprint survives" true (rp.Journal.rp_fingerprint = Some fp);
+  check_int "clean prefix kept" 9 (List.length rp.Journal.rp_admitted);
+  (* a checksum-corrupt record is dropped the same way *)
+  let flip = Bytes.of_string whole in
+  let pos = String.length whole - 3 in
+  Bytes.set flip pos (Char.chr (Char.code (Bytes.get flip pos) lxor 0x40));
+  write_file path (Bytes.to_string flip);
+  let rp = Journal.load path in
+  check_bool "corrupt tail detected" true rp.Journal.rp_truncated;
+  check_int "prefix before corruption kept" 9
+    (List.length rp.Journal.rp_admitted);
+  check_bool "stranded admissions reported" true
+    (List.length (Journal.unacked rp) = 9);
+  Sys.remove path
+
+let test_journal_missing_file () =
+  let path = temp_path "missing" in
+  Sys.remove path;
+  let rp = Journal.load path in
+  check_bool "no fingerprint" true (rp.Journal.rp_fingerprint = None);
+  check_bool "empty" true (rp.Journal.rp_admitted = []);
+  check_bool "not truncated" false rp.Journal.rp_truncated
+
+(* ---- fault-plan stream positions ---- *)
+
+let test_drawn_counts () =
+  let plan =
+    Fault_plan.create ~seed:3L
+      ~rates:{ Fault_plan.zero_rates with Fault_plan.hang = 0.5 }
+      ()
+  in
+  for _ = 1 to 100 do
+    ignore (Fault_plan.decide plan Fault_plan.Shred_hang);
+    ignore (Fault_plan.decide plan Fault_plan.Gtt_corrupt)
+  done;
+  check_int "every decide on a hot class is one draw" 100
+    (Fault_plan.drawn plan Fault_plan.Shred_hang);
+  check_int "zero-rate classes never draw" 0
+    (Fault_plan.drawn plan Fault_plan.Gtt_corrupt);
+  let counts = Fault_plan.drawn_counts plan in
+  check_int "counts in class order" 100 counts.(0);
+  check_bool "fresh copy" true
+    (counts.(0) <- 0;
+     Fault_plan.drawn plan Fault_plan.Shred_hang = 100)
+
+(* ---- the guard stack on the serving pipeline ---- *)
+
+let closed ?(clients = 3) () =
+  Workload.Closed { clients_per_tenant = clients; think_ps = 0 }
+
+let serve_once ?(jobs = 50) ?(seed = 42L) ?fault_plan config =
+  let server = Server.create ~config ?fault_plan () in
+  let wl = Workload.create (Workload.default_spec ~seed ~tenants:2 ~jobs (closed ())) in
+  Server.run server wl
+
+let guarded ?(audit = 0.05) ?(hedge_us = 0) ?(cooldown_us = 0) () =
+  {
+    Server.default_config with
+    guard = Some { Server.g_audit_frac = audit };
+    hedge_after_ps = hedge_us * 1_000_000;
+    breaker_cooldown_ps = cooldown_us * 1_000_000;
+  }
+
+let test_sdc_zero_escapes () =
+  (* GTT/CEH faults at 1e-3 flip output bytes; every flip must be
+     detected — the acceptance bar is zero undetected wrong results *)
+  let fault_plan =
+    Fault_plan.create ~seed:7L
+      ~rates:
+        {
+          Fault_plan.zero_rates with
+          Fault_plan.gtt_corrupt = 0.001;
+          ceh_spurious = 0.001;
+        }
+      ()
+  in
+  let st = serve_once ~fault_plan (guarded ()) in
+  let r = st.Server_stats.recovery in
+  check_bool "corruption actually happened" true
+    (r.Server_stats.r_sdc_corrupted > 0);
+  check_int "zero undetected wrong results" r.Server_stats.r_sdc_corrupted
+    r.Server_stats.r_sdc_detected;
+  check_bool "audits sampled and charged" true
+    (r.Server_stats.r_audit_shreds > 0);
+  check_int "all jobs completed" st.Server_stats.submitted
+    st.Server_stats.completed;
+  check_int "nothing fatal" 0 r.Server_stats.r_fatal
+
+let test_guard_off_counts_nothing () =
+  let fault_plan =
+    Fault_plan.create ~seed:7L ~rates:(Fault_plan.uniform_rates 0.001) ()
+  in
+  let st = serve_once ~fault_plan Server.default_config in
+  let r = st.Server_stats.recovery in
+  check_int "no SDC model without the guard" 0 r.Server_stats.r_sdc_corrupted;
+  check_int "no audits" 0 r.Server_stats.r_audit_shreds;
+  check_int "no hedges" 0 r.Server_stats.r_hedges;
+  check_int "no breaker activity" 0 r.Server_stats.r_breaker_opens
+
+let test_hedging_rescues_stragglers () =
+  let fault_plan =
+    Fault_plan.create ~seed:5L
+      ~rates:{ Fault_plan.zero_rates with Fault_plan.hang = 0.02 }
+      ()
+  in
+  let st = serve_once ~fault_plan (guarded ~hedge_us:300 ()) in
+  let r = st.Server_stats.recovery in
+  check_bool "stragglers were hedged" true (r.Server_stats.r_hedges > 0);
+  check_bool "some hedges won the race" true (r.Server_stats.r_hedge_wins > 0);
+  check_bool "wins bounded by hedges" true
+    (r.Server_stats.r_hedge_wins <= r.Server_stats.r_hedges);
+  check_int "all jobs completed" st.Server_stats.submitted
+    st.Server_stats.completed;
+  check_int "nothing fatal" 0 r.Server_stats.r_fatal
+
+let test_breakers_reinstate_within_run () =
+  (* a hang burst trips breakers; the cool-down elapses within the run
+     and successful probes must reinstate at least one sequencer *)
+  let fault_plan =
+    Fault_plan.create ~seed:9L
+      ~rates:{ Fault_plan.zero_rates with Fault_plan.hang = 0.3 }
+      ()
+  in
+  let st = serve_once ~jobs:60 ~fault_plan (guarded ~cooldown_us:500 ()) in
+  let r = st.Server_stats.recovery in
+  check_bool "breakers tripped" true (r.Server_stats.r_breaker_opens > 0);
+  check_bool "at least one probationary reinstatement" true
+    (r.Server_stats.r_breaker_closes >= 1);
+  check_int "all jobs completed" st.Server_stats.submitted
+    st.Server_stats.completed;
+  check_int "nothing fatal" 0 r.Server_stats.r_fatal
+
+let test_all_breakers_open_falls_back () =
+  (* every shred hangs and the cool-down never elapses inside the run:
+     all 32 breakers converge to Open and the stranded work must drain
+     through the IA32 whole-shred fallback, still with zero fatalities *)
+  let fault_plan =
+    Fault_plan.create ~seed:2L
+      ~rates:{ Fault_plan.zero_rates with Fault_plan.hang = 1.0 }
+      ()
+  in
+  let st =
+    serve_once ~jobs:12 ~fault_plan (guarded ~cooldown_us:1_000_000 ())
+  in
+  let r = st.Server_stats.recovery in
+  check_bool "breakers opened" true (r.Server_stats.r_breaker_opens > 0);
+  check_int "no reinstatement inside the run" 0
+    r.Server_stats.r_breaker_closes;
+  check_bool "IA32 fallback carried the work" true
+    (r.Server_stats.r_fallback_shreds > 0);
+  check_int "all jobs completed" st.Server_stats.submitted
+    st.Server_stats.completed;
+  check_int "nothing fatal" 0 r.Server_stats.r_fatal
+
+(* ---- crash recovery end to end ---- *)
+
+let test_recovery_reproduces_run () =
+  let path = temp_path "recover" in
+  let fp = Journal.fingerprint [ "guard-recovery-test" ] in
+  let fault_plan () =
+    Fault_plan.create ~seed:7L ~rates:(Fault_plan.uniform_rates 0.001) ()
+  in
+  let workload () =
+    Workload.create
+      (Workload.default_spec ~seed:42L ~tenants:2 ~jobs:40 (closed ()))
+  in
+  let config = guarded ~hedge_us:300 ~cooldown_us:500 () in
+  (* uninterrupted baseline, fully journaled *)
+  let w = Journal.start path ~fingerprint:fp in
+  let server =
+    Server.create ~config ~fault_plan:(fault_plan ()) ~journal:w ()
+  in
+  let baseline = Server_stats.to_json (Server.run server (workload ())) in
+  Journal.close w;
+  let baseline_journal = read_file path in
+  (* simulate a SIGKILL: keep only a torn prefix of the journal *)
+  write_file path
+    (String.sub baseline_journal 0 (String.length baseline_journal * 3 / 5));
+  let rp = Journal.load path in
+  check_bool "prefix has completions to verify" true
+    (rp.Journal.rp_completed <> []);
+  check_bool "crash stranded un-acked jobs" true (Journal.unacked rp <> []);
+  (* recover: redo from start, verifying against the journaled prefix *)
+  let w = Journal.start path ~fingerprint:fp in
+  let server =
+    Server.create ~config ~fault_plan:(fault_plan ()) ~journal:w
+      ~expect:rp.Journal.rp_completed ()
+  in
+  let recovered = Server_stats.to_json (Server.run server (workload ())) in
+  Journal.close w;
+  check_bool "every journaled completion retraced" true
+    (Server.unverified server = 0);
+  check_string "metrics bit-identical to the uninterrupted run" baseline
+    recovered;
+  check_string "journal rewritten byte-identical" baseline_journal
+    (read_file path);
+  Sys.remove path
+
+let test_recovery_divergence_detected () =
+  (* a journal from a different run must not verify: poison one drawn
+     count in the expected completion sequence *)
+  let fault_plan =
+    Fault_plan.create ~seed:7L ~rates:(Fault_plan.uniform_rates 0.001) ()
+  in
+  let wl =
+    Workload.create
+      (Workload.default_spec ~seed:42L ~tenants:2 ~jobs:20 (closed ()))
+  in
+  let server =
+    Server.create ~config:(guarded ()) ~fault_plan
+      ~expect:[ (999, [| 1; 2; 3; 4; 5 |]) ]
+      ()
+  in
+  match Server.run server wl with
+  | (_ : Server_stats.t) -> Alcotest.fail "divergent replay must raise"
+  | exception Failure msg ->
+    check_bool "error names the divergence" true
+      (Astring.String.is_infix ~affix:"divergence" msg)
+
+(* ---- guard counters surface in the stats JSON ---- *)
+
+let test_guard_json_fields () =
+  let fault_plan =
+    Fault_plan.create ~seed:7L ~rates:(Fault_plan.uniform_rates 0.001) ()
+  in
+  let st = serve_once ~fault_plan (guarded ~hedge_us:300 ~cooldown_us:500 ()) in
+  let json = Server_stats.to_json st in
+  List.iter
+    (fun field ->
+      check_bool (field ^ " present") true
+        (Astring.String.is_infix ~affix:(Printf.sprintf "%S" field) json))
+    [
+      "sdc_corrupted"; "sdc_detected"; "audit_shreds"; "hedges";
+      "hedge_wins"; "breaker_opens"; "breaker_closes";
+    ]
+
+let () =
+  Alcotest.run "guard"
+    [
+      ( "checksum",
+        [
+          Alcotest.test_case "FNV-1a vectors" `Quick test_checksum_vectors;
+          Alcotest.test_case "incremental" `Quick test_checksum_incremental;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips on burst" `Quick test_breaker_trips_on_burst;
+          Alcotest.test_case "trips on EWMA decay" `Quick
+            test_breaker_trips_on_ewma;
+          Alcotest.test_case "probe success reinstates" `Quick
+            test_breaker_probe_success_reinstates;
+          Alcotest.test_case "probe failure doubles cooldown" `Quick
+            test_breaker_probe_failure_doubles_cooldown;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "missing file" `Quick test_journal_missing_file;
+        ] );
+      ( "fault streams",
+        [ Alcotest.test_case "drawn counts" `Quick test_drawn_counts ] );
+      ( "serving",
+        [
+          Alcotest.test_case "SDC: zero escapes" `Quick test_sdc_zero_escapes;
+          Alcotest.test_case "guard off counts nothing" `Quick
+            test_guard_off_counts_nothing;
+          Alcotest.test_case "hedging rescues stragglers" `Quick
+            test_hedging_rescues_stragglers;
+          Alcotest.test_case "breakers reinstate within run" `Quick
+            test_breakers_reinstate_within_run;
+          Alcotest.test_case "all breakers open -> IA32 fallback" `Quick
+            test_all_breakers_open_falls_back;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "crash + recover reproduces run" `Quick
+            test_recovery_reproduces_run;
+          Alcotest.test_case "divergence detected" `Quick
+            test_recovery_divergence_detected;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "JSON fields" `Quick test_guard_json_fields ] );
+    ]
