@@ -1,16 +1,20 @@
 (* Compile and execute a CHI-lite program on the simulated EXO platform.
 
      exochi_run prog.chi [--memmodel cc|noncc|copy] [--faults SEED:RATE]
-                [--trace out.json] [--metrics]
+                [--trace out.json] [--capacity N] [--metrics]
+                [--profile out.speedscope.json]
 
    print_int output goes to stdout; a simulated-platform summary follows.
    --faults installs a deterministic fault-injection plan (uniform
    per-class rate) and the self-healing runtime absorbs the faults.
    --trace records every platform event and writes a Chrome/Perfetto
    trace-event file (open in about:tracing or ui.perfetto.dev), one track
-   per exo-sequencer plus the IA32 proxy track. --metrics prints the
-   aggregated per-run metrics (occupancy, latency percentiles, proxy
-   breakdowns) to stderr; both flags may be combined. *)
+   per exo-sequencer plus the IA32 proxy track; --capacity sets the event
+   ring size. --metrics prints the aggregated per-run metrics (occupancy,
+   latency percentiles, proxy breakdowns) to stderr. --profile collects
+   an exact per-instruction cost profile (exo frames anchored to their
+   .chi sections) and writes speedscope JSON plus a
+   collapsed-stack .collapsed sibling. All flags may be combined. *)
 
 open Exochi_core
 
@@ -94,19 +98,47 @@ let () =
       in
       find rest
     in
+    let profile_out =
+      let rec find = function
+        | "--profile" :: file :: _ -> Some file
+        | [ "--profile" ] ->
+          prerr_endline "--profile requires an output file";
+          exit 1
+        | _ :: r -> find r
+        | [] -> None
+      in
+      find rest
+    in
+    let capacity =
+      let rec find = function
+        | "--capacity" :: n :: _ -> (
+          match int_of_string_opt n with
+          | Some c when c > 0 -> Some c
+          | _ ->
+            prerr_endline "--capacity requires a positive integer";
+            exit 1)
+        | [ "--capacity" ] ->
+          prerr_endline "--capacity requires an argument";
+          exit 1
+        | _ :: r -> find r
+        | [] -> None
+      in
+      find rest
+    in
     let want_metrics = List.mem "--metrics" rest in
     let trace =
       if trace_out <> None || want_metrics then
-        Some (Exochi_obs.Trace.create ())
+        Some (Exochi_obs.Trace.create ?capacity ())
       else None
     in
+    let profile = Option.map (fun _ -> Exochi_obs.Profile.create ()) profile_out in
     (match Chilite_compile.compile ~name src with
     | Error e ->
       prerr_endline (Exochi_isa.Loc.error_to_string e);
       exit 1
     | Ok compiled ->
       let platform = Exo_platform.create ~memmodel ?fault_plan ?trace () in
-      let prog = Chilite_run.load ~platform compiled in
+      let prog = Chilite_run.load ?profile ~platform compiled in
       Chilite_run.run prog;
       Exo_platform.emit_mem_counters platform;
       Option.iter
@@ -124,10 +156,34 @@ let () =
               (Exochi_obs.Trace_export.track_count sink)
               file
           | None -> ());
-          if want_metrics then
+          if want_metrics then begin
             prerr_string
-              (Exochi_obs.Metrics.render (Exochi_obs.Metrics.of_sink sink)))
+              (Exochi_obs.Metrics.render (Exochi_obs.Metrics.of_sink sink));
+            let dropped = Exochi_obs.Trace.dropped sink in
+            if dropped > 0 then
+              Printf.eprintf
+                "WARNING: %d events dropped — windowed percentiles (raise \
+                 --capacity or attach a live tap for exact statistics)\n"
+                dropped
+          end)
         trace;
+      (match (profile, profile_out) with
+      | Some p, Some file ->
+        let write path s =
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+              output_string oc s)
+        in
+        write file (Exochi_obs.Profile.to_speedscope p ~name);
+        write (file ^ ".collapsed") (Exochi_obs.Profile.to_collapsed p);
+        Printf.eprintf
+          "[exochi] profile: %.3f ms attributed (%.3f ms exo) written to %s \
+           (+ .collapsed)\n"
+          (float_of_int (Exochi_obs.Profile.total_ps p) /. 1e9)
+          (float_of_int (Exochi_obs.Profile.root_total_ps p ~prefix:"exo ")
+          /. 1e9)
+          file
+      | _ -> ());
       List.iter (fun v -> Printf.printf "%d\n" v) (Chilite_run.output prog);
       let cpu = Exo_platform.cpu platform in
       let gpu = Exo_platform.gpu platform in
@@ -161,6 +217,7 @@ let () =
   | _ ->
     prerr_endline
       "usage: exochi_run <prog.chi> [--memmodel cc|noncc|copy] [--faults \
-       SEED:RATE] [--trace out.json] [--metrics]\n\
+       SEED:RATE] [--trace out.json] [--capacity N] [--metrics] [--profile \
+       out.speedscope.json]\n\
       \       exochi_run --list-kernels";
     exit 1

@@ -7,10 +7,11 @@
                   [--deadline-us U] [--weights W,W,...] [--queue-cap N]
                   [--backlog N] [--batch-jobs N] [--batch-shreds N]
                   [--no-batch] [--faults SEED:RATE] [--metrics]
-                  [--json FILE] [--trace FILE]
+                  [--json FILE] [--trace FILE] [--capacity N]
                   [--guard] [--audit FRAC] [--hedge-us U] [--no-hedge]
                   [--breaker-cooldown-us U] [--journal FILE] [--recover]
-                  [--crash-after N]
+                  [--crash-after N] [--top] [--prom FILE]
+                  [--obs-interval-us U] [--profile FILE]
 
    Closed loop (default): --clients per tenant, each submitting its next
    job --think-us after the previous one finishes — the generator that
@@ -38,7 +39,19 @@
    checking each completion against the journaled sequence; the journal
    is rewritten, byte-identical to an uninterrupted run's. --crash-after
    N SIGKILLs the process after N completions (crash-drill hook for the
-   chaos test). *)
+   chaos test).
+
+   Exo-scope live observability: --top prints a dashboard snapshot line
+   to stderr every --obs-interval-us of simulated time (throughput,
+   goodput, per-tenant backlog, breaker states, p50/p99 from the exact
+   streaming tap); --prom FILE rewrites FILE with a Prometheus text
+   exposition at the same cadence. Both attach a Live aggregator to the
+   trace tap, so their statistics stay exact even after the bounded
+   event ring wraps. --capacity sets the ring size. --profile FILE
+   collects the exact per-instruction cost profile of every dispatched
+   kernel and writes speedscope JSON (+ a .collapsed flamegraph
+   sibling). None of these flags shape the schedule, so they are
+   excluded from the journal fingerprint. *)
 
 module Serve = Exochi_serving
 
@@ -50,9 +63,10 @@ let usage () =
     \         [--weights W,...] [--queue-cap N] [--backlog N]\n\
     \         [--batch-jobs N] [--batch-shreds N] [--no-batch]\n\
     \         [--faults SEED:RATE] [--metrics] [--json FILE] [--trace FILE]\n\
-    \         [--guard] [--audit FRAC] [--hedge-us U] [--no-hedge]\n\
-    \         [--breaker-cooldown-us U] [--journal FILE] [--recover]\n\
-    \         [--crash-after N]";
+    \         [--capacity N] [--guard] [--audit FRAC] [--hedge-us U]\n\
+    \         [--no-hedge] [--breaker-cooldown-us U] [--journal FILE]\n\
+    \         [--recover] [--crash-after N] [--top] [--prom FILE]\n\
+    \         [--obs-interval-us U] [--profile FILE]";
   exit 1
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
@@ -92,10 +106,13 @@ let () =
       "--think-us"; "--kernels"; "--shreds"; "--deadline-us"; "--weights";
       "--queue-cap"; "--backlog"; "--batch-jobs"; "--batch-shreds";
       "--no-batch"; "--faults"; "--metrics"; "--json"; "--trace";
-      "--guard"; "--audit"; "--hedge-us"; "--no-hedge";
-      "--breaker-cooldown-us"; "--journal"; "--recover"; "--crash-after" ]
+      "--capacity"; "--guard"; "--audit"; "--hedge-us"; "--no-hedge";
+      "--breaker-cooldown-us"; "--journal"; "--recover"; "--crash-after";
+      "--top"; "--prom"; "--obs-interval-us"; "--profile" ]
   in
-  let bare = [ "--no-batch"; "--metrics"; "--guard"; "--no-hedge"; "--recover" ] in
+  let bare =
+    [ "--no-batch"; "--metrics"; "--guard"; "--no-hedge"; "--recover"; "--top" ]
+  in
   let rec check = function
     | f :: rest when String.length f > 2 && String.sub f 0 2 = "--" ->
       if not (List.mem f known) then die "unknown option %s" f;
@@ -193,8 +210,36 @@ let () =
       | Error msg -> die "%s" msg)
   in
   let trace_out = opt "--trace" in
+  let top = flag "--top" in
+  let prom_out = opt "--prom" in
+  let profile_out = opt "--profile" in
+  let obs_interval_ps =
+    let us = int_opt "--obs-interval-us" 5000 in
+    if us <= 0 then die "--obs-interval-us must be positive";
+    us * 1_000_000
+  in
+  let capacity =
+    match opt "--capacity" with
+    | None -> None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some c when c > 0 -> Some c
+      | _ -> die "--capacity requires a positive integer")
+  in
+  (* the dashboard and exposition feed off the trace tap, so they need a
+     sink even when no trace file is written *)
   let trace =
-    if trace_out <> None then Some (Exochi_obs.Trace.create ()) else None
+    if trace_out <> None || top || prom_out <> None then
+      Some (Exochi_obs.Trace.create ?capacity ())
+    else None
+  in
+  let live =
+    match trace with
+    | Some sink when top || prom_out <> None ->
+      let l = Exochi_obs.Live.create () in
+      Exochi_obs.Live.attach l sink;
+      Some l
+    | _ -> None
   in
   (* Exo-guard stack: --guard is the umbrella; --audit implies the
      integrity checker; hedging/breakers can be tuned independently *)
@@ -290,6 +335,12 @@ let () =
     Option.map (fun p -> Serve.Journal.start p ~fingerprint) journal_path
   in
   let server = Serve.Server.create ~config ?fault_plan ?trace ?journal ?expect () in
+  let profile = Option.map (fun _ -> Exochi_obs.Profile.create ()) profile_out in
+  Option.iter
+    (fun p ->
+      Exochi_core.Exo_profiler.attach_gpu p
+        (Exochi_core.Exo_platform.gpu (Serve.Server.platform server)))
+    profile;
   let spec =
     {
       (Serve.Workload.default_spec ~seed ~tenants ~jobs mode) with
@@ -307,9 +358,98 @@ let () =
       (* a real crash: no atexit, no flush beyond the journal's own *)
       Unix.kill (Unix.getpid ()) Sys.sigkill
   in
-  let stats =
-    Serve.Server.run ~on_job_done server (Serve.Workload.create spec)
+  (* ---- Exo-scope dashboard & exposition (fed by the Live tap) ---- *)
+  let write_file path s =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc s)
   in
+  let top_line l =
+    let st = Serve.Server.stats server in
+    let h = Exochi_obs.Live.job_lat l in
+    let us ps = ps /. 1e6 in
+    let depths =
+      Serve.Server.tenant_depths server
+      |> Array.to_list
+      |> List.map (fun (n, d) -> Printf.sprintf "%s:%d" n d)
+      |> String.concat " "
+    in
+    Printf.sprintf
+      "[top] t=%9.3fms  done=%-5d shed=%-3d thr=%6.0f jobs/s  goodput=%6.0f  \
+       p50=%7.1fus p99=%7.1fus  depth=%d [%s]  breakers=%d"
+      (float_of_int (Serve.Server.now_ps server) /. 1e9)
+      (Exochi_obs.Live.jobs_done l)
+      (Exochi_obs.Live.jobs_shed l)
+      (Exochi_obs.Live.job_throughput_jps l)
+      st.Serve.Server_stats.goodput_jps
+      (us (Exochi_obs.Hist.quantile h 50.0))
+      (us (Exochi_obs.Hist.quantile h 99.0))
+      (Serve.Server.queue_depth server)
+      depths
+      (Serve.Server.breakers_open server)
+  in
+  let prom_text l =
+    let open Exochi_obs in
+    let h = Live.job_lat l in
+    let us ps = ps /. 1e6 in
+    let f = float_of_int in
+    Prom.to_text
+      [
+        Prom.gauge "exochi_sim_time_ms" ~help:"Simulated time"
+          (f (Serve.Server.now_ps server) /. 1e9);
+        Prom.counter "exochi_jobs_arrived_total" ~help:"Jobs past admission"
+          (f (Live.jobs_arrived l));
+        Prom.counter "exochi_jobs_done_total" ~help:"Jobs completed"
+          (f (Live.jobs_done l));
+        Prom.counter "exochi_jobs_shed_total" ~help:"Jobs rejected or dropped"
+          (f (Live.jobs_shed l));
+        Prom.counter "exochi_batches_total" ~help:"Coalesced teams dispatched"
+          (f (Live.batches l));
+        Prom.gauge "exochi_job_throughput_jps"
+          ~help:"Completed jobs per simulated second"
+          (Live.job_throughput_jps l);
+        Prom.gauge "exochi_job_latency_p50_us"
+          ~help:"Job latency p50 (exact streaming histogram)"
+          (us (Hist.quantile h 50.0));
+        Prom.gauge "exochi_job_latency_p99_us"
+          ~help:"Job latency p99 (exact streaming histogram)"
+          (us (Hist.quantile h 99.0));
+        Prom.multi "exochi_tenant_queue_depth" ~help:"Queued jobs per tenant"
+          Prom.Gauge
+          (Serve.Server.tenant_depths server
+          |> Array.to_list
+          |> List.map (fun (n, d) -> ([ ("tenant", n) ], f d)));
+        Prom.gauge "exochi_breakers_open" ~help:"Open circuit breakers"
+          (f (Serve.Server.breakers_open server));
+        Prom.counter "exochi_sdc_detected_total"
+          ~help:"Detected silent data corruptions"
+          (f (Live.sdc_detected l));
+        Prom.counter "exochi_trace_dropped_total"
+          ~help:"Events dropped by the bounded trace ring"
+          (f (match trace with Some s -> Trace.dropped s | None -> 0));
+      ]
+  in
+  let snapshot l =
+    if top then prerr_endline (top_line l);
+    Option.iter (fun file -> write_file file (prom_text l)) prom_out
+  in
+  (* last snapshot's simulated time; 0 also suppresses a t=0 snapshot *)
+  let last_obs = ref 0 in
+  let on_cycle () =
+    Option.iter
+      (fun l ->
+        let now = Serve.Server.now_ps server in
+        if now - !last_obs >= obs_interval_ps then begin
+          last_obs := now;
+          snapshot l
+        end)
+      live
+  in
+  let stats =
+    Serve.Server.run ~on_job_done ~on_cycle server (Serve.Workload.create spec)
+  in
+  (* final snapshot so --prom always reflects the finished run *)
+  Option.iter snapshot live;
   Option.iter Serve.Journal.close journal;
   if recover then begin
     let left = Serve.Server.unverified server in
@@ -329,6 +469,26 @@ let () =
   in
   if flag "--metrics" then print_endline json
   else print_string (Serve.Server_stats.render stats);
+  (match trace with
+  | Some sink when flag "--metrics" && Exochi_obs.Trace.dropped sink > 0 ->
+    Printf.eprintf
+      "WARNING: %d events dropped — windowed percentiles (raise --capacity; \
+       Live tap statistics above stay exact)\n"
+      (Exochi_obs.Trace.dropped sink)
+  | _ -> ());
+  (match (profile, profile_out) with
+  | Some p, Some file ->
+    write_file file
+      (Exochi_obs.Profile.to_speedscope p
+         ~name:(Printf.sprintf "exochi_serve %s seed %Ld" mode_name seed));
+    write_file (file ^ ".collapsed") (Exochi_obs.Profile.to_collapsed p);
+    Printf.eprintf
+      "[exochi] profile: %.3f ms exo-sequencer cost attributed, written to \
+       %s (+ .collapsed)\n"
+      (float_of_int (Exochi_obs.Profile.root_total_ps p ~prefix:"exo ")
+      /. 1e9)
+      file
+  | _ -> ());
   (match opt "--json" with
   | None -> ()
   | Some file ->

@@ -1,11 +1,14 @@
 (* Validate an exported Chrome/Perfetto trace-event file:
 
-     exochi_trace_lint trace.json [--min-tracks N]
+     exochi_trace_lint trace.json [--min-tracks N] [--allow-dropped]
 
    Checks the file is well-formed JSON with a traceEvents array, that
    every event carries ph/pid/tid/ts (dur on "X" slices), and that
-   timestamps are monotonically non-decreasing per track. CI runs this
-   over the example trace it uploads as an artifact. Exit 0 on success. *)
+   timestamps are monotonically non-decreasing per track. A file whose
+   exochi_sink metadata records ring drops fails the lint — the export
+   is a tail window of the run, not the run — unless --allow-dropped is
+   given. CI runs this over the example trace it uploads as an artifact.
+   Exit 0 on success. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -15,18 +18,29 @@ let read_file path =
 
 let () =
   let usage () =
-    prerr_endline "usage: exochi_trace_lint <trace.json> [--min-tracks N]";
+    prerr_endline
+      "usage: exochi_trace_lint <trace.json> [--min-tracks N] \
+       [--allow-dropped]";
     exit 2
   in
   match Array.to_list Sys.argv with
   | _ :: path :: rest ->
-    let min_tracks =
-      match rest with
-      | [] -> 0
-      | [ "--min-tracks"; n ] -> (
-        match int_of_string_opt n with Some n -> n | None -> usage ())
+    let min_tracks = ref 0 and allow_dropped = ref false in
+    let rec parse = function
+      | [] -> ()
+      | "--min-tracks" :: n :: r -> (
+        match int_of_string_opt n with
+        | Some n ->
+          min_tracks := n;
+          parse r
+        | None -> usage ())
+      | "--allow-dropped" :: r ->
+        allow_dropped := true;
+        parse r
       | _ -> usage ()
     in
+    parse rest;
+    let min_tracks = !min_tracks and allow_dropped = !allow_dropped in
     let text =
       try read_file path
       with Sys_error msg ->
@@ -44,9 +58,20 @@ let () =
           path v.Exochi_obs.Trace_export.tracks min_tracks;
         exit 1
       end;
+      if v.Exochi_obs.Trace_export.dropped > 0 && not allow_dropped then begin
+        Printf.eprintf
+          "exochi_trace_lint: %s: %d event(s) dropped — the ring wrapped, \
+           so this export is a tail window of the run, not the run \
+           (re-record with a larger --capacity, or pass --allow-dropped)\n"
+          path v.Exochi_obs.Trace_export.dropped;
+        exit 1
+      end;
       Printf.printf
-        "%s: OK (%d track(s), %d event(s), %d counter sample(s); per-track \
-         timestamps monotonic)\n"
+        "%s: OK (%d track(s), %d event(s), %d counter sample(s)%s; \
+         per-track timestamps monotonic)\n"
         path v.Exochi_obs.Trace_export.tracks v.Exochi_obs.Trace_export.events
-        v.Exochi_obs.Trace_export.counters)
+        v.Exochi_obs.Trace_export.counters
+        (if v.Exochi_obs.Trace_export.dropped > 0 then
+           Printf.sprintf ", %d dropped" v.Exochi_obs.Trace_export.dropped
+         else ""))
   | _ -> usage ()

@@ -124,6 +124,12 @@ type t = {
   mutable sampler_reqs : int;
   mutable last_done : int; (* time the most recent shred finished *)
   mutable operand_stall_ps : int;
+  (* Exo-scope profiler hook: called once per retired instruction with
+     the bound program, the pc that issued, and its exact simulated cost
+     in ps. Must be pure accumulation — no clock / PRNG / machine state —
+     so profiled runs stay bit- and time-identical (same contract as the
+     trace sink). *)
+  mutable prof : (prog:program -> pc:int -> cost_ps:int -> unit) option;
 }
 
 let mk_ctx () =
@@ -184,7 +190,11 @@ let create ?(config = default_config) ~aspace ~bus ~hooks () =
     sampler_reqs = 0;
     last_done = 0;
     operand_stall_ps = 0;
+    prof = None;
   }
+
+let set_profiler t f = t.prof <- Some f
+let clear_profiler t = t.prof <- None
 
 let config t = t.cfg
 let clock t = t.clock
@@ -1193,20 +1203,29 @@ let step_eu t eu target_ps =
       eu.streak <- eu.streak + 1;
       eu.current <- slot;
       let ctx = eu.ctxs.(slot) in
-      let cycles = issue_cycles (Option.get t.binding).prog.instrs.(ctx.pc) in
+      let prog = (Option.get t.binding).prog in
+      let pc0 = ctx.pc in
+      let cycles = issue_cycles prog.instrs.(pc0) in
+      let profile cost_cyc =
+        match t.prof with
+        | None -> ()
+        | Some f -> f ~prog ~pc:pc0 ~cost_ps:(cost_cyc * t.cycle)
+      in
       (match exec_instr t eu slot with
       | Advance ->
         ctx.pc <- ctx.pc + 1;
         t.retired <- t.retired + 1;
         incr retired_here;
         t.busy_cyc <- t.busy_cyc + cycles;
-        eu.now <- eu.now + (cycles * t.cycle)
+        eu.now <- eu.now + (cycles * t.cycle);
+        profile cycles
       | Goto pc ->
         ctx.pc <- pc;
         t.retired <- t.retired + 1;
         incr retired_here;
         t.busy_cyc <- t.busy_cyc + cycles + 2;
-        eu.now <- eu.now + ((cycles + 2) * t.cycle)
+        eu.now <- eu.now + ((cycles + 2) * t.cycle);
+        profile (cycles + 2)
       | Replay ps ->
         ctx.state <- Stalled (max ps (eu.now + t.cycle))
       | Finished ->

@@ -81,6 +81,24 @@ val create :
 
 val config : t -> config
 val clock : t -> Exochi_util.Timebase.clock
+
+(** {1 Profiling (Exo-scope)}
+
+    [set_profiler t f] installs a per-instruction attribution hook: [f]
+    is called once for every retired instruction with the bound program,
+    the pc that issued, and the {e exact} simulated cost charged to the
+    sequencer clock ([cycles * cycle] for straight-line issue,
+    [(cycles + 2) * cycle] for taken branches). The terminal [end]
+    instruction's bare retire cycle is charged to the machine as
+    non-busy time and is deliberately {e not} reported, so the sum of
+    reported costs equals [busy_cycles * ps_per_cycle clock] exactly
+    (enforced by [test/test_obs.ml]). The hook must be pure accumulation
+    — no clock, PRNG or machine state — to preserve the bit-and-time
+    identity of profiled runs. *)
+val set_profiler :
+  t -> (prog:X3k_ast.program -> pc:int -> cost_ps:int -> unit) -> unit
+
+val clear_profiler : t -> unit
 val cache : t -> Exochi_memory.Cache.t
 val tlb : t -> Exochi_memory.Pte.X3k.t Exochi_memory.Tlb.t
 

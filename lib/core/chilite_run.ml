@@ -8,6 +8,7 @@ type t = {
   loaded : Machine.loaded;
   global_addrs : (string * int) list;
   progs : Exochi_isa.X3k_ast.program array; (* section id -> program *)
+  profile : Exochi_obs.Profile.t option;
   mutable descriptors : Chi_descriptor.t list;
   mutable team : Chi_runtime.team option;
   mutable output_rev : int list;
@@ -15,7 +16,7 @@ type t = {
 
 let stack_bytes = 256 * 1024
 
-let load ~platform (compiled : Chilite_compile.compiled) =
+let load ?profile ~platform (compiled : Chilite_compile.compiled) =
   let aspace = Exo_platform.aspace platform in
   (* globals *)
   let global_addrs =
@@ -51,6 +52,25 @@ let load ~platform (compiled : Chilite_compile.compiled) =
   Machine.set_reg cpu Exochi_isa.Via32_ast.ESP
     (Int32.of_int (stack + stack_bytes - 64));
   let loaded = Machine.load_program via ~symbols:global_addrs in
+  (* exo frames anchor to the .chi parallel section that produced the
+     program: "exo <section> (<file>:<line>)" *)
+  Option.iter
+    (fun p ->
+      Exo_profiler.attach_gpu p
+        (Exo_platform.gpu platform)
+        ~root_of:(fun prog ->
+          match
+            List.find_opt
+              (fun (s : Chilite_compile.section_info) ->
+                s.Chilite_compile.sec_name = prog.Exochi_isa.X3k_ast.name)
+              compiled.Chilite_compile.sections
+          with
+          | Some s ->
+            Printf.sprintf "exo %s (%s:%d)" s.Chilite_compile.sec_name
+              s.Chilite_compile.ploc.Exochi_isa.Loc.file
+              s.Chilite_compile.ploc.Exochi_isa.Loc.line
+          | None -> "exo " ^ prog.Exochi_isa.X3k_ast.name))
+    profile;
   {
     platform;
     rt = Chi_runtime.create ~platform ();
@@ -58,6 +78,7 @@ let load ~platform (compiled : Chilite_compile.compiled) =
     loaded;
     global_addrs;
     progs;
+    profile;
     descriptors = [];
     team = None;
     output_rev = [];
@@ -168,9 +189,12 @@ let run t =
         (Exochi_accel.Gpu.run_until (Exo_platform.gpu t.platform) !last_sync)
     end
   in
+  let on_instr =
+    Option.map (fun p -> Exo_profiler.ia32_on_instr p t.loaded) t.profile
+  in
   match
-    Machine.run cpu t.loaded ~poll ~entry:0 ~intrinsics:(fun name cpu ->
-        intrinsic t name cpu)
+    Machine.run cpu ?on_instr t.loaded ~poll ~entry:0
+      ~intrinsics:(fun name cpu -> intrinsic t name cpu)
   with
   | Machine.Halted | Machine.Ret_to_host ->
     (* an outstanding nowait team still completes at program exit *)

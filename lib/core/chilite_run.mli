@@ -11,7 +11,16 @@
 
 type t
 
-val load : platform:Exo_platform.t -> Chilite_compile.compiled -> t
+(** [load ?profile ~platform compiled] prepares the program. When
+    [profile] is given, an exact attribution profile is collected during
+    {!run}: X3K cost lands under ["exo <section> (<file>:<line>)"] roots
+    (one per [#pragma omp parallel] section, anchored to its source
+    line) and IA32 cost under ["ia32 main"] ({!Exo_profiler}). *)
+val load :
+  ?profile:Exochi_obs.Profile.t ->
+  platform:Exo_platform.t ->
+  Chilite_compile.compiled ->
+  t
 val runtime : t -> Chi_runtime.t
 
 (** Run [main] to completion. Raises [Failure] on runtime errors (unknown

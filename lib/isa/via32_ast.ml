@@ -244,6 +244,10 @@ let pp_instr fmt i =
          pp_operand)
       ops
 
+(* Profiler frame label: zero-padded pc + rendered instruction, so
+   frames sort in program order inside a flamegraph. *)
+let frame_name pc instr = Format.asprintf "%03d %a" pc pp_instr instr
+
 let pp_program fmt p =
   Format.fprintf fmt "; program %s (%d instrs)@." p.name (Array.length p.instrs);
   Array.iteri

@@ -136,4 +136,7 @@ type program = {
 val call_target : program -> int -> call_target option
 val pp_operand : Format.formatter -> operand -> unit
 val pp_instr : Format.formatter -> instr -> unit
+
+(** Profiler frame label for instruction [pc]: ["012 add eax, 4"]. *)
+val frame_name : int -> instr -> string
 val pp_program : Format.formatter -> program -> unit

@@ -215,6 +215,11 @@ let pp_instr ~surfaces fmt i =
          pp_op)
       srcs)
 
+(* Profiler frame label: zero-padded pc + rendered instruction, so
+   frames sort in program order inside a flamegraph. *)
+let frame_name ~surfaces pc instr =
+  Format.asprintf "%03d %a" pc (pp_instr ~surfaces) instr
+
 let pp_program fmt p =
   Format.fprintf fmt "; program %s (%d instrs, %d surfaces)@." p.name
     (Array.length p.instrs)

@@ -154,5 +154,9 @@ val surf_name : string array -> int -> string
 val pp_operand : surfaces:string array -> Format.formatter -> operand -> unit
 val pp_instr : surfaces:string array -> Format.formatter -> instr -> unit
 
+(** Profiler frame label for instruction [pc]: ["003 mul.8.dw ..."] —
+    zero-padded pc keeps frames in program order in flamegraphs. *)
+val frame_name : surfaces:string array -> int -> instr -> string
+
 (** Disassemble a whole program, with labels re-attached. *)
 val pp_program : Format.formatter -> program -> unit

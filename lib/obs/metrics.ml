@@ -12,6 +12,7 @@ let bump s dur = { count = s.count + 1; total_ps = s.total_ps + dur }
 type t = {
   events : int;
   dropped : int;
+  windowed : bool; (* ring wrapped: percentiles cover the tail only *)
   span_ps : int; (* first event start .. last event end *)
   exo_tracks : int;
   (* shreds *)
@@ -63,7 +64,7 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
   let exo_tracks = eus * threads_per_eu in
   let first = ref max_int and last = ref 0 in
   let retired = ref 0 and enqueued = ref 0 in
-  let lats = ref [] in
+  let lats = Hist.create () in
   let busy = ref 0 in
   let tlb_misses = ref 0 and transients = ref 0 and spurious = ref 0 in
   let gtt = ref no_service and proxy = ref no_service and ceh = ref no_service in
@@ -74,7 +75,7 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
   let flush = ref 0 and copy = ref 0 in
   let arrived = ref 0 and jobs_done = ref 0 and shed = ref 0 in
   let batches = ref 0 in
-  let job_lats = ref [] in
+  let job_lats = Hist.create () in
   let sdc = ref 0 and br_opens = ref 0 and br_closes = ref 0 in
   let hedges = ref 0 and hedge_wins = ref 0 in
   let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
@@ -88,7 +89,7 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
       | Trace.Shred_run _ ->
         incr retired;
         busy := !busy + e.dur_ps;
-        lats := float_of_int e.dur_ps :: !lats
+        Hist.record lats (float_of_int e.dur_ps)
       | Trace.Shred_enqueue _ -> incr enqueued
       | Trace.Signal_doorbell { lost = l; _ } ->
         incr doorbells;
@@ -117,7 +118,7 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
       | Trace.Batch_dispatch _ -> incr batches
       | Trace.Job_done { latency_ps; _ } ->
         incr jobs_done;
-        job_lats := float_of_int latency_ps :: !job_lats
+        Hist.record job_lats (float_of_int latency_ps)
       | Trace.Sdc_detected { corruptions; _ } -> sdc := !sdc + corruptions
       | Trace.Breaker_open _ -> incr br_opens
       | Trace.Breaker_close _ -> incr br_closes
@@ -126,7 +127,7 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
       | Trace.Counter { counter; value } -> Hashtbl.replace counters counter value)
     events;
   let span = if !n = 0 then 0 else max 0 (!last - !first) in
-  let pct p = if !lats = [] then 0.0 else Exochi_util.Stats.percentile p !lats in
+  let pct p = Hist.quantile lats p in
   let sorted_assoc tbl =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -134,6 +135,7 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
   {
     events = !n;
     dropped;
+    windowed = dropped > 0;
     span_ps = span;
     exo_tracks;
     shreds_retired = !retired;
@@ -141,7 +143,7 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
     lat_p50_ps = pct 50.0;
     lat_p95_ps = pct 95.0;
     lat_p99_ps = pct 99.0;
-    lat_mean_ps = (if !lats = [] then 0.0 else Exochi_util.Stats.mean !lats);
+    lat_mean_ps = Hist.mean lats;
     exo_busy_ps = !busy;
     occupancy =
       (if span = 0 || exo_tracks = 0 then 0.0
@@ -166,12 +168,8 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
     jobs_done = !jobs_done;
     jobs_shed = !shed;
     batches = !batches;
-    job_lat_p50_ps =
-      (if !job_lats = [] then 0.0
-       else Exochi_util.Stats.percentile 50.0 !job_lats);
-    job_lat_p99_ps =
-      (if !job_lats = [] then 0.0
-       else Exochi_util.Stats.percentile 99.0 !job_lats);
+    job_lat_p50_ps = Hist.quantile job_lats 50.0;
+    job_lat_p99_ps = Hist.quantile job_lats 99.0;
     sdc_detected = !sdc;
     breaker_opens = !br_opens;
     breaker_closes = !br_closes;
@@ -195,7 +193,8 @@ let render m =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "trace        : %d event(s)%s over %.3f ms on %d exo track(s) + IA32"
     m.events
-    (if m.dropped > 0 then Printf.sprintf " (%d dropped)" m.dropped else "")
+    (if m.dropped > 0 then Printf.sprintf " (%d dropped; windowed)" m.dropped
+     else "")
     (ms m.span_ps) m.exo_tracks;
   line "shreds       : %d retired / %d enqueued; %d doorbell(s)%s"
     m.shreds_retired m.shreds_enqueued m.doorbells
@@ -267,6 +266,7 @@ let to_json ?(extra = []) m =
   List.iter (fun (k, v) -> field k v) extra;
   num_int "events" m.events;
   num_int "dropped" m.dropped;
+  field "windowed" (if m.windowed then "true" else "false");
   num_int "span_ps" m.span_ps;
   num_int "exo_tracks" m.exo_tracks;
   num_int "shreds_retired" m.shreds_retired;

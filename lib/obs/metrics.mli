@@ -9,6 +9,10 @@ type service = { count : int; total_ps : int }
 type t = {
   events : int;
   dropped : int;
+  windowed : bool;
+      (** true when the ring wrapped ([dropped > 0]): counts and
+          percentiles below cover only the surviving tail window. Attach
+          a {!Live} aggregator for exact whole-run statistics. *)
   span_ps : int;  (** first event start .. last event end *)
   exo_tracks : int;
   shreds_retired : int;

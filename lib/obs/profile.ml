@@ -1,0 +1,127 @@
+(* Profile: an exact cost profile over simulated time.
+
+   Unlike a wall-clock sampling profiler, the simulator knows the exact
+   simulated cost of every instruction it retires, so the "profiler" is
+   an attribution sink: execution layers call [record] with a stack
+   (root frame first) and the picoseconds that instruction consumed.
+   Aggregation is pure accumulation — recording never touches the
+   simulation clock or PRNG, so profiled runs keep the bit-and-time
+   identity guarantee of the tracing layer.
+
+   Exports: collapsed-stack lines (flamegraph.pl / inferno / speedscope
+   all ingest them) and speedscope's JSON schema directly. Both are
+   emitted in sorted stack order so output is deterministic. *)
+
+type node = { mutable ps : int; mutable hits : int }
+type t = { tbl : (string list, node) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 256 }
+
+let record t ~stack ~ps =
+  if stack = [] then invalid_arg "Profile.record: empty stack";
+  match Hashtbl.find_opt t.tbl stack with
+  | Some n ->
+    n.ps <- n.ps + ps;
+    n.hits <- n.hits + 1
+  | None -> Hashtbl.add t.tbl stack { ps; hits = 1 }
+
+let total_ps t = Hashtbl.fold (fun _ n acc -> acc + n.ps) t.tbl 0
+
+let has_prefix ~prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.sub s 0 lp = prefix
+
+let root_total_ps t ~prefix =
+  Hashtbl.fold
+    (fun stack n acc ->
+      match stack with
+      | root :: _ when has_prefix ~prefix root -> acc + n.ps
+      | _ -> acc)
+    t.tbl 0
+
+let stacks t =
+  Hashtbl.fold (fun stack n acc -> (stack, n.ps, n.hits) :: acc) t.tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare (a : string list) b)
+
+(* Collapsed-stack format: "root;frame;leaf <cost>" one line per unique
+   stack. Semicolons inside frame names would split frames, so map them
+   to commas. *)
+let to_collapsed t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (stack, ps, _) ->
+      let clean f = String.map (fun c -> if c = ';' then ',' else c) f in
+      Buffer.add_string b (String.concat ";" (List.map clean stack));
+      Buffer.add_string b (Printf.sprintf " %d\n" ps))
+    (stacks t);
+  Buffer.contents b
+
+(* speedscope "sampled" profile: a shared frame table plus one
+   (stack, weight) pair per unique stack. Weights are nanoseconds so
+   speedscope's time axis reads naturally (1 ns = 1000 ps). *)
+let to_speedscope t ~name =
+  let sorted = stacks t in
+  let frames : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let frame_order = ref [] in
+  let frame_id f =
+    match Hashtbl.find_opt frames f with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length frames in
+      Hashtbl.add frames f i;
+      frame_order := f :: !frame_order;
+      i
+  in
+  let samples =
+    List.map (fun (stack, ps, _) -> (List.map frame_id stack, ps)) sorted
+  in
+  let buf = Buffer.create 8192 in
+  let esc s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  Buffer.add_string buf
+    "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",";
+  Buffer.add_string buf "\"shared\":{\"frames\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "{\"name\":\"%s\"}" (esc f)))
+    (List.rev !frame_order);
+  Buffer.add_string buf "]},\"profiles\":[{";
+  Buffer.add_string buf "\"type\":\"sampled\",";
+  Buffer.add_string buf (Printf.sprintf "\"name\":\"%s\"," (esc name));
+  Buffer.add_string buf "\"unit\":\"nanoseconds\",";
+  Buffer.add_string buf "\"startValue\":0,";
+  let total_ns = float_of_int (total_ps t) /. 1000.0 in
+  Buffer.add_string buf (Printf.sprintf "\"endValue\":%.3f," total_ns);
+  Buffer.add_string buf "\"samples\":[";
+  List.iteri
+    (fun i (ids, _) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun j id ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int id))
+        ids;
+      Buffer.add_char buf ']')
+    samples;
+  Buffer.add_string buf "],\"weights\":[";
+  List.iteri
+    (fun i (_, ps) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.3f" (float_of_int ps /. 1000.0)))
+    samples;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Profile: exact attribution of simulated cost to instruction stacks.
+
+    The simulator retires instructions with known simulated cost, so
+    profiling here is {e exact attribution}, not statistical sampling:
+    each execution layer calls {!record} with a stack (root frame first
+    — e.g. ["exo saxpy"; "003 mul.8.dw ..."]) and the picoseconds that
+    instruction consumed. Recording is pure accumulation (no clock, no
+    PRNG), preserving the tracing layer's bit-and-time identity
+    guarantee.
+
+    Exports are deterministic (sorted stack order): collapsed-stack
+    lines for flamegraph tooling and speedscope's JSON schema. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~stack ~ps] adds [ps] picoseconds to [stack] (root frame
+    first, leaf last). Raises [Invalid_argument] on an empty stack. *)
+val record : t -> stack:string list -> ps:int -> unit
+
+(** Sum of all recorded cost. *)
+val total_ps : t -> int
+
+(** Sum of cost recorded under root frames starting with [prefix] —
+    e.g. [~prefix:"exo "] totals all exo-sequencer frames, which must
+    equal the platform's busy time (enforced by [test/test_obs.ml]). *)
+val root_total_ps : t -> prefix:string -> int
+
+(** All (stack, total_ps, hits) triples, sorted by stack. *)
+val stacks : t -> (string list * int * int) list
+
+(** Collapsed-stack flamegraph lines: ["root;frame;leaf cost\n"]. *)
+val to_collapsed : t -> string
+
+(** speedscope "sampled"-type JSON profile; weights in nanoseconds. *)
+val to_speedscope : t -> name:string -> string

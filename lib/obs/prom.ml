@@ -1,0 +1,78 @@
+(* Prometheus text exposition (version 0.0.4). Deterministic: metrics
+   are emitted in the order given, labels in the order given. Used by
+   [exochi_serve --prom FILE] to publish live serve statistics for a
+   node-exporter-style textfile collector. *)
+
+type mtype = Counter | Gauge
+
+type metric = {
+  name : string;
+  help : string;
+  mtype : mtype;
+  samples : ((string * string) list * float) list;
+}
+
+let type_name = function Counter -> "counter" | Gauge -> "gauge"
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+let to_text metrics =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      Buffer.add_string b
+        (Printf.sprintf "# HELP %s %s\n" m.name (escape_help m.help));
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" m.name (type_name m.mtype));
+      List.iter
+        (fun (labels, v) ->
+          let lbl =
+            if labels = [] then ""
+            else
+              "{"
+              ^ String.concat ","
+                  (List.map
+                     (fun (k, lv) ->
+                       Printf.sprintf "%s=\"%s\"" k (escape_label_value lv))
+                     labels)
+              ^ "}"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" m.name lbl (value_repr v)))
+        m.samples)
+    metrics;
+  Buffer.contents b
+
+let counter ?(labels = []) name ~help v =
+  { name; help; mtype = Counter; samples = [ (labels, v) ] }
+
+let gauge ?(labels = []) name ~help v =
+  { name; help; mtype = Gauge; samples = [ (labels, v) ] }
+
+let multi name ~help mtype samples = { name; help; mtype; samples }

@@ -1,0 +1,29 @@
+(** Prometheus text exposition (format version 0.0.4).
+
+    [exochi_serve --prom FILE] rewrites [FILE] with these expositions at
+    a configurable interval, so a textfile collector (or a human with
+    [watch cat]) can follow a live serve run. Output is deterministic:
+    metrics in the order given, labels in the order given. *)
+
+type mtype = Counter | Gauge
+
+type metric = {
+  name : string;
+  help : string;
+  mtype : mtype;
+  samples : ((string * string) list * float) list;
+      (** one [(labels, value)] sample per line *)
+}
+
+(** Single-sample counter ([labels] defaults to none). *)
+val counter : ?labels:(string * string) list -> string -> help:string -> float -> metric
+
+(** Single-sample gauge. *)
+val gauge : ?labels:(string * string) list -> string -> help:string -> float -> metric
+
+(** Multi-sample metric (e.g. one gauge per tenant). *)
+val multi :
+  string -> help:string -> mtype -> ((string * string) list * float) list -> metric
+
+(** Render the full exposition ([# HELP] / [# TYPE] / sample lines). *)
+val to_text : metric list -> string

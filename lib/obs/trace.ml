@@ -43,6 +43,11 @@ type sink = {
   mutable dropped : int;
   mutable eus : int;
   mutable threads_per_eu : int;
+  (* streaming tap (Exo-scope): called once per emitted event, before
+     the ring can drop it. The tap must not touch simulation state —
+     pure accumulation only — so tapped runs keep the bit-and-time
+     identity guarantee. *)
+  mutable tap : (event -> unit) option;
 }
 
 let dummy = { ts_ps = 0; dur_ps = 0; seq = Ia32; kind = Ceh_spurious }
@@ -57,7 +62,11 @@ let create ?(capacity = 262_144) () =
     dropped = 0;
     eus = 8;
     threads_per_eu = 4;
+    tap = None;
   }
+
+let set_tap s f = s.tap <- Some f
+let clear_tap s = s.tap <- None
 
 let set_topology s ~eus ~threads_per_eu =
   if eus <= 0 || threads_per_eu <= 0 then invalid_arg "Trace.set_topology";
@@ -68,9 +77,11 @@ let eus s = s.eus
 let threads_per_eu s = s.threads_per_eu
 
 let emit s ~ts_ps ?(dur_ps = 0) ~seq kind =
-  s.buf.(s.head) <- { ts_ps; dur_ps; seq; kind };
+  let e = { ts_ps; dur_ps; seq; kind } in
+  s.buf.(s.head) <- e;
   s.head <- (s.head + 1) mod s.cap;
-  if s.len < s.cap then s.len <- s.len + 1 else s.dropped <- s.dropped + 1
+  if s.len < s.cap then s.len <- s.len + 1 else s.dropped <- s.dropped + 1;
+  match s.tap with None -> () | Some f -> f e
 
 let length s = s.len
 let capacity s = s.cap

@@ -100,6 +100,16 @@ val threads_per_eu : sink -> int
     simulation side effects. *)
 val emit : sink -> ts_ps:int -> ?dur_ps:int -> seq:seq -> kind -> unit
 
+(** [set_tap sink f] installs a streaming tap: [f] sees every event at
+    emission time, {e before} the ring can overwrite it, so a tap-fed
+    aggregator ({!Live}) stays exact even after the ring wraps. The tap
+    must not touch simulation state (no clock, no PRNG, no counters) —
+    pure accumulation only — which keeps tapped runs bit- and
+    time-identical to untapped ones (enforced by [test/test_obs.ml]). *)
+val set_tap : sink -> (event -> unit) -> unit
+
+val clear_tap : sink -> unit
+
 (** Events in emission order (oldest surviving first). *)
 val events : sink -> event list
 

@@ -135,6 +135,12 @@ let to_chrome sink =
     (Printf.sprintf
        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"EXO platform\"}}"
        pid);
+  (* sink provenance: lets the validator (and trace lint) tell whether
+     the ring wrapped — a wrapped export is a tail window, not the run *)
+  add
+    (Printf.sprintf
+       "{\"name\":\"exochi_sink\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"dropped\":%d,\"capacity\":%d,\"events\":%d}}"
+       pid (Trace.dropped sink) (Trace.capacity sink) (Trace.length sink));
   let tracks = track_count sink in
   for tid = 0 to tracks - 1 do
     add
@@ -195,6 +201,7 @@ type validation = {
   tracks : int; (* thread_name metadata entries *)
   events : int; (* non-metadata events *)
   counters : int;
+  dropped : int; (* from exochi_sink metadata; 0 when absent *)
 }
 
 let validate_chrome text =
@@ -205,6 +212,7 @@ let validate_chrome text =
     | None -> Error "no traceEvents array"
     | Some entries ->
       let tracks = ref 0 and events = ref 0 and counters = ref 0 in
+      let dropped = ref 0 in
       let last_ts : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
       let err = ref None in
       List.iteri
@@ -213,9 +221,17 @@ let validate_chrome text =
             let field k = Tiny_json.member k entry in
             match Option.bind (field "ph") Tiny_json.to_str with
             | None -> err := Some (Printf.sprintf "event %d: missing ph" i)
-            | Some "M" ->
-              if Option.bind (field "name") Tiny_json.to_str = Some "thread_name"
-              then incr tracks
+            | Some "M" -> (
+              match Option.bind (field "name") Tiny_json.to_str with
+              | Some "thread_name" -> incr tracks
+              | Some "exochi_sink" -> (
+                match
+                  Option.bind (field "args") (Tiny_json.member "dropped")
+                  |> Fun.flip Option.bind Tiny_json.to_num
+                with
+                | Some d -> dropped := int_of_float d
+                | None -> ())
+              | _ -> ())
             | Some "C" -> (
               incr counters;
               match Option.bind (field "ts") Tiny_json.to_num with
@@ -245,4 +261,10 @@ let validate_chrome text =
       (match !err with
       | Some e -> Error e
       | None ->
-        Ok { tracks = !tracks; events = !events; counters = !counters }))
+        Ok
+          {
+            tracks = !tracks;
+            events = !events;
+            counters = !counters;
+            dropped = !dropped;
+          }))

@@ -28,6 +28,10 @@ type validation = {
   tracks : int; (* thread_name metadata entries *)
   events : int; (* slice/instant events *)
   counters : int; (* counter samples *)
+  dropped : int;
+      (* ring-drop count from the exochi_sink metadata entry; 0 when the
+         file predates that entry. Nonzero means the export is a tail
+         window of the run, not the whole run. *)
 }
 
 (** Parse and check an exported file: well-formed JSON, a [traceEvents]

@@ -152,6 +152,13 @@ let now_ps t = Machine.now_ps (Platform.cpu t.platform)
 let queue_depth t =
   Array.fold_left (fun n ten -> n + Tenant.depth ten) 0 t.tenants
 
+let tenant_depths t =
+  Array.map (fun ten -> (Tenant.name ten, Tenant.depth ten)) t.tenants
+
+let breakers_open t =
+  let r = Chi.recovery t.rt in
+  max 0 (r.Chi.breaker_opens - r.Chi.breaker_closes)
+
 let emit_ev t kind =
   match Platform.trace t.platform with
   | None -> ()
@@ -622,7 +629,7 @@ let stats t =
 
 (* ---- serving a generated workload ---- *)
 
-let run ?(on_job_done = nop) t wl =
+let run ?(on_job_done = nop) ?(on_cycle = fun () -> ()) t wl =
   prepare t (Workload.kernels wl);
   Workload.start wl ~now_ps:(now_ps t);
   let on_done j =
@@ -653,6 +660,7 @@ let run ?(on_job_done = nop) t wl =
         if at > now then
           Machine.add_time_ps (Platform.cpu t.platform) (at - now)
       | None -> running := false
-    end
+    end;
+    on_cycle ()
   done;
   stats t

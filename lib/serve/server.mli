@@ -87,6 +87,13 @@ val now_ps : t -> int
 (** Jobs queued across all tenants. *)
 val queue_depth : t -> int
 
+(** Per-tenant (name, queued jobs), in tenant-id order — the live
+    dashboard's backlog column. *)
+val tenant_depths : t -> (string * int) array
+
+(** Circuit breakers currently open (trips minus reinstatements). *)
+val breakers_open : t -> int
+
 (** Materialise arenas for these kernel abbreviations up front (surface
     allocation, input production, program assembly). Unknown names are
     ignored — they will shed as [Unknown_kernel] at submission. Idempotent. *)
@@ -122,8 +129,15 @@ val drain : t -> unit
     clock when the server is ahead of the arrival process. Returns the
     final statistics snapshot. [on_job_done] fires after each completed
     job, after the workload's own bookkeeping (the CLI's
-    [--crash-after] hook). *)
-val run : ?on_job_done:(Job.t -> unit) -> t -> Workload.t -> Server_stats.t
+    [--crash-after] hook). [on_cycle] fires once per serve-loop
+    iteration (after any dispatch) — the live dashboard's snapshot
+    hook; it must not mutate the server. *)
+val run :
+  ?on_job_done:(Job.t -> unit) ->
+  ?on_cycle:(unit -> unit) ->
+  t ->
+  Workload.t ->
+  Server_stats.t
 
 (** Journaled completions from [expect] not yet retraced by this run.
     Zero after a finished recovery means the redo reproduced the

@@ -1,4 +1,4 @@
-module Stats = Exochi_util.Stats
+module Hist = Exochi_obs.Hist
 module J = Exochi_obs.Tiny_json
 
 type tenant = {
@@ -75,7 +75,9 @@ type collector = {
   mutable c_batch_jobs : int;
   mutable c_batch_shreds : int;
   mutable c_shreds_completed : int;
-  mutable c_lats : float list;
+  (* streaming latency histogram: O(1) per completion, quantiles on
+     demand without the sort-per-query of a raw sample list *)
+  c_lats : Hist.t;
   mutable c_depth_max : int;
   mutable c_depth_sum : int;
   mutable c_depth_samples : int;
@@ -96,7 +98,7 @@ let collector () =
     c_batch_jobs = 0;
     c_batch_shreds = 0;
     c_shreds_completed = 0;
-    c_lats = [];
+    c_lats = Hist.create ();
     c_depth_max = 0;
     c_depth_sum = 0;
     c_depth_samples = 0;
@@ -152,7 +154,7 @@ let record_completion c (job : Job.t) ~done_ps =
   c.c_shreds_completed <- c.c_shreds_completed + job.shreds;
   c.c_last_ps <- max c.c_last_ps done_ps;
   let lat = float_of_int (done_ps - job.submit_ps) in
-  c.c_lats <- lat :: c.c_lats;
+  Hist.record c.c_lats lat;
   let a = tacc c job.tenant in
   a.a_completed <- a.a_completed + 1;
   a.a_shreds <- a.a_shreds + job.shreds;
@@ -173,7 +175,7 @@ let finalise c ~tenant_names ~recovery =
   let span =
     if c.c_first_ps = max_int then 0 else max 0 (c.c_last_ps - c.c_first_ps)
   in
-  let pct p = if c.c_lats = [] then 0.0 else Stats.percentile p c.c_lats in
+  let pct p = Hist.quantile c.c_lats p in
   let deadline_met =
     Array.fold_left (fun n a -> n + a.a_deadline_met) 0 c.c_tenants
   in
@@ -231,8 +233,7 @@ let finalise c ~tenant_names ~recovery =
     lat_p50_ps = pct 50.0;
     lat_p95_ps = pct 95.0;
     lat_p99_ps = pct 99.0;
-    lat_mean_ps =
-      (if c.c_lats = [] then 0.0 else Stats.mean c.c_lats);
+    lat_mean_ps = Hist.mean c.c_lats;
     queue_depth_max = c.c_depth_max;
     queue_depth_mean =
       (if c.c_depth_samples = 0 then 0.0

@@ -203,6 +203,291 @@ let test_metrics_json_parses () =
     | Some (Tiny_json.Num n) -> check_bool "shreds > 0" true (n > 0.0)
     | _ -> Alcotest.fail "shreds_retired missing")
 
+(* ---- Hist: streaming log-bucketed histogram ---- *)
+
+(* Three shapes deliberately spanning octaves differently: flat across a
+   decade, heavy-tailed, and two tight modes three octaves apart. All
+   strictly positive so the zero bucket stays out of the way. *)
+let distributions =
+  let prng = Exochi_util.Prng.create 7L in
+  [
+    ("uniform", List.init 5000 (fun _ -> 1.0 +. (Exochi_util.Prng.float prng *. 999.0)));
+    ( "exponential",
+      List.init 5000 (fun _ ->
+          1e-6 -. (250.0 *. log (1.0 -. Exochi_util.Prng.float prng))) );
+    ( "bimodal",
+      List.init 5000 (fun i ->
+          let mean, sigma = if i mod 10 = 0 then (9000.0, 50.0) else (120.0, 8.0) in
+          Float.max 1.0 (Exochi_util.Prng.gaussian prng ~mean ~sigma)) );
+  ]
+
+let hist_of xs =
+  let h = Hist.create () in
+  List.iter (Hist.record h) xs;
+  h
+
+let test_hist_quantile_error () =
+  List.iter
+    (fun (name, xs) ->
+      let h = hist_of xs in
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      List.iter
+        (fun p ->
+          let q = Hist.quantile h p in
+          (* Hist uses nearest rank on the 0-based scale Stats.percentile
+             interpolates over, so the estimate must land within one
+             bucket width of the order statistics bracketing that rank. *)
+          let pos = p /. 100.0 *. float_of_int (n - 1) in
+          let lo = a.(int_of_float (Float.floor pos)) in
+          let hi = a.(int_of_float (Float.ceil pos)) in
+          let exact = Exochi_util.Stats.percentile p xs in
+          check_bool
+            (Printf.sprintf "%s p%.0f: %.3f within a bucket of exact %.3f"
+               name p q exact)
+            true
+            (q >= lo -. Hist.width_at lo && q <= hi +. Hist.width_at hi);
+          check_bool "clamped into observed range" true
+            (q >= Hist.min_value h && q <= Hist.max_value h))
+        [ 50.0; 90.0; 99.0 ];
+      check_int "count exact" n (Hist.count h);
+      let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+      check_bool "mean exact (tracked outside buckets)" true
+        (Float.abs (Hist.mean h -. mean) < 1e-9 *. mean))
+    distributions
+
+let test_hist_merge_associative () =
+  let chunks =
+    List.map (fun (_, xs) -> hist_of xs) distributions
+  in
+  match chunks with
+  | [ a; b; c ] ->
+    let l = Hist.merge (Hist.merge a b) c in
+    let r = Hist.merge a (Hist.merge b c) in
+    let whole = hist_of (List.concat_map snd distributions) in
+    List.iter
+      (fun (name, h) ->
+        check_int (name ^ " count") (Hist.count whole) (Hist.count h);
+        (* float addition reassociates across merge orders: equal to
+           rounding, not bit-equal *)
+        check_bool (name ^ " sum") true
+          (Float.abs (Hist.sum whole -. Hist.sum h)
+          <= 1e-9 *. Float.abs (Hist.sum whole));
+        check_bool (name ^ " min") true
+          (Hist.min_value whole = Hist.min_value h);
+        check_bool (name ^ " max") true
+          (Hist.max_value whole = Hist.max_value h);
+        Alcotest.(check (list (pair (float 0.0) int)))
+          (name ^ " identical buckets")
+          (Hist.nonzero whole) (Hist.nonzero h);
+        List.iter
+          (fun p ->
+            check_bool
+              (Printf.sprintf "%s p%.0f" name p)
+              true
+              (Hist.quantile whole p = Hist.quantile h p))
+          [ 0.0; 50.0; 90.0; 99.0; 100.0 ])
+      [ ("(a+b)+c", l); ("a+(b+c)", r) ]
+  | _ -> Alcotest.fail "expected 3 distributions"
+
+let test_hist_zero_bucket () =
+  let h = hist_of [ -5.0; 0.0; 4.0; 4.0 ] in
+  check_int "all counted" 4 (Hist.count h);
+  check_bool "negatives pool at 0" true (Hist.quantile h 0.0 = 0.0);
+  check_bool "min exact even when non-positive" true (Hist.min_value h = -5.0);
+  match Hist.nonzero h with
+  | (0.0, 2) :: (m, 2) :: [] ->
+    check_bool "positive bucket holds 4.0" true
+      (Float.abs (m -. 4.0) <= Hist.width_at 4.0)
+  | _ -> Alcotest.fail "unexpected bucket layout"
+
+(* ---- Live: exact streaming aggregation past ring wrap ---- *)
+
+module Serve = Exochi_serving
+
+let serve_traced ~capacity =
+  let sink = Trace.create ~capacity () in
+  let live = Live.create () in
+  Live.attach live sink;
+  let server = Serve.Server.create ~trace:sink () in
+  let wl =
+    Serve.Workload.create
+      (Serve.Workload.default_spec ~seed:77L ~tenants:2 ~jobs:40
+         (Serve.Workload.Closed { clients_per_tenant = 4; think_ps = 0 }))
+  in
+  Serve.Server.prepare server (Serve.Workload.kernels wl);
+  let stats = Serve.Server.run server wl in
+  (sink, live, stats)
+
+let test_live_exact_after_ring_wrap () =
+  (* Same seed, same server: the only difference is the ring size. The
+     small ring wraps (windowed post-mortem metrics); the Live tap must
+     agree exactly with the unbounded-ring reference anyway. *)
+  let small_sink, small, s_stats = serve_traced ~capacity:256 in
+  let ref_sink, live_ref, r_stats = serve_traced ~capacity:1_000_000 in
+  check_bool "small ring wrapped" true (Trace.dropped small_sink > 0);
+  check_int "reference ring did not" 0 (Trace.dropped ref_sink);
+  check_int "tap saw every event despite the wrap"
+    (Live.events live_ref) (Live.events small);
+  check_int "jobs done exact" (Live.jobs_done live_ref) (Live.jobs_done small);
+  check_int "jobs done agrees with server stats"
+    s_stats.Serve.Server_stats.completed (Live.jobs_done small);
+  check_int "identical sim either way" s_stats.Serve.Server_stats.completed
+    r_stats.Serve.Server_stats.completed;
+  check_int "shreds retired exact" (Live.shreds_retired live_ref)
+    (Live.shreds_retired small);
+  check_int "exo busy exact" (Live.exo_busy_ps live_ref)
+    (Live.exo_busy_ps small);
+  check_int "span exact" (Live.span_ps live_ref) (Live.span_ps small);
+  check_int "batches exact" (Live.batches live_ref) (Live.batches small);
+  List.iter
+    (fun p ->
+      check_bool
+        (Printf.sprintf "job latency p%.0f exact" p)
+        true
+        (Hist.quantile (Live.job_lat small) p
+        = Hist.quantile (Live.job_lat live_ref) p);
+      check_bool
+        (Printf.sprintf "shred latency p%.0f exact" p)
+        true
+        (Hist.quantile (Live.shred_lat small) p
+        = Hist.quantile (Live.shred_lat live_ref) p))
+    [ 50.0; 99.0 ];
+  (* The unbounded-ring post-mortem fold is the reference: Live must
+     match it, while the wrapped ring's fold is only a tail window. *)
+  let m_ref = Metrics.of_sink ref_sink in
+  let m_small = Metrics.of_sink small_sink in
+  check_bool "reference fold not windowed" false m_ref.Metrics.windowed;
+  check_bool "wrapped fold windowed" true m_small.Metrics.windowed;
+  check_int "Live matches unbounded-ring reference"
+    m_ref.Metrics.jobs_done (Live.jobs_done small);
+  check_bool "Live p50 matches reference fold" true
+    (m_ref.Metrics.job_lat_p50_ps = Hist.quantile (Live.job_lat small) 50.0);
+  check_bool "Live p99 matches reference fold" true
+    (m_ref.Metrics.job_lat_p99_ps = Hist.quantile (Live.job_lat small) 99.0);
+  check_bool "windowed fold lost events" true
+    (m_small.Metrics.events < m_ref.Metrics.events)
+
+let test_tap_is_free () =
+  let k = kernel "BOB" in
+  let plain = Harness.run ~frames:2 k Kernel.Small in
+  let sink = Trace.create () in
+  let live = Live.create () in
+  Live.attach live sink;
+  let tapped = Harness.run ~frames:2 ~trace:sink k Kernel.Small in
+  check_bool "Harness.result identical with a Live tap attached" true
+    (plain = tapped);
+  check_int "tap saw ring + dropped"
+    (Trace.length sink + Trace.dropped sink)
+    (Live.events live);
+  check_int "retired shreds agree" plain.Harness.shreds
+    (Live.shreds_retired live)
+
+let test_tap_is_free_under_faults () =
+  let k = kernel "SepiaTone" in
+  let plain = Harness.run ~frames:2 ~fault_plan:(fresh_plan ()) k Kernel.Small in
+  let sink = Trace.create () in
+  Live.attach (Live.create ()) sink;
+  let tapped =
+    Harness.run ~frames:2 ~fault_plan:(fresh_plan ()) ~trace:sink k Kernel.Small
+  in
+  check_bool "identical result with tap under fault injection" true
+    (plain = tapped)
+
+(* ---- windowed metrics + export drop metadata ---- *)
+
+let wrapped_sink () =
+  let s = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit s ~ts_ps:(1000 * i) ~seq:Trace.Ia32 (ev i)
+  done;
+  s
+
+let test_metrics_windowed_flag () =
+  let m = Metrics.of_sink (wrapped_sink ()) in
+  check_int "dropped" 6 m.Metrics.dropped;
+  check_bool "windowed set" true m.Metrics.windowed;
+  (match Tiny_json.parse (Metrics.to_json m) with
+  | Error msg -> Alcotest.fail msg
+  | Ok j -> (
+    match Tiny_json.member "windowed" j with
+    | Some (Tiny_json.Bool true) -> ()
+    | _ -> Alcotest.fail {|"windowed": true missing from JSON|}));
+  let fresh = Metrics.of_sink (Trace.create ()) in
+  check_bool "fresh sink not windowed" false fresh.Metrics.windowed
+
+let test_export_reports_drops () =
+  let json = Trace_export.to_chrome (wrapped_sink ()) in
+  (match Trace_export.validate_chrome json with
+  | Error msg -> Alcotest.fail ("wrapped export invalid: " ^ msg)
+  | Ok v -> check_int "drop count surfaced" 6 v.Trace_export.dropped);
+  let _, sink = traced_run "BOB" in
+  match Trace_export.validate_chrome (Trace_export.to_chrome sink) with
+  | Error msg -> Alcotest.fail msg
+  | Ok v -> check_int "unwrapped export reports 0" 0 v.Trace_export.dropped
+
+(* ---- profiler: exact per-instruction attribution ---- *)
+
+let profiled_src =
+  {|
+int X[64];
+
+void main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { X[i] = i; }
+  chi_desc(X, 2, 64, 1);
+  #pragma omp parallel target(X3000) shared(X) private(i) master_nowait
+  for (i = 0; i < 8; i = i + 1) __asm {
+    shl.1.dw   vr1 = %p0, 3
+    ld.8.dw    [vr10..vr17] = (X, vr1, 0)
+    add.8.dw   [vr10..vr17] = [vr10..vr17], [vr10..vr17]
+    st.8.dw    (X, vr1, 0) = [vr10..vr17]
+    end
+  }
+  chi_wait();
+  print_int(X[2]);
+}
+|}
+
+let test_profile_sums_to_exo_busy () =
+  match Exochi_core.Chilite_compile.compile ~name:"prof" profiled_src with
+  | Error e -> Alcotest.fail (Exochi_isa.Loc.error_to_string e)
+  | Ok compiled ->
+    let profile = Profile.create () in
+    let platform = Exochi_core.Exo_platform.create () in
+    let prog = Exochi_core.Chilite_run.load ~profile ~platform compiled in
+    Exochi_core.Chilite_run.run prog;
+    Alcotest.(check (list int)) "program output" [ 4 ]
+      (Exochi_core.Chilite_run.output prog);
+    let gpu = Exochi_core.Exo_platform.gpu platform in
+    let exo_busy_ps =
+      Exochi_accel.Gpu.busy_cycles gpu
+      * Exochi_util.Timebase.ps_per_cycle (Exochi_accel.Gpu.clock gpu)
+    in
+    check_bool "exo sequencers did work" true (exo_busy_ps > 0);
+    (* The load-bearing identity: per-instruction exo frame costs sum to
+       the exo-sequencers' busy time exactly — the profiler is a ledger,
+       not a sampler. *)
+    check_int "exo frames sum to exo busy time" exo_busy_ps
+      (Profile.root_total_ps profile ~prefix:"exo ");
+    check_bool "ia32 frames attributed on top" true
+      (Profile.total_ps profile > exo_busy_ps);
+    let collapsed = Profile.to_collapsed profile in
+    check_bool "exo root anchored to its .chi section" true
+      (Astring.String.is_infix ~affix:"exo " collapsed);
+    match Tiny_json.parse (Profile.to_speedscope profile ~name:"prof") with
+    | Error msg -> Alcotest.fail ("speedscope JSON malformed: " ^ msg)
+    | Ok j -> (
+      (match Tiny_json.member "profiles" j with
+      | Some (Tiny_json.Arr (_ :: _)) -> ()
+      | _ -> Alcotest.fail "profiles array missing");
+      match
+        Option.bind (Tiny_json.member "shared" j) (Tiny_json.member "frames")
+      with
+      | Some (Tiny_json.Arr (_ :: _)) -> ()
+      | _ -> Alcotest.fail "shared frame table missing")
+
 (* ---- Tiny_json ---- *)
 
 let test_tiny_json_roundtrip () =
@@ -256,6 +541,30 @@ let () =
           Alcotest.test_case "agree with harness" `Quick
             test_metrics_agree_with_harness;
           Alcotest.test_case "json parses" `Quick test_metrics_json_parses;
+          Alcotest.test_case "windowed flag" `Quick test_metrics_windowed_flag;
+          Alcotest.test_case "export reports drops" `Quick
+            test_export_reports_drops;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "quantile error bounded" `Quick
+            test_hist_quantile_error;
+          Alcotest.test_case "merge associative" `Quick
+            test_hist_merge_associative;
+          Alcotest.test_case "zero bucket" `Quick test_hist_zero_bucket;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "exact after ring wrap" `Quick
+            test_live_exact_after_ring_wrap;
+          Alcotest.test_case "tap is free" `Quick test_tap_is_free;
+          Alcotest.test_case "tap free under faults" `Quick
+            test_tap_is_free_under_faults;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "sums to exo busy time" `Quick
+            test_profile_sums_to_exo_busy;
         ] );
       ( "tiny-json",
         [ Alcotest.test_case "roundtrip" `Quick test_tiny_json_roundtrip ] );
