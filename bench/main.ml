@@ -398,10 +398,16 @@ let count_lines s =
 let lint cfg =
   header
     "Exo-check throughput over the media-kernel sections -> BENCH_lint.json";
-  Printf.printf "%-14s %8s %8s %6s %6s %10s %12s\n" "Kernel" "x3k-ln"
-    "via-ln" "errs" "warns" "lint-us" "lines/sec";
+  Printf.printf "%-14s %8s %8s %6s %6s %10s %12s %12s %8s\n" "Kernel" "x3k-ln"
+    "via-ln" "errs" "warns" "lint-us" "lines/sec" "bound-l/s" "slack";
   let module F = Exochi_analysis.Finding in
   let module E = Exochi_analysis.Exo_check in
+  let module B = Exochi_analysis.Bound in
+  let cycle_ps =
+    Exochi_util.Timebase.ps_per_cycle
+      (Exochi_util.Timebase.clock
+         ~mhz:Exochi_accel.Gpu.default_config.Exochi_accel.Gpu.clock_mhz)
+  in
   let rows =
     List.map
       (fun (k : Kernel.t) ->
@@ -436,20 +442,79 @@ let lint cfg =
         let lps = float_of_int (lines * reps) /. elapsed in
         let errs = F.count F.Error findings
         and warns = F.count F.Warning findings in
-        Printf.printf "%-14s %8d %8d %6d %6d %10.1f %12.0f\n%!" k.abbrev
-          (count_lines x3k_src) (count_lines via_src) errs warns per_lint_us
-          lps;
+        (* Exo-bound throughput and soundness slack: the interval env is
+           the per-parameter min/max over every unit's launch vector *)
+        let units = io.Kernel.units in
+        let nparams = Array.length (k.unit_params io 0) in
+        let plo = Array.copy (k.unit_params io 0) in
+        let phi = Array.copy (k.unit_params io 0) in
+        for u = 1 to units - 1 do
+          Array.iteri
+            (fun i v ->
+              if v < plo.(i) then plo.(i) <- v;
+              if v > phi.(i) then phi.(i) <- v)
+            (k.unit_params io u)
+        done;
+        let env i =
+          if i >= 0 && i < nparams then Some (plo.(i), phi.(i)) else None
+        in
+        let bound_once () =
+          ignore (B.analyze_x3k ~env xp);
+          ignore (B.analyze_via32 vp)
+        in
+        let b = B.analyze_x3k ~env xp in
+        (* a registry kernel's bound must never regress to Unbounded *)
+        (match b.B.verdict with
+        | B.Unbounded ->
+          failwith (k.abbrev ^ ": Exo-bound verdict regressed to Unbounded")
+        | _ -> ());
+        let bt0 = Sys.time () in
+        for _ = 1 to reps do
+          bound_once ()
+        done;
+        let belapsed = Float.max (Sys.time () -. bt0) 1e-9 in
+        let bound_lps = float_of_int (lines * reps) /. belapsed in
+        (* slack = static bound over measured fault-free busy time; >= 1.0
+           whenever the bound is proven (the tier-1 soundness gate) *)
+        let bound_cycles, bound_slack =
+          match b.B.verdict with
+          | B.Cycles c ->
+            let r =
+              Exochi_kernels.Harness.run ?frames:(frames_of cfg k)
+                ~split:Exochi_kernels.Harness.All_gpu k scale
+            in
+            let static_ps = float_of_int (r.Exochi_kernels.Harness.shreds * c * cycle_ps) in
+            ( Some c,
+              Some
+                (static_ps
+                /. Float.max (float_of_int r.Exochi_kernels.Harness.gpu_busy_ps) 1.0) )
+          | _ -> (None, None)
+        in
+        Printf.printf "%-14s %8d %8d %6d %6d %10.1f %12.0f %12.0f %8s\n%!"
+          k.abbrev (count_lines x3k_src) (count_lines via_src) errs warns
+          per_lint_us lps bound_lps
+          (match bound_slack with
+          | Some s -> Printf.sprintf "%.2fx" s
+          | None -> "-");
         let module J = Exochi_obs.Tiny_json in
         J.Obj
-          [
-            ("kernel", J.Str k.abbrev);
-            ("x3k_lines", J.Num (float_of_int (count_lines x3k_src)));
-            ("via32_lines", J.Num (float_of_int (count_lines via_src)));
-            ("errors", J.Num (float_of_int errs));
-            ("warnings", J.Num (float_of_int warns));
-            ("lint_us", J.Num per_lint_us);
-            ("lines_per_sec", J.Num lps);
-          ])
+          ([
+             ("kernel", J.Str k.abbrev);
+             ("x3k_lines", J.Num (float_of_int (count_lines x3k_src)));
+             ("via32_lines", J.Num (float_of_int (count_lines via_src)));
+             ("errors", J.Num (float_of_int errs));
+             ("warnings", J.Num (float_of_int warns));
+             ("lint_us", J.Num per_lint_us);
+             ("lines_per_sec", J.Num lps);
+             ("bound_lines_per_sec", J.Num bound_lps);
+           ]
+          @ (match bound_cycles with
+            | Some c -> [ ("bound_cycles", J.Num (float_of_int c)) ]
+            | None -> [])
+          @
+          match bound_slack with
+          | Some s -> [ ("bound_slack", J.Num s) ]
+          | None -> []))
       Registry.all
   in
   let module J = Exochi_obs.Tiny_json in
@@ -467,8 +532,9 @@ let serve _cfg =
     "Exo-serve: multi-tenant serving under offered load -> BENCH_serve.json";
   let module S = Exochi_serving in
   let seed = 42L in
-  let run_one ~batch ~mode ~jobs ~deadline_slack_ps =
-    let config = { S.Server.default_config with batch } in
+  let run_one ?(static_admission = false) ~batch ~mode ~jobs ~deadline_slack_ps
+      () =
+    let config = { S.Server.default_config with batch; static_admission } in
     let server = S.Server.create ~config () in
     let spec =
       {
@@ -482,7 +548,7 @@ let serve _cfg =
   let cap_st =
     run_one ~batch:S.Batcher.default
       ~mode:(S.Workload.Closed { clients_per_tenant = 8; think_ps = 0 })
-      ~jobs:240 ~deadline_slack_ps:None
+      ~jobs:240 ~deadline_slack_ps:None ()
   in
   let capacity = cap_st.S.Server_stats.throughput_jps in
   Printf.printf "closed-loop capacity: %.0f jobs/s (2 tenants, 16 clients)\n\n"
@@ -509,7 +575,7 @@ let serve _cfg =
         let st =
           run_one ~batch:S.Batcher.default
             ~mode:(S.Workload.Open { rate_jps = offered })
-            ~jobs:300 ~deadline_slack_ps:deadline
+            ~jobs:300 ~deadline_slack_ps:deadline ()
         in
         line (Printf.sprintf "open-%.1fx" mult) offered st;
         (Printf.sprintf "open-%.1fx" mult, offered, st))
@@ -521,7 +587,7 @@ let serve _cfg =
     run_one
       ~batch:{ S.Batcher.max_jobs = 1; max_shreds = S.Batcher.default.S.Batcher.max_shreds }
       ~mode:(S.Workload.Open { rate_jps = 2.0 *. capacity })
-      ~jobs:300 ~deadline_slack_ps:deadline
+      ~jobs:300 ~deadline_slack_ps:deadline ()
   in
   line "no-batch" (2.0 *. capacity) nobatch_st;
   let batched_2x =
@@ -539,6 +605,29 @@ let serve _cfg =
   assert (
     batched_2x.S.Server_stats.throughput_jps
     > nobatch_st.S.Server_stats.throughput_jps);
+  (* 4) the Exo-bound static admission gate at 1.0x load: with feasible
+     deadlines it must shed nothing, so goodput stays within 2% of the
+     analyzer-off baseline *)
+  let adm_st =
+    run_one ~static_admission:true ~batch:S.Batcher.default
+      ~mode:(S.Workload.Open { rate_jps = capacity })
+      ~jobs:300 ~deadline_slack_ps:deadline ()
+  in
+  line "adm-1.0x" capacity adm_st;
+  let base_1x =
+    match List.nth_opt open_rows 1 with
+    | Some (_, _, st) -> st
+    | None -> assert false
+  in
+  let adm_ratio =
+    adm_st.S.Server_stats.goodput_jps
+    /. Float.max base_1x.S.Server_stats.goodput_jps 1e-9
+  in
+  Printf.printf
+    "\nstatic admission at 1.0x load: goodput %.0f vs %.0f jobs/s (%.3fx)\n"
+    adm_st.S.Server_stats.goodput_jps base_1x.S.Server_stats.goodput_jps
+    adm_ratio;
+  assert (adm_ratio >= 0.98 && adm_ratio <= 1.02);
   let module J = Exochi_obs.Tiny_json in
   let row label offered (st : S.Server_stats.t) =
     J.Obj
@@ -565,11 +654,15 @@ let serve _cfg =
         ("tenants", J.Num 2.0);
         ("capacity_jps", J.Num capacity);
         ("batch_gain_2x", J.Num gain);
+        ("static_admission_goodput_ratio", J.Num adm_ratio);
         ( "rows",
           J.Arr
             (row "closed" capacity cap_st
              :: List.map (fun (l, o, st) -> row l o st) open_rows
-            @ [ row "no-batch" (2.0 *. capacity) nobatch_st ]) );
+            @ [
+                row "no-batch" (2.0 *. capacity) nobatch_st;
+                row "adm-1.0x" capacity adm_st;
+              ]) );
       ]
   in
   let oc = open_out "BENCH_serve.json" in
@@ -577,7 +670,7 @@ let serve _cfg =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (J.to_string ~indent:2 doc ^ "\n"));
   Printf.printf "wrote %d serving record(s) to BENCH_serve.json\n"
-    (2 + List.length open_rows)
+    (3 + List.length open_rows)
 
 (* ---- Exo-guard: serving resilience under faults ---- *)
 

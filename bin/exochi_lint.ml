@@ -3,6 +3,7 @@
      exochi_lint prog.chi                  lint a CHI-lite program
      exochi_lint a.chi b.chi kern.x3k      several inputs (.chi / .x3k / .s)
      exochi_lint --format json prog.chi    machine-readable findings
+     exochi_lint --format sarif prog.chi   SARIF 2.1.0 (one run, all files)
      exochi_lint --rules                   print the rule catalog
 
    Text findings carry the offending source line with a caret. Exit
@@ -22,7 +23,7 @@ let read_file path =
 
 let usage () =
   prerr_endline
-    "usage: exochi_lint [--format text|json] [--werror] [--rules] \
+    "usage: exochi_lint [--format text|json|sarif] [--werror] [--rules] \
      <prog.chi | kernel.x3k | cpu.s> ...";
   exit 2
 
@@ -55,8 +56,9 @@ let () =
   let files = ref [] in
   let rec parse = function
     | [] -> ()
-    | "--format" :: ("text" | "json" as f) :: rest ->
-      format := (if f = "json" then `Json else `Text);
+    | "--format" :: ("text" | "json" | "sarif" as f) :: rest ->
+      format :=
+        (match f with "json" -> `Json | "sarif" -> `Sarif | _ -> `Text);
       parse rest
     | "--format" :: _ -> usage ()
     | "--werror" :: rest ->
@@ -100,6 +102,8 @@ let () =
         results
     in
     print_endline (Tiny_json.to_string ~indent:2 (Tiny_json.Arr reports))
+  | `Sarif ->
+    print_endline (Tiny_json.to_string ~indent:2 (Finding.to_sarif all))
   | `Text ->
     List.iter
       (fun (_, (fs, src)) ->

@@ -11,7 +11,7 @@
                   [--guard] [--audit FRAC] [--hedge-us U] [--no-hedge]
                   [--breaker-cooldown-us U] [--journal FILE] [--recover]
                   [--crash-after N] [--top] [--prom FILE]
-                  [--obs-interval-us U] [--profile FILE]
+                  [--obs-interval-us U] [--profile FILE] [--static-admission]
 
    Closed loop (default): --clients per tenant, each submitting its next
    job --think-us after the previous one finishes — the generator that
@@ -31,6 +31,12 @@
    hedged re-dispatch of stragglers (--hedge-us, default 300; --no-hedge
    disables) and circuit-breaker quarantine with probationary
    reinstatement (--breaker-cooldown-us, default 2000).
+
+   --static-admission turns on Exo-bound static admission control: each
+   kernel arena carries the analyzer's proven worst-case cycle bound,
+   and a deadline job whose bound already exceeds its remaining slack is
+   shed at admission ("infeasible-deadline") instead of wasting
+   accelerator time on a certain miss.
 
    --journal FILE appends every admission/completion/shed to a
    crash-safe journal (checksummed, flushed per record). After a crash,
@@ -66,7 +72,7 @@ let usage () =
     \         [--capacity N] [--guard] [--audit FRAC] [--hedge-us U]\n\
     \         [--no-hedge] [--breaker-cooldown-us U] [--journal FILE]\n\
     \         [--recover] [--crash-after N] [--top] [--prom FILE]\n\
-    \         [--obs-interval-us U] [--profile FILE]";
+    \         [--obs-interval-us U] [--profile FILE] [--static-admission]";
   exit 1
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
@@ -108,10 +114,12 @@ let () =
       "--no-batch"; "--faults"; "--metrics"; "--json"; "--trace";
       "--capacity"; "--guard"; "--audit"; "--hedge-us"; "--no-hedge";
       "--breaker-cooldown-us"; "--journal"; "--recover"; "--crash-after";
-      "--top"; "--prom"; "--obs-interval-us"; "--profile" ]
+      "--top"; "--prom"; "--obs-interval-us"; "--profile";
+      "--static-admission" ]
   in
   let bare =
-    [ "--no-batch"; "--metrics"; "--guard"; "--no-hedge"; "--recover"; "--top" ]
+    [ "--no-batch"; "--metrics"; "--guard"; "--no-hedge"; "--recover"; "--top";
+      "--static-admission" ]
   in
   let rec check = function
     | f :: rest when String.length f > 2 && String.sub f 0 2 = "--" ->
@@ -258,6 +266,7 @@ let () =
       int_opt "--breaker-cooldown-us" 2000 * 1_000_000
     else 0
   in
+  let static_admission = flag "--static-admission" in
   let config =
     {
       Serve.Server.default_config with
@@ -272,6 +281,7 @@ let () =
          else None);
       hedge_after_ps;
       breaker_cooldown_ps;
+      static_admission;
     }
   in
   let mode_name =
@@ -297,7 +307,8 @@ let () =
         string_of_int batch.Serve.Batcher.max_shreds;
         Option.value (opt "--faults") ~default:"";
         string_of_bool guard_on; string_of_float audit_frac;
-        string_of_int hedge_after_ps; string_of_int breaker_cooldown_ps ]
+        string_of_int hedge_after_ps; string_of_int breaker_cooldown_ps;
+        string_of_bool static_admission ]
   in
   let journal_path = opt "--journal" in
   let recover = flag "--recover" in
@@ -403,6 +414,10 @@ let () =
           (f (Live.jobs_done l));
         Prom.counter "exochi_jobs_shed_total" ~help:"Jobs rejected or dropped"
           (f (Live.jobs_shed l));
+        Prom.multi "exochi_jobs_shed_by_reason" ~help:"Sheds by typed reason"
+          Prom.Counter
+          (Live.sheds_by_reason l
+          |> List.map (fun (r, n) -> ([ ("reason", r) ], f n)));
         Prom.counter "exochi_batches_total" ~help:"Coalesced teams dispatched"
           (f (Live.batches l));
         Prom.gauge "exochi_job_throughput_jps"

@@ -283,6 +283,8 @@ let instructions_retired t = t.retired
 let thread_switches t = t.switches
 let stall_cycles t = t.stall_cyc
 let busy_cycles t = t.busy_cyc
+let cycle_ps t = t.cycle
+let hw_contexts t = t.cfg.eus * t.cfg.threads_per_eu
 let sampler_requests t = t.sampler_reqs
 
 let reset_counters t =
@@ -598,11 +600,7 @@ let lat_fdiv t = 12 * t.cycle
 let lat_fsqrt t = 16 * t.cycle
 let lat_cmp t = 1 * t.cycle
 
-let issue_cycles i =
-  match i.op with
-  | Gather | Scatter -> if i.width > 8 then 6 else 3
-  | Ld | St | Sample -> if i.width > 8 then 4 else 2
-  | _ -> if i.width > 8 then 2 else 1
+let issue_cycles = Exochi_isa.X3k_cost.issue_cycles
 
 let exec_instr t eu slot =
   let ctx = eu.ctxs.(slot) in

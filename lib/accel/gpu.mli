@@ -244,6 +244,13 @@ val instructions_retired : t -> int
 val thread_switches : t -> int
 val stall_cycles : t -> int
 val busy_cycles : t -> int
+
+(** Picoseconds per sequencer cycle (from [config.clock_mhz]). *)
+val cycle_ps : t -> int
+
+(** Hardware thread contexts across all EUs ([eus * threads_per_eu]) —
+    the concurrency the static-admission cost model divides by. *)
+val hw_contexts : t -> int
 val sampler_requests : t -> int
 
 (** Cumulative picoseconds contexts spent waiting on operands (the

@@ -1,0 +1,932 @@
+(* Exo-bound: symbolic loop-bound / worst-case-cycle analysis over the
+   X3K and VIA32 CFGs (DESIGN.md §13).
+
+   The analysis is sound-by-construction for upper bounds and honest
+   when it cannot prove one: every loop gets a trip verdict — a
+   constant, a symbolic ceil-expression over the launch parameters
+   %p0..%pN, [Unbounded] (provably no exit makes progress), or
+   [Unknown] (the exit shape is outside the decodable fragment). The
+   per-shred worst case composes [X3k_cost.worst_retire_cycles] with
+   the product of enclosing trip counts, so it is directly comparable
+   to the sequencer's [busy_cycles] accounting (the soundness gate in
+   test_analysis measures exactly that, and bench lint reports the
+   slack). Rules: EXO011 statically unbounded loop, EXO012 irreducible
+   control flow, EXO013 trip/cost overflow, EXO015 non-monotone
+   induction variable. (EXO014 — bound vs declared deadline class — is
+   applied per .chi section by Exo_check, which owns the launch
+   geometry.) *)
+
+module Loc = Exochi_isa.Loc
+module X = Exochi_isa.X3k_ast
+module XF = Exochi_isa.X3k_flow
+module V = Exochi_isa.Via32_ast
+module VF = Exochi_isa.Via32_flow
+module Cfg = Exochi_isa.Cfg
+module Cost = Exochi_isa.X3k_cost
+
+let finding = Finding.make
+
+(* Everything saturates at this many cycles; beyond it the verdict is
+   an honest [Unknown] plus EXO013 rather than a wrapped number. *)
+let overflow_cap = 1_000_000_000_000_000
+
+exception Overflow
+
+let mul_cap a b =
+  if a = 0 || b = 0 then 0
+  else if abs a > overflow_cap / abs b then raise Overflow
+  else a * b
+
+let add_cap a b =
+  let s = a + b in
+  if abs s > overflow_cap then raise Overflow else s
+
+(* ==================================================================== *)
+(* The symbolic domain: affine forms over the launch parameters         *)
+(* ==================================================================== *)
+
+(* [Sym (k, coeffs)] is k + sum coeffs_i * %p_i — the multi-parameter
+   generalisation of Exo_check's a*%p0+b race domain. [coeffs] is
+   sorted by parameter index and holds no zero coefficients. *)
+type sym = Bot | Sym of int * (int * int) list | Top
+
+let s_const k = Sym (k, [])
+let s_param i = Sym (0, [ (i, 1) ])
+let s_is_const = function Sym (k, []) -> Some k | _ -> None
+
+let rec merge f c1 c2 =
+  match (c1, c2) with
+  | [], rest ->
+    List.filter_map
+      (fun (i, c) -> let c = f 0 c in if c = 0 then None else Some (i, c))
+      rest
+  | rest, [] ->
+    List.filter_map
+      (fun (i, c) -> let c = f c 0 in if c = 0 then None else Some (i, c))
+      rest
+  | (i1, a) :: r1, (i2, b) :: r2 ->
+    if i1 = i2 then
+      let c = f a b in
+      if c = 0 then merge f r1 r2 else (i1, c) :: merge f r1 r2
+    else if i1 < i2 then
+      let c = f a 0 in
+      if c = 0 then merge f r1 c2 else (i1, c) :: merge f r1 c2
+    else
+      let c = f 0 b in
+      if c = 0 then merge f c1 r2 else (i2, c) :: merge f c1 r2
+
+let s_lift2 f x y =
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | Sym (k1, c1), Sym (k2, c2) -> Sym (f k1 k2, merge f c1 c2)
+  | _ -> Top
+
+let s_add = s_lift2 ( + )
+let s_sub = s_lift2 ( - )
+
+let s_scale n = function
+  | Sym (k, c) ->
+    if n = 0 then s_const 0
+    else Sym (k * n, List.map (fun (i, a) -> (i, a * n)) c)
+  | v -> v
+
+let s_mul x y =
+  match (s_is_const x, s_is_const y) with
+  | Some a, _ -> s_scale a y
+  | _, Some b -> s_scale b x
+  | _ ->
+    (match (x, y) with Bot, _ | _, Bot -> Bot | _ -> Top)
+
+let s_shl x k = if k >= 0 && k < 31 then s_scale (1 lsl k) x else Top
+
+let s_join x y =
+  match (x, y) with Bot, v | v, Bot -> v | _ -> if x = y then x else Top
+
+let pp_sym fmt = function
+  | Bot -> Format.fprintf fmt "_"
+  | Top -> Format.fprintf fmt "?"
+  | Sym (k, coeffs) ->
+    Format.fprintf fmt "%d" k;
+    List.iter
+      (fun (i, c) ->
+        if c >= 0 then Format.fprintf fmt "+%d*%%p%d" c i
+        else Format.fprintf fmt "-%d*%%p%d" (-c) i)
+      coeffs
+
+let sym_to_string s = Format.asprintf "%a" pp_sym s
+
+(* Interval evaluation: [env i] is the inclusive range of %pi, [None]
+   when unknown. An affine form's range is reached at the endpoints. *)
+let eval_range s ~env =
+  match s with
+  | Bot | Top -> None
+  | Sym (k, coeffs) ->
+    List.fold_left
+      (fun acc (i, c) ->
+        match (acc, env i) with
+        | Some (lo, hi), Some (plo, phi) ->
+          let a = mul_cap c plo and b = mul_cap c phi in
+          Some (add_cap lo (min a b), add_cap hi (max a b))
+        | _ -> None)
+      (Some (k, k)) coeffs
+
+let no_env : int -> (int * int) option = fun _ -> None
+
+(* ==================================================================== *)
+(* Trip-count verdicts                                                  *)
+(* ==================================================================== *)
+
+(* A loop's trip bound: the number of times its header can execute per
+   entry is at most [max 1 (ceil num / den) + extra]. [ne_exit] marks
+   a != exit, where a negative [num] means the bound was overshot —
+   unbounded, not one trip. *)
+type trip =
+  | T_const of int
+  | T_sym of { num : sym; den : int; extra : int; ne_exit : bool }
+  | T_unbounded of string
+  | T_unknown of string
+
+let cdiv a b = if a >= 0 then (a + b - 1) / b else -(-a / b)
+
+let eval_trip t ~env =
+  match t with
+  | T_const n -> `Trips n
+  | T_unbounded why -> `Unbounded why
+  | T_unknown why -> `Unknown why
+  | T_sym { num; den; extra; ne_exit } -> (
+    match eval_range num ~env with
+    | None -> `Unknown ("symbolic trip count " ^ sym_to_string num)
+    | Some (nlo, nhi) ->
+      if ne_exit && nlo < 0 then
+        `Unbounded "a != exit can start past its bound"
+      else `Trips (max 1 (cdiv nhi den) + extra))
+
+let trip_to_string = function
+  | T_const n -> string_of_int n
+  | T_sym { num; den; extra; _ } ->
+    Printf.sprintf "ceil((%s)/%d)%s" (sym_to_string num) den
+      (if extra = 0 then "" else "+" ^ string_of_int extra)
+  | T_unbounded _ -> "unbounded"
+  | T_unknown _ -> "unknown"
+
+type loop_info = {
+  header : int; (* instruction index of the loop header *)
+  header_line : int; (* source line of the header instruction *)
+  depth : int; (* 0 = outermost *)
+  trip : trip;
+}
+
+type verdict =
+  | Cycles of int (* proven per-shred worst-case busy cycles *)
+  | Unbounded
+  | Unknown of string
+
+let verdict_to_string = function
+  | Cycles c -> Printf.sprintf "%d cycles" c
+  | Unbounded -> "unbounded"
+  | Unknown why -> "unknown (" ^ why ^ ")"
+
+type t = {
+  findings : Finding.t list;
+  loops : loop_info list;
+  verdict : verdict;
+}
+
+(* ==================================================================== *)
+(* Generic loop-bound decoding                                          *)
+(* ==================================================================== *)
+
+(* The continue-condition of an exit test, already normalised so the
+   induction variable is on the left: stay in the loop while IV <cond>
+   bound. *)
+type cond = X.cond
+
+let mirror : cond -> cond = function
+  | X.Lt -> X.Gt
+  | X.Le -> X.Ge
+  | X.Gt -> X.Lt
+  | X.Ge -> X.Le
+  | (X.Eq | X.Ne) as c -> c
+
+let negate : cond -> cond = function
+  | X.Lt -> X.Ge
+  | X.Le -> X.Gt
+  | X.Gt -> X.Le
+  | X.Ge -> X.Lt
+  | X.Eq -> X.Ne
+  | X.Ne -> X.Eq
+
+(* What the ISA-specific front end must provide about one loop for the
+   shared trip computation. *)
+type 'reg exit_test = {
+  e_iv : 'reg; (* the register the comparison tests *)
+  e_cond : cond; (* continue while e_iv <e_cond> e_bound *)
+  e_bound : sym; (* loop-invariant bound value *)
+  e_site : int; (* instruction index of the conditional branch *)
+}
+
+(* Trip count for one decoded exit: the IV starts at [init], moves by
+   [step] (constant, sign-normalised below) on every iteration, and the
+   loop continues while the condition holds. [pre_update] is true when
+   the test reads the IV before the update in the iteration (while
+   shape) — one more header execution than bound-crossings. *)
+let trip_of_exit ~init ~step ~pre_update { e_cond; e_bound; _ } =
+  let extra = if pre_update then 1 else 0 in
+  (* normalise to a positive step by reflecting the number line *)
+  let init, bound, cond =
+    if step >= 0 then (init, e_bound, e_cond)
+    else (s_scale (-1) init, s_scale (-1) e_bound, mirror e_cond)
+  in
+  let step = abs step in
+  let diff adj = s_add (s_sub bound init) (s_const adj) in
+  match cond with
+  | X.Lt -> T_sym { num = diff 0; den = step; extra; ne_exit = false }
+  | X.Le -> T_sym { num = diff 1; den = step; extra; ne_exit = false }
+  | X.Gt | X.Ge ->
+    T_unbounded "induction variable steps away from the exit bound"
+  | X.Eq ->
+    (* continue while IV = bound: any nonzero step breaks equality
+       within two header executions *)
+    T_const (1 + extra)
+  | X.Ne ->
+    if step = 1 then T_sym { num = diff 0; den = 1; extra; ne_exit = true }
+    else (
+      (* init/bound are already sign-normalised: step > 0 *)
+      match (s_is_const init, s_is_const bound) with
+      | Some i, Some b ->
+        let d = b - i in
+        if d >= 0 && d mod step = 0 then T_const (max 1 (d / step) + extra)
+        else T_unbounded (Printf.sprintf "a != exit with step %d skips its bound" step)
+      | _ -> T_unknown "!= exit with non-unit step and symbolic bound")
+
+(* Pick the best (smallest-on-any-env) trip among decoded exits: prefer
+   constants, then symbolic, then unbounded, then unknown. Every decoded
+   exit is individually sound, so any of them may be used; an [Unbounded]
+   from one exit is only the loop's fate if no other exit bounds it. *)
+let best_trip trips =
+  let rank = function
+    | T_const _ -> 0
+    | T_sym _ -> 1
+    | T_unbounded _ -> 2
+    | T_unknown _ -> 3
+  in
+  let better a b =
+    match (a, b) with
+    | T_const x, T_const y -> if x <= y then a else b
+    | _ -> if rank a <= rank b then a else b
+  in
+  match trips with [] -> None | t :: rest -> Some (List.fold_left better t rest)
+
+(* ==================================================================== *)
+(* X3K front end                                                        *)
+(* ==================================================================== *)
+
+let max_tracked_reg = 255
+
+(* Whole-program abstract interpretation in the multi-parameter domain,
+   tracking lane-0 scalar values (the twin of Exo_check.x3k_interp).
+   Returns the fixpoint entry state per instruction plus the transfer
+   function, so loop-entry (pre-header) OUT states can be queried. *)
+let x3k_sym_interp (p : X.program) =
+  let n = Array.length p.X.instrs in
+  let nregs = max_tracked_reg + 1 in
+  let operand_sym st = function
+    | X.Imm c -> s_const (Int32.to_int c)
+    | X.Sreg (X.Param i) -> s_param i
+    | X.Sreg X.Lane -> s_const 0 (* lane 0 of the iota vector *)
+    | X.Sreg _ -> Top
+    | X.Reg r -> if r < nregs then st.(r) else Top
+    | X.Range (a, _) -> if a < nregs then st.(a) else Top
+    | X.Flag _ | X.Surf _ | X.Surf2d _ | X.Remote _ -> Top
+  in
+  let transfer st (i : X.instr) =
+    let dst_regs =
+      match i.X.dst with
+      | Some (X.Reg r) -> [ (r, true) ]
+      | Some (X.Range (a, b)) -> List.init (b - a + 1) (fun k -> (a + k, k = 0))
+      | _ -> []
+    in
+    if dst_regs = [] then st
+    else begin
+      let value =
+        match (i.X.op, i.X.srcs) with
+        | (X.Mov | X.Bcast), [ s ] -> operand_sym st s
+        | X.Add, [ s1; s2 ] -> s_add (operand_sym st s1) (operand_sym st s2)
+        | X.Sub, [ s1; s2 ] -> s_sub (operand_sym st s1) (operand_sym st s2)
+        | X.Mul, [ s1; s2 ] -> s_mul (operand_sym st s1) (operand_sym st s2)
+        | X.Shl, [ s1; X.Imm k ] -> s_shl (operand_sym st s1) (Int32.to_int k)
+        | _ -> Top
+      in
+      let st = Array.copy st in
+      List.iter
+        (fun (r, lane0) ->
+          if r < nregs then begin
+            let v = if lane0 then value else Top in
+            st.(r) <- (if i.X.pred = None then v else s_join st.(r) v)
+          end)
+        dst_regs;
+      st
+    end
+  in
+  let entry : sym array option array = Array.make n None in
+  let work = Queue.create () in
+  let push idx st =
+    let merged =
+      match entry.(idx) with
+      | None -> Some st
+      | Some cur ->
+        let changed = ref false in
+        let st' =
+          Array.mapi
+            (fun r v ->
+              let j = s_join v st.(r) in
+              if j <> v then changed := true;
+              j)
+            cur
+        in
+        if !changed then Some st' else None
+    in
+    match merged with
+    | None -> ()
+    | Some st ->
+      entry.(idx) <- Some st;
+      Queue.add idx work
+  in
+  List.iter (fun e -> push e (Array.make nregs Bot)) (XF.entries p);
+  while not (Queue.is_empty work) do
+    let idx = Queue.pop work in
+    match entry.(idx) with
+    | None -> ()
+    | Some st ->
+      let out = transfer st p.X.instrs.(idx) in
+      List.iter (fun s -> push s out) (XF.succs p idx)
+  done;
+  let out idx =
+    match entry.(idx) with
+    | None -> None
+    | Some st -> Some (transfer st p.X.instrs.(idx))
+  in
+  (entry, out)
+
+(* Value of register [r] on entry to the loop: join of the OUT states
+   of the header's predecessors from outside the body (plus the initial
+   Bot state when the header is itself a program entry). *)
+let loop_entry_value (cfg : Cfg.t) (l : Cfg.loop) out r =
+  let from_preds =
+    List.fold_left
+      (fun acc p ->
+        if l.Cfg.body.(p) then acc
+        else
+          match out p with
+          | None -> acc
+          | Some st -> s_join acc (if r < Array.length st then st.(r) else Top))
+      Bot cfg.Cfg.pred.(l.Cfg.header)
+  in
+  if List.mem l.Cfg.header cfg.Cfg.entries then s_join from_preds Bot
+  else from_preds
+
+(* Unique unpredicated definition of flag [f] reaching instruction [u]
+   backwards through the CFG (stopping at redefinitions). *)
+let x3k_reaching_flag_def (p : X.program) (cfg : Cfg.t) u f =
+  let defs = ref [] in
+  let seen = Array.make cfg.Cfg.n false in
+  let overflowed = ref false in
+  let rec go idx =
+    if not seen.(idx) then begin
+      seen.(idx) <- true;
+      (* a backward path reaching a program entry carries no def *)
+      if List.mem idx cfg.Cfg.entries then overflowed := true;
+      List.iter
+        (fun pr ->
+          let du = XF.def_use p.X.instrs.(pr) in
+          if List.mem f du.XF.flag_defs then begin
+            if not (List.mem pr !defs) then defs := pr :: !defs
+          end
+          else go pr)
+        cfg.Cfg.pred.(idx)
+    end
+  in
+  go u;
+  match (!defs, !overflowed) with [ d ], false -> Some d | _ -> None
+
+(* All updates of register [r] inside the loop body must be unpredicated
+   constant self-steps (add/sub r = r, imm); returns their (index, step)
+   list, or an error describing why [r] is not a monotone IV. *)
+let x3k_iv_steps (p : X.program) (l : Cfg.loop) r =
+  let bad = ref None in
+  let steps = ref [] in
+  List.iter
+    (fun idx ->
+      let i = p.X.instrs.(idx) in
+      let du = XF.def_use i in
+      if List.mem r du.XF.reg_defs then
+        match (i.X.op, i.X.dst, i.X.srcs) with
+        | (X.Add | X.Sub), Some (X.Reg d), [ X.Reg s1; X.Imm k ]
+          when d = r && s1 = r && i.X.pred = None ->
+          let k = Int32.to_int k in
+          steps := (idx, if i.X.op = X.Add then k else -k) :: !steps
+        | _, _, _ when i.X.pred <> None ->
+          bad := Some (`Nonmono "predicated update of the induction variable")
+        | _ -> bad := Some (`Opaque "non-constant update of the induction variable"))
+    l.Cfg.nodes;
+  match !bad with Some why -> Error why | None -> Ok !steps
+
+(* One loop's trip verdict, X3K. *)
+let x3k_loop_trip (p : X.program) (cfg : Cfg.t) out (l : Cfg.loop) =
+  if l.Cfg.exits = [] then T_unbounded "the loop has no exit edges"
+  else begin
+    (* decodable conditional exits: an unpredicated width-1 br whose
+       flag has a unique reaching width-1 unpredicated cmp *)
+    let decoded =
+      List.filter_map
+        (fun (u, _v) ->
+          let i = p.X.instrs.(u) in
+          match (i.X.op, i.X.srcs) with
+          | X.Br mode, [ X.Flag f; X.Imm tgt ]
+            when i.X.pred = None && i.X.width = 1 -> (
+            let tgt = Int32.to_int tgt in
+            let exit_on_taken = not (tgt >= 0 && tgt < cfg.Cfg.n && l.Cfg.body.(tgt)) in
+            match x3k_reaching_flag_def p cfg u f with
+            | None -> None
+            | Some d -> (
+              let ci = p.X.instrs.(d) in
+              match (ci.X.op, ci.X.srcs) with
+              | X.Cmp c, [ a; b ] when ci.X.pred = None && ci.X.width = 1 ->
+                (* taken when the flag is set (any/all over one lane) or
+                   clear (none_set); continue = the non-exit direction *)
+                let flag_means = match mode with X.None_set -> negate c | _ -> c in
+                let continue_cond =
+                  if exit_on_taken then negate flag_means else flag_means
+                in
+                Some (u, d, continue_cond, a, b)
+              | _ -> None))
+          | _ -> None)
+        (List.sort_uniq compare l.Cfg.exits)
+    in
+    if decoded = [] then T_unknown "no decodable exit test"
+    else begin
+      let in_loop_reg_defs r =
+        List.exists
+          (fun idx -> List.mem r (XF.def_use p.X.instrs.(idx)).XF.reg_defs)
+          l.Cfg.nodes
+      in
+      let invariant_sym = function
+        | X.Imm c -> Some (s_const (Int32.to_int c))
+        | X.Sreg (X.Param i) -> Some (s_param i)
+        | X.Reg r when not (in_loop_reg_defs r) ->
+          (* loop-invariant register: its value on loop entry *)
+          Some (loop_entry_value cfg l out r)
+        | _ -> None
+      in
+      let dominates_back_srcs idx =
+        List.for_all (fun s -> Cfg.dominates cfg idx s) l.Cfg.back_srcs
+      in
+      let trips =
+        List.map
+          (fun (u, _d, cond, a, b) ->
+            if not (dominates_back_srcs u) then
+              T_unknown "the exit test does not run on every iteration"
+            else begin
+              (* put the induction variable on the left *)
+              let pick_iv side_a side_b cond =
+                match (side_a, side_b) with
+                | X.Reg r, other when in_loop_reg_defs r -> Some (r, other, cond)
+                | _ -> None
+              in
+              match
+                (match pick_iv a b cond with
+                | Some x -> Some x
+                | None -> pick_iv b a (mirror cond))
+              with
+              | None -> (
+                (* neither side varies: a loop-invariant test. As the
+                   only exit this can never fire after passing once. *)
+                match (invariant_sym a, invariant_sym b) with
+                | Some _, Some _ when List.length decoded = 1
+                                      && List.length l.Cfg.exits = 1 ->
+                  T_unbounded "the exit condition is loop-invariant"
+                | _ -> T_unknown "exit test without an induction variable")
+              | Some (iv, bound_op, cond) -> (
+                match invariant_sym bound_op with
+                | None -> T_unknown "exit bound is not loop-invariant"
+                | Some bound when bound = Top ->
+                  T_unknown "exit bound is not statically known"
+                | Some bound -> (
+                  match x3k_iv_steps p l iv with
+                  | Error (`Nonmono why) -> T_unknown ("EXO015:" ^ why)
+                  | Error (`Opaque why) -> T_unknown why
+                  | Ok [] -> T_unknown "exit register is never updated in the loop"
+                  | Ok steps ->
+                    let signs = List.sort_uniq compare (List.map (fun (_, s) -> compare s 0) steps) in
+                    if List.mem 0 signs || List.length signs > 1 then
+                      T_unknown "EXO015:mixed-direction updates of the induction variable"
+                    else begin
+                      (* guaranteed progress: self-steps that dominate
+                         every back-edge source fire each iteration *)
+                      let guaranteed =
+                        List.filter (fun (idx, _) -> dominates_back_srcs idx) steps
+                      in
+                      if guaranteed = [] then
+                        T_unknown "no induction-variable update is guaranteed every iteration"
+                      else begin
+                        let step = List.fold_left (fun acc (_, s) -> acc + s) 0 guaranteed in
+                        let init = loop_entry_value cfg l out iv in
+                        let init =
+                          match init with
+                          | Bot -> Top (* entered uninitialised: EXO008's business *)
+                          | v -> v
+                        in
+                        if init = Top then T_unknown "induction-variable start value unknown"
+                        else
+                          (* the test reads the IV before the update
+                             unless every guaranteed update dominates it *)
+                          let pre_update =
+                            not (List.for_all (fun (idx, _) -> Cfg.dominates cfg idx u) guaranteed)
+                          in
+                          trip_of_exit ~init ~step ~pre_update
+                            { e_iv = iv; e_cond = cond; e_bound = bound; e_site = u }
+                      end
+                    end))
+            end)
+          decoded
+      in
+      match best_trip trips with Some t -> t | None -> T_unknown "no decodable exit test"
+    end
+  end
+
+(* ==================================================================== *)
+(* VIA32 front end                                                      *)
+(* ==================================================================== *)
+
+let gpr_idx = function
+  | V.EAX -> 0 | V.EBX -> 1 | V.ECX -> 2 | V.EDX -> 3
+  | V.ESI -> 4 | V.EDI -> 5 | V.EBP -> 6 | V.ESP -> 7
+
+(* Constant propagation over the GPRs (VIA32 has no launch parameters,
+   so the domain degenerates to constants-or-Top). *)
+let via32_sym_interp (p : V.program) =
+  let n = Array.length p.V.instrs in
+  let transfer st (i : V.instr) =
+    let st = Array.copy st in
+    let set r v = st.(gpr_idx r) <- v in
+    let get r = st.(gpr_idx r) in
+    (match (i.V.op, i.V.operands) with
+    | V.Mov _, [ V.R r; V.I c ] -> set r (s_const (Int32.to_int c))
+    | V.Mov _, [ V.R r; V.R s ] -> set r (get s)
+    | V.Add, [ V.R r; V.I c ] -> set r (s_add (get r) (s_const (Int32.to_int c)))
+    | V.Sub, [ V.R r; V.I c ] -> set r (s_sub (get r) (s_const (Int32.to_int c)))
+    | V.Imul, [ V.R r; V.I c ] -> set r (s_mul (get r) (s_const (Int32.to_int c)))
+    | V.Shl, [ V.R r; V.I c ] -> set r (s_shl (get r) (Int32.to_int c))
+    | V.Xor, [ V.R a; V.R b ] when a = b -> set a (s_const 0)
+    | _ ->
+      List.iter
+        (function VF.Gpr r -> set r Top | _ -> ())
+        (VF.def_use i).VF.defs);
+    st
+  in
+  let entry : sym array option array = Array.make n None in
+  let work = Queue.create () in
+  let push idx st =
+    let merged =
+      match entry.(idx) with
+      | None -> Some st
+      | Some cur ->
+        let changed = ref false in
+        let st' =
+          Array.mapi
+            (fun r v ->
+              let j = s_join v st.(r) in
+              if j <> v then changed := true;
+              j)
+            cur
+        in
+        if !changed then Some st' else None
+    in
+    match merged with
+    | None -> ()
+    | Some st ->
+      entry.(idx) <- Some st;
+      Queue.add idx work
+  in
+  List.iter (fun e -> push e (Array.make 8 Bot)) (VF.entries p);
+  while not (Queue.is_empty work) do
+    let idx = Queue.pop work in
+    match entry.(idx) with
+    | None -> ()
+    | Some st ->
+      let out = transfer st p.V.instrs.(idx) in
+      List.iter (fun s -> push s out) (VF.succs p idx)
+  done;
+  let out idx =
+    match entry.(idx) with
+    | None -> None
+    | Some st -> Some (transfer st p.V.instrs.(idx))
+  in
+  (entry, out)
+
+let via32_loop_entry_value (cfg : Cfg.t) (l : Cfg.loop) out r =
+  let from_preds =
+    List.fold_left
+      (fun acc pr ->
+        if l.Cfg.body.(pr) then acc
+        else match out pr with None -> acc | Some st -> s_join acc st.(gpr_idx r))
+      Bot cfg.Cfg.pred.(l.Cfg.header)
+  in
+  if List.mem l.Cfg.header cfg.Cfg.entries then s_join from_preds Bot
+  else from_preds
+
+let cond_of_cc = function
+  | V.E -> Some X.Eq
+  | V.NE -> Some X.Ne
+  | V.L -> Some X.Lt
+  | V.LE -> Some X.Le
+  | V.G -> Some X.Gt
+  | V.GE -> Some X.Ge
+  | V.B | V.BE | V.A | V.AE -> None (* unsigned: outside the fragment *)
+
+(* Unique reaching [cmp] defining the flags at [u]. *)
+let via32_reaching_cmp (p : V.program) (cfg : Cfg.t) u =
+  let defs = ref [] in
+  let seen = Array.make cfg.Cfg.n false in
+  let underflow = ref false in
+  let rec go idx =
+    if not seen.(idx) then begin
+      seen.(idx) <- true;
+      if List.mem idx cfg.Cfg.entries then underflow := true;
+      List.iter
+        (fun pr ->
+          let du = VF.def_use p.V.instrs.(pr) in
+          if List.mem VF.Flags du.VF.defs then begin
+            if not (List.mem pr !defs) then defs := pr :: !defs
+          end
+          else go pr)
+        cfg.Cfg.pred.(idx)
+    end
+  in
+  go u;
+  match (!defs, !underflow) with
+  | [ d ], false -> (
+    let i = p.V.instrs.(d) in
+    match (i.V.op, i.V.operands) with
+    | V.Cmp, [ a; b ] -> Some (a, b)
+    | _ -> None)
+  | _ -> None
+
+let via32_iv_steps (p : V.program) (l : Cfg.loop) r =
+  let bad = ref None in
+  let steps = ref [] in
+  List.iter
+    (fun idx ->
+      let i = p.V.instrs.(idx) in
+      if List.mem (VF.Gpr r) (VF.def_use i).VF.defs then
+        match (i.V.op, i.V.operands) with
+        | V.Add, [ V.R d; V.I k ] when d = r ->
+          steps := (idx, Int32.to_int k) :: !steps
+        | V.Sub, [ V.R d; V.I k ] when d = r ->
+          steps := (idx, -(Int32.to_int k)) :: !steps
+        | _ -> bad := Some (`Opaque "non-constant update of the induction variable"))
+    l.Cfg.nodes;
+  match !bad with Some why -> Error why | None -> Ok !steps
+
+let via32_loop_trip (p : V.program) (cfg : Cfg.t) out (l : Cfg.loop) =
+  if l.Cfg.exits = [] then T_unbounded "the loop has no exit edges"
+  else begin
+    let decoded =
+      List.filter_map
+        (fun (u, _v) ->
+          let i = p.V.instrs.(u) in
+          match (i.V.op, i.V.operands) with
+          | V.Jcc cc, [ V.I tgt ] -> (
+            match cond_of_cc cc with
+            | None -> None
+            | Some c -> (
+              let tgt = Int32.to_int tgt in
+              let exit_on_taken =
+                not (tgt >= 0 && tgt < cfg.Cfg.n && l.Cfg.body.(tgt))
+              in
+              let continue_cond = if exit_on_taken then negate c else c in
+              match via32_reaching_cmp p cfg u with
+              | None -> None
+              | Some (a, b) -> Some (u, continue_cond, a, b)))
+          | _ -> None)
+        (List.sort_uniq compare l.Cfg.exits)
+    in
+    if decoded = [] then T_unknown "no decodable exit test"
+    else begin
+      let in_loop_defs r =
+        List.exists
+          (fun idx -> List.mem (VF.Gpr r) (VF.def_use p.V.instrs.(idx)).VF.defs)
+          l.Cfg.nodes
+      in
+      let invariant_sym = function
+        | V.I c -> Some (s_const (Int32.to_int c))
+        | V.R r when not (in_loop_defs r) -> Some (via32_loop_entry_value cfg l out r)
+        | _ -> None
+      in
+      let dominates_back_srcs idx =
+        List.for_all (fun s -> Cfg.dominates cfg idx s) l.Cfg.back_srcs
+      in
+      let trips =
+        List.map
+          (fun (u, cond, a, b) ->
+            if not (dominates_back_srcs u) then
+              T_unknown "the exit test does not run on every iteration"
+            else begin
+              let pick_iv side_a side_b cond =
+                match (side_a, side_b) with
+                | V.R r, other when in_loop_defs r -> Some (r, other, cond)
+                | _ -> None
+              in
+              match
+                (match pick_iv a b cond with
+                | Some x -> Some x
+                | None -> pick_iv b a (mirror cond))
+              with
+              | None -> (
+                match (invariant_sym a, invariant_sym b) with
+                | Some _, Some _ when List.length decoded = 1
+                                      && List.length l.Cfg.exits = 1 ->
+                  T_unbounded "the exit condition is loop-invariant"
+                | _ -> T_unknown "exit test without an induction variable")
+              | Some (iv, bound_op, cond) -> (
+                match invariant_sym bound_op with
+                | None -> T_unknown "exit bound is not loop-invariant"
+                | Some bound when bound = Top || bound = Bot ->
+                  T_unknown "exit bound is not statically known"
+                | Some bound -> (
+                  match via32_iv_steps p l iv with
+                  | Error (`Nonmono why) -> T_unknown ("EXO015:" ^ why)
+                  | Error (`Opaque why) -> T_unknown why
+                  | Ok [] -> T_unknown "exit register is never updated in the loop"
+                  | Ok steps ->
+                    let signs = List.sort_uniq compare (List.map (fun (_, s) -> compare s 0) steps) in
+                    if List.mem 0 signs || List.length signs > 1 then
+                      T_unknown "EXO015:mixed-direction updates of the induction variable"
+                    else begin
+                      let guaranteed =
+                        List.filter (fun (idx, _) -> dominates_back_srcs idx) steps
+                      in
+                      if guaranteed = [] then
+                        T_unknown "no induction-variable update is guaranteed every iteration"
+                      else begin
+                        let step = List.fold_left (fun acc (_, s) -> acc + s) 0 guaranteed in
+                        let init =
+                          match via32_loop_entry_value cfg l out iv with
+                          | Bot -> Top
+                          | v -> v
+                        in
+                        if init = Top then T_unknown "induction-variable start value unknown"
+                        else
+                          let pre_update =
+                            not (List.for_all (fun (idx, _) -> Cfg.dominates cfg idx u) guaranteed)
+                          in
+                          trip_of_exit ~init ~step ~pre_update
+                            { e_iv = iv; e_cond = cond; e_bound = bound; e_site = u }
+                      end
+                    end))
+            end)
+          decoded
+      in
+      match best_trip trips with Some t -> t | None -> T_unknown "no decodable exit test"
+    end
+  end
+
+(* ==================================================================== *)
+(* Findings + worst-case composition                                    *)
+(* ==================================================================== *)
+
+(* EXO011/EXO012/EXO013/EXO015 findings from the classified loops, plus
+   the per-shred worst-case cycle verdict under [env]. *)
+let compose ~loc_of_line ~line_of ~cost_of ~spawn_reachable (cfg : Cfg.t)
+    (loops : (Cfg.loop * trip) array) ~env =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let irr = Cfg.irreducible_edges cfg in
+  List.iter
+    (fun (u, v) ->
+      add
+        (finding ~rule:"EXO012" ~severity:Finding.Warning (loc_of_line (line_of u))
+           "irreducible control flow: the retreating edge to line %d is \
+            not a natural back edge (multi-entry loop); no trip bound \
+            can be inferred"
+           (loc_of_line (line_of v)).Exochi_isa.Loc.line))
+    irr;
+  let infos =
+    Array.to_list
+      (Array.map
+         (fun ((l : Cfg.loop), trip) ->
+           let line = line_of l.Cfg.header in
+           (match trip with
+           | T_unbounded why ->
+             add
+               (finding ~rule:"EXO011" ~severity:Finding.Error (loc_of_line line)
+                  "statically unbounded loop: %s" why)
+           | T_unknown why when String.length why > 7 && String.sub why 0 7 = "EXO015:" ->
+             add
+               (finding ~rule:"EXO015" ~severity:Finding.Warning (loc_of_line line)
+                  "backward branch with a non-monotone induction \
+                   variable: %s"
+                  (String.sub why 7 (String.length why - 7)))
+           | _ -> ());
+           { header = l.Cfg.header; header_line = line; depth = l.Cfg.depth; trip })
+         loops)
+  in
+  (* evaluate each loop under the environment *)
+  let verdict =
+    try
+      let evald =
+        Array.map (fun ((l : Cfg.loop), trip) -> (l, eval_trip trip ~env)) loops
+      in
+      if spawn_reachable then
+        Unknown "spawn creates shreds the per-shred cost model does not follow"
+      else if irr <> [] then Unknown "irreducible control flow"
+      else if Array.exists (fun (_, e) -> match e with `Unbounded _ -> true | _ -> false) evald
+      then Unbounded
+      else begin
+        let unknown =
+          Array.fold_left
+            (fun acc (_, e) ->
+              match (acc, e) with
+              | None, `Unknown why -> Some why
+              | acc, _ -> acc)
+            None evald
+        in
+        match unknown with
+        | Some why -> Unknown why
+        | None ->
+          let total = ref 0 in
+          for idx = 0 to cfg.Cfg.n - 1 do
+            if cfg.Cfg.reach.(idx) then begin
+              let mult =
+                Array.fold_left
+                  (fun acc ((l : Cfg.loop), e) ->
+                    if l.Cfg.body.(idx) then
+                      match e with
+                      | `Trips t -> mul_cap acc t
+                      | _ -> acc (* unreachable: filtered above *)
+                    else acc)
+                  1 evald
+              in
+              total := add_cap !total (mul_cap (cost_of idx) mult)
+            end
+          done;
+          Cycles !total
+      end
+    with Overflow ->
+      add
+        (finding ~rule:"EXO013" ~severity:Finding.Warning
+           (loc_of_line (line_of 0))
+           "trip-count/cost overflow: the worst-case bound exceeds %d \
+            cycles; treating the section as unbounded for admission"
+           overflow_cap);
+      Unknown "trip-count/cost overflow"
+  in
+  (List.rev !findings, infos, verdict)
+
+let analyze_x3k ?loc ?(env = no_env) (p : X.program) =
+  let loc_of_line =
+    match loc with
+    | Some f -> f
+    | None -> fun line -> Loc.make ~file:p.X.name ~line ~col:1
+  in
+  let cfg = XF.cfg p in
+  let _, out = x3k_sym_interp p in
+  let loops =
+    Array.map (fun l -> (l, x3k_loop_trip p cfg out l)) (Cfg.loops cfg)
+  in
+  let spawn_reachable =
+    Array.exists
+      (fun idx -> cfg.Cfg.reach.(idx) && p.X.instrs.(idx).X.op = X.Spawn)
+      (Array.init (Array.length p.X.instrs) Fun.id)
+  in
+  let findings, infos, verdict =
+    compose ~loc_of_line
+      ~line_of:(fun idx -> p.X.instrs.(idx).X.line)
+      ~cost_of:(fun idx -> Cost.worst_retire_cycles p.X.instrs.(idx))
+      ~spawn_reachable cfg loops ~env
+  in
+  { findings; loops = infos; verdict }
+
+let analyze_via32 ?loc (p : V.program) =
+  let loc_of_line =
+    match loc with
+    | Some f -> f
+    | None -> fun line -> Loc.make ~file:p.V.name ~line ~col:1
+  in
+  let cfg = VF.cfg p in
+  let _, out = via32_sym_interp p in
+  let loops =
+    Array.map (fun l -> (l, via32_loop_trip p cfg out l)) (Cfg.loops cfg)
+  in
+  let findings, infos, verdict =
+    compose ~loc_of_line
+      ~line_of:(fun idx -> p.V.instrs.(idx).V.line)
+      ~cost_of:(fun _ -> 0) (* no VIA32 cycle model: loop verdicts only *)
+      ~spawn_reachable:false cfg loops ~env:no_env
+  in
+  let verdict =
+    match verdict with
+    | Cycles _ -> Unknown "no VIA32 cycle cost model"
+    | v -> v
+  in
+  { findings; loops = infos; verdict }

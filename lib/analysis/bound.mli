@@ -1,0 +1,85 @@
+(** Exo-bound: symbolic loop-bound / worst-case-cycle analysis over the
+    X3K and VIA32 CFGs (DESIGN.md §13).
+
+    Every natural loop ({!Exochi_isa.Cfg.loops}) gets a trip verdict —
+    a constant, a symbolic ceil-expression over the launch parameters
+    [%p0..%pN], provably unbounded, or honestly unknown. The X3K
+    verdict composes {!Exochi_isa.X3k_cost.worst_retire_cycles} with
+    the product of enclosing trip counts into a per-shred worst-case
+    busy-cycle bound, directly comparable to [Gpu.busy_cycles].
+
+    Rules emitted: EXO011 (statically unbounded loop), EXO012
+    (irreducible control flow), EXO013 (trip/cost overflow), EXO015
+    (backward branch with non-monotone induction variable). EXO014
+    (bound vs declared deadline class) is applied by {!Exo_check},
+    which owns the launch geometry. *)
+
+(** Affine symbolic values [k + sum c_i * %p_i] over the launch
+    parameters — the multi-parameter generalisation of the race
+    domain's [a*%p0+b]. *)
+type sym = Bot | Sym of int * (int * int) list | Top
+
+val s_const : int -> sym
+val s_param : int -> sym
+val sym_to_string : sym -> string
+
+(** Interval evaluation under a parameter environment: [env i] is the
+    inclusive range of [%pi] ([None] = unknown). [None] on [Top]/[Bot]
+    or any unknown parameter. *)
+val eval_range : sym -> env:(int -> (int * int) option) -> (int * int) option
+
+(** The all-unknown environment (standalone lint). *)
+val no_env : int -> (int * int) option
+
+(** Trip bound of one loop: header executions per loop entry are at
+    most [max 1 (ceil num/den) + extra]. *)
+type trip =
+  | T_const of int
+  | T_sym of { num : sym; den : int; extra : int; ne_exit : bool }
+  | T_unbounded of string
+  | T_unknown of string
+
+val eval_trip :
+  trip ->
+  env:(int -> (int * int) option) ->
+  [ `Trips of int | `Unbounded of string | `Unknown of string ]
+
+val trip_to_string : trip -> string
+
+type loop_info = {
+  header : int; (* instruction index of the loop header *)
+  header_line : int; (* source line of the header instruction *)
+  depth : int; (* 0 = outermost *)
+  trip : trip;
+}
+
+type verdict =
+  | Cycles of int (* proven per-shred worst-case busy cycles *)
+  | Unbounded
+  | Unknown of string
+
+val verdict_to_string : verdict -> string
+
+type t = {
+  findings : Finding.t list;
+  loops : loop_info list;
+  verdict : verdict;
+}
+
+(** Analyse an assembled X3K program. [loc] maps a source line to a
+    finding location (defaults to [program.name:line]); [env] gives the
+    launch-parameter ranges used to evaluate symbolic trips (defaults
+    to {!no_env}: symbolic loops stay [Unknown], constant ones still
+    bound). A reachable [spawn] makes the verdict [Unknown] — spawned
+    shreds are outside the per-shred cost model. *)
+val analyze_x3k :
+  ?loc:(int -> Exochi_isa.Loc.t) ->
+  ?env:(int -> (int * int) option) ->
+  Exochi_isa.X3k_ast.program ->
+  t
+
+(** Analyse a VIA32 program: loop classification and EXO011/012/015
+    only — there is no VIA32 cycle cost model, so a loop-free result is
+    still [Unknown], never [Cycles]. *)
+val analyze_via32 :
+  ?loc:(int -> Exochi_isa.Loc.t) -> Exochi_isa.Via32_ast.program -> t

@@ -210,7 +210,7 @@ let x3k_lint ?loc p =
   in
   x3k_uninit ~loc p @ x3k_dead_stores ~loc p @ x3k_unreachable ~loc p
 
-let check_x3k p = x3k_lint p
+let check_x3k p = x3k_lint p @ (Bound.analyze_x3k p).Bound.findings
 
 (* ==================================================================== *)
 (* Pass 3: dataflow lint over the VIA32 CFG                             *)
@@ -360,7 +360,7 @@ let via32_lint ?loc p =
   in
   via32_uninit ~loc p @ via32_dead_stores ~loc p @ via32_unreachable ~loc p
 
-let check_via32 p = via32_lint p
+let check_via32 p = via32_lint p @ (Bound.analyze_via32 p).Bound.findings
 
 (* ==================================================================== *)
 (* Passes 1 & 2: abstract interpretation of a parallel region           *)
@@ -681,6 +681,103 @@ let collect_descriptors (prog : Ast.program) =
   !descs
 
 (* ==================================================================== *)
+(* Host constant environment                                            *)
+(* ==================================================================== *)
+
+(* Flow-insensitive constant propagation over the host program: a name
+   is constant when its initializer is provably its only write — a
+   scalar global never assigned, or a local declared exactly once with
+   an initializer and never reassigned anywhere. This widens the race /
+   extent / bound passes from literal-only iteration spaces to
+   symbolically constant ones ("int n = 64; ... chi_parallel(0, 0, n)"
+   now analyzes like a literal 64). *)
+let rec const_eval env = function
+  | Ast.Int v -> Some (Int32.to_int v)
+  | Ast.Var v -> Hashtbl.find_opt env v
+  | Ast.Unop (`Neg, e) -> Option.map (fun v -> -v) (const_eval env e)
+  | Ast.Unop (`Not, e) ->
+    Option.map (fun v -> if v = 0 then 1 else 0) (const_eval env e)
+  | Ast.Binop (op, a, b) -> (
+    match (const_eval env a, const_eval env b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Some (x + y)
+      | Ast.Sub -> Some (x - y)
+      | Ast.Mul -> Some (x * y)
+      | Ast.Div -> if y = 0 then None else Some (x / y)
+      | Ast.Rem -> if y = 0 then None else Some (x mod y)
+      | Ast.Shl -> if y >= 0 && y < 31 then Some (x lsl y) else None
+      | Ast.Shr -> if y >= 0 && y < 31 then Some (x asr y) else None
+      | Ast.Lt -> Some (if x < y then 1 else 0)
+      | Ast.Le -> Some (if x <= y then 1 else 0)
+      | Ast.Gt -> Some (if x > y then 1 else 0)
+      | Ast.Ge -> Some (if x >= y then 1 else 0)
+      | Ast.Eq -> Some (if x = y then 1 else 0)
+      | Ast.Ne -> Some (if x <> y then 1 else 0)
+      | Ast.BAnd -> Some (x land y)
+      | Ast.BOr -> Some (x lor y)
+      | Ast.BXor -> Some (x lxor y)
+      | Ast.LAnd -> Some (if x <> 0 && y <> 0 then 1 else 0)
+      | Ast.LOr -> Some (if x <> 0 || y <> 0 then 1 else 0))
+    | _ -> None)
+  | Ast.Index _ | Ast.Call _ -> None
+
+let collect_const_env (prog : Ast.program) =
+  (* names that must never be folded: assignment targets, function
+     parameters, parallel loop variables, multiply-declared or
+     uninitialized locals *)
+  let tainted = Hashtbl.create 16 in
+  let taint v = Hashtbl.replace tainted v () in
+  let decl_count = Hashtbl.create 16 in
+  let inits = ref [] in
+  let rec walk s =
+    (match s with
+    | Ast.Assign (v, _) -> taint v
+    | Ast.Decl (v, init) -> (
+      let c = Option.value ~default:0 (Hashtbl.find_opt decl_count v) in
+      Hashtbl.replace decl_count v (c + 1);
+      if c > 0 then taint v;
+      match init with
+      | Some e -> inits := (v, e) :: !inits
+      | None -> taint v)
+    | Ast.Parallel r -> taint r.Ast.loop_var
+    | _ -> ());
+    match s with
+    | Ast.If (_, t, e) ->
+      List.iter walk t;
+      Option.iter (List.iter walk) e
+    | Ast.While (_, b) -> List.iter walk b
+    | Ast.For (i, _, st, b) ->
+      walk i;
+      walk st;
+      List.iter walk b
+    | Ast.Block b -> List.iter walk b
+    | _ -> ()
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      List.iter taint f.Ast.params;
+      List.iter walk f.Ast.body)
+    prog.Ast.funcs;
+  let env = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Ast.Gvar (v, Some init) when not (Hashtbl.mem tainted v) ->
+        Hashtbl.replace env v (Int32.to_int init)
+      | _ -> ())
+    prog.Ast.globals;
+  (* fold local initializers in declaration order, so an init may read
+     an earlier constant *)
+  List.iter
+    (fun (v, e) ->
+      if not (Hashtbl.mem tainted v) then
+        match const_eval env e with
+        | Some c -> Hashtbl.replace env v c
+        | None -> ())
+    (List.rev !inits);
+  env
+
+(* ==================================================================== *)
 (* Pass 1b: host code racing a master_nowait team (AST walk)            *)
 (* ==================================================================== *)
 
@@ -773,7 +870,7 @@ let host_races (prog : Ast.program) =
 (* Per-section checks                                                   *)
 (* ==================================================================== *)
 
-let check_section ~descs (sec : Compile.section_info) =
+let check_section ~descs ~cenv (sec : Compile.section_info) =
   let out = ref [] in
   let add f = out := f :: !out in
   (* map an X3K-relative line into the .chi file: the __asm text starts
@@ -812,7 +909,7 @@ let check_section ~descs (sec : Compile.section_info) =
   (* ---- access summary ---- *)
   let accesses = x3k_interp sec.Compile.x3k in
   let bounds =
-    match (lit sec.Compile.lo, lit sec.Compile.hi) with
+    match (const_eval cenv sec.Compile.lo, const_eval cenv sec.Compile.hi) with
     | Some lo, Some hi when hi > lo -> Some (lo, hi)
     | _ -> None
   in
@@ -908,6 +1005,50 @@ let check_section ~descs (sec : Compile.section_info) =
           | _ -> ())
         | _ -> ()))
     accesses;
+  (* ---- Exo-bound: trip counts, WCET, the deadline class ---- *)
+  let benv i =
+    if i = 0 then Option.map (fun (lo, hi) -> (lo, hi - 1)) bounds
+    else
+      (* %p1.. carry firstprivate values, evaluated once at the fork *)
+      match List.nth_opt sec.Compile.firstprivate (i - 1) with
+      | Some v -> Option.map (fun c -> (c, c)) (Hashtbl.find_opt cenv v)
+      | None -> None
+  in
+  let b = Bound.analyze_x3k ~loc:line_loc ~env:benv sec.Compile.x3k in
+  List.iter add b.Bound.findings;
+  (match sec.Compile.deadline_us with
+  | None -> ()
+  | Some d -> (
+    match b.Bound.verdict with
+    | Bound.Unbounded -> () (* EXO011 already says it all *)
+    | Bound.Unknown why ->
+      add
+        (finding ~rule:"EXO014" ~severity:Finding.Warning sec.Compile.ploc
+           "deadline_us(%d) declared but no static bound exists for this \
+            section: %s"
+           d why)
+    | Bound.Cycles c ->
+      (* wall-clock model mirroring the default Gpu geometry (8 EUs x 4
+         contexts at 667 MHz, 120-cycle dispatch): shreds run in waves of
+         [hw_contexts], each wave at most the per-shred bound. With an
+         unknown iteration space only the single-wave lower bound is
+         checked. *)
+      let hw_contexts = 32 and clock_mhz = 667 and dispatch = 120 in
+      let waves =
+        match bounds with
+        | Some (lo, hi) -> (hi - lo + hw_contexts - 1) / hw_contexts
+        | None -> 1
+      in
+      let wall_cycles = dispatch + (c * waves) in
+      let wall_us = (wall_cycles + clock_mhz - 1) / clock_mhz in
+      if wall_us > d then
+        add
+          (finding ~rule:"EXO014" ~severity:Finding.Error sec.Compile.ploc
+             "worst-case bound %d cycles/shred over %d wave%s is ~%d us, \
+              exceeding the declared deadline_us(%d)"
+             c waves
+             (if waves = 1 then "" else "s")
+             wall_us d)));
   (* ---- pass 3 on the section body ---- *)
   out := List.rev_append (x3k_lint ~loc:instr_loc sec.Compile.x3k) (List.rev !out);
   List.rev !out
@@ -918,13 +1059,14 @@ let check_section ~descs (sec : Compile.section_info) =
 
 let check_compiled (c : Compile.compiled) =
   let descs = collect_descriptors c.Compile.ast in
+  let cenv = collect_const_env c.Compile.ast in
   let section_findings =
-    List.concat_map (check_section ~descs) c.Compile.sections
+    List.concat_map (check_section ~descs ~cenv) c.Compile.sections
   in
   let host_findings = host_races c.Compile.ast in
   let via32_findings =
     match Fatbin.find_via32 c.Compile.fatbin "main" with
-    | Ok p -> via32_lint p
+    | Ok p -> via32_lint p @ (Bound.analyze_via32 p).Bound.findings
     | Error _ -> []
   in
   List.stable_sort Finding.compare

@@ -16,17 +16,30 @@
       and VIA32 control-flow graphs ({!Exochi_isa.X3k_flow},
       {!Exochi_isa.Via32_flow}) — possibly-uninitialized reads, dead
       stores, unreachable code.
+    - {b loop bounds / WCET} (EXO011–EXO015): the {!Bound} symbolic
+      trip-count analysis over every section (and the compiled VIA32
+      [main]), plus EXO014 when a section's worst-case cycle bound
+      exceeds its declared [deadline_us(...)] class under the default
+      accelerator geometry.
+
+    Iteration spaces and firstprivate parameter values are resolved by a
+    flow-insensitive host constant propagation (globals with an
+    initializer and no assignment, const locals), so the race / extent /
+    bound passes also apply when [lo]/[hi] are named constants rather
+    than literals.
 
     The analyzer is deliberately quiet when it cannot prove a problem:
-    non-affine addresses, non-literal iteration bounds, and gather /
+    non-affine addresses, non-constant iteration bounds, and gather /
     scatter / sampler accesses produce no race or extent findings. Those
-    false negatives are documented per rule in DESIGN.md §9. *)
+    false negatives are documented per rule in DESIGN.md §9 and §13. *)
 
-(** Dataflow lint (EXO008–EXO010) over a standalone X3K program.
-    Findings are anchored at [program.name:line]. *)
+(** Dataflow lint (EXO008–EXO010) plus loop-bound findings
+    (EXO011–EXO013, EXO015) over a standalone X3K program. Findings are
+    anchored at [program.name:line]. *)
 val check_x3k : Exochi_isa.X3k_ast.program -> Finding.t list
 
-(** Dataflow lint (EXO008–EXO010) over a standalone VIA32 program. *)
+(** Dataflow lint (EXO008–EXO010) plus loop-bound findings over a
+    standalone VIA32 program. *)
 val check_via32 : Exochi_isa.Via32_ast.program -> Finding.t list
 
 (** All three passes over a compiled program: every accelerator section,

@@ -37,6 +37,18 @@ let rules =
                 initialization");
     ("EXO009", "dead store: register written but never read afterwards");
     ("EXO010", "unreachable code after jmp/end");
+    ("EXO011", "statically unbounded loop: no exit, loop-invariant exit \
+                condition, or induction variable stepping away from its \
+                bound");
+    ("EXO012", "irreducible control flow: a retreating edge that is not \
+                a natural back edge (multi-entry loop), so no trip bound \
+                can be inferred");
+    ("EXO013", "trip-count/cost overflow: the worst-case cycle bound \
+                exceeds the 1e15-cycle cap");
+    ("EXO014", "section worst-case bound exceeds its declared \
+                deadline_us(...) class");
+    ("EXO015", "backward branch with a non-monotone induction variable \
+                (predicated or mixed-direction updates)");
   ]
 
 let rule_description rule = List.assoc_opt rule rules
@@ -73,6 +85,81 @@ let to_json t =
       ("line", Tiny_json.Num (float_of_int t.loc.Loc.line));
       ("col", Tiny_json.Num (float_of_int t.loc.Loc.col));
       ("message", Tiny_json.Str t.msg);
+    ]
+
+(* SARIF 2.1.0 exposition: one run, the full rule catalog as the
+   driver's rules, one result per finding. Severity maps to the SARIF
+   level vocabulary (Info -> "note"). *)
+let to_sarif findings =
+  let level = function
+    | Error -> "error"
+    | Warning -> "warning"
+    | Info -> "note"
+  in
+  let rules_json =
+    List.map
+      (fun (id, desc) ->
+        Tiny_json.Obj
+          [
+            ("id", Tiny_json.Str id);
+            ( "shortDescription",
+              Tiny_json.Obj [ ("text", Tiny_json.Str desc) ] );
+          ])
+      rules
+  in
+  let result f =
+    Tiny_json.Obj
+      [
+        ("ruleId", Tiny_json.Str f.rule);
+        ("level", Tiny_json.Str (level f.severity));
+        ("message", Tiny_json.Obj [ ("text", Tiny_json.Str f.msg) ]);
+        ( "locations",
+          Tiny_json.Arr
+            [
+              Tiny_json.Obj
+                [
+                  ( "physicalLocation",
+                    Tiny_json.Obj
+                      [
+                        ( "artifactLocation",
+                          Tiny_json.Obj
+                            [ ("uri", Tiny_json.Str f.loc.Loc.file) ] );
+                        ( "region",
+                          Tiny_json.Obj
+                            [
+                              ( "startLine",
+                                Tiny_json.Num (float_of_int f.loc.Loc.line) );
+                              ( "startColumn",
+                                Tiny_json.Num (float_of_int f.loc.Loc.col) );
+                            ] );
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  Tiny_json.Obj
+    [
+      ( "$schema",
+        Tiny_json.Str "https://json.schemastore.org/sarif-2.1.0.json" );
+      ("version", Tiny_json.Str "2.1.0");
+      ( "runs",
+        Tiny_json.Arr
+          [
+            Tiny_json.Obj
+              [
+                ( "tool",
+                  Tiny_json.Obj
+                    [
+                      ( "driver",
+                        Tiny_json.Obj
+                          [
+                            ("name", Tiny_json.Str "exochi_lint");
+                            ("rules", Tiny_json.Arr rules_json);
+                          ] );
+                    ] );
+                ("results", Tiny_json.Arr (List.map result findings));
+              ];
+          ] );
     ]
 
 let report_json ?(extra = []) findings =

@@ -37,6 +37,11 @@ val count : severity -> t list -> int
 val has_errors : t list -> bool
 val to_json : t -> Exochi_obs.Tiny_json.t
 
+(** A complete SARIF 2.1.0 log object — one run whose driver carries the
+    full {!rules} catalog and one [result] per finding ([Info] maps to
+    level ["note"]). Serialise with {!Exochi_obs.Tiny_json.to_string}. *)
+val to_sarif : t list -> Exochi_obs.Tiny_json.t
+
 (** The findings report object: severity counts plus the finding array,
     with optional leading [extra] fields (e.g. the file name). *)
 val report_json :

@@ -44,6 +44,7 @@ type clause =
   | Firstprivate of string list
   | Descriptor of string list
   | Num_threads of expr
+  | Deadline_us of expr (* deadline_us(N): latency class for Exo-bound *)
   | Master_nowait
 
 type pragma = { clauses : clause list; ploc : Exochi_isa.Loc.t }

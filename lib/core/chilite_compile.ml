@@ -7,6 +7,7 @@ type section_info = {
   sec_name : string;
   shared : string list;
   nowait : bool;
+  deadline_us : int option;
   private_vars : string list;
   firstprivate : string list;
   descriptor_clause : string list;
@@ -301,6 +302,7 @@ and gen_parallel env region =
       | Firstprivate _ -> Some "firstprivate"
       | Descriptor _ -> Some "descriptor"
       | Num_threads _ -> Some "num_threads"
+      | Deadline_us _ -> Some "deadline_us"
       | Master_nowait -> None
     in
     let rec dup seen = function
@@ -326,6 +328,20 @@ and gen_parallel env region =
     List.concat_map (function Shared l -> l | _ -> []) clauses
   in
   let nowait = List.mem Master_nowait clauses in
+  let* deadline_us =
+    match
+      List.find_map (function Deadline_us e -> Some e | _ -> None) clauses
+    with
+    | None -> Ok None
+    | Some (Int v) when Int32.compare v 1l >= 0 ->
+      Ok (Some (Int32.to_int v))
+    | Some (Int _) ->
+      err region.pragma.ploc "deadline_us(...) requires a positive value"
+    | Some _ ->
+      err region.pragma.ploc
+        "deadline_us(...) requires an integer literal (the deadline is a \
+         static latency class, not a runtime value)"
+  in
   let* () =
     List.fold_left
       (fun acc v ->
@@ -387,6 +403,7 @@ and gen_parallel env region =
       sec_name;
       shared;
       nowait;
+      deadline_us;
       private_vars;
       firstprivate;
       descriptor_clause;

@@ -22,6 +22,7 @@ type section_info = {
   sec_name : string;
   shared : string list; (* surface names the region binds *)
   nowait : bool;
+  deadline_us : int option; (* deadline_us(N) latency class, if declared *)
   private_vars : string list; (* private(...) clause *)
   firstprivate : string list; (* firstprivate(...), delivered in %p1.. *)
   descriptor_clause : string list; (* descriptor(...) clause *)

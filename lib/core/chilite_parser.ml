@@ -185,6 +185,12 @@ let parse_pragma_clauses ~ploc text =
       let* e = parse_expr st in
       let* () = expect st Lx.RPAREN ~what:"num_threads" in
       clauses (Num_threads e :: acc)
+    | Lx.IDENT "deadline_us" ->
+      let* () = advance st in
+      let* () = expect st Lx.LPAREN ~what:"deadline_us" in
+      let* e = parse_expr st in
+      let* () = expect st Lx.RPAREN ~what:"deadline_us" in
+      clauses (Deadline_us e :: acc)
     | Lx.IDENT "master_nowait" ->
       let* () = advance st in
       clauses (Master_nowait :: acc)

@@ -28,3 +28,7 @@ val succs : Via32_ast.program -> int -> int list
 
 val entries : Via32_ast.program -> int list
 val reachable : Via32_ast.program -> bool array
+
+(** Full control-flow analysis (dominators, loops, irreducibility) of
+    the program graph — see {!Cfg}. *)
+val cfg : Via32_ast.program -> Cfg.t

@@ -1,0 +1,23 @@
+open X3k_ast
+
+(* The single source of truth for X3K issue costs: the GPU sequencer
+   charges these per retired instruction (see Gpu), and the Exo-bound
+   static analyzer composes the same numbers into worst-case cycle
+   bounds — so a static bound is comparable to measured busy_cycles. *)
+
+let issue_cycles i =
+  match i.op with
+  | Gather | Scatter -> if i.width > 8 then 6 else 3
+  | Ld | St | Sample -> if i.width > 8 then 4 else 2
+  | _ -> if i.width > 8 then 2 else 1
+
+let taken_branch_penalty = 2
+
+(* Worst case a single retirement of this instruction can add to
+   busy_cycles: a taken jmp/br pays the redirect penalty on top of its
+   issue cost; [end] finishes the shred without charging busy time. *)
+let worst_retire_cycles i =
+  match i.op with
+  | End -> 0
+  | Jmp | Br _ -> issue_cycles i + taken_branch_penalty
+  | _ -> issue_cycles i

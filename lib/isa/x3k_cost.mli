@@ -1,0 +1,14 @@
+(** X3K per-instruction issue costs — the single table shared by the
+    GPU sequencer's retire accounting ([Gpu.busy_cycles], the
+    [Gpu.set_profiler] hook) and the Exo-bound static WCET analysis,
+    so static bounds and measured busy cycles are directly comparable. *)
+
+(** Cycles one issue of the instruction occupies the sequencer. *)
+val issue_cycles : X3k_ast.instr -> int
+
+(** Extra cycles a taken branch ([jmp], taken [br]) pays. *)
+val taken_branch_penalty : int
+
+(** Worst case one retirement can add to busy_cycles: issue cost, plus
+    the taken-branch penalty for [jmp]/[br]; 0 for [end]. *)
+val worst_retire_cycles : X3k_ast.instr -> int

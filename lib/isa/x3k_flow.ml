@@ -113,3 +113,6 @@ let reachable p =
   in
   List.iter go (entries p);
   seen
+
+let cfg p =
+  Cfg.build ~n:(Array.length p.instrs) ~entries:(entries p) ~succs:(succs p)

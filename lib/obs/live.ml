@@ -21,6 +21,7 @@ type t = {
   mutable jobs_arrived : int;
   mutable jobs_done : int;
   mutable jobs_shed : int;
+  sheds_by_reason : (string, int) Hashtbl.t;
   mutable batches : int;
   job_lat : Hist.t;
   (* guard *)
@@ -41,6 +42,7 @@ let create () =
     jobs_arrived = 0;
     jobs_done = 0;
     jobs_shed = 0;
+    sheds_by_reason = Hashtbl.create 8;
     batches = 0;
     job_lat = Hist.create ();
     sdc_detected = 0;
@@ -63,7 +65,10 @@ let observe t (e : Trace.event) =
   | Trace.Job_done { latency_ps; _ } ->
     t.jobs_done <- t.jobs_done + 1;
     Hist.record t.job_lat (float_of_int latency_ps)
-  | Trace.Job_shed _ -> t.jobs_shed <- t.jobs_shed + 1
+  | Trace.Job_shed { reason; _ } ->
+    t.jobs_shed <- t.jobs_shed + 1;
+    Hashtbl.replace t.sheds_by_reason reason
+      (1 + Option.value (Hashtbl.find_opt t.sheds_by_reason reason) ~default:0)
   | Trace.Batch_dispatch _ -> t.batches <- t.batches + 1
   | Trace.Sdc_detected { corruptions; _ } ->
     t.sdc_detected <- t.sdc_detected + corruptions
@@ -82,6 +87,10 @@ let shred_lat t = t.shred_lat
 let jobs_arrived t = t.jobs_arrived
 let jobs_done t = t.jobs_done
 let jobs_shed t = t.jobs_shed
+
+let sheds_by_reason t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sheds_by_reason []
+  |> List.sort compare
 let batches t = t.batches
 let job_lat t = t.job_lat
 let sdc_detected t = t.sdc_detected

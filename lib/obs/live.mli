@@ -37,6 +37,12 @@ val shred_lat : t -> Hist.t
 val jobs_arrived : t -> int
 val jobs_done : t -> int
 val jobs_shed : t -> int
+
+(** Shed counts keyed by the typed reason label carried on
+    [Trace.Job_shed] (e.g. ["deadline"], ["infeasible-deadline"]),
+    sorted by label. Empty when nothing was shed. *)
+val sheds_by_reason : t -> (string * int) list
+
 val batches : t -> int
 
 (** Job submit-to-completion latency distribution. *)

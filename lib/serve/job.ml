@@ -25,6 +25,7 @@ type shed_reason =
   | Queue_full of { tenant : int; depth : int; cap : int }
   | Inflight_exceeded of { backlog : int; cap : int }
   | Deadline_expired of { late_ps : int }
+  | Infeasible_deadline of { needed_ps : int; slack_ps : int }
   | Fatal_fault of { attempts : int }
 
 let reason_label = function
@@ -32,6 +33,7 @@ let reason_label = function
   | Queue_full _ -> "queue-full"
   | Inflight_exceeded _ -> "inflight"
   | Deadline_expired _ -> "deadline"
+  | Infeasible_deadline _ -> "infeasible-deadline"
   | Fatal_fault _ -> "fatal-fault"
 
 let reason_to_string = function
@@ -42,6 +44,10 @@ let reason_to_string = function
     Printf.sprintf "in-flight budget exceeded (%d >= cap %d)" backlog cap
   | Deadline_expired { late_ps } ->
     Printf.sprintf "deadline expired %d ps ago" late_ps
+  | Infeasible_deadline { needed_ps; slack_ps } ->
+    Printf.sprintf
+      "deadline infeasible: static bound needs %d ps, only %d ps remain"
+      needed_ps slack_ps
   | Fatal_fault { attempts } ->
     Printf.sprintf "dispatch failed after %d attempt(s)" attempts
 

@@ -37,12 +37,15 @@ type shed_reason =
       (** the server-wide admitted-backlog budget is exhausted *)
   | Deadline_expired of { late_ps : int }
       (** the deadline passed before admission or dispatch *)
+  | Infeasible_deadline of { needed_ps : int; slack_ps : int }
+      (** static admission: the Exo-bound worst-case runtime already
+          exceeds the remaining slack, so the deadline cannot be met *)
   | Fatal_fault of { attempts : int }
       (** re-queued after dispatcher faults too many times *)
 
 (** Stable short key for stats tables and trace events
     (["unknown-kernel"], ["queue-full"], ["inflight"], ["deadline"],
-    ["fatal-fault"]). *)
+    ["infeasible-deadline"], ["fatal-fault"]). *)
 val reason_label : shed_reason -> string
 
 val reason_to_string : shed_reason -> string

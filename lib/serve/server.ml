@@ -14,6 +14,7 @@ module Image = Exochi_media.Image
 module Prng = Exochi_util.Prng
 module Fault_plan = Exochi_faults.Fault_plan
 module Checksum = Exochi_guard.Checksum
+module Bound = Exochi_analysis.Bound
 
 (* End-to-end integrity checking (Exo-guard). With a guard installed,
    injected GTT-corruption and CEH-spurious faults additionally flip one
@@ -36,6 +37,8 @@ type config = {
   guard : guard option;
   hedge_after_ps : int;  (** 0 = hedged re-dispatch off *)
   breaker_cooldown_ps : int;  (** 0 = legacy permanent quarantine *)
+  static_admission : bool;
+      (** shed deadline jobs whose Exo-bound WCET cannot fit the slack *)
 }
 
 let default_config =
@@ -50,6 +53,7 @@ let default_config =
     guard = None;
     hedge_after_ps = 0;
     breaker_cooldown_ps = 0;
+    static_admission = false;
   }
 
 (* A kernel's resident execution state: workload surfaces materialised in
@@ -61,6 +65,10 @@ type arena = {
   a_unit_params : int -> int array;
   a_prog : Exochi_isa.X3k_ast.program;
   a_descriptors : Chi_descriptor.t list;
+  (* Exo-bound per-shred worst-case busy cycles over the arena's actual
+     parameter ranges; None when the analysis returns Unbounded/Unknown
+     (such kernels are admitted — static admission never lies) *)
+  a_bound_cycles : int option;
   (* golden reference: checksum + byte snapshot of the output surfaces
      after a prepare-time full golden replay (outputs are batch-size
      independent — no kernel reads %sid/%nshred). None when no guard. *)
@@ -271,6 +279,24 @@ let golden_pass t (a : arena) =
       (output_surfaces a);
   a.a_ref_sum <- Some (arena_checksum t a)
 
+(* Launch-parameter environment for Exo-bound: the inclusive per-index
+   min/max over every unit's actual parameter vector. *)
+let arena_bound_env ~units ~unit_params =
+  if units <= 0 then Bound.no_env
+  else begin
+    let p0 = unit_params 0 in
+    let nparams = Array.length p0 in
+    let lo = Array.copy p0 and hi = Array.copy p0 in
+    for u = 1 to units - 1 do
+      let p = unit_params u in
+      for i = 0 to min (Array.length p) nparams - 1 do
+        if p.(i) < lo.(i) then lo.(i) <- p.(i);
+        if p.(i) > hi.(i) then hi.(i) <- p.(i)
+      done
+    done;
+    fun i -> if i >= 0 && i < nparams then Some (lo.(i), hi.(i)) else None
+  end
+
 let ensure_arena t abbrev =
   match find_arena t abbrev with
   | Some a -> Ok a
@@ -287,12 +313,24 @@ let ensure_arena t abbrev =
         Exochi_isa.X3k_asm.assemble_exn ~name:k.Kernel.abbrev
           (k.Kernel.x3k_asm io)
       in
+      let bound_cycles =
+        if not t.cfg.static_admission then None
+        else
+          let env =
+            arena_bound_env ~units:io.Kernel.units
+              ~unit_params:(k.Kernel.unit_params io)
+          in
+          match (Bound.analyze_x3k ~env prog).Bound.verdict with
+          | Bound.Cycles c -> Some c
+          | Bound.Unbounded | Bound.Unknown _ -> None
+      in
       let a =
         {
           a_units = io.Kernel.units;
           a_unit_params = k.Kernel.unit_params io;
           a_prog = prog;
           a_descriptors = inputs @ outputs;
+          a_bound_cycles = bound_cycles;
           a_ref_sum = None;
           a_golden = [];
         }
@@ -325,19 +363,42 @@ let shed t (job : Job.t) reason =
        { job = job.Job.id; tenant = job.Job.tenant;
          reason = Job.reason_label reason })
 
+(* Static admission (Exo-bound): the least wall-clock the job can take —
+   dispatch cost plus the per-shred WCET over the waves its shreds need
+   on the hardware contexts — against the slack its deadline leaves.
+   Conservative in exactly one direction: only a *proven* bound sheds
+   (no bound, or no deadline, admits), so every shed job was certain to
+   miss. *)
+let infeasible_deadline t (a : arena) (job : Job.t) ~now =
+  match (job.Job.deadline_ps, a.a_bound_cycles) with
+  | Some deadline, Some c when t.cfg.static_admission ->
+    let gpu = Platform.gpu t.platform in
+    let contexts = Gpu.hw_contexts gpu in
+    let waves = (job.Job.shreds + contexts - 1) / contexts in
+    let cycles = (Gpu.config gpu).Gpu.dispatch_cycles + (c * waves) in
+    let needed_ps = cycles * Gpu.cycle_ps gpu in
+    let slack_ps = deadline - now in
+    if needed_ps > slack_ps then
+      Some (Job.Infeasible_deadline { needed_ps; slack_ps })
+    else None
+  | _ -> None
+
 let admission t (job : Job.t) =
   if job.Job.tenant < 0 || job.Job.tenant >= Array.length t.tenants then
     invalid_arg "Server.submit: tenant id out of range";
   if job.Job.shreds <= 0 then invalid_arg "Server.submit: shreds";
   match ensure_arena t job.Job.kernel with
   | Error r -> Error r
-  | Ok _ ->
+  | Ok a ->
     let now = now_ps t in
     if Job.expired job ~now_ps:now then
       Error
         (Job.Deadline_expired
            { late_ps = now - Option.get job.Job.deadline_ps })
     else begin
+      match infeasible_deadline t a job ~now with
+      | Some r -> Error r
+      | None ->
       let ten = t.tenants.(job.Job.tenant) in
       let cap = (Tenant.config ten).Tenant.queue_cap in
       let depth = Tenant.depth ten in

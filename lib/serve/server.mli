@@ -52,11 +52,21 @@ type config = {
   guard : guard option;  (** integrity checking, [None] = off *)
   hedge_after_ps : int;  (** straggler hedging age, 0 = off *)
   breaker_cooldown_ps : int;  (** breaker cooldown, 0 = legacy quarantine *)
+  static_admission : bool;
+      (** Exo-bound static admission: at arena build time each kernel's
+          X3K program is run through {!Exochi_analysis.Bound} under the
+          arena's actual launch-parameter ranges; a deadline job whose
+          proven worst-case runtime (dispatch + WCET x shred waves)
+          already exceeds its remaining slack is shed at admission as
+          [Infeasible_deadline] instead of burning accelerator time it
+          is certain to waste. Kernels without a proven bound are always
+          admitted. *)
 }
 
 (** Two equal-weight tenants ("alpha", "beta"), default batching
     (32 jobs / 256 shreds), backlog 96, 3 requeues, [Small] arenas,
-    CC-shared memory; guard off, hedging off, breakers off. *)
+    CC-shared memory; guard off, hedging off, breakers off, static
+    admission off. *)
 val default_config : config
 
 type t

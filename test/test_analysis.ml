@@ -456,7 +456,375 @@ let test_rule_catalog_complete () =
       | Some d -> check_bool rule true (String.length d > 0)
       | None -> Alcotest.failf "missing catalog entry for %s" rule)
     [ "EXO001"; "EXO002"; "EXO003"; "EXO004"; "EXO005"; "EXO006"; "EXO007";
-      "EXO008"; "EXO009"; "EXO010" ]
+      "EXO008"; "EXO009"; "EXO010"; "EXO011"; "EXO012"; "EXO013"; "EXO014";
+      "EXO015" ]
+
+(* ---- findings report: SARIF export ---- *)
+
+let test_sarif_export () =
+  let fs = lint_chi (nowait_src ~wait_first:false) in
+  let json = Exochi_obs.Tiny_json.to_string ~indent:2 (Finding.to_sarif fs) in
+  match Exochi_obs.Tiny_json.parse json with
+  | Error e -> Alcotest.failf "sarif does not parse: %s" e
+  | Ok v ->
+    let member = Exochi_obs.Tiny_json.member in
+    (match Option.bind (member "version" v) Exochi_obs.Tiny_json.to_str with
+    | Some "2.1.0" -> ()
+    | Some other -> Alcotest.failf "wrong sarif version %s" other
+    | None -> Alcotest.fail "missing sarif version");
+    (match Option.bind (member "runs" v) Exochi_obs.Tiny_json.to_arr with
+    | Some [ run ] ->
+      (match Option.bind (member "results" run) Exochi_obs.Tiny_json.to_arr with
+      | Some rs -> check_int "sarif results" (List.length fs) (List.length rs)
+      | None -> Alcotest.fail "missing results array")
+    | _ -> Alcotest.fail "expected exactly one run")
+
+(* ---- EXO011..EXO015: Exo-bound loop/WCET rules ---- *)
+
+let x3k_bound ?env src =
+  Bound.analyze_x3k ?env (Exochi_isa.X3k_asm.assemble_exn ~name:"t" src)
+
+let via_bound src =
+  match Exochi_isa.Via32_asm.assemble ~name:"t" src with
+  | Ok p -> Bound.analyze_via32 p
+  | Error e -> Alcotest.failf "assembly failed: %s" (Loc.error_to_string e)
+
+(* sub steps the induction variable away from the < 16 exit bound *)
+let test_exo011_unbounded_spin () =
+  let fs =
+    lint_x3k
+      "  mov.1.dw vr1 = 0\n\
+       SPIN:\n\
+      \  sub.1.dw vr1 = vr1, 1\n\
+      \  cmp.lt.1.dw f0 = vr1, 16\n\
+      \  br.any f0, SPIN\n\
+      \  end\n"
+  in
+  assert_fired "EXO011" fs;
+  check_bool "EXO011 is an error" true
+    (List.exists
+       (fun f -> f.Finding.rule = "EXO011" && f.Finding.severity = Finding.Error)
+       fs)
+
+let counted_loop =
+  "  mov.1.dw vr1 = 0\n\
+   L:\n\
+  \  add.1.dw vr1 = vr1, 1\n\
+  \  cmp.lt.1.dw f0 = vr1, 16\n\
+  \  br.any f0, L\n\
+  \  end\n"
+
+let test_exo011_counted_loop_clean () =
+  let fs = lint_x3k counted_loop in
+  assert_quiet "EXO011" fs;
+  assert_quiet "EXO012" fs;
+  assert_quiet "EXO013" fs;
+  assert_quiet "EXO015" fs
+
+let test_bound_constant_loop_verdict () =
+  let b = x3k_bound counted_loop in
+  check_int "one loop" 1 (List.length b.Bound.loops);
+  match b.Bound.verdict with
+  | Bound.Cycles c -> check_bool "positive bound" true (c > 0)
+  | v -> Alcotest.failf "expected Cycles, got %s" (Bound.verdict_to_string v)
+
+(* the trip count depends on %p1: Unknown standalone, proven under an env *)
+let symbolic_loop =
+  "  mov.1.dw vr1 = 0\n\
+   L:\n\
+  \  add.1.dw vr1 = vr1, 1\n\
+  \  cmp.lt.1.dw f0 = vr1, %p1\n\
+  \  br.any f0, L\n\
+  \  end\n"
+
+let test_bound_symbolic_trip_env () =
+  (match (x3k_bound symbolic_loop).Bound.verdict with
+  | Bound.Unknown _ -> ()
+  | v ->
+    Alcotest.failf "expected Unknown without env, got %s"
+      (Bound.verdict_to_string v));
+  let env i = if i = 1 then Some (1, 16) else None in
+  match (x3k_bound ~env symbolic_loop).Bound.verdict with
+  | Bound.Cycles c -> check_bool "bounded under env" true (c > 0)
+  | v ->
+    Alcotest.failf "expected Cycles under env, got %s"
+      (Bound.verdict_to_string v)
+
+(* the MID/TOP cycle has two entries: no natural-loop trip bound *)
+let irreducible_x3k =
+  "  mov.1.dw vr1 = %p0\n\
+  \  cmp.lt.1.dw f0 = vr1, 4\n\
+  \  br.any f0, MID\n\
+   TOP:\n\
+  \  add.1.dw vr1 = vr1, 1\n\
+   MID:\n\
+  \  sub.1.dw vr1 = vr1, 1\n\
+  \  cmp.gt.1.dw f1 = vr1, 0\n\
+  \  br.any f1, TOP\n\
+  \  end\n"
+
+let test_exo012_irreducible () =
+  let fs = lint_x3k irreducible_x3k in
+  assert_fired "EXO012" fs;
+  match (x3k_bound irreducible_x3k).Bound.verdict with
+  | Bound.Unknown _ -> ()
+  | v -> Alcotest.failf "expected Unknown, got %s" (Bound.verdict_to_string v)
+
+let nested_x3k =
+  "  mov.1.dw vr1 = 0\n\
+   OUTER:\n\
+  \  mov.1.dw vr2 = 0\n\
+   INNER:\n\
+  \  add.1.dw vr2 = vr2, 1\n\
+  \  cmp.lt.1.dw f1 = vr2, 8\n\
+  \  br.any f1, INNER\n\
+  \  add.1.dw vr1 = vr1, 1\n\
+  \  cmp.lt.1.dw f0 = vr1, 8\n\
+  \  br.any f0, OUTER\n\
+  \  end\n"
+
+let test_exo012_nested_reducible_clean () =
+  let fs = lint_x3k nested_x3k in
+  assert_quiet "EXO012" fs;
+  let b = x3k_bound nested_x3k in
+  check_int "two loops" 2 (List.length b.Bound.loops);
+  match b.Bound.verdict with
+  | Bound.Cycles c -> check_bool "nested bound" true (c > 0)
+  | v -> Alcotest.failf "expected Cycles, got %s" (Bound.verdict_to_string v)
+
+(* 1e15 header executions overflow the analyzer's cycle cap *)
+let test_exo013_overflow () =
+  let fs =
+    lint_x3k
+      "  mov.1.dw vr1 = 0\n\
+       OUTER:\n\
+      \  mov.1.dw vr2 = 0\n\
+       MIDDLE:\n\
+      \  mov.1.dw vr3 = 0\n\
+       INNER:\n\
+      \  add.1.dw vr3 = vr3, 1\n\
+      \  cmp.lt.1.dw f2 = vr3, 100000\n\
+      \  br.any f2, INNER\n\
+      \  add.1.dw vr2 = vr2, 1\n\
+      \  cmp.lt.1.dw f1 = vr2, 100000\n\
+      \  br.any f1, MIDDLE\n\
+      \  add.1.dw vr1 = vr1, 1\n\
+      \  cmp.lt.1.dw f0 = vr1, 100000\n\
+      \  br.any f0, OUTER\n\
+      \  end\n"
+  in
+  assert_fired "EXO013" fs
+
+let deadline_src us =
+  Printf.sprintf
+    {|
+void main() {
+  int i;
+  #pragma omp parallel target(X3000) private(i) deadline_us(%d)
+  for (i = 0; i < 64; i = i + 1) __asm {
+    mov.1.dw    vr1 = 0
+  BUSY:
+    add.1.dw    vr1 = vr1, 1
+    cmp.lt.1.dw f0 = vr1, 4000
+    br.any      f0, BUSY
+    end
+  }
+}
+|}
+    us
+
+let test_exo014_infeasible_deadline () =
+  let fs = lint_chi (deadline_src 1) in
+  assert_fired "EXO014" fs;
+  check_bool "EXO014 is an error" true
+    (List.exists
+       (fun f -> f.Finding.rule = "EXO014" && f.Finding.severity = Finding.Error)
+       fs)
+
+let test_exo014_generous_deadline_clean () =
+  assert_quiet "EXO014" (lint_chi (deadline_src 100000))
+
+(* +2 then -1 in the same iteration: mixed directions, no progress proof *)
+let test_exo015_nonmonotone () =
+  let fs =
+    lint_x3k
+      "  mov.1.dw vr1 = 0\n\
+       W:\n\
+      \  add.1.dw vr1 = vr1, 2\n\
+      \  sub.1.dw vr1 = vr1, 1\n\
+      \  cmp.lt.1.dw f0 = vr1, 32\n\
+      \  br.any f0, W\n\
+      \  end\n"
+  in
+  assert_fired "EXO015" fs
+
+(* a register-amount step is opaque, not non-monotone: stays quiet *)
+let test_exo015_opaque_step_quiet () =
+  let fs =
+    lint_x3k
+      "  mov.1.dw vr1 = 0\n\
+      \  mov.1.dw vr2 = %p0\n\
+       L:\n\
+      \  add.1.dw vr1 = vr1, vr2\n\
+      \  cmp.lt.1.dw f0 = vr1, 32\n\
+      \  br.any f0, L\n\
+      \  end\n"
+  in
+  assert_quiet "EXO015" fs;
+  assert_quiet "EXO011" fs
+
+(* ---- CFG corner cases: classify, never crash ---- *)
+
+let test_cfg_self_loop_x3k () =
+  let b = x3k_bound "L:\n  jmp L\n  end\n" in
+  check_int "one loop" 1 (List.length b.Bound.loops);
+  check_bool "EXO011 on a jmp self-loop" true (fired "EXO011" b.Bound.findings);
+  match b.Bound.verdict with
+  | Bound.Unbounded -> ()
+  | v -> Alcotest.failf "expected Unbounded, got %s" (Bound.verdict_to_string v)
+
+(* the loop header is the program entry itself *)
+let test_cfg_back_edge_to_entry_x3k () =
+  let b =
+    x3k_bound
+      "TOP:\n\
+      \  add.1.dw vr1 = vr1, 1\n\
+      \  cmp.lt.1.dw f0 = vr1, 8\n\
+      \  br.any f0, TOP\n\
+      \  end\n"
+  in
+  check_int "one loop" 1 (List.length b.Bound.loops);
+  assert_quiet "EXO012" b.Bound.findings
+
+(* two back edges into one header merge into a single natural loop *)
+let test_cfg_shared_header_x3k () =
+  let b =
+    x3k_bound
+      "  mov.1.dw vr1 = 0\n\
+       H:\n\
+      \  add.1.dw vr1 = vr1, 1\n\
+      \  cmp.lt.1.dw f0 = vr1, 4\n\
+      \  br.any f0, H\n\
+      \  cmp.lt.1.dw f1 = vr1, 8\n\
+      \  br.any f1, H\n\
+      \  end\n"
+  in
+  check_int "merged into one loop" 1 (List.length b.Bound.loops);
+  assert_quiet "EXO012" b.Bound.findings
+
+(* a loop in unreachable code gets no verdict contribution and no EXO011 *)
+let test_cfg_unreachable_loop_x3k () =
+  let b = x3k_bound "  mov.1.dw vr0 = 1\n  end\nDEAD:\n  jmp DEAD\n" in
+  check_int "no reachable loops" 0 (List.length b.Bound.loops);
+  assert_quiet "EXO011" b.Bound.findings;
+  match b.Bound.verdict with
+  | Bound.Cycles _ -> ()
+  | v -> Alcotest.failf "expected Cycles, got %s" (Bound.verdict_to_string v)
+
+let test_cfg_self_loop_via32 () =
+  let b = via_bound "SPIN:\n  jmp SPIN\n" in
+  check_int "one loop" 1 (List.length b.Bound.loops);
+  check_bool "EXO011 on a jmp self-loop" true (fired "EXO011" b.Bound.findings)
+
+let test_cfg_counted_loop_via32 () =
+  let b =
+    via_bound
+      "  mov.d esi, 0\n\
+       L:\n\
+      \  cmp esi, 8\n\
+      \  jge DONE\n\
+      \  add esi, 1\n\
+      \  jmp L\n\
+       DONE:\n\
+      \  ret\n"
+  in
+  check_int "one loop" 1 (List.length b.Bound.loops);
+  assert_quiet "EXO011" b.Bound.findings;
+  assert_quiet "EXO012" b.Bound.findings;
+  assert_quiet "EXO015" b.Bound.findings;
+  (* no VIA32 cycle cost model: never Cycles, even for a bounded loop *)
+  match b.Bound.verdict with
+  | Bound.Cycles c -> Alcotest.failf "unexpected via32 Cycles %d" c
+  | _ -> ()
+
+(* two entries into the TOP/MID cycle: irreducible, classified not crashed *)
+let test_cfg_irreducible_via32 () =
+  let b =
+    via_bound
+      "  mov.d esi, 4\n\
+      \  cmp esi, 4\n\
+      \  jge MID\n\
+       TOP:\n\
+      \  add esi, 1\n\
+       MID:\n\
+      \  sub esi, 1\n\
+      \  cmp esi, 0\n\
+      \  jge TOP\n\
+      \  ret\n"
+  in
+  check_bool "EXO012 fired" true (fired "EXO012" b.Bound.findings)
+
+let test_cfg_unreachable_loop_via32 () =
+  let b = via_bound "  ret\nDEAD:\n  jmp DEAD\n" in
+  check_int "no reachable loops" 0 (List.length b.Bound.loops);
+  assert_quiet "EXO011" b.Bound.findings
+
+(* ---- soundness: measured busy cycles never exceed the static bound ---- *)
+
+let frames_for (k : Exochi_kernels.Kernel.t) =
+  match k.abbrev with "FMD" -> Some 6 | _ -> Some 3
+
+let test_registry_bounds_sound () =
+  let cycle_ps =
+    Exochi_util.Timebase.ps_per_cycle
+      (Exochi_util.Timebase.clock
+         ~mhz:Exochi_accel.Gpu.default_config.Exochi_accel.Gpu.clock_mhz)
+  in
+  List.iter
+    (fun (k : Exochi_kernels.Kernel.t) ->
+      let io =
+        k.make_io ?frames:(frames_for k)
+          (Exochi_util.Prng.create 42L)
+          Exochi_kernels.Kernel.Small
+      in
+      let xp = Exochi_isa.X3k_asm.assemble_exn ~name:k.abbrev (k.x3k_asm io) in
+      let units = io.Exochi_kernels.Kernel.units in
+      check_bool (k.abbrev ^ " has units") true (units > 0);
+      (* per-parameter min/max over every unit's launch vector — the same
+         interval env the serve admission gate derives *)
+      let nparams = Array.length (k.unit_params io 0) in
+      let lo = Array.copy (k.unit_params io 0) in
+      let hi = Array.copy (k.unit_params io 0) in
+      for u = 1 to units - 1 do
+        let ps = k.unit_params io u in
+        Array.iteri
+          (fun i v ->
+            if v < lo.(i) then lo.(i) <- v;
+            if v > hi.(i) then hi.(i) <- v)
+          ps
+      done;
+      let env i =
+        if i >= 0 && i < nparams then Some (lo.(i), hi.(i)) else None
+      in
+      let b = Bound.analyze_x3k ~env xp in
+      match b.Bound.verdict with
+      | Bound.Cycles c ->
+        let r =
+          Exochi_kernels.Harness.run ?frames:(frames_for k)
+            ~split:Exochi_kernels.Harness.All_gpu k Exochi_kernels.Kernel.Small
+        in
+        check_bool (k.abbrev ^ " correct") true r.Exochi_kernels.Harness.correct;
+        let static_ps = r.Exochi_kernels.Harness.shreds * c * cycle_ps in
+        if r.Exochi_kernels.Harness.gpu_busy_ps > static_ps then
+          Alcotest.failf
+            "%s: measured busy %d ps exceeds static bound %d ps (%d shreds x \
+             %d cycles/shred)"
+            k.abbrev r.Exochi_kernels.Harness.gpu_busy_ps static_ps
+            r.Exochi_kernels.Harness.shreds c
+      | v ->
+        Alcotest.failf "%s: expected a proven cycle bound, got %s" k.abbrev
+          (Bound.verdict_to_string v))
+    Exochi_kernels.Registry.all
 
 let () =
   Alcotest.run "analysis"
@@ -532,5 +900,45 @@ let () =
             test_report_json_round_trip;
           Alcotest.test_case "rule catalog complete" `Quick
             test_rule_catalog_complete;
+          Alcotest.test_case "sarif export" `Quick test_sarif_export;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "EXO011 unbounded spin" `Quick
+            test_exo011_unbounded_spin;
+          Alcotest.test_case "EXO011 counted loop clean" `Quick
+            test_exo011_counted_loop_clean;
+          Alcotest.test_case "constant loop verdict" `Quick
+            test_bound_constant_loop_verdict;
+          Alcotest.test_case "symbolic trip under env" `Quick
+            test_bound_symbolic_trip_env;
+          Alcotest.test_case "EXO012 irreducible" `Quick test_exo012_irreducible;
+          Alcotest.test_case "EXO012 nested reducible clean" `Quick
+            test_exo012_nested_reducible_clean;
+          Alcotest.test_case "EXO013 overflow" `Quick test_exo013_overflow;
+          Alcotest.test_case "EXO014 infeasible deadline" `Quick
+            test_exo014_infeasible_deadline;
+          Alcotest.test_case "EXO014 generous deadline clean" `Quick
+            test_exo014_generous_deadline_clean;
+          Alcotest.test_case "EXO015 non-monotone" `Quick test_exo015_nonmonotone;
+          Alcotest.test_case "EXO015 opaque step quiet" `Quick
+            test_exo015_opaque_step_quiet;
+          Alcotest.test_case "cfg self-loop x3k" `Quick test_cfg_self_loop_x3k;
+          Alcotest.test_case "cfg back edge to entry x3k" `Quick
+            test_cfg_back_edge_to_entry_x3k;
+          Alcotest.test_case "cfg shared header x3k" `Quick
+            test_cfg_shared_header_x3k;
+          Alcotest.test_case "cfg unreachable loop x3k" `Quick
+            test_cfg_unreachable_loop_x3k;
+          Alcotest.test_case "cfg self-loop via32" `Quick
+            test_cfg_self_loop_via32;
+          Alcotest.test_case "cfg counted loop via32" `Quick
+            test_cfg_counted_loop_via32;
+          Alcotest.test_case "cfg irreducible via32" `Quick
+            test_cfg_irreducible_via32;
+          Alcotest.test_case "cfg unreachable loop via32" `Quick
+            test_cfg_unreachable_loop_via32;
+          Alcotest.test_case "registry bounds sound" `Quick
+            test_registry_bounds_sound;
         ] );
     ]
