@@ -6,8 +6,8 @@
      dune exec bench/main.exe -- --full  -- paper-sized workloads (slow)
 
    Experiments: table2 fig7 fig8 fig10 flush ablate-smt ablate-atr soak
-   metrics lint micro ("metrics" writes BENCH_metrics.json; "lint" writes
-   BENCH_lint.json).
+   metrics lint opt micro ("metrics" writes BENCH_metrics.json; "lint"
+   writes BENCH_lint.json; "opt" writes BENCH_opt.json).
    Absolute times are simulated-platform times; the reproduction target is
    the *shape* (who wins, by what factor, where the crossovers are). *)
 
@@ -875,6 +875,90 @@ let obs_bench _cfg =
     (fun () -> output_string oc (J.to_string ~indent:2 doc ^ "\n"));
   print_endline "wrote tap-overhead record to BENCH_obs.json"
 
+(* ---- Exo-opt: busy-time reductions of the optimizing backend ---- *)
+
+let opt_bench _cfg =
+  header
+    "Exo-opt: per-kernel gpu_busy reduction at -O1/-O2 -> BENCH_opt.json";
+  let module Opt = Exochi_opt.Opt in
+  (* the differential-test configuration: every kernel all-GPU at Small
+     scale, FMD at 6 frames (its motion window), the rest at 3 *)
+  let frames (k : Kernel.t) = if k.abbrev = "FMD" then 6 else 3 in
+  let run k level =
+    Harness.run ~frames:(frames k) ~split:Harness.All_gpu ~opt_level:level k
+      Kernel.Small
+  in
+  Printf.printf "%-14s %12s %12s %12s %8s %8s\n" "kernel" "O0-busy-ps"
+    "O1-busy-ps" "O2-busy-ps" "O2-red%" "instrs";
+  let rows =
+    List.map
+      (fun (k : Kernel.t) ->
+        let r0 = run k Opt.O0 in
+        let r1 = run k Opt.O1 in
+        let r2 = run k Opt.O2 in
+        List.iter
+          (fun (r : Harness.result) ->
+            assert (r.Harness.correct && r.Harness.max_diff = 0))
+          [ r0; r1; r2 ];
+        (* no kernel may regress at any level *)
+        assert (r1.Harness.gpu_busy_ps <= r0.Harness.gpu_busy_ps);
+        assert (r2.Harness.gpu_busy_ps <= r0.Harness.gpu_busy_ps);
+        let red =
+          1.0
+          -. (float_of_int r2.Harness.gpu_busy_ps
+             /. float_of_int (max 1 r0.Harness.gpu_busy_ps))
+        in
+        Printf.printf "%-14s %12d %12d %12d %8.1f %8d\n%!" k.abbrev
+          r0.Harness.gpu_busy_ps r1.Harness.gpu_busy_ps r2.Harness.gpu_busy_ps
+          (100.0 *. red) r2.Harness.gpu_instrs;
+        (k, r0, r1, r2, red))
+      Registry.all
+  in
+  let geomean =
+    1.0
+    -. Exochi_util.Stats.geomean
+         (List.map
+            (fun (_, (r0 : Harness.result), _, (r2 : Harness.result), _) ->
+              float_of_int r2.Harness.gpu_busy_ps
+              /. float_of_int (max 1 r0.Harness.gpu_busy_ps))
+            rows)
+  in
+  Printf.printf "\ngeomean busy reduction at -O2: %.1f%% (floor 5%%)\n"
+    (100.0 *. geomean);
+  (* the headline acceptance gate *)
+  assert (geomean >= 0.05);
+  let module J = Exochi_obs.Tiny_json in
+  let row ((k : Kernel.t), (r0 : Harness.result), (r1 : Harness.result),
+           (r2 : Harness.result), red) =
+    J.Obj
+      [
+        ("kernel", J.Str k.abbrev);
+        ("busy_o0_ps", J.Num (float_of_int r0.Harness.gpu_busy_ps));
+        ("busy_o1_ps", J.Num (float_of_int r1.Harness.gpu_busy_ps));
+        ("busy_o2_ps", J.Num (float_of_int r2.Harness.gpu_busy_ps));
+        ("reduction_o2", J.Num red);
+        ("instrs_o0", J.Num (float_of_int r0.Harness.gpu_instrs));
+        ("instrs_o2", J.Num (float_of_int r2.Harness.gpu_instrs));
+        ("correct_all_levels", J.Bool true);
+      ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("split", J.Str "all_gpu");
+        ("scale", J.Str "small");
+        ("geomean_reduction_o2", J.Num geomean);
+        ("geomean_floor", J.Num 0.05);
+        ("rows", J.Arr (List.map row rows));
+      ]
+  in
+  let oc = open_out "BENCH_opt.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string ~indent:2 doc ^ "\n"));
+  Printf.printf "wrote %d kernel record(s) to BENCH_opt.json\n"
+    (List.length rows)
+
 (* ---- bechamel micro-benchmarks of the simulator itself ---- *)
 
 let micro () =
@@ -954,14 +1038,14 @@ let () =
         List.mem a
           [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
             "ablate-atr"; "soak"; "metrics"; "lint"; "serve"; "guard";
-            "obs"; "micro" ])
+            "obs"; "opt"; "micro" ])
       args
   in
   let wanted =
     if wanted = [] then
       [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
         "ablate-atr"; "soak"; "metrics"; "lint"; "serve"; "guard"; "obs";
-        "micro" ]
+        "opt"; "micro" ]
     else wanted
   in
   Printf.printf
@@ -983,6 +1067,7 @@ let () =
       | "serve" -> serve cfg
       | "guard" -> guard_bench cfg
       | "obs" -> obs_bench cfg
+      | "opt" -> opt_bench cfg
       | "micro" -> micro ()
       | _ -> ())
     wanted

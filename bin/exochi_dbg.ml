@@ -18,6 +18,14 @@
      output                  values printed so far
      quit
 
+   A non-interactive subcommand inspects the Exo-opt backend:
+
+     exochi_dbg opt-diff <prog.chi|KERNEL> [0|1|2]
+
+   dumps each accelerator section (or the registry kernel's X3K
+   program) original vs optimized side by side, with per-block
+   worst-retire cycle costs (level defaults to 2).
+
    Example:
      printf 'break 2\nrun\nregs\nstep\nrun\noutput\nquit\n' | \
        dune exec bin/exochi_dbg.exe -- examples/vadd.chi *)
@@ -30,8 +38,52 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let opt_diff target level_arg =
+  let level =
+    match Exochi_opt.Opt.level_of_string level_arg with
+    | Some l -> l
+    | None ->
+      prerr_endline "opt-diff: level must be 0, 1 or 2";
+      exit 1
+  in
+  let diff p =
+    print_string
+      (Exochi_opt.Opt.diff_report ~original:p
+         ~optimized:(Exochi_opt.Opt.optimize level p))
+  in
+  if Sys.file_exists target then begin
+    let src = read_file target in
+    let name = Filename.remove_extension (Filename.basename target) in
+    match Chilite_compile.compile ~name src with
+    | Error e ->
+      prerr_endline (Exochi_isa.Loc.error_to_string_source ~src e);
+      exit 1
+    | Ok compiled ->
+      List.iter
+        (fun (s : Chilite_compile.section_info) ->
+          diff s.Chilite_compile.x3k)
+        compiled.Chilite_compile.sections
+  end
+  else
+    match Exochi_kernels.Registry.find target with
+    | None ->
+      Printf.eprintf
+        "opt-diff: %s is neither a .chi file nor a registry kernel\n" target;
+      exit 1
+    | Some k ->
+      let io =
+        k.Exochi_kernels.Kernel.make_io ~frames:3
+          (Exochi_util.Prng.create 42L)
+          Exochi_kernels.Kernel.Small
+      in
+      diff
+        (Exochi_isa.X3k_asm.assemble_exn ~name:k.Exochi_kernels.Kernel.abbrev
+           (k.Exochi_kernels.Kernel.x3k_asm io))
+
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "opt-diff" :: target :: rest ->
+    opt_diff target (match rest with l :: _ -> l | [] -> "2")
   | _ :: path :: _ ->
     let src = read_file path in
     let name = Filename.remove_extension (Filename.basename path) in

@@ -27,17 +27,51 @@ let usage () =
      <prog.chi | kernel.x3k | cpu.s> ...";
   exit 2
 
+(* A dead-store finding (EXO009) that vanishes when the same code is
+   linted after Exo-opt's -O1 pipeline was eliminated by the optimizer:
+   report it once, annotated, instead of asking the user to fix code
+   the compiler already removes. *)
+let annotate_fixed_by_opt findings optimized_findings =
+  List.map
+    (fun (f : Finding.t) ->
+      if
+        f.Finding.rule = "EXO009"
+        && not
+             (List.exists
+                (fun (g : Finding.t) ->
+                  g.Finding.rule = f.Finding.rule && g.Finding.loc = f.Finding.loc)
+                optimized_findings)
+      then Finding.with_note f "fixed-by-opt"
+      else f)
+    findings
+
 (* Lint one input; returns (findings, source) or a hard failure. *)
 let lint_file path =
   let src = read_file path in
   match Filename.extension path with
   | ".chi" -> (
     match Exo_check.check_source ~name:path src with
-    | Ok findings -> Ok (findings, src)
+    | Ok findings ->
+      let findings =
+        match
+          Exochi_core.Chilite_compile.compile ~opt_level:Exochi_opt.Opt.O1
+            ~name:path src
+        with
+        | Ok c ->
+          annotate_fixed_by_opt findings (Exo_check.check_compiled c)
+        | Error _ -> findings
+      in
+      Ok (findings, src)
     | Error e -> Error [ e ])
   | ".x3k" -> (
     match Exochi_isa.X3k_asm.assemble_all ~name:path src with
-    | Ok p -> Ok (Exo_check.check_x3k p, src)
+    | Ok p ->
+      let findings = Exo_check.check_x3k p in
+      let findings =
+        annotate_fixed_by_opt findings
+          (Exo_check.check_x3k (Exochi_opt.Opt.optimize Exochi_opt.Opt.O1 p))
+      in
+      Ok (findings, src)
     | Error es -> Error es)
   | ".s" | ".via32" -> (
     match Exochi_isa.Via32_asm.assemble_all ~name:path src with

@@ -2,7 +2,7 @@
 
      exochi_run prog.chi [--memmodel cc|noncc|copy] [--faults SEED:RATE]
                 [--trace out.json] [--capacity N] [--metrics]
-                [--profile out.speedscope.json]
+                [--profile out.speedscope.json] [--opt-level 0|1|2]
 
    print_int output goes to stdout; a simulated-platform summary follows.
    --faults installs a deterministic fault-injection plan (uniform
@@ -125,6 +125,22 @@ let () =
       in
       find rest
     in
+    let opt_level =
+      let rec find = function
+        | "--opt-level" :: v :: _ -> (
+          match Exochi_opt.Opt.level_of_string v with
+          | Some l -> l
+          | None ->
+            prerr_endline "--opt-level must be 0, 1 or 2";
+            exit 1)
+        | [ "--opt-level" ] ->
+          prerr_endline "--opt-level requires an argument (0, 1 or 2)";
+          exit 1
+        | _ :: r -> find r
+        | [] -> Exochi_opt.Opt.O0
+      in
+      find rest
+    in
     let want_metrics = List.mem "--metrics" rest in
     let trace =
       if trace_out <> None || want_metrics then
@@ -132,7 +148,7 @@ let () =
       else None
     in
     let profile = Option.map (fun _ -> Exochi_obs.Profile.create ()) profile_out in
-    (match Chilite_compile.compile ~name src with
+    (match Chilite_compile.compile ~opt_level ~name src with
     | Error e ->
       prerr_endline (Exochi_isa.Loc.error_to_string e);
       exit 1
@@ -218,6 +234,6 @@ let () =
     prerr_endline
       "usage: exochi_run <prog.chi> [--memmodel cc|noncc|copy] [--faults \
        SEED:RATE] [--trace out.json] [--capacity N] [--metrics] [--profile \
-       out.speedscope.json]\n\
+       out.speedscope.json] [--opt-level 0|1|2]\n\
       \       exochi_run --list-kernels";
     exit 1

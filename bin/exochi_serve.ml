@@ -12,6 +12,7 @@
                   [--breaker-cooldown-us U] [--journal FILE] [--recover]
                   [--crash-after N] [--top] [--prom FILE]
                   [--obs-interval-us U] [--profile FILE] [--static-admission]
+                  [--opt LEVEL]
 
    Closed loop (default): --clients per tenant, each submitting its next
    job --think-us after the previous one finishes — the generator that
@@ -37,6 +38,10 @@
    and a deadline job whose bound already exceeds its remaining slack is
    shed at admission ("infeasible-deadline") instead of wasting
    accelerator time on a certain miss.
+
+   --opt LEVEL (0, 1 or 2) runs the Exo-opt backend over every arena's
+   X3K program at build time; bounds, admission and execution all use
+   the optimized code. Outputs are bit-identical at every level.
 
    --journal FILE appends every admission/completion/shed to a
    crash-safe journal (checksummed, flushed per record). After a crash,
@@ -72,7 +77,8 @@ let usage () =
     \         [--capacity N] [--guard] [--audit FRAC] [--hedge-us U]\n\
     \         [--no-hedge] [--breaker-cooldown-us U] [--journal FILE]\n\
     \         [--recover] [--crash-after N] [--top] [--prom FILE]\n\
-    \         [--obs-interval-us U] [--profile FILE] [--static-admission]";
+    \         [--obs-interval-us U] [--profile FILE] [--static-admission]\n\
+    \         [--opt LEVEL]";
   exit 1
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
@@ -115,7 +121,7 @@ let () =
       "--capacity"; "--guard"; "--audit"; "--hedge-us"; "--no-hedge";
       "--breaker-cooldown-us"; "--journal"; "--recover"; "--crash-after";
       "--top"; "--prom"; "--obs-interval-us"; "--profile";
-      "--static-admission" ]
+      "--static-admission"; "--opt" ]
   in
   let bare =
     [ "--no-batch"; "--metrics"; "--guard"; "--no-hedge"; "--recover"; "--top";
@@ -267,6 +273,14 @@ let () =
     else 0
   in
   let static_admission = flag "--static-admission" in
+  let opt_level =
+    match opt "--opt" with
+    | None -> Exochi_opt.Opt.O0
+    | Some v -> (
+      match Exochi_opt.Opt.level_of_string v with
+      | Some l -> l
+      | None -> die "--opt: expected 0, 1 or 2, got %s" v)
+  in
   let config =
     {
       Serve.Server.default_config with
@@ -282,6 +296,7 @@ let () =
       hedge_after_ps;
       breaker_cooldown_ps;
       static_admission;
+      opt_level;
     }
   in
   let mode_name =
@@ -308,7 +323,8 @@ let () =
         Option.value (opt "--faults") ~default:"";
         string_of_bool guard_on; string_of_float audit_frac;
         string_of_int hedge_after_ps; string_of_int breaker_cooldown_ps;
-        string_of_bool static_admission ]
+        string_of_bool static_admission;
+        Exochi_opt.Opt.level_name opt_level ]
   in
   let journal_path = opt "--journal" in
   let recover = flag "--recover" in

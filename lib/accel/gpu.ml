@@ -593,12 +593,13 @@ type exec_outcome =
 
 (* Results bypass to the next instruction (1-cycle effective ALU
    latency); multiplies and float ops are longer, and memory readiness
-   comes from the cache/bus path. *)
-let lat_alu t = 1 * t.cycle
-let lat_mul t = 3 * t.cycle
-let lat_fdiv t = 12 * t.cycle
-let lat_fsqrt t = 16 * t.cycle
-let lat_cmp t = 1 * t.cycle
+   comes from the cache/bus path. The cycle counts live in [X3k_cost]
+   so the Exo-opt list scheduler plans against the same numbers. *)
+let lat_alu t = Exochi_isa.X3k_cost.alu_latency_cycles * t.cycle
+let lat_mul t = Exochi_isa.X3k_cost.mul_latency_cycles * t.cycle
+let lat_fdiv t = Exochi_isa.X3k_cost.fdiv_latency_cycles * t.cycle
+let lat_fsqrt t = Exochi_isa.X3k_cost.fsqrt_latency_cycles * t.cycle
+let lat_cmp t = Exochi_isa.X3k_cost.cmp_latency_cycles * t.cycle
 
 let issue_cycles = Exochi_isa.X3k_cost.issue_cycles
 

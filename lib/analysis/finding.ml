@@ -10,10 +10,18 @@ let severity_name = function
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
-type t = { rule : string; severity : severity; loc : Loc.t; msg : string }
+type t = {
+  rule : string;
+  severity : severity;
+  loc : Loc.t;
+  msg : string;
+  note : string option;
+}
 
 let make ~rule ~severity loc fmt =
-  Format.kasprintf (fun msg -> { rule; severity; loc; msg }) fmt
+  Format.kasprintf (fun msg -> { rule; severity; loc; msg; note = None }) fmt
+
+let with_note t note = { t with note = Some note }
 
 (* The Exo-check rule catalog. Stable ids: rules are never renumbered,
    only retired. Described in DESIGN.md §9 with one true-positive and
@@ -68,8 +76,9 @@ let compare a b =
         if c <> 0 then c else String.compare a.rule b.rule
 
 let pp fmt t =
-  Format.fprintf fmt "%a: %s: [%s] %s" Loc.pp t.loc
+  Format.fprintf fmt "%a: %s: [%s] %s%s" Loc.pp t.loc
     (severity_name t.severity) t.rule t.msg
+    (match t.note with Some n -> " [" ^ n ^ "]" | None -> "")
 
 let to_string t = Format.asprintf "%a" pp t
 
@@ -78,7 +87,7 @@ let has_errors l = List.exists (fun f -> f.severity = Error) l
 
 let to_json t =
   Tiny_json.Obj
-    [
+    ([
       ("rule", Tiny_json.Str t.rule);
       ("severity", Tiny_json.Str (severity_name t.severity));
       ("file", Tiny_json.Str t.loc.Loc.file);
@@ -86,6 +95,9 @@ let to_json t =
       ("col", Tiny_json.Num (float_of_int t.loc.Loc.col));
       ("message", Tiny_json.Str t.msg);
     ]
+    @ match t.note with
+      | Some n -> [ ("note", Tiny_json.Str n) ]
+      | None -> [])
 
 (* SARIF 2.1.0 exposition: one run, the full rule catalog as the
    driver's rules, one result per finding. Severity maps to the SARIF
@@ -112,7 +124,15 @@ let to_sarif findings =
       [
         ("ruleId", Tiny_json.Str f.rule);
         ("level", Tiny_json.Str (level f.severity));
-        ("message", Tiny_json.Obj [ ("text", Tiny_json.Str f.msg) ]);
+        ( "message",
+          Tiny_json.Obj
+            [
+              ( "text",
+                Tiny_json.Str
+                  (match f.note with
+                  | Some n -> f.msg ^ " [" ^ n ^ "]"
+                  | None -> f.msg) );
+            ] );
         ( "locations",
           Tiny_json.Arr
             [

@@ -12,7 +12,15 @@ type severity = Error | Warning | Info
 
 val severity_name : severity -> string
 
-type t = { rule : string; severity : severity; loc : Loc.t; msg : string }
+type t = {
+  rule : string;
+  severity : severity;
+  loc : Loc.t;
+  msg : string;
+  note : string option;
+      (** annotation attached after analysis, e.g. ["fixed-by-opt"]
+          when the Exo-opt backend eliminates the flagged code *)
+}
 
 val make :
   rule:string ->
@@ -20,6 +28,9 @@ val make :
   Loc.t ->
   ('a, Format.formatter, unit, t) format4 ->
   'a
+
+(** Attach (or replace) the annotation note. *)
+val with_note : t -> string -> t
 
 (** The rule catalog, [(id, description)] in id order. *)
 val rules : (string * string) list

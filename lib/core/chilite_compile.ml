@@ -525,7 +525,7 @@ let compile_internal ~name src =
   in
   Ok (prog, env0, Buffer.contents buf)
 
-let compile ~name src =
+let compile ?(opt_level = Exochi_opt.Opt.O0) ~name src =
   let* prog, env, via_text = compile_internal ~name src in
   let* via_prog =
     match Exochi_isa.Via32_asm.assemble ~name:"main" via_text with
@@ -534,13 +534,17 @@ let compile ~name src =
       err e.Loc.loc "internal: generated VIA32 failed to assemble: %s"
         e.Loc.msg
   in
+  let sections =
+    List.rev_map
+      (fun info ->
+        { info with x3k = Exochi_opt.Opt.optimize opt_level info.x3k })
+      !(env.sections)
+  in
   let fatbin = Chi_fatbin.empty ~name in
   let fatbin = Chi_fatbin.add_via32 fatbin via_prog in
   let fatbin =
-    List.fold_left
-      (fun fb info -> Chi_fatbin.add_x3k fb info.x3k)
-      fatbin
-      (List.rev !(env.sections))
+    List.fold_left (fun fb info -> Chi_fatbin.add_x3k fb info.x3k) fatbin
+      sections
   in
   let globals =
     List.map
@@ -559,7 +563,7 @@ let compile ~name src =
       fatbin;
       globals;
       global_init;
-      sections = List.rev !(env.sections);
+      sections;
       ast = prog;
     }
 

@@ -42,8 +42,13 @@ type compiled = {
   ast : Chilite_ast.program; (* the parsed source, for analysis *)
 }
 
+(** [opt_level] runs the {!Exochi_opt.Opt} backend over every
+    accelerator section before fat-binary emission (default [O0]). *)
 val compile :
-  name:string -> string -> (compiled, Exochi_isa.Loc.error) result
+  ?opt_level:Exochi_opt.Opt.level ->
+  name:string ->
+  string ->
+  (compiled, Exochi_isa.Loc.error) result
 
 (** The generated VIA32 text (for inspection / the [exochi_cc] driver). *)
 val compile_to_via32_text :

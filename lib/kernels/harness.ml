@@ -150,15 +150,16 @@ let check_outputs platform (io : Kernel.io) golden output_descs =
    and the IA32 master claims a chunk for itself whenever the queue is
    full enough, so both sequencer kinds finish together without an a
    priori partition. *)
-let run_dynamic platform kernel io input_descs output_descs =
+let run_dynamic ~opt_level platform kernel io input_descs output_descs =
   let cpu = Exo_platform.cpu platform in
   let gpu = Exo_platform.gpu platform in
   let costs = Exo_platform.costs platform in
   let units = io.Kernel.units in
   let chunk = max 1 (units / 64) in
   let prog =
-    Exochi_isa.X3k_asm.assemble_exn ~name:kernel.Kernel.abbrev
-      (kernel.Kernel.x3k_asm io)
+    Exochi_opt.Opt.optimize opt_level
+      (Exochi_isa.X3k_asm.assemble_exn ~name:kernel.Kernel.abbrev
+         (kernel.Kernel.x3k_asm io))
   in
   let surfaces =
     Array.map
@@ -249,7 +250,7 @@ let run_dynamic platform kernel io input_descs output_descs =
 
 let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
     ?gtt_enabled ?fault_plan ?trace ?(split = All_gpu) ?(seed = 42L) ?frames
-    ?(validate = true) kernel scale =
+    ?(validate = true) ?(opt_level = Exochi_opt.Opt.O0) kernel scale =
   (match (fault_plan, split) with
   | Some _, Dynamic ->
     invalid_arg
@@ -294,15 +295,17 @@ let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
   if split = Dynamic then begin
     if memmodel <> Memmodel.Cc_shared then
       invalid_arg "Harness: dynamic distribution requires CC-shared memory";
-    cpu_busy := run_dynamic platform kernel io input_descs output_descs
+    cpu_busy :=
+      run_dynamic ~opt_level platform kernel io input_descs output_descs
   end;
   (* launch the heterogeneous team first (master_nowait), then the IA32
      master processes its own share, then waits at the barrier *)
   let team =
     if gpu_units > 0 && split <> Dynamic then begin
       let prog =
-        Exochi_isa.X3k_asm.assemble_exn ~name:kernel.Kernel.abbrev
-          (kernel.Kernel.x3k_asm io)
+        Exochi_opt.Opt.optimize opt_level
+          (Exochi_isa.X3k_asm.assemble_exn ~name:kernel.Kernel.abbrev
+             (kernel.Kernel.x3k_asm io))
       in
       Some
         (Chi_runtime.parallel rt ~prog ~descriptors ~num_threads:gpu_units

@@ -53,6 +53,7 @@ val run :
   ?seed:int64 ->
   ?frames:int ->
   ?validate:bool ->
+  ?opt_level:Exochi_opt.Opt.level ->
   Kernel.t ->
   Kernel.scale ->
   result

@@ -39,6 +39,8 @@ type config = {
   breaker_cooldown_ps : int;  (** 0 = legacy permanent quarantine *)
   static_admission : bool;
       (** shed deadline jobs whose Exo-bound WCET cannot fit the slack *)
+  opt_level : Exochi_opt.Opt.level;
+      (** Exo-opt level applied to arena programs at build time *)
 }
 
 let default_config =
@@ -54,6 +56,7 @@ let default_config =
     hedge_after_ps = 0;
     breaker_cooldown_ps = 0;
     static_admission = false;
+    opt_level = Exochi_opt.Opt.O0;
   }
 
 (* A kernel's resident execution state: workload surfaces materialised in
@@ -310,9 +313,12 @@ let ensure_arena t abbrev =
       (* arena inputs were produced by the tenant's preceding IA32 stage *)
       List.iter (fun d -> Chi.produce t.rt d) inputs;
       let prog =
-        Exochi_isa.X3k_asm.assemble_exn ~name:k.Kernel.abbrev
-          (k.Kernel.x3k_asm io)
+        Exochi_opt.Opt.optimize t.cfg.opt_level
+          (Exochi_isa.X3k_asm.assemble_exn ~name:k.Kernel.abbrev
+             (k.Kernel.x3k_asm io))
       in
+      (* the bound (and thus static admission) is computed on the
+         program the arena will actually run *)
       let bound_cycles =
         if not t.cfg.static_admission then None
         else

@@ -61,6 +61,10 @@ type config = {
           [Infeasible_deadline] instead of burning accelerator time it
           is certain to waste. Kernels without a proven bound are always
           admitted. *)
+  opt_level : Exochi_opt.Opt.level;
+      (** Exo-opt optimization level applied to every arena's X3K
+          program at build time; bounds and admission use the optimized
+          code. Default [O0]. *)
 }
 
 (** Two equal-weight tenants ("alpha", "beta"), default batching
