@@ -6,8 +6,9 @@
      dune exec bench/main.exe -- --full  -- paper-sized workloads (slow)
 
    Experiments: table2 fig7 fig8 fig10 flush ablate-smt ablate-atr soak
-   metrics lint opt micro ("metrics" writes BENCH_metrics.json; "lint"
-   writes BENCH_lint.json; "opt" writes BENCH_opt.json).
+   metrics lint opt scale micro ("metrics" writes BENCH_metrics.json;
+   "lint" writes BENCH_lint.json; "opt" writes BENCH_opt.json; "scale"
+   writes BENCH_scale.json and gates on the multi-device speedups).
    Absolute times are simulated-platform times; the reproduction target is
    the *shape* (who wins, by what factor, where the crossovers are). *)
 
@@ -959,6 +960,75 @@ let opt_bench _cfg =
   Printf.printf "wrote %d kernel record(s) to BENCH_opt.json\n"
     (List.length rows)
 
+(* ---- Exo-fabric: multi-device sharded scaling ---- *)
+
+let scale_bench cfg =
+  header
+    "Exo-fabric: data-parallel device scaling (sharded teams) -> \
+     BENCH_scale.json";
+  Printf.printf "%-14s %12s %12s %8s %12s %8s\n" "Kernel" "1-dev" "2-dev"
+    "x2" "4-dev" "x4";
+  (* data-parallel image kernels: every shred is an independent row
+     block, so the runtime shards the team across the device set *)
+  let kernels = [ "SepiaTone"; "LinearFilter"; "AlphaBlend" ] in
+  let rows =
+    List.map
+      (fun abbrev ->
+        let k = Option.get (Registry.find abbrev) in
+        let scale = scale_of cfg k in
+        let frames = frames_of cfg k in
+        let legacy = Harness.run ?frames k scale in
+        let run d = Harness.run ?frames ~devices:d k scale in
+        let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+        assert (r1.Harness.correct && r2.Harness.correct && r4.Harness.correct);
+        (* one device through the device-set machinery must be
+           time-identical to the pre-refactor single-device path *)
+        if r1.Harness.time_ps <> legacy.Harness.time_ps then
+          failwith
+            (Printf.sprintf
+               "scale: %s devices=1 is not time-identical (%d ps vs %d ps)"
+               abbrev r1.Harness.time_ps legacy.Harness.time_ps);
+        let speedup a b =
+          float_of_int a.Harness.time_ps /. float_of_int b.Harness.time_ps
+        in
+        let x2 = speedup r1 r2 and x4 = speedup r1 r4 in
+        Printf.printf "%-14s %10.3fms %10.3fms %7.2fx %10.3fms %7.2fx\n%!"
+          k.Kernel.abbrev (ms r1.Harness.time_ps) (ms r2.Harness.time_ps) x2
+          (ms r4.Harness.time_ps) x4;
+        if x2 < 1.8 then
+          failwith
+            (Printf.sprintf "scale: %s only %.2fx goodput at 2 devices (>= \
+                             1.8x required)" abbrev x2);
+        if x4 < 3.2 then
+          failwith
+            (Printf.sprintf "scale: %s only %.2fx goodput at 4 devices (>= \
+                             3.2x required)" abbrev x4);
+        Printf.sprintf
+          "{\"kernel\":%S,\"time_1dev_ps\":%d,\"time_2dev_ps\":%d,\
+           \"time_4dev_ps\":%d,\"speedup_2dev\":%.4f,\"speedup_4dev\":%.4f,\
+           \"identical_1dev\":true}"
+          abbrev r1.Harness.time_ps r2.Harness.time_ps r4.Harness.time_ps x2
+          x4)
+      kernels
+  in
+  let oc = open_out "BENCH_scale.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i json ->
+          output_string oc "  ";
+          output_string oc json;
+          if i < List.length rows - 1 then output_string oc ",";
+          output_string oc "\n")
+        rows;
+      output_string oc "]\n");
+  Printf.printf
+    "\nwrote %d device-scaling record(s) to BENCH_scale.json (gates: >= \
+     1.8x at 2 devices, >= 3.2x at 4)\n"
+    (List.length rows)
+
 (* ---- bechamel micro-benchmarks of the simulator itself ---- *)
 
 let micro () =
@@ -1038,14 +1108,14 @@ let () =
         List.mem a
           [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
             "ablate-atr"; "soak"; "metrics"; "lint"; "serve"; "guard";
-            "obs"; "opt"; "micro" ])
+            "obs"; "opt"; "scale"; "micro" ])
       args
   in
   let wanted =
     if wanted = [] then
       [ "table2"; "fig7"; "fig8"; "fig10"; "flush"; "ablate-smt";
         "ablate-atr"; "soak"; "metrics"; "lint"; "serve"; "guard"; "obs";
-        "opt"; "micro" ]
+        "opt"; "scale"; "micro" ]
     else wanted
   in
   Printf.printf
@@ -1068,6 +1138,7 @@ let () =
       | "guard" -> guard_bench cfg
       | "obs" -> obs_bench cfg
       | "opt" -> opt_bench cfg
+      | "scale" -> scale_bench cfg
       | "micro" -> micro ()
       | _ -> ())
     wanted

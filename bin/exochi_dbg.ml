@@ -26,6 +26,16 @@
    program) original vs optimized side by side, with per-block
    worst-retire cycle costs (level defaults to 2).
 
+   A second non-interactive subcommand inspects the Exo-fabric device
+   set:
+
+     exochi_dbg devices [N] [SEED:RATE]
+
+   builds an N-device platform (default 2), drives a short canned serve
+   workload through it — with the optional fault plan installed — and
+   dumps the device table: backend kind and capabilities, per-device
+   circuit-breaker census and per-device fault-stream positions.
+
    Example:
      printf 'break 2\nrun\nregs\nstep\nrun\noutput\nquit\n' | \
        dune exec bin/exochi_dbg.exe -- examples/vadd.chi *)
@@ -80,10 +90,91 @@ let opt_diff target level_arg =
         (Exochi_isa.X3k_asm.assemble_exn ~name:k.Exochi_kernels.Kernel.abbrev
            (k.Exochi_kernels.Kernel.x3k_asm io))
 
+let device_table ndev fault_spec =
+  if ndev <= 0 then begin
+    prerr_endline "devices: N must be positive";
+    exit 1
+  end;
+  let module Serve = Exochi_serving in
+  let module Sb = Exochi_accel.Sequencer_backend in
+  let module Fault_plan = Exochi_faults.Fault_plan in
+  let fault_plan =
+    match fault_spec with
+    | None -> None
+    | Some spec -> (
+      match Fault_plan.of_spec spec with
+      | Ok p -> Some p
+      | Error msg ->
+        prerr_endline msg;
+        exit 1)
+  in
+  (* guard knobs on so the breaker column can be non-trivial under a
+     fault plan; the workload is fixed, so the table is deterministic *)
+  let config =
+    {
+      Serve.Server.default_config with
+      devices = ndev;
+      hedge_after_ps = 300 * 1_000_000;
+      breaker_cooldown_ps = 2000 * 1_000_000;
+    }
+  in
+  let server = Serve.Server.create ~config ?fault_plan () in
+  let spec =
+    Serve.Workload.default_spec ~seed:42L ~tenants:2 ~jobs:(16 * ndev)
+      (Serve.Workload.Closed { clients_per_tenant = 4; think_ps = 0 })
+  in
+  ignore (Serve.Server.run server (Serve.Workload.create spec));
+  let chi = Serve.Server.runtime server in
+  let platform = Serve.Server.platform server in
+  Printf.printf "device table: %d device(s), %d shred(s) completed\n" ndev
+    (List.fold_left
+       (fun acc (b : Sb.t) -> acc + b.Sb.shreds_completed ())
+       0
+       (Exochi_core.Exo_platform.all_backends platform));
+  List.iter
+    (fun (b : Sb.t) ->
+      let dev = b.Sb.caps.Sb.bk_dev in
+      Printf.printf "  %s\n" (Sb.describe b);
+      (* the trailing IA32 soft backend has no breaker slice and no
+         fault stream of its own — it is the fallback endpoint *)
+      if b.Sb.caps.Sb.bk_kind = Sb.X3k then begin
+        let closed, opened, half = Chi_runtime.breaker_census chi ~dev in
+        Printf.printf
+          "         breakers: %d closed, %d open, %d half-open; %d shred(s) \
+           done\n"
+          closed opened half
+          (b.Sb.shreds_completed ());
+        let positions =
+          match Exochi_core.Exo_platform.fault_plan_dev platform dev with
+          | None -> "no fault plan"
+          | Some plan ->
+            Fault_plan.all_classes
+            |> List.map2
+                 (fun n c ->
+                   Printf.sprintf "%s:%d" (Fault_plan.class_name c) n)
+                 (Array.to_list (Fault_plan.drawn_counts plan))
+            |> String.concat " "
+        in
+        Printf.printf "         fault stream: %s\n" positions
+      end)
+    (Exochi_core.Exo_platform.all_backends platform)
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "opt-diff" :: target :: rest ->
     opt_diff target (match rest with l :: _ -> l | [] -> "2")
+  | _ :: "devices" :: rest ->
+    let ndev, fault_spec =
+      match rest with
+      | [] -> (2, None)
+      | n :: rest -> (
+        match int_of_string_opt n with
+        | Some n -> (n, match rest with s :: _ -> Some s | [] -> None)
+        | None ->
+          prerr_endline "usage: exochi_dbg devices [N] [SEED:RATE]";
+          exit 1)
+    in
+    device_table ndev fault_spec
   | _ :: path :: _ ->
     let src = read_file path in
     let name = Filename.remove_extension (Filename.basename path) in
@@ -218,5 +309,8 @@ let () =
     (try loop () with Exit -> ());
     say "[exochi_dbg] done\n"
   | _ ->
-    prerr_endline "usage: exochi_dbg <prog.chi>  (commands on stdin)";
+    prerr_endline
+      "usage: exochi_dbg <prog.chi>  (commands on stdin)\n\
+      \       exochi_dbg opt-diff <prog.chi|KERNEL> [0|1|2]\n\
+      \       exochi_dbg devices [N] [SEED:RATE]";
     exit 1

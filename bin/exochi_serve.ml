@@ -12,7 +12,7 @@
                   [--breaker-cooldown-us U] [--journal FILE] [--recover]
                   [--crash-after N] [--top] [--prom FILE]
                   [--obs-interval-us U] [--profile FILE] [--static-admission]
-                  [--opt LEVEL]
+                  [--opt LEVEL] [--devices N] [--placement least-loaded|affinity]
 
    Closed loop (default): --clients per tenant, each submitting its next
    job --think-us after the previous one finishes — the generator that
@@ -62,7 +62,15 @@
    collects the exact per-instruction cost profile of every dispatched
    kernel and writes speedscope JSON (+ a .collapsed flamegraph
    sibling). None of these flags shape the schedule, so they are
-   excluded from the journal fingerprint. *)
+   excluded from the journal fingerprint.
+
+   --devices N runs the platform with an N-device X3K set: each dispatch
+   cycle launches up to one batch per device, pinned by --placement
+   (least-loaded or affinity) and overlapped in simulated time.
+   --devices 1 (the default) is bit-identical to the historical
+   single-device server, journals included; a multi-device topology is
+   part of the journal fingerprint, so --recover refuses a journal
+   written under a different device count. *)
 
 module Serve = Exochi_serving
 
@@ -78,7 +86,7 @@ let usage () =
     \         [--no-hedge] [--breaker-cooldown-us U] [--journal FILE]\n\
     \         [--recover] [--crash-after N] [--top] [--prom FILE]\n\
     \         [--obs-interval-us U] [--profile FILE] [--static-admission]\n\
-    \         [--opt LEVEL]";
+    \         [--opt LEVEL] [--devices N] [--placement least-loaded|affinity]";
   exit 1
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
@@ -121,7 +129,7 @@ let () =
       "--capacity"; "--guard"; "--audit"; "--hedge-us"; "--no-hedge";
       "--breaker-cooldown-us"; "--journal"; "--recover"; "--crash-after";
       "--top"; "--prom"; "--obs-interval-us"; "--profile";
-      "--static-admission"; "--opt" ]
+      "--static-admission"; "--opt"; "--devices"; "--placement" ]
   in
   let bare =
     [ "--no-batch"; "--metrics"; "--guard"; "--no-hedge"; "--recover"; "--top";
@@ -281,6 +289,16 @@ let () =
       | Some l -> l
       | None -> die "--opt: expected 0, 1 or 2, got %s" v)
   in
+  let devices = int_opt "--devices" 1 in
+  if devices <= 0 then die "--devices must be positive";
+  let placement =
+    match opt "--placement" with
+    | None -> Serve.Placement.Least_loaded
+    | Some v -> (
+      match Serve.Placement.policy_of_string v with
+      | Some p -> p
+      | None -> die "--placement: expected least-loaded or affinity, got %s" v)
+  in
   let config =
     {
       Serve.Server.default_config with
@@ -297,6 +315,8 @@ let () =
       breaker_cooldown_ps;
       static_admission;
       opt_level;
+      devices;
+      placement;
     }
   in
   let mode_name =
@@ -306,8 +326,8 @@ let () =
      every run parameter that shapes the schedule, so --recover refuses a
      journal written by a different run. *)
   let fingerprint =
-    Serve.Journal.fingerprint
-      [ mode_name; string_of_int jobs; string_of_int tenants;
+    Serve.Serve_journal.fingerprint
+      ([ mode_name; string_of_int jobs; string_of_int tenants;
         Int64.to_string seed;
         Option.value (opt "--rate") ~default:"";
         Option.value (opt "--clients") ~default:"";
@@ -325,6 +345,13 @@ let () =
         string_of_int hedge_after_ps; string_of_int breaker_cooldown_ps;
         string_of_bool static_admission;
         Exochi_opt.Opt.level_name opt_level ]
+      (* A multi-device topology shapes the schedule, so it is part of
+         the fingerprint — but only when devices > 1, which keeps every
+         pre-device-set single-device journal verifiable unchanged. *)
+      @ (if devices > 1 then
+           [ Printf.sprintf "devices=%d" devices;
+             "placement=" ^ Serve.Placement.policy_name placement ]
+         else []))
   in
   let journal_path = opt "--journal" in
   let recover = flag "--recover" in
@@ -333,33 +360,33 @@ let () =
     if not recover then None
     else begin
       let path = Option.get journal_path in
-      let rp = Serve.Journal.load path in
-      (match rp.Serve.Journal.rp_fingerprint with
+      let rp = Serve.Serve_journal.load path in
+      (match rp.Serve.Serve_journal.rp_fingerprint with
       | None -> die "--recover: %s is not a serve journal (no fingerprint)" path
       | Some fp when fp <> fingerprint ->
         die "--recover: journal %s was written by a different run \
              configuration" path
       | Some _ -> ());
-      let unacked = Serve.Journal.unacked rp in
+      let unacked = Serve.Serve_journal.unacked rp in
       Printf.eprintf
         "[exochi] recover: %s — %d admitted, %d completed, %d shed, %d \
          un-acked%s%s; redoing the run\n"
         path
-        (List.length rp.Serve.Journal.rp_admitted)
-        (List.length rp.Serve.Journal.rp_completed)
-        (List.length rp.Serve.Journal.rp_shed)
+        (List.length rp.Serve.Serve_journal.rp_admitted)
+        (List.length rp.Serve.Serve_journal.rp_completed)
+        (List.length rp.Serve.Serve_journal.rp_shed)
         (List.length unacked)
-        (if rp.Serve.Journal.rp_truncated then " (torn tail frame dropped)"
+        (if rp.Serve.Serve_journal.rp_truncated then " (torn tail frame dropped)"
          else "")
-        (if rp.Serve.Journal.rp_garbled > 0 then
+        (if rp.Serve.Serve_journal.rp_garbled > 0 then
            Printf.sprintf " (%d garbled record(s) skipped)"
-             rp.Serve.Journal.rp_garbled
+             rp.Serve.Serve_journal.rp_garbled
          else "");
-      Some rp.Serve.Journal.rp_completed
+      Some rp.Serve.Serve_journal.rp_completed
     end
   in
   let journal =
-    Option.map (fun p -> Serve.Journal.start p ~fingerprint) journal_path
+    Option.map (fun p -> Serve.Serve_journal.start p ~fingerprint) journal_path
   in
   let server = Serve.Server.create ~config ?fault_plan ?trace ?journal ?expect () in
   let profile = Option.map (fun _ -> Exochi_obs.Profile.create ()) profile_out in
@@ -420,8 +447,27 @@ let () =
     let h = Live.job_lat l in
     let us ps = ps /. 1e6 in
     let f = float_of_int in
+    (* per-device families exist only under a multi-device topology, so
+       single-device expositions stay byte-identical *)
+    let per_device =
+      if Serve.Server.devices server <= 1 then []
+      else
+        let rows = Array.to_list (Serve.Server.device_snapshot server) in
+        let lab d = [ ("device", string_of_int d) ] in
+        [
+          Prom.multi "exochi_device_shreds_outstanding"
+            ~help:"Outstanding shreds pinned per device" Prom.Gauge
+            (List.map (fun (d, sh, _, _, _) -> (lab d, f sh)) rows);
+          Prom.multi "exochi_device_batches_outstanding"
+            ~help:"Outstanding batches pinned per device" Prom.Gauge
+            (List.map (fun (d, _, b, _, _) -> (lab d, f b)) rows);
+          Prom.multi "exochi_device_breakers_open"
+            ~help:"Open circuit breakers per device" Prom.Gauge
+            (List.map (fun (d, _, _, op, _) -> (lab d, f op)) rows);
+        ]
+    in
     Prom.to_text
-      [
+      ([
         Prom.gauge "exochi_sim_time_ms" ~help:"Simulated time"
           (f (Serve.Server.now_ps server) /. 1e9);
         Prom.counter "exochi_jobs_arrived_total" ~help:"Jobs past admission"
@@ -459,6 +505,7 @@ let () =
           ~help:"Events dropped by the bounded trace ring"
           (f (match trace with Some s -> Trace.dropped s | None -> 0));
       ]
+      @ per_device)
   in
   let snapshot l =
     if top then prerr_endline (top_line l);
@@ -481,7 +528,7 @@ let () =
   in
   (* final snapshot so --prom always reflects the finished run *)
   Option.iter snapshot live;
-  Option.iter Serve.Journal.close journal;
+  Option.iter Serve.Serve_journal.close journal;
   if recover then begin
     let left = Serve.Server.unverified server in
     if left > 0 then

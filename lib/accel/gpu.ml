@@ -16,6 +16,7 @@ type config = {
   switch_on_stall : bool;
   fault_plan : Fault_plan.t option;
   trace : Trace.sink option;
+  dev : int;  (* device index in the platform's device set *)
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     switch_on_stall = true;
     fault_plan = None;
     trace = None;
+    dev = 0;
   }
 
 type shred = { shred_id : int; entry : int; params : int array }
@@ -209,7 +211,7 @@ let now_ps t = Array.fold_left (fun acc eu -> max acc eu.now) 0 t.eus
 let trace_emit t ~ts ?dur ~seq kind =
   match t.cfg.trace with
   | None -> ()
-  | Some sink -> Trace.emit sink ~ts_ps:ts ?dur_ps:dur ~seq kind
+  | Some sink -> Trace.emit sink ~ts_ps:ts ?dur_ps:dur ~dev:t.cfg.dev ~seq kind
 
 let bind t ~prog ~surfaces =
   if Array.length surfaces < Array.length prog.surfaces then

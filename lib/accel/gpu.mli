@@ -32,6 +32,10 @@ type config = {
       (* exo-trace sink; [None] = tracing off (zero overhead). Emission
          reads state only, so a traced run is bit-identical to an
          untraced one. *)
+  dev : int;
+      (* device index within the platform's device set (0 in a
+         single-device platform); stamps every trace event this device
+         emits *)
 }
 
 val default_config : config

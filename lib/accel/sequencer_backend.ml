@@ -1,0 +1,159 @@
+type kind = X3k | Ia32_soft
+
+type caps = {
+  bk_kind : kind;
+  bk_dev : int;
+  bk_eus : int;
+  bk_threads_per_eu : int;
+  bk_clock_mhz : int;
+}
+
+let kind_name = function X3k -> "x3k" | Ia32_soft -> "ia32-soft"
+let slots c = c.bk_eus * c.bk_threads_per_eu
+
+type t = {
+  caps : caps;
+  bind :
+    prog:Exochi_isa.X3k_ast.program ->
+    surfaces:Exochi_memory.Surface.t array ->
+    unit;
+  enqueue : Gpu.shred list -> unit;
+  reenqueue : Gpu.shred list -> unit;
+  drain_queue : unit -> Gpu.shred list;
+  queue_length : unit -> int;
+  redeliver_doorbell : unit -> int;
+  parked_count : unit -> int;
+  quiescent : unit -> bool;
+  run_until : int -> int;
+  run_to_quiescence : unit -> int;
+  now_ps : unit -> int;
+  advance_to_ps : int -> unit;
+  last_shred_done : unit -> int;
+  shreds_completed : unit -> int;
+  reap_overdue : watchdog_ps:int -> (int * int * Gpu.shred * int) list;
+  quarantine : eu:int -> slot:int -> unit;
+  reinstate : eu:int -> slot:int -> unit;
+  quarantined_slots : unit -> int;
+  active_slots : unit -> int;
+  slot_completions : eu:int -> slot:int -> int;
+  overdue_shreds : age_ps:int -> (Gpu.shred * int) list;
+  hedge : Gpu.shred -> bool;
+  hedge_pending : shred_id:int -> bool;
+  hedge_live_copies : shred_id:int -> int;
+  hedge_resolve : shred_id:int -> unit;
+  hedge_wins : unit -> int;
+  emulate_shred : Gpu.shred -> int * int;
+  flush_cache : unit -> int;
+  set_profiler :
+    (prog:Exochi_isa.X3k_ast.program -> pc:int -> cost_ps:int -> unit) -> unit;
+  clear_profiler : unit -> unit;
+  drawn_counts : unit -> int array;
+}
+
+let nclasses = List.length Exochi_faults.Fault_plan.all_classes
+
+let of_gpu g =
+  let cfg = Gpu.config g in
+  {
+    caps =
+      {
+        bk_kind = X3k;
+        bk_dev = cfg.Gpu.dev;
+        bk_eus = cfg.Gpu.eus;
+        bk_threads_per_eu = cfg.Gpu.threads_per_eu;
+        bk_clock_mhz = cfg.Gpu.clock_mhz;
+      };
+    bind = (fun ~prog ~surfaces -> Gpu.bind g ~prog ~surfaces);
+    enqueue = (fun shreds -> Gpu.enqueue g shreds);
+    reenqueue = (fun shreds -> Gpu.reenqueue g shreds);
+    drain_queue = (fun () -> Gpu.drain_queue g);
+    queue_length = (fun () -> Gpu.queue_length g);
+    redeliver_doorbell = (fun () -> Gpu.redeliver_doorbell g);
+    parked_count = (fun () -> Gpu.parked_count g);
+    quiescent = (fun () -> Gpu.quiescent g);
+    run_until = (fun ps -> Gpu.run_until g ps);
+    run_to_quiescence = (fun () -> Gpu.run_to_quiescence g);
+    now_ps = (fun () -> Gpu.now_ps g);
+    advance_to_ps = (fun ps -> Gpu.advance_to_ps g ps);
+    last_shred_done = (fun () -> Gpu.last_shred_done g);
+    shreds_completed = (fun () -> Gpu.shreds_completed g);
+    reap_overdue = (fun ~watchdog_ps -> Gpu.reap_overdue g ~watchdog_ps);
+    quarantine = (fun ~eu ~slot -> Gpu.quarantine g ~eu ~slot);
+    reinstate = (fun ~eu ~slot -> Gpu.reinstate g ~eu ~slot);
+    quarantined_slots = (fun () -> Gpu.quarantined_slots g);
+    active_slots = (fun () -> Gpu.active_slots g);
+    slot_completions = (fun ~eu ~slot -> Gpu.slot_completions g ~eu ~slot);
+    overdue_shreds = (fun ~age_ps -> Gpu.overdue_shreds g ~age_ps);
+    hedge = (fun sh -> Gpu.hedge g sh);
+    hedge_pending = (fun ~shred_id -> Gpu.hedge_pending g ~shred_id);
+    hedge_live_copies = (fun ~shred_id -> Gpu.hedge_live_copies g ~shred_id);
+    hedge_resolve = (fun ~shred_id -> Gpu.hedge_resolve g ~shred_id);
+    hedge_wins = (fun () -> Gpu.hedge_wins g);
+    emulate_shred = (fun sh -> Gpu.emulate_shred g sh);
+    flush_cache = (fun () -> Gpu.flush_cache g);
+    set_profiler = (fun f -> Gpu.set_profiler g f);
+    clear_profiler = (fun () -> Gpu.clear_profiler g);
+    drawn_counts =
+      (fun () ->
+        match cfg.Gpu.fault_plan with
+        | Some plan -> Exochi_faults.Fault_plan.drawn_counts plan
+        | None -> Array.make nclasses 0);
+  }
+
+let ia32_soft ~dev ~clock_mhz ~now_ps ~emulate ~notify =
+  let completed = ref 0 in
+  {
+    caps =
+      {
+        bk_kind = Ia32_soft;
+        bk_dev = dev;
+        bk_eus = 1;
+        bk_threads_per_eu = 1;
+        bk_clock_mhz = clock_mhz;
+      };
+    (* the soft backend has no EPROC state: binding is the caller's
+       concern (emulation resolves programs through the platform) *)
+    bind = (fun ~prog:_ ~surfaces:_ -> ());
+    enqueue =
+      (fun shreds ->
+        List.iter
+          (fun sh ->
+            ignore (emulate sh);
+            incr completed;
+            notify sh ~now_ps:(now_ps ()))
+          shreds);
+    reenqueue = (fun shreds -> List.iter (fun _ -> incr completed) shreds);
+    drain_queue = (fun () -> []);
+    queue_length = (fun () -> 0);
+    redeliver_doorbell = (fun () -> 0);
+    parked_count = (fun () -> 0);
+    quiescent = (fun () -> true);
+    run_until = (fun _ -> 0);
+    run_to_quiescence = now_ps;
+    now_ps;
+    advance_to_ps = (fun _ -> ());
+    last_shred_done = now_ps;
+    shreds_completed = (fun () -> !completed);
+    reap_overdue = (fun ~watchdog_ps:_ -> []);
+    quarantine = (fun ~eu:_ ~slot:_ -> ());
+    reinstate = (fun ~eu:_ ~slot:_ -> ());
+    quarantined_slots = (fun () -> 0);
+    active_slots = (fun () -> 1);
+    slot_completions = (fun ~eu:_ ~slot:_ -> !completed);
+    overdue_shreds = (fun ~age_ps:_ -> []);
+    hedge = (fun _ -> false);
+    hedge_pending = (fun ~shred_id:_ -> false);
+    hedge_live_copies = (fun ~shred_id:_ -> 0);
+    hedge_resolve = (fun ~shred_id:_ -> ());
+    hedge_wins = (fun () -> 0);
+    emulate_shred = emulate;
+    flush_cache = (fun () -> 0);
+    set_profiler = (fun _ -> ());
+    clear_profiler = (fun () -> ());
+    drawn_counts = (fun () -> Array.make nclasses 0);
+  }
+
+let describe t =
+  let c = t.caps in
+  Printf.sprintf "dev %d  %-9s %3d slots  (%d EU x %d)  %d MHz" c.bk_dev
+    (kind_name c.bk_kind) (slots c) c.bk_eus c.bk_threads_per_eu c.bk_clock_mhz

@@ -1,0 +1,101 @@
+(** First-class sequencer-backend interface (Exo-fabric).
+
+    EXOCHI's exoskeleton hides heterogeneous sequencers behind one
+    MIMD-looking surface: the OS manages the IA32 master, and user-level
+    code multiplexes everything else. This module is that surface as a
+    value: the capability/dispatch/doorbell/fault operations the CHI
+    runtime needs from {e any} exo-sequencer device, packaged as a record
+    of closures so the platform can hold an indexed device set — N X3K
+    instances, the IA32 soft backend, or anything else — without the
+    runtime caring which is which.
+
+    {!of_gpu} wraps one {!Gpu.t}; {!ia32_soft} wraps functional proxy
+    execution on the master (graceful degradation as "just another
+    backend"). Every closure delegates directly with no extra state, so
+    going through the interface is call-for-call identical to calling
+    the device module — the single-device bit-identity guarantee of the
+    device-set refactor rests on this. *)
+
+(** What kind of hardware answers the doorbell. *)
+type kind = X3k | Ia32_soft
+
+(** Static capabilities, used for placement and the device table. *)
+type caps = {
+  bk_kind : kind;
+  bk_dev : int;  (** device index in the platform's device set *)
+  bk_eus : int;
+  bk_threads_per_eu : int;
+  bk_clock_mhz : int;
+}
+
+val kind_name : kind -> string
+
+(** Total dispatch slots ([eus * threads_per_eu]; 1 for the soft
+    backend). *)
+val slots : caps -> int
+
+type t = {
+  caps : caps;
+  (* dispatch *)
+  bind :
+    prog:Exochi_isa.X3k_ast.program ->
+    surfaces:Exochi_memory.Surface.t array ->
+    unit;
+  enqueue : Gpu.shred list -> unit;
+  reenqueue : Gpu.shred list -> unit;
+  drain_queue : unit -> Gpu.shred list;
+  queue_length : unit -> int;
+  (* doorbell / poll *)
+  redeliver_doorbell : unit -> int;
+  parked_count : unit -> int;
+  quiescent : unit -> bool;
+  run_until : int -> int;
+  run_to_quiescence : unit -> int;
+  now_ps : unit -> int;
+  advance_to_ps : int -> unit;
+  last_shred_done : unit -> int;
+  shreds_completed : unit -> int;
+  (* fault surface *)
+  reap_overdue : watchdog_ps:int -> (int * int * Gpu.shred * int) list;
+  quarantine : eu:int -> slot:int -> unit;
+  reinstate : eu:int -> slot:int -> unit;
+  quarantined_slots : unit -> int;
+  active_slots : unit -> int;
+  slot_completions : eu:int -> slot:int -> int;
+  overdue_shreds : age_ps:int -> (Gpu.shred * int) list;
+  hedge : Gpu.shred -> bool;
+  hedge_pending : shred_id:int -> bool;
+  hedge_live_copies : shred_id:int -> int;
+  hedge_resolve : shred_id:int -> unit;
+  hedge_wins : unit -> int;
+  emulate_shred : Gpu.shred -> int * int;
+  flush_cache : unit -> int;
+  (* profiler / trace hooks *)
+  set_profiler :
+    (prog:Exochi_isa.X3k_ast.program -> pc:int -> cost_ps:int -> unit) -> unit;
+  clear_profiler : unit -> unit;
+  (* per-device fault-stream positions, in [Fault_plan.all_classes]
+     order; all zeros when the device runs without a plan *)
+  drawn_counts : unit -> int array;
+}
+
+(** Wrap one X3K device. Pure delegation — no added state, no added
+    cost. *)
+val of_gpu : Gpu.t -> t
+
+(** The IA32 master as a capability-limited backend: one slot, no
+    hardware queue or hedging; [enqueue] proxy-executes each shred
+    immediately via [emulate] and reports completion through [notify].
+    [now_ps] reads the master clock. Used for the device table and as
+    the graceful-degradation endpoint. *)
+val ia32_soft :
+  dev:int ->
+  clock_mhz:int ->
+  now_ps:(unit -> int) ->
+  emulate:(Gpu.shred -> int * int) ->
+  notify:(Gpu.shred -> now_ps:int -> unit) ->
+  t
+
+(** One human-readable device-table row:
+    ["dev 0  x3k       32 slots  (8 EU x 4)  667 MHz"]. *)
+val describe : t -> string

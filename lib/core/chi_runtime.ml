@@ -17,6 +17,7 @@ type recovery = {
   mutable fatal : int;
   mutable hedges : int;
   mutable hedge_wins : int;
+  mutable cross_hedges : int;
   mutable breaker_opens : int;
   mutable breaker_closes : int;
 }
@@ -31,13 +32,14 @@ type t = {
   backoff_ps : int;
   hedge_after_ps : int;
   breaker_cooldown_ps : int;
-  (* one breaker per exo-sequencer slot, indexed eu * threads_per_eu +
-     slot; empty array when breakers are disabled (legacy permanent
-     quarantine) *)
+  slots_per_dev : int; (* eus * threads_per_eu of one device *)
+  (* one breaker per exo-sequencer slot across the whole device set,
+     indexed dev * slots_per_dev + eu * threads_per_eu + slot; empty
+     array when breakers are disabled (legacy permanent quarantine) *)
   breakers : Breaker.t array;
   probe_base : int array; (* slot completions when its probe started *)
   last_comp : int array; (* slot completions at the previous quantum *)
-  mutable jitter : Prng.t option; (* lazy; seeded from the fault plan *)
+  jitter : (int, Prng.t) Hashtbl.t; (* per device, lazily seeded *)
   recovery : recovery;
   mutable last_flush_bytes : int;
   mutable last_copy_bytes : int;
@@ -48,10 +50,11 @@ let create ~platform ?(flush_policy = Interleaved)
     ?(watchdog_ps = 1_000_000_000) ?(max_redispatch = 3)
     ?(quarantine_after = 3) ?(backoff_ps = 200_000) ?(hedge_after_ps = 0)
     ?(breaker_cooldown_ps = 0) () =
-  let slots =
+  let slots_per_dev =
     let cfg = Gpu.config (Exo_platform.gpu platform) in
     cfg.Gpu.eus * cfg.Gpu.threads_per_eu
   in
+  let slots = slots_per_dev * Exo_platform.devices platform in
   {
     platform;
     features = Chi_descriptor.features ();
@@ -62,6 +65,7 @@ let create ~platform ?(flush_policy = Interleaved)
     backoff_ps;
     hedge_after_ps;
     breaker_cooldown_ps;
+    slots_per_dev;
     breakers =
       (if breaker_cooldown_ps > 0 then
          Array.init slots (fun _ ->
@@ -70,7 +74,7 @@ let create ~platform ?(flush_policy = Interleaved)
        else [||]);
     probe_base = Array.make slots 0;
     last_comp = Array.make slots 0;
-    jitter = None;
+    jitter = Hashtbl.create 4;
     recovery =
       {
         redispatches = 0;
@@ -81,6 +85,7 @@ let create ~platform ?(flush_policy = Interleaved)
         fatal = 0;
         hedges = 0;
         hedge_wins = 0;
+        cross_hedges = 0;
         breaker_opens = 0;
         breaker_closes = 0;
       };
@@ -94,10 +99,10 @@ let features t = t.features
 
 (* Runtime services run on the IA32 master, so their events land on its
    track; the sink is adopted from the platform. State-read-only. *)
-let rev t ~ts ?dur kind =
+let rev t ?(dev = 0) ~ts ?dur kind =
   match Exo_platform.trace t.platform with
   | None -> ()
-  | Some sink -> Trace.emit sink ~ts_ps:ts ?dur_ps:dur ~seq:Trace.Ia32 kind
+  | Some sink -> Trace.emit sink ~ts_ps:ts ?dur_ps:dur ~dev ~seq:Trace.Ia32 kind
 let flush_policy t = t.flush_policy
 let last_flush_bytes t = t.last_flush_bytes
 let last_copy_bytes t = t.last_copy_bytes
@@ -107,12 +112,27 @@ type team = {
   size : int;
   mutable completed : int;
   mutable waited : bool;
+  devs : int list; (* X3K devices this team dispatched on, ascending *)
   (* data-copy mode: (descriptor, device surface) pairs for copy-back *)
   device : (Chi_descriptor.t * Surface.t) list;
 }
 
 let team_completed team = team.completed
 let team_size team = team.size
+let team_devices team = team.devs
+
+let breaker_census t ~dev =
+  if dev < 0 || dev >= Exo_platform.devices t.platform then
+    invalid_arg "Chi_runtime.breaker_census: device out of range";
+  let closed = ref 0 and opened = ref 0 and half = ref 0 in
+  if Array.length t.breakers > 0 then
+    for i = dev * t.slots_per_dev to ((dev + 1) * t.slots_per_dev) - 1 do
+      match Breaker.state t.breakers.(i) with
+      | Breaker.Closed -> incr closed
+      | Breaker.Open -> incr opened
+      | Breaker.Half_open -> incr half
+    done;
+  (!closed, !opened, !half)
 
 (* ---- binding descriptors to the program's surface slots ---- *)
 
@@ -232,8 +252,8 @@ let release_device_surfaces t team =
 
 (* ---- dispatch ---- *)
 
-let enqueue_shreds t ~lo ~hi ~params =
-  let gpu = Exo_platform.gpu t.platform in
+let enqueue_shreds t ~dev ~lo ~hi ~params =
+  let gpu = Exo_platform.gpu_dev t.platform dev in
   let cpu = Exo_platform.cpu t.platform in
   let costs = Exo_platform.costs t.platform in
   let shreds =
@@ -247,12 +267,41 @@ let enqueue_shreds t ~lo ~hi ~params =
   Exo_platform.sync_gpu_to_cpu t.platform;
   Gpu.enqueue gpu shreds
 
+(* Pipelined feed for sharded teams. [enqueue_shreds] charges the
+   master for the block's descriptors and then clock-jumps every device
+   over that time ([sync_gpu_to_cpu]), which makes the software enqueue
+   a serial term of the team barrier — harmless for one device (nothing
+   is running yet), but at N devices it caps the speedup at
+   e/(s + e/N). Here devices that already hold work {e execute} through
+   the master's enqueue time instead ([Gpu.run_until] before the clock
+   lift), so the feed overlaps execution and only the first chunk's
+   latency stays serial. Single-device teams keep [enqueue_shreds] and
+   its jump semantics — the bit- and time-identity of the legacy path. *)
+let feed_chunk_overlapped t ~devs ~dev ~lo ~hi ~params =
+  let gpu = Exo_platform.gpu_dev t.platform dev in
+  let cpu = Exo_platform.cpu t.platform in
+  let costs = Exo_platform.costs t.platform in
+  let shreds =
+    List.init (hi - lo) (fun k ->
+        { Gpu.shred_id = lo + k; entry = 0; params = params (lo + k) })
+  in
+  Machine.add_time_ps cpu
+    (costs.Exo_platform.signal_ps
+    + ((hi - lo) * costs.Exo_platform.dispatch_cpu_ps));
+  let now = Machine.now_ps cpu in
+  List.iter
+    (fun d -> ignore (Gpu.run_until (Exo_platform.gpu_dev t.platform d) now))
+    devs;
+  (* lift any still-idle clocks to the doorbell time *)
+  Exo_platform.sync_gpu_to_cpu t.platform;
+  Gpu.enqueue gpu shreds
+
 (* ---- self-healing drain (fault recovery) ---- *)
 
 (* Graceful degradation: proxy-execute the whole shred on the IA32
    sequencer via the CEH lane-emulation semantics. Slower, never wrong. *)
-let fallback_shred t sh =
-  let gpu = Exo_platform.gpu t.platform in
+let fallback_shred t ~dev sh =
+  let gpu = Exo_platform.gpu_dev t.platform dev in
   let cpu = Exo_platform.cpu t.platform in
   let costs = Exo_platform.costs t.platform in
   (* the shred is resolved off-GPU: a pending hedge race must not
@@ -267,52 +316,92 @@ let fallback_shred t sh =
   rev t ~ts:(Machine.now_ps cpu) ~dur:service
     (Trace.Ia32_fallback { shred_id = sh.Gpu.shred_id; instrs; lane_ops });
   Machine.add_time_ps cpu service;
-  Exo_platform.notify_shred_done t.platform sh ~now_ps:(Machine.now_ps cpu)
+  Exo_platform.notify_shred_done ~dev t.platform sh ~now_ps:(Machine.now_ps cpu)
+
+(* Per-device drain context of the supervised drain: each device keeps
+   its own re-dispatch bookkeeping (attempt counts, backoff-parked
+   shreds) so recovery on one device never perturbs another's stream. *)
+type drain_ctx = {
+  dc_dev : int;
+  dc_gpu : Gpu.t;
+  dc_plan : Fault_plan.t;
+  dc_attempts : (int, int) Hashtbl.t;
+  mutable dc_pending : (int * Gpu.shred) list;
+      (* (release_ps, shred): backoff re-dispatches *)
+}
 
 (* Supervised replacement for [Gpu.run_to_quiescence], active only when
-   a fault plan is installed. Runs the GPU in the same 200 us quanta and
-   between quanta performs the recovery work the paper leaves to the
-   application-level runtime: watchdog-reap hung contexts, re-dispatch
-   their shreds with exponential backoff (bounded), quarantine a slot
-   after K consecutive failures, re-ring lost doorbells, and fall back
-   to IA32 proxy execution when retries are exhausted or no slot is
-   left. With a zero-rate plan none of the recovery paths trigger and
-   the [run_until] call sequence is identical to the unsupervised one —
-   zero overhead when disabled. *)
-let supervised_drain t =
+   a fault plan is installed. Runs every device in the same 200 us
+   quanta and between quanta performs the recovery work the paper
+   leaves to the application-level runtime: watchdog-reap hung
+   contexts, re-dispatch their shreds with exponential backoff
+   (bounded), quarantine a slot after K consecutive failures, re-ring
+   lost doorbells, and fall back to IA32 proxy execution when retries
+   are exhausted or no slot is left. With a zero-rate plan none of the
+   recovery paths trigger and the [run_until] call sequence is
+   identical to the unsupervised one — zero overhead when disabled.
+
+   [cross] (a team spans several devices): a straggler that is still
+   overdue after an on-device hedge gets one more backup copy enqueued
+   on a quiescent peer device — cross-device hedging. The duplicate
+   completion is absorbed by the team's dedup callback. *)
+let supervised_drain ?(cross = false) t =
   match Exo_platform.fault_plan t.platform with
   | None -> ()
-  | Some plan ->
-    let gpu = Exo_platform.gpu t.platform in
+  | Some _ ->
     let cpu = Exo_platform.cpu t.platform in
     let costs = Exo_platform.costs t.platform in
     let quantum = 200_000_000 (* keep in lock-step with run_to_quiescence *) in
-    let attempts : (int, int) Hashtbl.t = Hashtbl.create 16 in
-    let pending = ref [] (* (release_ps, shred): backoff re-dispatches *) in
     let idle_rounds = ref 0 in
     let max_idle = 8 + (t.watchdog_ps / quantum) + 1 in
     let threads_per_eu =
-      (Gpu.config gpu).Gpu.threads_per_eu
+      (Gpu.config (Exo_platform.gpu t.platform)).Gpu.threads_per_eu
     in
-    (* Backoff jitter draws from a dedicated stream derived from the
-       plan seed, never from the per-class fault streams — reaps are the
-       only consumers, so a zero-rate plan (which never reaps) remains
-       bit-identical to no plan at all. *)
-    let jitter () =
-      match t.jitter with
+    let ndev = Exo_platform.devices t.platform in
+    let ctxs =
+      List.init ndev (fun dev ->
+          let plan =
+            match Exo_platform.fault_plan_dev t.platform dev with
+            | Some p -> p
+            | None -> assert false (* every device derives from the base *)
+          in
+          {
+            dc_dev = dev;
+            dc_gpu = Exo_platform.gpu_dev t.platform dev;
+            dc_plan = plan;
+            dc_attempts = Hashtbl.create 16;
+            dc_pending = [];
+          })
+    in
+    let cross_done : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    (* Backoff jitter draws from a dedicated per-device stream derived
+       from that device's plan seed, never from the per-class fault
+       streams — reaps are the only consumers, so a zero-rate plan
+       (which never reaps) remains bit-identical to no plan at all. *)
+    let jitter c =
+      match Hashtbl.find_opt t.jitter c.dc_dev with
       | Some p -> p
       | None ->
         let p =
           Prng.create
-            (Int64.logxor (Fault_plan.seed plan) 0x9E3779B97F4A7C15L)
+            (Int64.logxor (Fault_plan.seed c.dc_plan) 0x9E3779B97F4A7C15L)
         in
-        t.jitter <- Some p;
+        Hashtbl.add t.jitter c.dc_dev p;
         p
     in
-    let handle_reaped (eu, slot, sh, fails) =
+    let sync_hedge_wins () =
+      let total = ref 0 in
+      List.iter (fun c -> total := !total + Gpu.hedge_wins c.dc_gpu) ctxs;
+      t.recovery.hedge_wins <- !total
+    in
+    let handle_reaped c (eu, slot, sh, fails) =
+      let gpu = c.dc_gpu in
       t.recovery.watchdog_kills <- t.recovery.watchdog_kills + 1;
       (if Array.length t.breakers > 0 then begin
-         let b = t.breakers.((eu * threads_per_eu) + slot) in
+         let b =
+           t.breakers.((c.dc_dev * t.slots_per_dev)
+                       + (eu * threads_per_eu) + slot)
+         in
          Breaker.record_fail b;
          (* a reap on a half-open slot is a failed probe: re-open with a
             doubled cool-down rather than waiting for the threshold *)
@@ -322,7 +411,7 @@ let supervised_drain t =
            t.recovery.quarantined_seqs <- t.recovery.quarantined_seqs + 1;
            Breaker.trip b ~now_ps:(Gpu.now_ps gpu);
            t.recovery.breaker_opens <- t.recovery.breaker_opens + 1;
-           rev t ~ts:(Gpu.now_ps gpu)
+           rev t ~dev:c.dc_dev ~ts:(Gpu.now_ps gpu)
              (Trace.Breaker_open
                 { eu; slot; cooldown_ps = Breaker.cooldown_ps b })
          end
@@ -341,33 +430,37 @@ let supervised_drain t =
       else begin
         let a =
           1
-          + Option.value (Hashtbl.find_opt attempts sh.Gpu.shred_id) ~default:0
+          + Option.value
+              (Hashtbl.find_opt c.dc_attempts sh.Gpu.shred_id)
+              ~default:0
         in
-        Hashtbl.replace attempts sh.Gpu.shred_id a;
+        Hashtbl.replace c.dc_attempts sh.Gpu.shred_id a;
         if a > t.max_redispatch || Gpu.active_slots gpu = 0 then
-          fallback_shred t sh
+          fallback_shred t ~dev:c.dc_dev sh
         else begin
           t.recovery.redispatches <- t.recovery.redispatches + 1;
           let base = t.backoff_ps * (1 lsl min 8 (a - 1)) in
           (* full jitter over the top half of the window: concurrent
              reaps of a quarantine wave decorrelate instead of slamming
              the doorbell in lock-step *)
-          let delay = (base / 2) + Prng.int (jitter ()) ((base / 2) + 1) in
-          rev t ~ts:(Gpu.now_ps gpu)
+          let delay = (base / 2) + Prng.int (jitter c) ((base / 2) + 1) in
+          rev t ~dev:c.dc_dev ~ts:(Gpu.now_ps gpu)
             (Trace.Redispatch
                { shred_id = sh.Gpu.shred_id; attempt = a; delay_ps = delay });
-          pending := (Gpu.now_ps gpu + delay, sh) :: !pending
+          c.dc_pending <- (Gpu.now_ps gpu + delay, sh) :: c.dc_pending
         end
       end
     in
-    let hedge_overdue () =
+    let hedge_overdue c =
+      let gpu = c.dc_gpu in
       if t.hedge_after_ps > 0 then
         List.iter
           (fun ((sh : Gpu.shred), age) ->
             if Gpu.hedge gpu sh then begin
               t.recovery.hedges <- t.recovery.hedges + 1;
-              rev t ~ts:(Gpu.now_ps gpu)
-                (Trace.Hedge_dispatch { shred_id = sh.Gpu.shred_id; age_ps = age });
+              rev t ~dev:c.dc_dev ~ts:(Gpu.now_ps gpu)
+                (Trace.Hedge_dispatch
+                   { shred_id = sh.Gpu.shred_id; age_ps = age });
               Machine.add_overhead_ps cpu
                 (costs.Exo_platform.signal_ps
                 + costs.Exo_platform.dispatch_cpu_ps)
@@ -377,11 +470,16 @@ let supervised_drain t =
     (* open → half-open once the cool-down expires (reinstate the slot
        for its probe); half-open → closed once the probe retires.
        Returns true when any breaker moved, which counts as progress. *)
-    let poll_breakers () =
+    let poll_breakers c =
+      let gpu = c.dc_gpu in
       let moved = ref false in
-      Array.iteri
-        (fun i b ->
-          let eu = i / threads_per_eu and slot = i mod threads_per_eu in
+      if Array.length t.breakers > 0 then begin
+        let base = c.dc_dev * t.slots_per_dev in
+        for i = base to base + t.slots_per_dev - 1 do
+          let local = i - base in
+          let eu = local / threads_per_eu
+          and slot = local mod threads_per_eu in
+          let b = t.breakers.(i) in
           match Breaker.state b with
           | Breaker.Open ->
             if Breaker.poll b ~now_ps:(Gpu.now_ps gpu) then begin
@@ -390,23 +488,29 @@ let supervised_drain t =
               moved := true
             end
           | Breaker.Half_open ->
-            if Gpu.slot_completions gpu ~eu ~slot > t.probe_base.(i) then begin
+            if Gpu.slot_completions gpu ~eu ~slot > t.probe_base.(i)
+            then begin
               Breaker.close b;
               t.recovery.breaker_closes <- t.recovery.breaker_closes + 1;
-              rev t ~ts:(Gpu.now_ps gpu) (Trace.Breaker_close { eu; slot });
+              rev t ~dev:c.dc_dev ~ts:(Gpu.now_ps gpu)
+                (Trace.Breaker_close { eu; slot });
               moved := true
             end
           | Breaker.Closed ->
-            let c = Gpu.slot_completions gpu ~eu ~slot in
-            if c > t.last_comp.(i) then Breaker.record_ok b;
-            t.last_comp.(i) <- c)
-        t.breakers;
+            let comp = Gpu.slot_completions gpu ~eu ~slot in
+            if comp > t.last_comp.(i) then Breaker.record_ok b;
+            t.last_comp.(i) <- comp
+        done
+      end;
       !moved
     in
-    let release_due () =
+    let release_due c =
+      let gpu = c.dc_gpu in
       let now = Gpu.now_ps gpu in
-      let due, later = List.partition (fun (ps, _) -> ps <= now) !pending in
-      pending := later;
+      let due, later =
+        List.partition (fun (ps, _) -> ps <= now) c.dc_pending
+      in
+      c.dc_pending <- later;
       if due <> [] then begin
         let shreds = List.map snd due in
         Machine.add_overhead_ps cpu
@@ -415,35 +519,84 @@ let supervised_drain t =
         Gpu.reenqueue gpu shreds
       end
     in
+    (* Cross-device hedging: a shred still overdue at twice the hedge
+       threshold whose on-device backup has not resolved gets one copy
+       enqueued on a quiescent peer with live slots. At most one
+       cross-copy per shred id per drain. *)
+    let cross_hedge () =
+      if cross && t.hedge_after_ps > 0 then
+        List.iter
+          (fun c ->
+            List.iter
+              (fun ((sh : Gpu.shred), age) ->
+                let id = sh.Gpu.shred_id in
+                if
+                  Gpu.hedge_pending c.dc_gpu ~shred_id:id
+                  && not (Hashtbl.mem cross_done id)
+                then
+                  match
+                    List.find_opt
+                      (fun p ->
+                        p.dc_dev <> c.dc_dev
+                        && Gpu.quiescent p.dc_gpu
+                        && Gpu.active_slots p.dc_gpu > 0)
+                      ctxs
+                  with
+                  | Some peer ->
+                    Hashtbl.replace cross_done id ();
+                    t.recovery.cross_hedges <- t.recovery.cross_hedges + 1;
+                    Machine.add_overhead_ps cpu
+                      (costs.Exo_platform.signal_ps
+                      + costs.Exo_platform.dispatch_cpu_ps);
+                    rev t ~dev:peer.dc_dev ~ts:(Gpu.now_ps peer.dc_gpu)
+                      (Trace.Hedge_dispatch { shred_id = id; age_ps = age });
+                    Gpu.reenqueue peer.dc_gpu [ sh ]
+                  | None -> ())
+              (Gpu.overdue_shreds c.dc_gpu ~age_ps:(2 * t.hedge_after_ps)))
+          ctxs
+    in
+    let ctx_done c =
+      Gpu.quiescent c.dc_gpu
+      && Gpu.parked_count c.dc_gpu = 0
+      && c.dc_pending = []
+    in
+    let step c =
+      let gpu = c.dc_gpu in
+      let retired = Gpu.run_until gpu (Gpu.now_ps gpu + quantum) in
+      hedge_overdue c;
+      let reaped = Gpu.reap_overdue gpu ~watchdog_ps:t.watchdog_ps in
+      List.iter (handle_reaped c) reaped;
+      let breakers_moved = poll_breakers c in
+      sync_hedge_wins ();
+      (* shreds parked behind a lost doorbell and the machine has gone
+         quiet: the master notices the missing completions and re-rings *)
+      if Gpu.parked_count gpu > 0 && (retired = 0 || Gpu.quiescent gpu)
+      then begin
+        t.recovery.doorbell_redeliveries <-
+          t.recovery.doorbell_redeliveries + 1;
+        Machine.add_overhead_ps cpu costs.Exo_platform.signal_ps;
+        ignore (Gpu.redeliver_doorbell gpu)
+      end;
+      release_due c;
+      if Gpu.active_slots gpu = 0 then begin
+        (* every exo-sequencer slot is quarantined: nothing will ever
+           run on this device again — emulate the stranded work *)
+        let stranded = Gpu.drain_queue gpu @ List.map snd c.dc_pending in
+        c.dc_pending <- [];
+        List.iter (fallback_shred t ~dev:c.dc_dev) stranded
+      end;
+      retired > 0 || reaped <> [] || breakers_moved
+    in
     let continue_ = ref true in
     while !continue_ do
-      if Gpu.quiescent gpu && Gpu.parked_count gpu = 0 && !pending = [] then
-        continue_ := false
+      if List.for_all ctx_done ctxs then continue_ := false
       else begin
-        let retired = Gpu.run_until gpu (Gpu.now_ps gpu + quantum) in
-        hedge_overdue ();
-        let reaped = Gpu.reap_overdue gpu ~watchdog_ps:t.watchdog_ps in
-        List.iter handle_reaped reaped;
-        let breakers_moved = poll_breakers () in
-        t.recovery.hedge_wins <- Gpu.hedge_wins gpu;
-        (* shreds parked behind a lost doorbell and the machine has gone
-           quiet: the master notices the missing completions and re-rings *)
-        if Gpu.parked_count gpu > 0 && (retired = 0 || Gpu.quiescent gpu)
-        then begin
-          t.recovery.doorbell_redeliveries <-
-            t.recovery.doorbell_redeliveries + 1;
-          Machine.add_overhead_ps cpu costs.Exo_platform.signal_ps;
-          ignore (Gpu.redeliver_doorbell gpu)
-        end;
-        release_due ();
-        if Gpu.active_slots gpu = 0 then begin
-          (* every exo-sequencer slot is quarantined: nothing will ever
-             run on the GPU again — emulate the stranded work *)
-          let stranded = Gpu.drain_queue gpu @ List.map snd !pending in
-          pending := [];
-          List.iter (fallback_shred t) stranded
-        end;
-        if retired = 0 && reaped = [] && not breakers_moved then begin
+        let progress = ref false in
+        List.iter
+          (fun c -> if not (ctx_done c) then if step c then progress := true)
+          ctxs;
+        cross_hedge ();
+        if not !progress then begin
           incr idle_rounds;
           if !idle_rounds > max_idle then begin
             t.recovery.fatal <- t.recovery.fatal + 1;
@@ -453,114 +606,228 @@ let supervised_drain t =
         else idle_rounds := 0
       end
     done;
-    t.recovery.hedge_wins <- Gpu.hedge_wins gpu
+    sync_hedge_wins ()
 
 let wait t team =
   if not team.waited then begin
     team.waited <- true;
-    let gpu = Exo_platform.gpu t.platform in
     let cpu = Exo_platform.cpu t.platform in
     let memmodel = Exo_platform.memmodel t.platform in
     let costs = Exo_platform.model_costs t.platform in
-    supervised_drain t;
+    supervised_drain t ~cross:(match team.devs with _ :: _ :: _ -> true | _ -> false);
     ignore (Exo_platform.barrier t.platform);
     match memmodel with
     | Memmodel.Non_cc_shared ->
-      (* the exo-sequencers flush their cache before releasing the
-         completion semaphore; the master also pays the semaphore wait *)
-      let bytes = Gpu.flush_cache gpu in
-      let flush_ps = Memmodel.flush_ps costs ~bytes in
-      Machine.add_time_ps cpu (flush_ps + costs.Memmodel.semaphore_ps);
-      t.last_flush_bytes <- t.last_flush_bytes + bytes
+      (* each participating device flushes its cache before releasing
+         its completion semaphore; the master pays one semaphore wait
+         per device *)
+      List.iter
+        (fun d ->
+          let bytes = Gpu.flush_cache (Exo_platform.gpu_dev t.platform d) in
+          let flush_ps = Memmodel.flush_ps costs ~bytes in
+          Machine.add_time_ps cpu (flush_ps + costs.Memmodel.semaphore_ps);
+          t.last_flush_bytes <- t.last_flush_bytes + bytes)
+        team.devs
     | Memmodel.Data_copy -> release_device_surfaces t team
     | Memmodel.Cc_shared -> ()
   end
 
-let parallel t ~prog ~descriptors ~num_threads ~params ?(chunk = 512)
+let parallel t ~prog ~descriptors ~num_threads ~params ?(chunk = 512) ?device
     ~master_nowait () =
   if num_threads <= 0 then invalid_arg "Chi_runtime.parallel: num_threads";
   t.last_flush_bytes <- 0;
   t.last_copy_bytes <- 0;
-  let gpu = Exo_platform.gpu t.platform in
+  let ndev = Exo_platform.devices t.platform in
   let memmodel = Exo_platform.memmodel t.platform in
-  let device, surfaces =
-    match memmodel with
-    | Memmodel.Data_copy ->
-      let device = make_device_surfaces t descriptors in
-      let table =
-        Array.map
-          (fun sname ->
-            match
-              List.find_opt
-                (fun (d, _) ->
-                  d.Chi_descriptor.surface.Surface.name = sname)
-                device
-            with
-            | Some (_, dev) -> dev
-            | None ->
-              invalid_arg
-                (Printf.sprintf "CHI: no descriptor for surface %S" sname))
-          prog.Exochi_isa.X3k_ast.surfaces
-      in
-      (device, table)
-    | Memmodel.Non_cc_shared | Memmodel.Cc_shared ->
-      ([], surf_table prog descriptors)
+  (match device with
+  | Some d when d < 0 || d >= ndev ->
+    invalid_arg "Chi_runtime.parallel: device out of range"
+  | _ -> ());
+  let shard_devs =
+    match device with
+    | Some d -> [ d ]
+    | None ->
+      (* data-copy mode keeps its private-surface protocol on device 0;
+         shared-memory modes tile the team row-wise across the set *)
+      if ndev > 1 && memmodel <> Memmodel.Data_copy then List.init ndev Fun.id
+      else [ 0 ]
   in
-  let team = { size = num_threads; completed = 0; waited = false; device } in
-  Exo_platform.set_shred_done_callback t.platform (fun _sh ~now_ps:_ ->
-      team.completed <- team.completed + 1);
-  prewalk_surfaces t surfaces;
-  Gpu.bind gpu ~prog ~surfaces;
-  (match (memmodel, t.flush_policy) with
-  | Memmodel.Non_cc_shared, (Upfront | Upfront_naive) ->
-    (* flush every input surface completely before any shred launches;
-       the naive variant pays the unoptimised 2 GB/s rate of §5.2 *)
-    let flush =
-      if t.flush_policy = Upfront_naive then charged_flush_naive
-      else charged_flush
+  match shard_devs with
+  | [ dev ] ->
+    (* Single-device dispatch — the historical path, pinned to [dev].
+       With [devices:1] platforms this is bit- and time-identical to the
+       pre-device-set runtime. *)
+    let gpu = Exo_platform.gpu_dev t.platform dev in
+    let device, surfaces =
+      match memmodel with
+      | Memmodel.Data_copy ->
+        let device = make_device_surfaces t descriptors in
+        let table =
+          Array.map
+            (fun sname ->
+              match
+                List.find_opt
+                  (fun (d, _) ->
+                    d.Chi_descriptor.surface.Surface.name = sname)
+                  device
+              with
+              | Some (_, dev) -> dev
+              | None ->
+                invalid_arg
+                  (Printf.sprintf "CHI: no descriptor for surface %S" sname))
+            prog.Exochi_isa.X3k_ast.surfaces
+        in
+        (device, table)
+      | Memmodel.Non_cc_shared | Memmodel.Cc_shared ->
+        ([], surf_table prog descriptors)
     in
-    List.iter
-      (fun d ->
-        if is_input d then begin
-          let base, len = desc_range d in
-          ignore (flush t ~vaddr:base ~len)
-        end)
-      descriptors;
-    enqueue_shreds t ~lo:0 ~hi:num_threads ~params
-  | Memmodel.Non_cc_shared, Interleaved ->
-    (* intelligent flushing (§5.2): flush only the chunk of data the next
-       batch of shreds consumes, launch them, and keep flushing in
-       parallel with exo-sequencer execution. Inputs too small to be
-       worth slicing (lookup tables, logos) are flushed whole with the
-       first chunk, since any shred may read any part of them. *)
-    let small_cutoff = 65536 in
-    let inputs = List.filter is_input descriptors in
-    let nchunks = (num_threads + chunk - 1) / chunk in
-    List.iter
-      (fun d ->
-        let base, len = desc_range d in
-        if len < small_cutoff then ignore (charged_flush t ~vaddr:base ~len))
-      inputs;
-    let inputs =
-      List.filter (fun d -> snd (desc_range d) >= small_cutoff) inputs
+    let team =
+      { size = num_threads; completed = 0; waited = false; devs = [ dev ];
+        device }
     in
-    for c = 0 to nchunks - 1 do
+    Exo_platform.set_shred_done_callback_dev t.platform ~dev
+      (fun _sh ~now_ps:_ -> team.completed <- team.completed + 1);
+    prewalk_surfaces t surfaces;
+    Gpu.bind gpu ~prog ~surfaces;
+    (match (memmodel, t.flush_policy) with
+    | Memmodel.Non_cc_shared, (Upfront | Upfront_naive) ->
+      (* flush every input surface completely before any shred launches;
+         the naive variant pays the unoptimised 2 GB/s rate of §5.2 *)
+      let flush =
+        if t.flush_policy = Upfront_naive then charged_flush_naive
+        else charged_flush
+      in
+      List.iter
+        (fun d ->
+          if is_input d then begin
+            let base, len = desc_range d in
+            ignore (flush t ~vaddr:base ~len)
+          end)
+        descriptors;
+      enqueue_shreds t ~dev ~lo:0 ~hi:num_threads ~params
+    | Memmodel.Non_cc_shared, Interleaved ->
+      (* intelligent flushing (§5.2): flush only the chunk of data the next
+         batch of shreds consumes, launch them, and keep flushing in
+         parallel with exo-sequencer execution. Inputs too small to be
+         worth slicing (lookup tables, logos) are flushed whole with the
+         first chunk, since any shred may read any part of them. *)
+      let small_cutoff = 65536 in
+      let inputs = List.filter is_input descriptors in
+      let nchunks = (num_threads + chunk - 1) / chunk in
       List.iter
         (fun d ->
           let base, len = desc_range d in
-          let lo = len * c / nchunks and hi = len * (c + 1) / nchunks in
-          if hi > lo then ignore (charged_flush t ~vaddr:(base + lo) ~len:(hi - lo)))
+          if len < small_cutoff then ignore (charged_flush t ~vaddr:base ~len))
         inputs;
-      let lo = c * chunk and hi = min num_threads ((c + 1) * chunk) in
-      if hi > lo then begin
-        enqueue_shreds t ~lo ~hi ~params;
-        (* let the exo-sequencers run while the master keeps flushing *)
-        ignore (Gpu.run_until gpu (Machine.now_ps (Exo_platform.cpu t.platform)))
+      let inputs =
+        List.filter (fun d -> snd (desc_range d) >= small_cutoff) inputs
+      in
+      for c = 0 to nchunks - 1 do
+        List.iter
+          (fun d ->
+            let base, len = desc_range d in
+            let lo = len * c / nchunks and hi = len * (c + 1) / nchunks in
+            if hi > lo then
+              ignore (charged_flush t ~vaddr:(base + lo) ~len:(hi - lo)))
+          inputs;
+        let lo = c * chunk and hi = min num_threads ((c + 1) * chunk) in
+        if hi > lo then begin
+          enqueue_shreds t ~dev ~lo ~hi ~params;
+          (* let the exo-sequencers run while the master keeps flushing *)
+          ignore
+            (Gpu.run_until gpu (Machine.now_ps (Exo_platform.cpu t.platform)))
+        end
+      done
+    | _ -> enqueue_shreds t ~dev ~lo:0 ~hi:num_threads ~params);
+    if not master_nowait then wait t team;
+    team
+  | devs ->
+    (* Data-parallel sharding: tile the team row-wise in contiguous
+       blocks across the device set. Every device binds the same program
+       against the same shared surfaces, so the output surface is merged
+       by construction — shred [i] writes the same rows wherever it
+       runs. Completion callbacks are installed per device and dedup
+       through [seen]: a cross-device hedge can retire the same shred id
+       twice, but the team must count it once. *)
+    let surfaces = surf_table prog descriptors in
+    let team =
+      { size = num_threads; completed = 0; waited = false; devs; device = [] }
+    in
+    let seen = Array.make num_threads false in
+    let cb (sh : Gpu.shred) ~now_ps:_ =
+      let id = sh.Gpu.shred_id in
+      if id >= 0 && id < num_threads && not seen.(id) then begin
+        seen.(id) <- true;
+        team.completed <- team.completed + 1
       end
-    done
-  | _ -> enqueue_shreds t ~lo:0 ~hi:num_threads ~params);
-  if not master_nowait then wait t team;
-  team
+    in
+    List.iter
+      (fun d -> Exo_platform.set_shred_done_callback_dev t.platform ~dev:d cb)
+      devs;
+    prewalk_surfaces t surfaces;
+    List.iter
+      (fun d -> Gpu.bind (Exo_platform.gpu_dev t.platform d) ~prog ~surfaces)
+      devs;
+    (match memmodel with
+    | Memmodel.Non_cc_shared ->
+      (* sharded dispatch always flushes up front: interleaving chunk
+         flushes with N devices' row blocks would flush shared lines
+         once per device, so Interleaved degrades to Upfront here *)
+      let flush =
+        if t.flush_policy = Upfront_naive then charged_flush_naive
+        else charged_flush
+      in
+      List.iter
+        (fun d ->
+          if is_input d then begin
+            let base, len = desc_range d in
+            ignore (flush t ~vaddr:base ~len)
+          end)
+        descriptors
+    | Memmodel.Cc_shared | Memmodel.Data_copy -> ());
+    let nd = List.length devs in
+    let blocks =
+      List.mapi
+        (fun i d ->
+          (d, num_threads * i / nd, num_threads * (i + 1) / nd))
+        devs
+    in
+    (* round-robin chunked feed: every device starts executing its first
+       chunk while the master is still enqueuing the rest of the team,
+       so the software enqueue overlaps device execution instead of
+       serialising ahead of the barrier. The feed granularity trades the
+       last device's startup latency ((nd-1) * chunk * dispatch cost,
+       finer is better) against doorbell overhead (one SIGNAL per chunk,
+       coarser is better); the minimum of the sum sits at the square
+       root of their cost ratio. *)
+    let feed_chunk =
+      let costs = Exo_platform.costs t.platform in
+      let x =
+        sqrt
+          (float_of_int num_threads
+          *. float_of_int costs.Exo_platform.signal_ps
+          /. (float_of_int (max 1 (nd - 1))
+             *. float_of_int (max 1 costs.Exo_platform.dispatch_cpu_ps)))
+      in
+      max 8 (min chunk (int_of_float x))
+    in
+    let nchunks =
+      List.fold_left
+        (fun acc (_, lo, hi) ->
+          max acc ((hi - lo + feed_chunk - 1) / feed_chunk))
+        0 blocks
+    in
+    for c = 0 to nchunks - 1 do
+      List.iter
+        (fun (d, lo, hi) ->
+          let clo = lo + (c * feed_chunk)
+          and chi_ = min hi (lo + ((c + 1) * feed_chunk)) in
+          if chi_ > clo then
+            feed_chunk_overlapped t ~devs ~dev:d ~lo:clo ~hi:chi_ ~params)
+        blocks
+    done;
+    if not master_nowait then wait t team;
+    team
 
 (* ---- work queuing ---- *)
 

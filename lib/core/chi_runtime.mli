@@ -44,6 +44,8 @@ type recovery = {
   mutable fatal : int;  (** faults recovery could not absorb *)
   mutable hedges : int;  (** straggler shreds given a backup dispatch *)
   mutable hedge_wins : int;  (** hedge races resolved by a retirement *)
+  mutable cross_hedges : int;
+      (** straggler copies re-enqueued on a quiescent peer device *)
   mutable breaker_opens : int;  (** circuit-breaker trips *)
   mutable breaker_closes : int;  (** probationary reinstatements *)
 }
@@ -108,7 +110,17 @@ type team
       which case the team is returned outstanding and the IA32 master
       continues (paper §4.2).
 
-    [chunk] controls interleaved-flush granularity (shreds per chunk). *)
+    [chunk] controls interleaved-flush granularity (shreds per chunk).
+
+    [device] pins the whole team to one device of a multi-device
+    platform (the serve placement layer does this for concurrent
+    batches). Omitted on a multi-device platform in a shared-memory
+    mode, the team is {e sharded}: shred ids are tiled row-wise in
+    contiguous blocks across the device set, every device binds the
+    same program against the same shared surfaces (so the output merges
+    by construction), completions dedup across devices, and stragglers
+    may be hedged onto a quiescent peer device. Data-copy mode never
+    shards (the private-surface protocol stays on device 0). *)
 val parallel :
   t ->
   prog:Exochi_isa.X3k_ast.program ->
@@ -116,6 +128,7 @@ val parallel :
   num_threads:int ->
   params:(int -> int array) ->
   ?chunk:int ->
+  ?device:int ->
   master_nowait:bool ->
   unit ->
   team
@@ -129,6 +142,10 @@ val wait : t -> team -> unit
 val team_completed : team -> int
 
 val team_size : team -> int
+
+(** Devices the team was dispatched on, ascending ([[0]] for a legacy
+    single-device team). *)
+val team_devices : team -> int list
 
 (** {1 Work queuing (producer-consumer), paper §4.3}
 
@@ -171,3 +188,8 @@ val produce : t -> Chi_descriptor.t -> unit
 
 val last_flush_bytes : t -> int
 val last_copy_bytes : t -> int
+
+(** Per-device circuit-breaker census as [(closed, open_, half_open)]
+    slot counts. All zeros when breakers are disabled
+    ([breaker_cooldown_ps] = 0). *)
+val breaker_census : t -> dev:int -> int * int * int

@@ -30,16 +30,23 @@ exception Protocol_violation of string
 type t = {
   mem : Phys_mem.t;
   aspace : Address_space.t;
-  bus : Bus.t;
+  bus : Bus.t; (* device 0's memory link; the CPU also charges here *)
+  buses : Bus.t array; (* one private link per X3K device *)
   cpu : Exochi_cpu.Machine.t;
-  mutable gpu : Exochi_accel.Gpu.t option; (* tied after creation *)
+  cpu_mhz : int;
+  devices : int;
+  mutable gpus : Exochi_accel.Gpu.t array; (* tied after creation *)
+  mutable backends : Exochi_accel.Sequencer_backend.t array; (* X3K rows *)
   memmodel : Memmodel.config;
   mcosts : Memmodel.costs;
   costs : costs;
   protocol : protocol_mode;
   gtt_enabled : bool;
   gtt : (int, Pte.X3k.t) Hashtbl.t; (* vpage -> transcoded entry *)
-  fault_plan : Fault_plan.t option;
+  (* per-device fault streams: index 0 is the caller's plan object
+     (shared with every layer that reads its counters); device d > 0
+     draws from an independent stream derived from the same seed *)
+  fault_plans : Fault_plan.t option array;
   trace : Trace.sink option;
   mutable surfaces : Surface.t list;
   mutable atr_proxies : int;
@@ -49,26 +56,32 @@ type t = {
   mutable atr_transient_retries : int;
   mutable gtt_evictions : int;
   mutable ceh_spurious : int;
-  mutable on_shred_done :
-    Exochi_accel.Gpu.shred -> now_ps:int -> unit;
+  (* per-device completion callbacks, so concurrently placed teams on
+     different devices each observe only their own retirements *)
+  on_shred_done :
+    (Exochi_accel.Gpu.shred -> now_ps:int -> unit) array;
 }
 
 let aspace t = t.aspace
 let cpu t = t.cpu
-let gpu t = Option.get t.gpu
+let gpu t = t.gpus.(0)
+let gpu_dev t d = t.gpus.(d)
+let devices t = t.devices
 let bus t = t.bus
+let bus_dev t d = t.buses.(d)
 let memmodel t = t.memmodel
 let model_costs t = t.mcosts
 let costs t = t.costs
 let trace t = t.trace
 
 (* Proxy-side trace emission: ATR walks, CEH emulation and prewalks all
-   execute on the IA32 sequencer, so their events land on its track.
-   Reads state only — the no-sink path is one [match]. *)
-let pev t ~ts ?dur kind =
+   execute on the IA32 sequencer, so their events land on its track;
+   [dev] records which device was being serviced. Reads state only —
+   the no-sink path is one [match]. *)
+let pev t ?(dev = 0) ~ts ?dur kind =
   match t.trace with
   | None -> ()
-  | Some sink -> Trace.emit sink ~ts_ps:ts ?dur_ps:dur ~seq:Trace.Ia32 kind
+  | Some sink -> Trace.emit sink ~ts_ps:ts ?dur_ps:dur ~dev ~seq:Trace.Ia32 kind
 
 (* ---- surface registry ---- *)
 
@@ -89,22 +102,22 @@ let tiling_for t ~vaddr =
    PTE transcode, exo-TLB/GTT insert. An injected transient failure
    loses the round trip in flight; the proxy handler notices and
    retries (bounded, so a pathological plan cannot live-lock it). *)
-let rec atr_proxy ?(attempt = 0) t ~vpage ~now_ps =
+let rec atr_proxy ?(attempt = 0) t ~dev ~vpage ~now_ps =
   t.atr_proxies <- t.atr_proxies + 1;
   let transient =
     attempt < 5
     &&
-    match t.fault_plan with
+    match t.fault_plans.(dev) with
     | Some plan -> Fault_plan.decide plan Fault_plan.Atr_transient
     | None -> false
   in
   if transient then begin
     let wasted = t.costs.uli_ps + t.costs.atr_service_ps in
-    pev t ~ts:now_ps (Trace.Fault_injected { cls = "atr-transient" });
-    pev t ~ts:now_ps ~dur:wasted (Trace.Atr_transient { vpage; attempt });
+    pev t ~dev ~ts:now_ps (Trace.Fault_injected { cls = "atr-transient" });
+    pev t ~dev ~ts:now_ps ~dur:wasted (Trace.Atr_transient { vpage; attempt });
     Exochi_cpu.Machine.add_overhead_ps t.cpu wasted;
     t.atr_transient_retries <- t.atr_transient_retries + 1;
-    atr_proxy ~attempt:(attempt + 1) t ~vpage ~now_ps:(now_ps + wasted)
+    atr_proxy ~attempt:(attempt + 1) t ~dev ~vpage ~now_ps:(now_ps + wasted)
   end
   else begin
   let vaddr = vpage lsl Phys_mem.page_shift in
@@ -121,7 +134,7 @@ let rec atr_proxy ?(attempt = 0) t ~vpage ~now_ps =
       let x3k = Pte.transcode pte ~tiling:(tiling_for t ~vaddr) in
       if t.gtt_enabled then Hashtbl.replace t.gtt vpage x3k;
       let service = t.costs.uli_ps + t.costs.atr_service_ps + fault_ps in
-      pev t ~ts:now_ps ~dur:service
+      pev t ~dev ~ts:now_ps ~dur:service
         (Trace.Atr_proxy { vpage; faulted_in = fault_ps > 0 });
       (* the CPU pays for servicing the interrupt *)
       Exochi_cpu.Machine.add_overhead_ps t.cpu service;
@@ -130,28 +143,29 @@ let rec atr_proxy ?(attempt = 0) t ~vpage ~now_ps =
   end
   end
 
-let atr_hook t ~vpage ~now_ps =
+let atr_hook t ~dev ~vpage ~now_ps =
   match Hashtbl.find_opt t.gtt vpage with
   | Some pte ->
     let corrupt =
-      match t.fault_plan with
+      match t.fault_plans.(dev) with
       | Some plan -> Fault_plan.decide plan Fault_plan.Gtt_corrupt
       | None -> false
     in
     if corrupt then begin
       (* the shadow entry is gone/corrupt: drop it and pay the full
          proxy re-walk, which also repairs the GTT *)
-      pev t ~ts:now_ps (Trace.Fault_injected { cls = "gtt-corrupt" });
+      pev t ~dev ~ts:now_ps (Trace.Fault_injected { cls = "gtt-corrupt" });
       Hashtbl.remove t.gtt vpage;
       t.gtt_evictions <- t.gtt_evictions + 1;
-      atr_proxy t ~vpage ~now_ps
+      atr_proxy t ~dev ~vpage ~now_ps
     end
     else begin
       t.gtt_hits <- t.gtt_hits + 1;
-      pev t ~ts:now_ps ~dur:t.costs.gtt_fetch_ps (Trace.Atr_gtt_hit { vpage });
+      pev t ~dev ~ts:now_ps ~dur:t.costs.gtt_fetch_ps
+        (Trace.Atr_gtt_hit { vpage });
       (Some pte, now_ps + t.costs.gtt_fetch_ps)
     end
-  | None -> atr_proxy t ~vpage ~now_ps
+  | None -> atr_proxy t ~dev ~vpage ~now_ps
 
 let prewalk t ~vaddr ~len =
   if len > 0 && t.gtt_enabled then begin
@@ -183,13 +197,11 @@ let prewalk t ~vaddr ~len =
 
 let invalidate_gtt t =
   Hashtbl.reset t.gtt;
-  match t.gpu with
-  | Some g -> Tlb.flush (Exochi_accel.Gpu.tlb g)
-  | None -> ()
+  Array.iter (fun g -> Tlb.flush (Exochi_accel.Gpu.tlb g)) t.gpus
 
 (* ---- CEH ---- *)
 
-let ceh_hook t (req : Exochi_accel.Gpu.fault_request) ~now_ps =
+let ceh_hook t ~dev (req : Exochi_accel.Gpu.fault_request) ~now_ps =
   t.ceh_proxies <- t.ceh_proxies + 1;
   let open Exochi_isa.X3k_ast in
   let lanes = Array.length req.lane_a in
@@ -208,17 +220,17 @@ let ceh_hook t (req : Exochi_accel.Gpu.fault_request) ~now_ps =
   let service =
     t.costs.uli_ps + t.costs.ceh_base_ps + (lanes * t.costs.ceh_per_lane_ps)
   in
-  pev t ~ts:now_ps ~dur:service
+  pev t ~dev ~ts:now_ps ~dur:service
     (Trace.Ceh_proxy { op = opcode_name req.fault_op; lanes });
   Exochi_cpu.Machine.add_overhead_ps t.cpu service;
   (results, now_ps + service)
 
 (* An injected spurious CEH trap: the handler takes the ULI, decodes,
    finds nothing to emulate and resumes the shred. *)
-let ceh_spurious_hook t ~now_ps =
+let ceh_spurious_hook t ~dev ~now_ps =
   t.ceh_spurious <- t.ceh_spurious + 1;
   let service = t.costs.uli_ps + t.costs.ceh_base_ps in
-  pev t ~ts:now_ps ~dur:service Trace.Ceh_spurious;
+  pev t ~dev ~ts:now_ps ~dur:service Trace.Ceh_spurious;
   Exochi_cpu.Machine.add_overhead_ps t.cpu service;
   now_ps + service
 
@@ -283,18 +295,47 @@ let protocol_violations t = t.violations
 let atr_transient_retries t = t.atr_transient_retries
 let gtt_evictions t = t.gtt_evictions
 let ceh_spurious t = t.ceh_spurious
-let fault_plan t = t.fault_plan
+let fault_plan t = t.fault_plans.(0)
+let fault_plan_dev t d = t.fault_plans.(d)
 
 (* ---- construction ---- *)
+
+(* Per-device fault-stream derivation: device 0 keeps the caller's plan
+   object (so its injection/draw counters stay externally visible);
+   device d > 0 draws from an independent splitmix64 stream derived from
+   the same seed and rates. The multiplier is distinct from the
+   runtime's backoff-jitter derivation, so no two streams alias. *)
+let derived_plan base ~dev =
+  match base with
+  | None -> None
+  | Some p when dev = 0 -> Some p
+  | Some p ->
+    Some
+      (Fault_plan.create
+         ~seed:
+           (Int64.logxor (Fault_plan.seed p)
+              (Int64.mul (Int64.of_int dev) 0xD1B54A32D192ED03L))
+         ~rates:(Fault_plan.rates p) ())
 
 let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
     ?(bus_latency_ps = 90_000) ?(memmodel = Memmodel.Cc_shared)
     ?(model_costs = Memmodel.default_costs) ?(costs = default_costs)
-    ?(protocol = Count_only) ?(gtt_enabled = true) ?fault_plan ?trace () =
+    ?(protocol = Count_only) ?(gtt_enabled = true) ?(devices = 1) ?fault_plan
+    ?trace () =
+  if devices <= 0 then invalid_arg "Exo_platform.create: devices";
   let mem = Phys_mem.create ~frames in
   let aspace = Address_space.create mem in
-  let bus = Bus.create ~gbps:bus_gbps ~latency_ps:bus_latency_ps in
+  (* one private memory link per X3K device; the CPU shares device 0's *)
+  let buses =
+    Array.init devices (fun _ ->
+        Bus.create ~gbps:bus_gbps ~latency_ps:bus_latency_ps)
+  in
+  let bus = buses.(0) in
   let cpu = Exochi_cpu.Machine.create ?config:cpu_config ~aspace ~bus () in
+  let cpu_mhz =
+    (Option.value cpu_config ~default:Exochi_cpu.Machine.default_config)
+      .Exochi_cpu.Machine.clock_mhz
+  in
   (* one plan drives every layer: an explicit [?fault_plan] wins, else a
      plan carried in [gpu_config] is adopted platform-wide *)
   let gpu_base =
@@ -314,23 +355,28 @@ let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
   in
   Option.iter
     (fun sink ->
-      Trace.set_topology sink ~eus:gpu_base.Exochi_accel.Gpu.eus
-        ~threads_per_eu:gpu_base.Exochi_accel.Gpu.threads_per_eu)
+      Trace.set_topology sink ~devices ~eus:gpu_base.Exochi_accel.Gpu.eus
+        ~threads_per_eu:gpu_base.Exochi_accel.Gpu.threads_per_eu ())
     trace;
+  let fault_plans = Array.init devices (fun d -> derived_plan fault_plan ~dev:d) in
   let t =
     {
       mem;
       aspace;
       bus;
+      buses;
       cpu;
-      gpu = None;
+      cpu_mhz;
+      devices;
+      gpus = [||];
+      backends = [||];
       memmodel;
       mcosts = model_costs;
       costs;
       protocol;
       gtt_enabled;
       gtt = Hashtbl.create 4096;
-      fault_plan;
+      fault_plans;
       trace;
       surfaces = [];
       atr_proxies = 0;
@@ -340,34 +386,66 @@ let create ?(frames = 64 * 1024) ?cpu_config ?gpu_config ?(bus_gbps = 8.0)
       atr_transient_retries = 0;
       gtt_evictions = 0;
       ceh_spurious = 0;
-      on_shred_done = (fun _ ~now_ps:_ -> ());
+      on_shred_done = Array.make devices (fun _ ~now_ps:_ -> ());
     }
   in
-  let hooks =
+  let hooks_for dev =
     {
-      Exochi_accel.Gpu.atr = (fun ~vpage ~now_ps -> atr_hook t ~vpage ~now_ps);
-      ceh = (fun req ~now_ps -> ceh_hook t req ~now_ps);
-      ceh_spurious = (fun ~now_ps -> ceh_spurious_hook t ~now_ps);
+      Exochi_accel.Gpu.atr =
+        (fun ~vpage ~now_ps -> atr_hook t ~dev ~vpage ~now_ps);
+      ceh = (fun req ~now_ps -> ceh_hook t ~dev req ~now_ps);
+      ceh_spurious = (fun ~now_ps -> ceh_spurious_hook t ~dev ~now_ps);
       mem_delay =
         (fun ~paddr ~bytes ~write ~now_ps ->
           mem_delay_hook t ~paddr ~bytes ~write ~now_ps);
-      on_shred_done = (fun sh ~now_ps -> t.on_shred_done sh ~now_ps);
+      on_shred_done = (fun sh ~now_ps -> t.on_shred_done.(dev) sh ~now_ps);
     }
   in
-  let gpu_cfg = { gpu_base with Exochi_accel.Gpu.fault_plan; trace } in
-  let gpu = Exochi_accel.Gpu.create ~config:gpu_cfg ~aspace ~bus ~hooks () in
-  t.gpu <- Some gpu;
+  t.gpus <-
+    Array.init devices (fun dev ->
+        let gpu_cfg =
+          {
+            gpu_base with
+            Exochi_accel.Gpu.fault_plan = fault_plans.(dev);
+            trace;
+            dev;
+          }
+        in
+        Exochi_accel.Gpu.create ~config:gpu_cfg ~aspace ~bus:buses.(dev)
+          ~hooks:(hooks_for dev) ());
+  t.backends <- Array.map Exochi_accel.Sequencer_backend.of_gpu t.gpus;
   t
 
-let set_shred_done_callback t f = t.on_shred_done <- f
+let set_shred_done_callback t f =
+  Array.iteri (fun d _ -> t.on_shred_done.(d) <- f) t.on_shred_done
+
+let set_shred_done_callback_dev t ~dev f = t.on_shred_done.(dev) <- f
 
 (* Completion notification for a shred the runtime proxy-executed on the
    IA32 sequencer (graceful-degradation path) — routes through the same
    callback a GPU retirement would. *)
-let notify_shred_done t sh ~now_ps = t.on_shred_done sh ~now_ps
+let notify_shred_done ?(dev = 0) t sh ~now_ps = t.on_shred_done.(dev) sh ~now_ps
 
 let sync_gpu_to_cpu t =
-  Exochi_accel.Gpu.advance_to_ps (gpu t) (Exochi_cpu.Machine.now_ps t.cpu)
+  let now = Exochi_cpu.Machine.now_ps t.cpu in
+  Array.iter (fun g -> Exochi_accel.Gpu.advance_to_ps g now) t.gpus
+
+(* ---- the device set as Sequencer_backend values ---- *)
+
+let backend t ~dev = t.backends.(dev)
+
+(* X3K devices in index order, then the IA32 master as a
+   capability-limited soft backend — "just another sequencer" for the
+   device table and the graceful-degradation path. *)
+let all_backends t =
+  Array.to_list t.backends
+  @ [
+      Exochi_accel.Sequencer_backend.ia32_soft ~dev:t.devices
+        ~clock_mhz:t.cpu_mhz
+        ~now_ps:(fun () -> Exochi_cpu.Machine.now_ps t.cpu)
+        ~emulate:(fun sh -> Exochi_accel.Gpu.emulate_shred (gpu t) sh)
+        ~notify:(fun sh ~now_ps -> notify_shred_done t sh ~now_ps);
+    ]
 
 (* Snapshot the memory-system counters into the trace as Chrome counter
    samples — typically called once at the end of a run, before export. *)
@@ -375,30 +453,55 @@ let emit_mem_counters t =
   match t.trace with
   | None -> ()
   | Some _ ->
-    let g = gpu t in
     let ts =
-      max (Exochi_cpu.Machine.now_ps t.cpu) (Exochi_accel.Gpu.now_ps g)
+      Array.fold_left
+        (fun acc g -> max acc (Exochi_accel.Gpu.now_ps g))
+        (Exochi_cpu.Machine.now_ps t.cpu)
+        t.gpus
     in
-    let c name value = pev t ~ts (Trace.Counter { counter = name; value }) in
-    let gcache = Exochi_accel.Gpu.cache g in
-    let gtlb = Exochi_accel.Gpu.tlb g in
-    c "gpu_cache_hits" (Cache.hits gcache);
-    c "gpu_cache_misses" (Cache.misses gcache);
-    c "gpu_cache_writebacks" (Cache.writebacks gcache);
-    c "gpu_tlb_hits" (Tlb.hits gtlb);
-    c "gpu_tlb_misses" (Tlb.misses gtlb);
+    let c ?dev name value =
+      pev t ?dev ~ts (Trace.Counter { counter = name; value })
+    in
+    (* device 0 keeps the historical counter names; extra devices get a
+       ":devN" suffix so a single-device export is byte-identical *)
+    Array.iteri
+      (fun d g ->
+        let n name =
+          if d = 0 then name else Printf.sprintf "%s:dev%d" name d
+        in
+        let gcache = Exochi_accel.Gpu.cache g in
+        let gtlb = Exochi_accel.Gpu.tlb g in
+        c ~dev:d (n "gpu_cache_hits") (Cache.hits gcache);
+        c ~dev:d (n "gpu_cache_misses") (Cache.misses gcache);
+        c ~dev:d (n "gpu_cache_writebacks") (Cache.writebacks gcache);
+        c ~dev:d (n "gpu_tlb_hits") (Tlb.hits gtlb);
+        c ~dev:d (n "gpu_tlb_misses") (Tlb.misses gtlb))
+      t.gpus;
     c "cpu_l1_hits" (Cache.hits (Exochi_cpu.Machine.l1 t.cpu));
     c "cpu_l1_misses" (Cache.misses (Exochi_cpu.Machine.l1 t.cpu));
     c "cpu_l2_hits" (Cache.hits (Exochi_cpu.Machine.l2 t.cpu));
     c "cpu_l2_misses" (Cache.misses (Exochi_cpu.Machine.l2 t.cpu));
-    c "bus_bytes" (Bus.total_bytes t.bus);
-    c "bus_requests" (Bus.total_requests t.bus)
+    Array.iteri
+      (fun d b ->
+        let n name =
+          if d = 0 then name else Printf.sprintf "%s:dev%d" name d
+        in
+        c ~dev:d (n "bus_bytes") (Bus.total_bytes b);
+        c ~dev:d (n "bus_requests") (Bus.total_requests b))
+      t.buses
 
+(* The master's team barrier covers the whole device set: it observes
+   the last completion across every device, then pays one semaphore
+   signal. With one device this is exactly the historical barrier. *)
 let barrier t =
-  let g = gpu t in
   let done_ps =
-    if Exochi_accel.Gpu.quiescent g then Exochi_accel.Gpu.last_shred_done g
-    else Exochi_accel.Gpu.run_to_quiescence g
+    Array.fold_left
+      (fun acc g ->
+        max acc
+          (if Exochi_accel.Gpu.quiescent g then
+             Exochi_accel.Gpu.last_shred_done g
+           else Exochi_accel.Gpu.run_to_quiescence g))
+      0 t.gpus
   in
   let arrive = max done_ps (Exochi_cpu.Machine.now_ps t.cpu) + t.costs.signal_ps in
   Exochi_cpu.Machine.advance_to_ps t.cpu arrive;

@@ -53,6 +53,7 @@ val create :
   ?costs:costs ->
   ?protocol:protocol_mode ->
   ?gtt_enabled:bool ->
+  ?devices:int ->
   ?fault_plan:Exochi_faults.Fault_plan.t ->
   ?trace:Exochi_obs.Trace.sink ->
   unit ->
@@ -61,6 +62,14 @@ val create :
     memory-resident GTT shadow so only cold pages pay the full ATR proxy
     round trip. Disabling it (an ablation) makes every exo TLB miss a
     user-level-interrupt proxy execution.
+
+    [devices] (default 1) builds an indexed device set: N identically
+    configured X3K instances with independent EPROC state, exo TLBs,
+    caches, private memory links and per-device fault streams, all
+    sharing the virtual address space, the proxy GTT shadow and the IA32
+    master. Device 0 is the historical single device: a [devices:1]
+    platform is bit- and time-identical to one built before the device
+    set existed.
 
     [fault_plan] installs a deterministic fault-injection plan across
     every layer (GPU dispatch/doorbells/instructions, ATR proxy, GTT
@@ -76,8 +85,30 @@ val create :
 
 val aspace : t -> Exochi_memory.Address_space.t
 val cpu : t -> Exochi_cpu.Machine.t
+
+(** Device 0 — the historical accessor every single-device caller uses. *)
 val gpu : t -> Exochi_accel.Gpu.t
+
+(** {1 The device set} *)
+
+val devices : t -> int
+val gpu_dev : t -> int -> Exochi_accel.Gpu.t
+
+(** Device [dev] as a {!Exochi_accel.Sequencer_backend.t} value (built
+    once at platform creation; pure delegation). *)
+val backend : t -> dev:int -> Exochi_accel.Sequencer_backend.t
+
+(** Every backend in the platform: the X3K devices in index order
+    followed by the IA32 master as a capability-limited soft backend
+    (the graceful-degradation endpoint, listed as just another
+    sequencer). *)
+val all_backends : t -> Exochi_accel.Sequencer_backend.t list
+
+(** Device [dev]'s fault stream ([fault_plan_dev t 0 == fault_plan t]). *)
+val fault_plan_dev : t -> int -> Exochi_faults.Fault_plan.t option
+
 val bus : t -> Exochi_memory.Bus.t
+val bus_dev : t -> int -> Exochi_memory.Bus.t
 val memmodel : t -> Exochi_memory.Memmodel.config
 val model_costs : t -> Exochi_memory.Memmodel.costs
 val costs : t -> costs
@@ -117,23 +148,34 @@ val invalidate_gtt : t -> unit
     delivers one callback per completed shred (a user-level interrupt in
     the real design). *)
 
+(** Install [f] as the completion callback on {e every} device (one team
+    spanning the device set). *)
 val set_shred_done_callback :
   t -> (Exochi_accel.Gpu.shred -> now_ps:int -> unit) -> unit
 
+(** Install a completion callback on one device only — concurrently
+    placed teams on different devices each observe only their own
+    retirements. *)
+val set_shred_done_callback_dev :
+  t -> dev:int -> (Exochi_accel.Gpu.shred -> now_ps:int -> unit) -> unit
+
 (** Deliver a completion notification for a shred the runtime
     proxy-executed on the IA32 sequencer (graceful degradation) — the
-    team bookkeeping must see it exactly as a GPU retirement. *)
-val notify_shred_done : t -> Exochi_accel.Gpu.shred -> now_ps:int -> unit
+    team bookkeeping must see it exactly as a GPU retirement. [dev]
+    (default 0) selects whose callback fires. *)
+val notify_shred_done :
+  ?dev:int -> t -> Exochi_accel.Gpu.shred -> now_ps:int -> unit
 
 (** {1 Synchronisation} *)
 
-(** [sync_gpu_to_cpu t] advances every EU clock to the CPU's current time
-    (call before dispatching work the CPU just enqueued). *)
+(** [sync_gpu_to_cpu t] advances every EU clock on every device to the
+    CPU's current time (call before dispatching work the CPU just
+    enqueued). *)
 val sync_gpu_to_cpu : t -> unit
 
-(** [barrier t] runs the GPU to quiescence and advances the CPU clock to
-    the completion signal (the implied barrier at the end of a parallel
-    construct). Returns the barrier timestamp. *)
+(** [barrier t] runs every device to quiescence and advances the CPU
+    clock to the completion signal (the implied barrier at the end of a
+    parallel construct). Returns the barrier timestamp. *)
 val barrier : t -> int
 
 (** {1 Counters} *)

@@ -13,7 +13,12 @@
     first frame that fails its length or checksum test and reports the
     truncation; {!rewrite} then restores a clean file before replay
     appends resume. Payload contents are opaque to this module — the
-    serve layer defines its own record encoding on top. *)
+    serve layer defines its own record encoding on top.
+
+    Naming: this module is the {e generic framing} layer only. The
+    crash-safe serve log itself (job records, fingerprints, recovery) is
+    owned by {!Exochi_serving.Serve_journal}, which writes through this
+    framing. *)
 
 type writer
 

@@ -249,19 +249,24 @@ let run_dynamic ~opt_level platform kernel io input_descs output_descs =
   !cpu_busy
 
 let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
-    ?gtt_enabled ?fault_plan ?trace ?(split = All_gpu) ?(seed = 42L) ?frames
-    ?(validate = true) ?(opt_level = Exochi_opt.Opt.O0) kernel scale =
+    ?gtt_enabled ?(devices = 1) ?fault_plan ?trace ?(split = All_gpu)
+    ?(seed = 42L) ?frames ?(validate = true) ?(opt_level = Exochi_opt.Opt.O0)
+    kernel scale =
   (match (fault_plan, split) with
   | Some _, Dynamic ->
     invalid_arg
       "Harness: fault injection with dynamic distribution is not supported \
        (the dynamic feeder bypasses the supervised drain)"
   | _ -> ());
+  if devices > 1 && split = Dynamic then
+    invalid_arg
+      "Harness: dynamic distribution drives device 0 directly and cannot \
+       shard across devices";
   let prng = Exochi_util.Prng.create seed in
   let io = kernel.Kernel.make_io ?frames prng scale in
   let platform =
-    Exo_platform.create ~memmodel ?gpu_config ?gtt_enabled ?fault_plan ?trace
-      ()
+    Exo_platform.create ~memmodel ?gpu_config ?gtt_enabled ~devices ?fault_plan
+      ?trace ()
   in
   let flush_policy =
     match flush_policy with
@@ -330,28 +335,45 @@ let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
     if validate then check_outputs platform io golden output_descs
     else (true, 0)
   in
+  ignore gpu;
+  (* GPU-side counters aggregate over the device set (one term at one
+     device — the historical numbers) *)
+  let sum_gpus f =
+    let tot = ref 0 in
+    for d = 0 to Exo_platform.devices platform - 1 do
+      tot := !tot + f (Exo_platform.gpu_dev platform d)
+    done;
+    !tot
+  in
+  let injected_total =
+    let tot = ref 0 in
+    for d = 0 to Exo_platform.devices platform - 1 do
+      match Exo_platform.fault_plan_dev platform d with
+      | Some p -> tot := !tot + Exochi_faults.Fault_plan.injected_total p
+      | None -> ()
+    done;
+    !tot
+  in
   {
     time_ps = t1 - t0;
     correct;
     max_diff;
-    gpu_instrs = Exochi_accel.Gpu.instructions_retired gpu;
+    gpu_instrs = sum_gpus Exochi_accel.Gpu.instructions_retired;
     cpu_instrs = Machine.instructions_retired cpu;
     flush_bytes = Chi_runtime.last_flush_bytes rt;
     copy_bytes = Chi_runtime.last_copy_bytes rt;
     atr_proxies = Exo_platform.atr_proxies platform;
     gtt_hits = Exo_platform.gtt_hits platform;
     ceh_proxies = Exo_platform.ceh_proxies platform;
-    shreds = Exochi_accel.Gpu.shreds_completed gpu;
-    thread_switches = Exochi_accel.Gpu.thread_switches gpu;
+    shreds = sum_gpus Exochi_accel.Gpu.shreds_completed;
+    thread_switches = sum_gpus Exochi_accel.Gpu.thread_switches;
     protocol_violations = Exo_platform.protocol_violations platform;
     cpu_busy_ps = !cpu_busy;
     gpu_busy_ps =
-      Exochi_accel.Gpu.busy_cycles gpu
-      * Exochi_util.Timebase.ps_per_cycle (Exochi_accel.Gpu.clock gpu);
-    faults_injected =
-      (match fault_plan with
-      | Some plan -> Exochi_faults.Fault_plan.injected_total plan
-      | None -> 0);
+      sum_gpus (fun g ->
+          Exochi_accel.Gpu.busy_cycles g
+          * Exochi_util.Timebase.ps_per_cycle (Exochi_accel.Gpu.clock g));
+    faults_injected = injected_total;
     retries =
       (let r = Chi_runtime.recovery rt in
        r.Chi_runtime.redispatches + r.Chi_runtime.doorbell_redeliveries
@@ -359,11 +381,6 @@ let run ?(memmodel = Memmodel.Cc_shared) ?flush_policy ?gpu_config
     quarantined_seqs = (Chi_runtime.recovery rt).Chi_runtime.quarantined_seqs;
     fallback_shreds = (Chi_runtime.recovery rt).Chi_runtime.fallback_shreds;
     recovered_faults =
-      (let injected =
-         match fault_plan with
-         | Some plan -> Exochi_faults.Fault_plan.injected_total plan
-         | None -> 0
-       in
-       max 0 (injected - (Chi_runtime.recovery rt).Chi_runtime.fatal));
+      max 0 (injected_total - (Chi_runtime.recovery rt).Chi_runtime.fatal);
     fatal_faults = (Chi_runtime.recovery rt).Chi_runtime.fatal;
   }

@@ -41,12 +41,20 @@ type split = All_gpu | All_cpu | Cooperative of float | Dynamic
 (** [fault_plan] installs deterministic fault injection for the run; the
     CHI runtime's self-healing dispatch absorbs the faults (outputs stay
     bit-correct, the recovery counters in {!result} light up). Not
-    compatible with [split = Dynamic]. *)
+    compatible with [split = Dynamic].
+
+    [devices] (default 1) builds the platform with that many X3K devices
+    and lets the CHI runtime shard the team row-wise across them;
+    GPU-side counters in {!result} aggregate over the whole device set.
+    [devices:1] is bit- and time-identical to omitting the argument.
+    Not compatible with [split = Dynamic] (the dynamic feeder drives
+    device 0 directly). *)
 val run :
   ?memmodel:Exochi_memory.Memmodel.config ->
   ?flush_policy:Exochi_core.Chi_runtime.flush_policy ->
   ?gpu_config:Exochi_accel.Gpu.config ->
   ?gtt_enabled:bool ->
+  ?devices:int ->
   ?fault_plan:Exochi_faults.Fault_plan.t ->
   ?trace:Exochi_obs.Trace.sink ->
   ?split:split ->

@@ -58,6 +58,9 @@ type t = {
   hedges : int;
   hedge_wins : int;
   counters : (string * int) list; (* last value per counter, name-sorted *)
+  device_rows : (int * int * int) list;
+      (* (dev, shreds retired, busy ps), device order; one row per
+         device that retired work *)
 }
 
 let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
@@ -79,6 +82,15 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
   let sdc = ref 0 and br_opens = ref 0 and br_closes = ref 0 in
   let hedges = ref 0 and hedge_wins = ref 0 in
   let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let dev_rows : (int, int ref * int ref) Hashtbl.t = Hashtbl.create 4 in
+  let dev_row d =
+    match Hashtbl.find_opt dev_rows d with
+    | Some r -> r
+    | None ->
+      let r = (ref 0, ref 0) in
+      Hashtbl.replace dev_rows d r;
+      r
+  in
   let n = ref 0 in
   List.iter
     (fun (e : Trace.event) ->
@@ -89,6 +101,9 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
       | Trace.Shred_run _ ->
         incr retired;
         busy := !busy + e.dur_ps;
+        let r, bp = dev_row e.dev in
+        incr r;
+        bp := !bp + e.dur_ps;
         Hist.record lats (float_of_int e.dur_ps)
       | Trace.Shred_enqueue _ -> incr enqueued
       | Trace.Signal_doorbell { lost = l; _ } ->
@@ -176,6 +191,9 @@ let of_events ?(dropped = 0) ~eus ~threads_per_eu events =
     hedges = !hedges;
     hedge_wins = !hedge_wins;
     counters = sorted_assoc counters;
+    device_rows =
+      Hashtbl.fold (fun d (r, bp) acc -> (d, !r, !bp) :: acc) dev_rows []
+      |> List.sort compare;
   }
 
 let of_sink sink =
@@ -249,6 +267,16 @@ let render m =
       "guard        : %d SDC detected; breakers %d open / %d close; %d \
        hedge(s), %d won"
       m.sdc_detected m.breaker_opens m.breaker_closes m.hedges m.hedge_wins;
+  (* the device breakdown only exists under a multi-device topology, so
+     single-device reports render byte-identically *)
+  (match m.device_rows with
+  | [] | [ _ ] -> ()
+  | rows ->
+    List.iter
+      (fun (d, retired, busy) ->
+        line "device %d     : %d shred(s) retired, %.3f ms busy" d retired
+          (ms busy))
+      rows);
   List.iter (fun (name, v) -> line "counter      : %-18s %d" name v) m.counters;
   Buffer.contents b
 
@@ -303,6 +331,14 @@ let to_json ?(extra = []) m =
   num_int "breaker_closes" m.breaker_closes;
   num_int "hedges" m.hedges;
   num_int "hedge_wins" m.hedge_wins;
+  (match m.device_rows with
+  | [] | [ _ ] -> ()
+  | rows ->
+    List.iter
+      (fun (d, retired, busy) ->
+        num_int (Printf.sprintf "dev%d_shreds_retired" d) retired;
+        num_int (Printf.sprintf "dev%d_busy_ps" d) busy)
+      rows);
   List.iter (fun (name, v) -> num_int name v) m.counters;
   Buffer.add_string b "}";
   Buffer.contents b

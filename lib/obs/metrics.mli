@@ -53,6 +53,11 @@ type t = {
   hedges : int;  (** Exo-guard: backup dispatches for stragglers *)
   hedge_wins : int;  (** Exo-guard: hedged shreds whose first copy won *)
   counters : (string * int) list;  (** last value per counter, name-sorted *)
+  device_rows : (int * int * int) list;
+      (** Exo-fabric: [(dev, shreds retired, busy ps)] per device that
+          retired work, in device order. Rendered (and serialised as
+          [devN_*] fields) only when more than one device appears, so
+          single-device reports are unchanged. *)
 }
 
 val of_events :

@@ -33,7 +33,7 @@ type kind =
   | Hedge_win of { shred_id : int }
   | Counter of { counter : string; value : int }
 
-type event = { ts_ps : int; dur_ps : int; seq : seq; kind : kind }
+type event = { ts_ps : int; dur_ps : int; dev : int; seq : seq; kind : kind }
 
 type sink = {
   cap : int;
@@ -43,6 +43,7 @@ type sink = {
   mutable dropped : int;
   mutable eus : int;
   mutable threads_per_eu : int;
+  mutable devices : int;
   (* streaming tap (Exo-scope): called once per emitted event, before
      the ring can drop it. The tap must not touch simulation state —
      pure accumulation only — so tapped runs keep the bit-and-time
@@ -50,7 +51,7 @@ type sink = {
   mutable tap : (event -> unit) option;
 }
 
-let dummy = { ts_ps = 0; dur_ps = 0; seq = Ia32; kind = Ceh_spurious }
+let dummy = { ts_ps = 0; dur_ps = 0; dev = 0; seq = Ia32; kind = Ceh_spurious }
 
 let create ?(capacity = 262_144) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity";
@@ -62,22 +63,26 @@ let create ?(capacity = 262_144) () =
     dropped = 0;
     eus = 8;
     threads_per_eu = 4;
+    devices = 1;
     tap = None;
   }
 
 let set_tap s f = s.tap <- Some f
 let clear_tap s = s.tap <- None
 
-let set_topology s ~eus ~threads_per_eu =
-  if eus <= 0 || threads_per_eu <= 0 then invalid_arg "Trace.set_topology";
+let set_topology s ?(devices = 1) ~eus ~threads_per_eu () =
+  if eus <= 0 || threads_per_eu <= 0 || devices <= 0 then
+    invalid_arg "Trace.set_topology";
   s.eus <- eus;
-  s.threads_per_eu <- threads_per_eu
+  s.threads_per_eu <- threads_per_eu;
+  s.devices <- devices
 
 let eus s = s.eus
 let threads_per_eu s = s.threads_per_eu
+let devices s = s.devices
 
-let emit s ~ts_ps ?(dur_ps = 0) ~seq kind =
-  let e = { ts_ps; dur_ps; seq; kind } in
+let emit s ~ts_ps ?(dur_ps = 0) ?(dev = 0) ~seq kind =
+  let e = { ts_ps; dur_ps; dev; seq; kind } in
   s.buf.(s.head) <- e;
   s.head <- (s.head + 1) mod s.cap;
   if s.len < s.cap then s.len <- s.len + 1 else s.dropped <- s.dropped + 1;

@@ -80,7 +80,10 @@ type kind =
   | Counter of { counter : string; value : int }
       (** memory-system counter snapshot (TLB/cache hits, bus bytes) *)
 
-type event = { ts_ps : int; dur_ps : int; seq : seq; kind : kind }
+(** [dev] is the device index the event belongs to (0 in a single-device
+    platform; the IA32 master's proxy events carry the device they were
+    servicing). *)
+type event = { ts_ps : int; dur_ps : int; dev : int; seq : seq; kind : kind }
 
 type sink
 
@@ -90,15 +93,19 @@ type sink
 val create : ?capacity:int -> unit -> sink
 
 (** Recorded by the platform when the sink is installed, so exporters
-    know the full track layout even for tracks that saw no events. *)
-val set_topology : sink -> eus:int -> threads_per_eu:int -> unit
+    know the full track layout even for tracks that saw no events.
+    [devices] is the X3K device count (default 1). *)
+val set_topology :
+  sink -> ?devices:int -> eus:int -> threads_per_eu:int -> unit -> unit
 
 val eus : sink -> int
 val threads_per_eu : sink -> int
+val devices : sink -> int
 
-(** [emit sink ~ts_ps ?dur_ps ~seq kind] appends one event. O(1), no
-    simulation side effects. *)
-val emit : sink -> ts_ps:int -> ?dur_ps:int -> seq:seq -> kind -> unit
+(** [emit sink ~ts_ps ?dur_ps ?dev ~seq kind] appends one event. O(1),
+    no simulation side effects. [dev] defaults to device 0. *)
+val emit :
+  sink -> ts_ps:int -> ?dur_ps:int -> ?dev:int -> seq:seq -> kind -> unit
 
 (** [set_tap sink f] installs a streaming tap: [f] sees every event at
     emission time, {e before} the ring can overwrite it, so a tap-fed

@@ -6,19 +6,29 @@
    with fixed precision, so equal event streams serialise to identical
    bytes — the determinism tests diff exported files directly. *)
 
-let tid_of sink = function
+(* Exo tracks are grouped by device: device [d]'s sequencers occupy the
+   tid range [1 + d*eus*tpe, 1 + (d+1)*eus*tpe). With one device this
+   collapses to the historical layout (and identical exported bytes). *)
+let tid_of sink (e : Trace.event) =
+  match e.Trace.seq with
   | Trace.Ia32 -> 0
-  | Trace.Exo { eu; slot } -> 1 + (eu * Trace.threads_per_eu sink) + slot
+  | Trace.Exo { eu; slot } ->
+    let per_dev = Trace.eus sink * Trace.threads_per_eu sink in
+    1 + (e.Trace.dev * per_dev) + (eu * Trace.threads_per_eu sink) + slot
 
-let track_count sink = 1 + (Trace.eus sink * Trace.threads_per_eu sink)
+let track_count sink =
+  1 + (Trace.devices sink * Trace.eus sink * Trace.threads_per_eu sink)
 
 let track_name sink tid =
   if tid = 0 then "IA32 sequencer (proxy)"
   else
+    let per_dev = Trace.eus sink * Trace.threads_per_eu sink in
     let k = tid - 1 in
-    Printf.sprintf "exo EU%d/T%d"
-      (k / Trace.threads_per_eu sink)
-      (k mod Trace.threads_per_eu sink)
+    let dev = k / per_dev and r = k mod per_dev in
+    let eu = r / Trace.threads_per_eu sink
+    and slot = r mod Trace.threads_per_eu sink in
+    if Trace.devices sink = 1 then Printf.sprintf "exo EU%d/T%d" eu slot
+    else Printf.sprintf "exo D%d EU%d/T%d" dev eu slot
 
 (* ---- JSON writing ---- *)
 
@@ -160,7 +170,7 @@ let to_chrome sink =
   let sorted =
     List.stable_sort
       (fun (i, (a : Trace.event)) (j, (b : Trace.event)) ->
-        let ta = tid_of sink a.seq and tb = tid_of sink b.seq in
+        let ta = tid_of sink a and tb = tid_of sink b in
         if ta <> tb then compare ta tb
         else if a.ts_ps <> b.ts_ps then compare a.ts_ps b.ts_ps
         else compare i j)
@@ -183,13 +193,13 @@ let to_chrome sink =
           add
             (Printf.sprintf
                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s%s}"
-               (escape (event_name e)) (category e) pid (tid_of sink e.seq)
+               (escape (event_name e)) (category e) pid (tid_of sink e)
                (us_of_ps e.ts_ps) (us_of_ps e.dur_ps) args_field)
         else
           add
             (Printf.sprintf
                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%s%s}"
-               (escape (event_name e)) (category e) pid (tid_of sink e.seq)
+               (escape (event_name e)) (category e) pid (tid_of sink e)
                (us_of_ps e.ts_ps) args_field))
     sorted;
   Buffer.add_string buf "\n]}\n";

@@ -12,10 +12,12 @@
     byte-identical output (fixed-precision timestamps, stable per-track
     sort with emission order as the tie-break). *)
 
-(** Track id an event lands on. *)
-val tid_of : Trace.sink -> Trace.seq -> int
+(** Track id an event lands on. Exo tracks are grouped by device:
+    device [d] occupies tids [1 + d*eus*tpe .. (d+1)*eus*tpe]; with one
+    device this is the historical single-device layout. *)
+val tid_of : Trace.sink -> Trace.event -> int
 
-(** Total declared tracks: 1 + eus * threads_per_eu. *)
+(** Total declared tracks: 1 + devices * eus * threads_per_eu. *)
 val track_count : Trace.sink -> int
 
 val track_name : Trace.sink -> int -> string

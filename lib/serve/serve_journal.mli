@@ -1,4 +1,10 @@
-(** Crash-safe serve journal (Exo-guard).
+(** Crash-safe serve journal.
+
+    Naming: this module (Exochi_serving.Serve_journal) {e owns} the
+    crash-safe serve log — job-lifecycle records and redo-from-start
+    recovery semantics. The generic length-prefixed checksummed record
+    framing it writes through lives in {!Exochi_guard.Journal}; the two
+    previously collided on the name [Journal].
 
     Records every job admission, completion and shed into a
     length-prefixed, checksummed, per-record-flushed file

@@ -41,6 +41,9 @@ type config = {
       (** shed deadline jobs whose Exo-bound WCET cannot fit the slack *)
   opt_level : Exochi_opt.Opt.level;
       (** Exo-opt level applied to arena programs at build time *)
+  devices : int;  (** X3K devices in the platform's device set *)
+  placement : Placement.policy;
+      (** batch -> device policy (multi-device only) *)
 }
 
 let default_config =
@@ -57,6 +60,8 @@ let default_config =
     breaker_cooldown_ps = 0;
     static_admission = false;
     opt_level = Exochi_opt.Opt.O0;
+    devices = 1;
+    placement = Placement.Least_loaded;
   }
 
 (* A kernel's resident execution state: workload surfaces materialised in
@@ -96,10 +101,13 @@ type t = {
   mutable g_corrupted : int;
   mutable g_detected : int;
   mutable g_audit_shreds : int;
-  journal : Journal.writer option;
+  journal : Serve_journal.writer option;
   (* recovery verification: the journaled completion sequence the redo
      must reproduce (job id + fault-stream positions, in order) *)
   expect : (int * int array) Queue.t option;
+  (* device placement, present only on a multi-device platform — the
+     single-device server keeps the historical one-batch dispatch path *)
+  plc : Placement.t option;
 }
 
 let create ?(config = default_config) ?fault_plan ?trace ?journal ?expect ()
@@ -110,8 +118,10 @@ let create ?(config = default_config) ?fault_plan ?trace ?journal ?expect ()
   | Some g when g.g_audit_frac < 0.0 || g.g_audit_frac > 1.0 ->
     invalid_arg "Server: guard audit fraction must be in [0,1]"
   | _ -> ());
+  if config.devices <= 0 then invalid_arg "Server: devices";
   let platform =
-    Platform.create ~memmodel:config.memmodel ?fault_plan ?trace ()
+    Platform.create ~memmodel:config.memmodel ~devices:config.devices
+      ?fault_plan ?trace ()
   in
   (* interleaved flushing is only safe for band-ordered kernels; a mixed
      arena population must use the conservative policy in non-CC mode *)
@@ -153,6 +163,10 @@ let create ?(config = default_config) ?fault_plan ?trace ?journal ?expect ()
         let q = Queue.create () in
         List.iter (fun e -> Queue.add e q) l;
         Some q);
+    plc =
+      (if config.devices > 1 then
+         Some (Placement.create ~devices:config.devices ~policy:config.placement)
+       else None);
   }
 
 let config t = t.cfg
@@ -170,10 +184,23 @@ let breakers_open t =
   let r = Chi.recovery t.rt in
   max 0 (r.Chi.breaker_opens - r.Chi.breaker_closes)
 
-let emit_ev t kind =
+let devices t = Platform.devices t.platform
+
+(* Per-device placement/health row: (dev, outstanding shreds,
+   outstanding batches, open breakers, half-open breakers). Device 0
+   with zero load on a single-device server. *)
+let device_snapshot t =
+  Array.init (devices t) (fun d ->
+      let shreds, batches =
+        match t.plc with Some p -> Placement.load p ~dev:d | None -> (0, 0)
+      in
+      let _, opened, half = Chi.breaker_census t.rt ~dev:d in
+      (d, shreds, batches, opened, half))
+
+let emit_ev ?(dev = 0) t kind =
   match Platform.trace t.platform with
   | None -> ()
-  | Some sink -> Trace.emit sink ~ts_ps:(now_ps t) ~seq:Trace.Ia32 kind
+  | Some sink -> Trace.emit sink ~ts_ps:(now_ps t) ~dev ~seq:Trace.Ia32 kind
 
 (* ---- arenas ---- *)
 
@@ -361,8 +388,8 @@ let shed t (job : Job.t) reason =
   (match t.journal with
   | None -> ()
   | Some w ->
-    Journal.record w
-      (Journal.Shed { job = job.Job.id; reason = Job.reason_label reason }));
+    Serve_journal.record w
+      (Serve_journal.Shed { job = job.Job.id; reason = Job.reason_label reason }));
   Server_stats.record_shed t.coll job reason ~now_ps:(now_ps t);
   emit_ev t
     (Trace.Job_shed
@@ -411,9 +438,12 @@ let admission t (job : Job.t) =
       if depth >= cap then
         Error (Job.Queue_full { tenant = job.Job.tenant; depth; cap })
       else begin
+        (* device-aware backlog: the server-wide budget scales with the
+           device set — N devices drain N batches per cycle *)
+        let cap = t.cfg.backlog_cap * devices t in
         let backlog = queue_depth t in
-        if backlog >= t.cfg.backlog_cap then
-          Error (Job.Inflight_exceeded { backlog; cap = t.cfg.backlog_cap })
+        if backlog >= cap then
+          Error (Job.Inflight_exceeded { backlog; cap })
         else Ok ten
       end
     end
@@ -429,8 +459,8 @@ let submit t (job : Job.t) =
     (match t.journal with
     | None -> ()
     | Some w ->
-      Journal.record w
-        (Journal.Admit { job = job.Job.id; at_ps = now_ps t }));
+      Serve_journal.record w
+        (Serve_journal.Admit { job = job.Job.id; at_ps = now_ps t }));
     Server_stats.record_admit t.coll job;
     emit_ev t (Trace.Job_arrive { job = job.Job.id; tenant = job.Job.tenant });
     Ok ()
@@ -455,10 +485,21 @@ let guard_verify t (arena : arena) ~batch ~shreds =
     (* 1. corruption: one flipped byte per new injection *)
     let delta =
       match (Platform.fault_plan t.platform, t.corrupt_prng) with
-      | Some plan, Some cp ->
+      | Some _, Some cp ->
+        (* SDC ground truth sums over the whole device set: any device's
+           GTT/CEH injection can corrupt the shared output surfaces *)
         let inj =
-          Fault_plan.injected plan Fault_plan.Gtt_corrupt
-          + Fault_plan.injected plan Fault_plan.Ceh_spurious
+          let tot = ref 0 in
+          for d = 0 to devices t - 1 do
+            match Platform.fault_plan_dev t.platform d with
+            | Some plan ->
+              tot :=
+                !tot
+                + Fault_plan.injected plan Fault_plan.Gtt_corrupt
+                + Fault_plan.injected plan Fault_plan.Ceh_spurious
+            | None -> ()
+          done;
+          !tot
         in
         let delta = inj - t.g_last_inj in
         t.g_last_inj <- inj;
@@ -548,12 +589,17 @@ let guard_verify t (arena : arena) ~batch ~shreds =
     end
 
 let journal_rec t r =
-  match t.journal with None -> () | Some w -> Journal.record w r
+  match t.journal with None -> () | Some w -> Serve_journal.record w r
 
+(* Per-class fault-stream positions, concatenated device by device (the
+   single-device layout is unchanged: device 0's classes only). *)
 let drawn_counts t =
-  match Platform.fault_plan t.platform with
-  | Some plan -> Fault_plan.drawn_counts plan
-  | None -> Array.make (List.length Fault_plan.all_classes) 0
+  let nclasses = List.length Fault_plan.all_classes in
+  Array.concat
+    (List.init (devices t) (fun d ->
+         match Platform.fault_plan_dev t.platform d with
+         | Some plan -> Fault_plan.drawn_counts plan
+         | None -> Array.make nclasses 0))
 
 (* Recovery verification: each redo completion must retrace the
    journaled prefix — same job, same fault-stream positions. An empty
@@ -589,6 +635,27 @@ let shed_expired t ~on_shed jobs =
       on_shed j)
     jobs
 
+(* Bounded dispatch-failure requeue: each job goes back to the front of
+   its tenant's class, until [max_requeue] failures shed it as fatal —
+   a degraded platform degrades throughput, not correctness. *)
+let requeue_jobs t ~on_shed jobs =
+  List.iter
+    (fun (j : Job.t) ->
+      let a =
+        1 + Option.value (Hashtbl.find_opt t.attempts j.Job.id) ~default:0
+      in
+      Hashtbl.replace t.attempts j.Job.id a;
+      if a > t.cfg.max_requeue then begin
+        Hashtbl.remove t.attempts j.Job.id;
+        shed t j (Job.Fatal_fault { attempts = a });
+        on_shed j
+      end
+      else begin
+        Tenant.requeue t.tenants.(j.Job.tenant) j;
+        Server_stats.record_requeue t.coll j
+      end)
+    jobs
+
 let dispatch_batch t ~on_done ~on_shed (b : Batcher.batch) =
   let arena =
     match find_arena t b.Batcher.kernel with
@@ -615,7 +682,7 @@ let dispatch_batch t ~on_done ~on_shed (b : Batcher.batch) =
         Hashtbl.remove t.attempts j.Job.id;
         Server_stats.record_completion t.coll j ~done_ps;
         verify_expected t j drawn;
-        journal_rec t (Journal.Done { job = j.Job.id; done_ps; drawn });
+        journal_rec t (Serve_journal.Done { job = j.Job.id; done_ps; drawn });
         emit_ev t
           (Trace.Job_done
              { job = j.Job.id; tenant = j.Job.tenant;
@@ -624,40 +691,107 @@ let dispatch_batch t ~on_done ~on_shed (b : Batcher.batch) =
       b.Batcher.jobs
   | exception Gpu.Stuck _ ->
     (* the self-healing dispatcher gave up on this team: clear the work
-       queue and keep the jobs — re-queue each at the front of its class
-       (bounded), so a degraded platform degrades throughput, not
-       correctness *)
+       queue and keep the jobs *)
     ignore (Gpu.drain_queue (Platform.gpu t.platform));
+    requeue_jobs t ~on_shed b.Batcher.jobs
+
+(* ---- multi-device dispatch (placement layer) ---- *)
+
+(* Launch one batch, pinned to the device the placement layer picks
+   (biased away from devices with open breakers), without waiting —
+   concurrently launched batches overlap on different devices. *)
+let launch_batch t plc (b : Batcher.batch) =
+  let arena =
+    match find_arena t b.Batcher.kernel with
+    | Some a -> a
+    | None -> assert false (* admission materialised it *)
+  in
+  let njobs = List.length b.Batcher.jobs in
+  let id = t.batch_seq in
+  t.batch_seq <- t.batch_seq + 1;
+  let penalty d =
+    let _, opened, half = Chi.breaker_census t.rt ~dev:d in
+    (32 * opened) + (8 * half)
+  in
+  let dev =
+    Placement.place plc ~penalty ~kernel:b.Batcher.kernel
+      ~shreds:b.Batcher.shreds
+  in
+  emit_ev ~dev t
+    (Trace.Batch_dispatch
+       { batch = id; jobs = njobs; shreds = b.Batcher.shreds });
+  Server_stats.record_batch t.coll ~jobs:njobs ~shreds:b.Batcher.shreds;
+  let params i = arena.a_unit_params (i mod arena.a_units) in
+  let team =
+    Chi.parallel t.rt ~prog:arena.a_prog ~descriptors:arena.a_descriptors
+      ~num_threads:b.Batcher.shreds ~params ~device:dev ~master_nowait:true ()
+  in
+  (id, b, arena, dev, team)
+
+(* Finish a launched batch: barrier (which supervises recovery across
+   the whole device set), guard verification, completion records. *)
+let finish_batch t plc ~on_done ~on_shed (id, b, arena, dev, team) =
+  match Chi.wait t.rt team with
+  | () ->
+    Placement.release plc ~dev ~shreds:b.Batcher.shreds;
+    guard_verify t arena ~batch:id ~shreds:b.Batcher.shreds;
+    let done_ps = now_ps t in
+    let drawn = drawn_counts t in
     List.iter
       (fun (j : Job.t) ->
-        let a =
-          1 + Option.value (Hashtbl.find_opt t.attempts j.Job.id) ~default:0
-        in
-        Hashtbl.replace t.attempts j.Job.id a;
-        if a > t.cfg.max_requeue then begin
-          Hashtbl.remove t.attempts j.Job.id;
-          shed t j (Job.Fatal_fault { attempts = a });
-          on_shed j
-        end
-        else begin
-          Tenant.requeue t.tenants.(j.Job.tenant) j;
-          Server_stats.record_requeue t.coll j
-        end)
+        Hashtbl.remove t.attempts j.Job.id;
+        Server_stats.record_completion t.coll j ~done_ps;
+        verify_expected t j drawn;
+        journal_rec t (Serve_journal.Done { job = j.Job.id; done_ps; drawn });
+        emit_ev ~dev t
+          (Trace.Job_done
+             { job = j.Job.id; tenant = j.Job.tenant;
+               latency_ps = done_ps - j.Job.submit_ps });
+        on_done j)
       b.Batcher.jobs
+  | exception Gpu.Stuck _ ->
+    Placement.release plc ~dev ~shreds:b.Batcher.shreds;
+    ignore (Gpu.drain_queue (Platform.gpu_dev t.platform dev));
+    requeue_jobs t ~on_shed b.Batcher.jobs
 
 let nop (_ : Job.t) = ()
 
 let dispatch_cycle t ?(on_done = nop) ?(on_shed = nop) () =
   Server_stats.sample_depth t.coll (queue_depth t);
-  let expired, batch =
-    Batcher.select t.cfg.batch t.tenants ~now_ps:(now_ps t)
-  in
-  shed_expired t ~on_shed expired;
-  match batch with
-  | None -> expired <> []
-  | Some b ->
-    dispatch_batch t ~on_done ~on_shed b;
-    true
+  match t.plc with
+  | None ->
+    (* single device: the historical one-batch synchronous cycle *)
+    let expired, batch =
+      Batcher.select t.cfg.batch t.tenants ~now_ps:(now_ps t)
+    in
+    shed_expired t ~on_shed expired;
+    (match batch with
+    | None -> expired <> []
+    | Some b ->
+      dispatch_batch t ~on_done ~on_shed b;
+      true)
+  | Some plc ->
+    (* select and launch up to one batch per device, then finish them
+       in launch order — the first wait drains every device, so the
+       teams genuinely overlap in simulated time *)
+    let launched = ref [] in
+    let nlaunched = ref 0 in
+    let had_expired = ref false in
+    let continue_ = ref true in
+    while !continue_ && !nlaunched < devices t do
+      let expired, batch =
+        Batcher.select t.cfg.batch t.tenants ~now_ps:(now_ps t)
+      in
+      if expired <> [] then had_expired := true;
+      shed_expired t ~on_shed expired;
+      match batch with
+      | None -> continue_ := false
+      | Some b ->
+        launched := launch_batch t plc b :: !launched;
+        incr nlaunched
+    done;
+    List.iter (finish_batch t plc ~on_done ~on_shed) (List.rev !launched);
+    !nlaunched > 0 || !had_expired
 
 let drain t =
   while queue_depth t > 0 do

@@ -65,6 +65,17 @@ type config = {
       (** Exo-opt optimization level applied to every arena's X3K
           program at build time; bounds and admission use the optimized
           code. Default [O0]. *)
+  devices : int;
+      (** X3K devices in the platform's device set (default 1). With
+          [devices > 1] each dispatch cycle launches up to one batch per
+          device — pinned by the {!Placement} layer and overlapped in
+          simulated time — and the server-wide backlog budget scales
+          with the set. [devices = 1] keeps the historical single-batch
+          synchronous dispatch, bit-identical to the pre-device-set
+          server. *)
+  placement : Placement.policy;
+      (** batch -> device policy (multi-device only); default
+          [Least_loaded] *)
 }
 
 (** Two equal-weight tenants ("alpha", "beta"), default batching
@@ -86,7 +97,7 @@ val create :
   ?config:config ->
   ?fault_plan:Exochi_faults.Fault_plan.t ->
   ?trace:Exochi_obs.Trace.sink ->
-  ?journal:Journal.writer ->
+  ?journal:Serve_journal.writer ->
   ?expect:(int * int array) list ->
   unit ->
   t
@@ -107,6 +118,14 @@ val tenant_depths : t -> (string * int) array
 
 (** Circuit breakers currently open (trips minus reinstatements). *)
 val breakers_open : t -> int
+
+(** X3K devices in the platform's device set. *)
+val devices : t -> int
+
+(** Per-device placement/health rows: [(dev, outstanding shreds,
+    outstanding batches, open breakers, half-open breakers)] in device
+    order — the dashboard / debugger device table. *)
+val device_snapshot : t -> (int * int * int * int * int) array
 
 (** Materialise arenas for these kernel abbreviations up front (surface
     allocation, input production, program assembly). Unknown names are

@@ -1,0 +1,319 @@
+(* Exo-fabric: pluggable sequencer backends and multi-device sharded
+   execution.
+
+   The load-bearing invariants of the device-set refactor:
+   - devices:1 through the device-set machinery is bit- and
+     time-identical to the historical single-device path;
+   - a sharded team produces byte-identical output surfaces at any
+     device count (row-disjoint writes into the shared aspace);
+   - per-device trace events partition the event set;
+   - the serve placement layer is deterministic and conserves load;
+   - a multi-device topology changes the serve-journal fingerprint, so
+     recovery refuses a journal from a different device count. *)
+
+open Exochi_memory
+open Exochi_core
+open Exochi_isa
+module Gpu = Exochi_accel.Gpu
+module Sb = Exochi_accel.Sequencer_backend
+module Trace = Exochi_obs.Trace
+module Fault_plan = Exochi_faults.Fault_plan
+module Kernel = Exochi_kernels.Kernel
+module Registry = Exochi_kernels.Registry
+module Harness = Exochi_kernels.Harness
+module Serve = Exochi_serving
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- a data-parallel workload: shred i sums rows 8i..8i+7 ---- *)
+
+let vadd_prog =
+  X3k_asm.assemble_exn ~name:"vadd"
+    {|
+  shl.1.dw   vr1 = %p0, 3
+  ld.8.dw    [vr2..vr9] = (A, vr1, 0)
+  ld.8.dw    [vr10..vr17] = (B, vr1, 0)
+  add.8.dw   [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+  st.8.dw    (C, vr1, 0) = [vr18..vr25]
+  end
+|}
+
+let elems = 2048 (* 256 shreds x 8 dwords *)
+
+let run_vadd ?fault_plan ?trace ~devices () =
+  let p = Exo_platform.create ?fault_plan ?trace ~devices () in
+  let rt = Chi_runtime.create ~platform:p () in
+  let aspace = Exo_platform.aspace p in
+  let alloc name =
+    Address_space.alloc aspace ~name ~bytes:(4 * elems) ~align:64
+  in
+  let a = alloc "A" and b = alloc "B" and c = alloc "C" in
+  for i = 0 to elems - 1 do
+    Address_space.write_u32 aspace (a + (4 * i)) (Int32.of_int i);
+    Address_space.write_u32 aspace (b + (4 * i)) (Int32.of_int (7 * i))
+  done;
+  let desc name base mode =
+    Chi_descriptor.alloc p ~name ~base ~width:elems ~height:1 ~bpp:4 ~mode ()
+  in
+  let descs =
+    [
+      desc "A" a Chi_descriptor.Input;
+      desc "B" b Chi_descriptor.Input;
+      desc "C" c Chi_descriptor.Output;
+    ]
+  in
+  ignore
+    (Chi_runtime.parallel rt ~prog:vadd_prog ~descriptors:descs
+       ~num_threads:(elems / 8)
+       ~params:(fun i -> [| i |])
+       ~master_nowait:false ());
+  let out = Array.init elems (fun i -> Address_space.read_u32 aspace (c + (4 * i))) in
+  (rt, out)
+
+let test_sharded_outputs_identical () =
+  let _, o1 = run_vadd ~devices:1 () in
+  let _, o2 = run_vadd ~devices:2 () in
+  let _, o4 = run_vadd ~devices:4 () in
+  for i = 0 to elems - 1 do
+    Alcotest.(check int32)
+      (Printf.sprintf "c[%d] expected" i)
+      (Int32.of_int (8 * i))
+      o1.(i)
+  done;
+  check_bool "2-device output byte-identical to 1-device" true (o1 = o2);
+  check_bool "4-device output byte-identical to 1-device" true (o1 = o4)
+
+let test_sharded_under_faults () =
+  (* hangs and lost doorbells on both device streams: the supervised
+     drain must still converge to the exact output, with zero fatality *)
+  let plan () =
+    Fault_plan.create ~seed:5L
+      ~rates:{ (Fault_plan.uniform_rates 0.01) with Fault_plan.gtt_corrupt = 0.0 }
+      ()
+  in
+  let _, o1 = run_vadd ~fault_plan:(plan ()) ~devices:1 () in
+  let rt2, o2 = run_vadd ~fault_plan:(plan ()) ~devices:2 () in
+  check_bool "faulted 2-device output still exact" true (o1 = o2);
+  let r = Chi_runtime.recovery rt2 in
+  check_int "no fatal faults" 0 r.Chi_runtime.fatal
+
+(* ---- devices:1 is the historical single-device path, exactly ---- *)
+
+let test_devices_one_identity () =
+  let k = Option.get (Registry.find "SepiaTone") in
+  let legacy = Harness.run ~frames:4 k Kernel.Small in
+  let one = Harness.run ~frames:4 ~devices:1 k Kernel.Small in
+  check_bool "correct" true (legacy.Harness.correct && one.Harness.correct);
+  check_int "time_ps identical" legacy.Harness.time_ps one.Harness.time_ps;
+  check_int "gpu_instrs identical" legacy.Harness.gpu_instrs
+    one.Harness.gpu_instrs;
+  check_int "shreds identical" legacy.Harness.shreds one.Harness.shreds;
+  check_int "thread switches identical" legacy.Harness.thread_switches
+    one.Harness.thread_switches;
+  check_int "gpu busy identical" legacy.Harness.gpu_busy_ps
+    one.Harness.gpu_busy_ps
+
+let test_sharding_speeds_up () =
+  let k = Option.get (Registry.find "SepiaTone") in
+  let r1 = Harness.run ~frames:4 ~devices:1 k Kernel.Small in
+  let r4 = Harness.run ~frames:4 ~devices:4 k Kernel.Small in
+  check_bool "correct at 4 devices" true r4.Harness.correct;
+  check_bool "4 devices beat 1" true
+    (r4.Harness.time_ps < r1.Harness.time_ps)
+
+(* ---- trace: device ids partition the event set ---- *)
+
+let test_trace_partition () =
+  let ndev = 4 in
+  let sink = Trace.create () in
+  let _, _ = run_vadd ~trace:sink ~devices:ndev () in
+  let evs = Trace.events sink in
+  check_bool "events recorded" true (evs <> []);
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.dev < 0 || e.Trace.dev >= ndev then
+        Alcotest.failf "event device %d out of range [0,%d)" e.Trace.dev ndev)
+    evs;
+  let per_dev d =
+    List.length (List.filter (fun (e : Trace.event) -> e.Trace.dev = d) evs)
+  in
+  let total = List.init ndev per_dev |> List.fold_left ( + ) 0 in
+  check_int "per-device events partition the event set" (List.length evs)
+    total;
+  (* every device retired shreds, and the retired ids partition the
+     team: each shred id ran on exactly one device (no faults, so no
+     hedged duplicates) *)
+  let retired_on d =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.Trace.kind with
+        | Trace.Shred_run { shred_id } when e.Trace.dev = d -> Some shred_id
+        | _ -> None)
+      evs
+  in
+  let all = List.concat (List.init ndev retired_on) in
+  check_int "every shred retired exactly once" (elems / 8)
+    (List.length (List.sort_uniq compare all));
+  check_int "no duplicate retirements" (List.length all)
+    (List.length (List.sort_uniq compare all));
+  for d = 0 to ndev - 1 do
+    check_bool
+      (Printf.sprintf "device %d retired work" d)
+      true
+      (retired_on d <> [])
+  done
+
+(* ---- placement layer ---- *)
+
+let test_placement_least_loaded () =
+  let plc = Serve.Placement.create ~devices:3 ~policy:Serve.Placement.Least_loaded in
+  check_int "first batch on device 0" 0
+    (Serve.Placement.place plc ~kernel:"K" ~shreds:10);
+  check_int "second on idle device 1" 1
+    (Serve.Placement.place plc ~kernel:"K" ~shreds:10);
+  check_int "third on idle device 2" 2
+    (Serve.Placement.place plc ~kernel:"K" ~shreds:10);
+  (* load released on 1 -> next batch goes there *)
+  Serve.Placement.release plc ~dev:1 ~shreds:10;
+  check_int "released device wins" 1
+    (Serve.Placement.place plc ~kernel:"K" ~shreds:4);
+  (* penalty biases away from the otherwise-least-loaded device 1
+     (0 outstanding); the 10-vs-10 tie left breaks to the lowest index *)
+  Serve.Placement.release plc ~dev:1 ~shreds:4;
+  check_int "penalty overrides raw load" 0
+    (Serve.Placement.place plc
+       ~penalty:(fun d -> if d = 1 then 1000 else 0)
+       ~kernel:"K" ~shreds:1);
+  let sh0, b0 = Serve.Placement.load plc ~dev:0 in
+  check_int "device 0 outstanding shreds" 11 sh0;
+  check_int "device 0 outstanding batches" 2 b0
+
+let test_placement_affinity () =
+  let plc = Serve.Placement.create ~devices:2 ~policy:Serve.Placement.Affinity in
+  let d = Serve.Placement.place plc ~kernel:"Sepia" ~shreds:8 in
+  check_int "first placement settles the home" 0 d;
+  Serve.Placement.release plc ~dev:d ~shreds:8;
+  check_int "sticky while the home is idle" 0
+    (Serve.Placement.place plc ~kernel:"Sepia" ~shreds:8);
+  (* home busy and an idle peer available: overflow *)
+  check_int "overflow to the idle peer" 1
+    (Serve.Placement.place plc ~kernel:"Sepia" ~shreds:8);
+  check_bool "policy name round-trips" true
+    (Serve.Placement.policy_of_string
+       (Serve.Placement.policy_name Serve.Placement.Affinity)
+    = Some Serve.Placement.Affinity)
+
+(* ---- multi-device serving ---- *)
+
+let test_multi_device_serve () =
+  let config = { Serve.Server.default_config with devices = 3 } in
+  let server = Serve.Server.create ~config () in
+  check_int "device set size" 3 (Serve.Server.devices server);
+  let wl =
+    Serve.Workload.create
+      (Serve.Workload.default_spec ~seed:11L ~tenants:2 ~jobs:60
+         (Serve.Workload.Closed { clients_per_tenant = 6; think_ps = 0 }))
+  in
+  let st = Serve.Server.run server wl in
+  check_int "all jobs completed" st.Serve.Server_stats.submitted
+    st.Serve.Server_stats.completed;
+  let rows = Serve.Server.device_snapshot server in
+  check_int "snapshot covers every device" 3 (Array.length rows);
+  Array.iter
+    (fun (_, shreds, batches, _, _) ->
+      check_int "no stranded shreds" 0 shreds;
+      check_int "no stranded batches" 0 batches)
+    rows
+
+(* ---- journal fingerprint refuses a different topology ---- *)
+
+let test_journal_topology_fingerprint () =
+  let base = [ "closed"; "200"; "2"; "42" ] in
+  (* the CLI appends the devices/placement part only when devices > 1,
+     so a 1-device journal keeps its historical fingerprint... *)
+  let fp1 = Serve.Serve_journal.fingerprint base in
+  let fp2 =
+    Serve.Serve_journal.fingerprint (base @ [ "devices=2"; "placement=least-loaded" ])
+  in
+  let fp4 =
+    Serve.Serve_journal.fingerprint (base @ [ "devices=4"; "placement=least-loaded" ])
+  in
+  check_bool "2-device topology changes the fingerprint" true (fp1 <> fp2);
+  check_bool "4-device differs from 2-device" true (fp2 <> fp4);
+  (* ...and a recovery under a different topology sees the mismatch *)
+  let path = Filename.temp_file "exochi_fabric" ".journal" in
+  let w = Serve.Serve_journal.start path ~fingerprint:fp2 in
+  Serve.Serve_journal.close w;
+  let rp = Serve.Serve_journal.load path in
+  check_bool "journal stores the topology fingerprint" true
+    (rp.Serve.Serve_journal.rp_fingerprint = Some fp2);
+  check_bool "a 4-device recovery must refuse this journal" true
+    (match rp.Serve.Serve_journal.rp_fingerprint with
+    | Some fp -> fp <> fp4
+    | None -> false);
+  Sys.remove path
+
+(* ---- backend interface surface ---- *)
+
+let test_backend_table () =
+  let p = Exo_platform.create ~devices:2 () in
+  let backends = Exo_platform.all_backends p in
+  check_int "two X3K devices plus the IA32 soft backend" 3
+    (List.length backends);
+  (match backends with
+  | [ b0; b1; soft ] ->
+    check_bool "device ids in order" true
+      (b0.Sb.caps.Sb.bk_dev = 0 && b1.Sb.caps.Sb.bk_dev = 1);
+    check_bool "X3K kinds" true
+      (b0.Sb.caps.Sb.bk_kind = Sb.X3k && b1.Sb.caps.Sb.bk_kind = Sb.X3k);
+    check_bool "soft backend is the IA32 master" true
+      (soft.Sb.caps.Sb.bk_kind = Sb.Ia32_soft);
+    check_int "soft backend has one slot" 1 (Sb.slots soft.Sb.caps);
+    check_bool "describe names the kind" true
+      (Astring.String.is_infix ~affix:"ia32-soft" (Sb.describe soft))
+  | _ -> Alcotest.fail "unexpected backend list shape");
+  (* the backend view delegates to the same device object *)
+  let b0 = Exo_platform.backend p ~dev:0 in
+  check_int "delegated queue length" (Gpu.queue_length (Exo_platform.gpu_dev p 0))
+    (b0.Sb.queue_length ())
+
+let () =
+  Alcotest.run "fabric"
+    [
+      ( "sharding",
+        [
+          Alcotest.test_case "outputs byte-identical at 1/2/4 devices" `Quick
+            test_sharded_outputs_identical;
+          Alcotest.test_case "exact output under faults on both devices"
+            `Quick test_sharded_under_faults;
+          Alcotest.test_case "devices:1 is time-identical to legacy" `Quick
+            test_devices_one_identity;
+          Alcotest.test_case "4 devices beat 1 on a data-parallel kernel"
+            `Quick test_sharding_speeds_up;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "per-device trace events partition the set"
+            `Quick test_trace_partition;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "least-loaded is deterministic and conserves"
+            `Quick test_placement_least_loaded;
+          Alcotest.test_case "affinity sticks and overflows" `Quick
+            test_placement_affinity;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "multi-device serve completes everything" `Quick
+            test_multi_device_serve;
+          Alcotest.test_case "journal refuses a different topology" `Quick
+            test_journal_topology_fingerprint;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "device table and delegation" `Quick
+            test_backend_table;
+        ] );
+    ]

@@ -8,6 +8,7 @@ open Exochi_serving
 module Checksum = Exochi_guard.Checksum
 module Breaker = Exochi_guard.Breaker
 module Fault_plan = Exochi_faults.Fault_plan
+module Journal = Serve_journal
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)

@@ -59,11 +59,19 @@ let test_sink_topology () =
   let s = Trace.create () in
   check_int "default eus" 8 (Trace.eus s);
   check_int "default threads/eu" 4 (Trace.threads_per_eu s);
-  Trace.set_topology s ~eus:2 ~threads_per_eu:3;
+  Trace.set_topology s ~eus:2 ~threads_per_eu:3 ();
+  let at ?(dev = 0) seq =
+    { Trace.ts_ps = 0; dur_ps = 0; dev; seq; kind = Trace.Quarantine }
+  in
   check_int "track count follows topology" 7 (Trace_export.track_count s);
-  check_int "ia32 tid" 0 (Trace_export.tid_of s Trace.Ia32);
+  check_int "ia32 tid" 0 (Trace_export.tid_of s (at Trace.Ia32));
   check_int "exo tid" 6
-    (Trace_export.tid_of s (Trace.Exo { eu = 1; slot = 2 }))
+    (Trace_export.tid_of s (at (Trace.Exo { eu = 1; slot = 2 })));
+  Trace.set_topology s ~devices:2 ~eus:2 ~threads_per_eu:3 ();
+  check_int "device tracks append" 13 (Trace_export.track_count s);
+  check_int "dev 1 tid offset" 12
+    (Trace_export.tid_of s (at ~dev:1 (Trace.Exo { eu = 1; slot = 2 })));
+  check_string "dev 1 track name" "exo D1 EU1/T2" (Trace_export.track_name s 12)
 
 (* ---- export + validation ---- *)
 
